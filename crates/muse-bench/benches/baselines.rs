@@ -1,0 +1,44 @@
+//! Baseline benchmarks: the oOP dynamic program against exhaustive
+//! placement enumeration, and the centralized cost computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muse_core::algorithms::baselines::{
+    centralized_cost, exhaustive_operator_placement, optimal_operator_placement,
+};
+use muse_sim::network_gen::{generate_network, NetworkConfig};
+use muse_sim::workload_gen::{generate_workload, WorkloadConfig};
+use std::hint::black_box;
+
+fn baselines(c: &mut Criterion) {
+    let network = generate_network(&NetworkConfig {
+        nodes: 4,
+        types: 6,
+        seed: 5,
+        ..Default::default()
+    });
+    let workload = generate_workload(&WorkloadConfig {
+        queries: 1,
+        prims_per_query: 4,
+        types: 6,
+        seed: 5,
+        ..Default::default()
+    });
+    let query = &workload.queries()[0];
+
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(6));
+    group.bench_function("oop_dynamic_program", |b| {
+        b.iter(|| black_box(optimal_operator_placement(black_box(query), &network).cost))
+    });
+    group.bench_function("oop_exhaustive", |b| {
+        b.iter(|| black_box(exhaustive_operator_placement(black_box(query), &network)))
+    });
+    group.bench_function("centralized_cost", |b| {
+        b.iter(|| black_box(centralized_cost(std::slice::from_ref(query), &network)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, baselines);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Construction-time benchmarks: aMuSE vs. aMuSE* (the Fig. 7d comparison)
+//! plus the enumeration-only phase, on the paper's default instance shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use muse_core::algorithms::amuse::{amuse, AMuseConfig};
+use muse_sim::network_gen::{generate_network, NetworkConfig};
+use muse_sim::workload_gen::{generate_workload, WorkloadConfig};
+use std::hint::black_box;
+
+fn construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for prims in [3usize, 4, 5] {
+        let network = generate_network(&NetworkConfig {
+            seed: 42,
+            ..Default::default()
+        });
+        let workload = generate_workload(&WorkloadConfig {
+            queries: 1,
+            prims_per_query: prims,
+            seed: 42,
+            ..Default::default()
+        });
+        let query = &workload.queries()[0];
+
+        group.bench_with_input(BenchmarkId::new("amuse", prims), &prims, |b, _| {
+            b.iter(|| {
+                let plan = amuse(black_box(query), &network, &AMuseConfig::default()).unwrap();
+                black_box(plan.cost)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("amuse_star", prims), &prims, |b, _| {
+            b.iter(|| {
+                let plan = amuse(black_box(query), &network, &AMuseConfig::star()).unwrap();
+                black_box(plan.cost)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablation benchmark: plan quality and construction time with and without
+//! partitioning multi-sink placements (§6.1.3 of the paper). The cost gap
+//! between the two configurations is the contribution of the paper's core
+//! idea; this bench reports the time side, and prints the cost ratio once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muse_core::algorithms::amuse::{amuse, AMuseConfig};
+use muse_sim::network_gen::{generate_network, NetworkConfig};
+use muse_sim::workload_gen::{generate_workload, WorkloadConfig};
+use std::hint::black_box;
+
+fn placement(c: &mut Criterion) {
+    let network = generate_network(&NetworkConfig {
+        event_node_ratio: 0.8,
+        seed: 7,
+        ..Default::default()
+    });
+    let workload = generate_workload(&WorkloadConfig {
+        queries: 1,
+        prims_per_query: 5,
+        seed: 7,
+        ..Default::default()
+    });
+    let query = &workload.queries()[0];
+
+    let multi = amuse(query, &network, &AMuseConfig::default()).unwrap();
+    let single = amuse(
+        query,
+        &network,
+        &AMuseConfig {
+            disable_multi_sink: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    eprintln!(
+        "multi-sink cost {:.1} vs single-sink-only cost {:.1} (ratio {:.3})",
+        multi.cost,
+        single.cost,
+        multi.cost / single.cost.max(f64::MIN_POSITIVE)
+    );
+
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.bench_function("with_multi_sink", |b| {
+        b.iter(|| {
+            let plan = amuse(black_box(query), &network, &AMuseConfig::default()).unwrap();
+            black_box(plan.cost)
+        })
+    });
+    group.bench_function("single_sink_only", |b| {
+        b.iter(|| {
+            let plan = amuse(
+                black_box(query),
+                &network,
+                &AMuseConfig {
+                    disable_multi_sink: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            black_box(plan.cost)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, placement);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Experiment harness CLI: regenerates every table and figure of the
+//! paper's evaluation (§7).
+//!
+//! ```text
+//! harness <experiment|all> [--reps N] [--seed S] [--quick] [--out DIR]
+//! ```
+//!
+//! Experiments: fig5a fig5b fig5c fig5d fig6a fig6b fig7a fig7b fig7c fig7d
+//! table3 fig8. Results are printed as text tables and, with `--out`,
+//! written as JSON for downstream plotting.
+
+use muse_bench::experiments::{all_experiments, run_experiment};
+use muse_bench::runner::SweepSettings;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: harness <experiment|all> [--reps N] [--seed S] [--quick] [--out DIR]\n\
+             experiments: {} all",
+            all_experiments().join(" ")
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut ids: Vec<String> = Vec::new();
+    let mut settings = SweepSettings::default();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reps" => {
+                i += 1;
+                settings.reps = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--reps needs a number"));
+            }
+            "--seed" => {
+                i += 1;
+                settings.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--quick" => settings = SweepSettings::quick(),
+            "--out" => {
+                i += 1;
+                out_dir = Some(PathBuf::from(
+                    args.get(i).unwrap_or_else(|| die("--out needs a path")),
+                ));
+            }
+            "all" => ids.extend(all_experiments().iter().map(|s| s.to_string())),
+            id if all_experiments().contains(&id) || id == "ablation" => {
+                ids.push(id.to_string())
+            }
+            other => die(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        die("no experiment selected");
+    }
+    ids.dedup();
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    for id in &ids {
+        eprintln!("running {id} (reps = {}) …", settings.reps);
+        let started = std::time::Instant::now();
+        let output = run_experiment(id, &settings);
+        println!("{}", output.render());
+        eprintln!("{id} finished in {:.1?}\n", started.elapsed());
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{id}.json"));
+            let json = serde_json::to_string_pretty(&output).expect("serialize result");
+            std::fs::write(&path, json).expect("write result file");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

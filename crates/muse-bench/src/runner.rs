@@ -1,0 +1,202 @@
+//! Shared experiment plumbing: planning one (network, workload) instance
+//! with every strategy and sweeping a parameter over repeated seeds.
+
+use muse_core::algorithms::amuse::AMuseConfig;
+use muse_core::algorithms::baselines::{
+    centralized_cost, optimal_operator_placement_workload,
+};
+use muse_core::algorithms::multi_query::amuse_workload;
+use muse_core::network::Network;
+use muse_core::workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Costs and construction statistics of all strategies on one instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StrategyCosts {
+    /// Centralized evaluation cost (the reference, §7.1).
+    pub centralized: f64,
+    /// Traditional optimal single-sink operator placement.
+    pub oop: f64,
+    /// aMuSE workload cost (with multi-query reuse).
+    pub amuse: f64,
+    /// aMuSE* workload cost.
+    pub amuse_star: f64,
+    /// aMuSE construction time.
+    pub amuse_time: Duration,
+    /// aMuSE* construction time.
+    pub amuse_star_time: Duration,
+    /// Beneficial projections considered by aMuSE (summed over queries).
+    pub amuse_projections: usize,
+    /// Beneficial projections considered by aMuSE*.
+    pub amuse_star_projections: usize,
+}
+
+impl StrategyCosts {
+    /// Transmission ratio of a strategy (cost / centralized).
+    pub fn ratio(&self, cost: f64) -> f64 {
+        if self.centralized <= 0.0 {
+            0.0
+        } else {
+            cost / self.centralized
+        }
+    }
+}
+
+/// Plans a workload with every strategy and collects costs.
+///
+/// # Panics
+///
+/// Panics if planning fails (generated workloads always reference
+/// producible types).
+pub fn evaluate_workload(workload: &Workload, network: &Network) -> StrategyCosts {
+    let centralized = centralized_cost(workload.queries(), network);
+    let oop = optimal_operator_placement_workload(workload.queries(), network);
+
+    let amuse_plan = amuse_workload(workload, network, &AMuseConfig::default())
+        .expect("aMuSE plans generated workloads");
+    let star_plan = amuse_workload(workload, network, &AMuseConfig::star())
+        .expect("aMuSE* plans generated workloads");
+
+    StrategyCosts {
+        centralized,
+        oop,
+        amuse: amuse_plan.total_cost,
+        amuse_star: star_plan.total_cost,
+        amuse_time: amuse_plan.stats.iter().map(|s| s.elapsed).sum(),
+        amuse_star_time: star_plan.stats.iter().map(|s| s.elapsed).sum(),
+        amuse_projections: amuse_plan
+            .stats
+            .iter()
+            .map(|s| s.projections_beneficial)
+            .sum(),
+        amuse_star_projections: star_plan
+            .stats
+            .iter()
+            .map(|s| s.projections_beneficial)
+            .sum(),
+    }
+}
+
+/// Sweep settings: repetitions per parameter value and the base seed.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SweepSettings {
+    /// Repetitions (distinct seeds) per parameter value.
+    pub reps: u64,
+    /// Base PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for SweepSettings {
+    fn default() -> Self {
+        Self { reps: 5, seed: 1 }
+    }
+}
+
+impl SweepSettings {
+    /// Reduced settings for smoke tests and CI.
+    pub fn quick() -> Self {
+        Self { reps: 2, seed: 1 }
+    }
+
+    /// The seeds of a sweep point.
+    pub fn seeds(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.reps).map(|r| self.seed.wrapping_mul(1000).wrapping_add(r))
+    }
+}
+
+/// One measured point of a ratio sweep: the parameter value and per-seed
+/// transmission ratios per strategy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RatioPoint {
+    /// The swept parameter's value.
+    pub x: f64,
+    /// aMuSE transmission ratios across seeds.
+    pub amuse: Vec<f64>,
+    /// aMuSE* transmission ratios across seeds.
+    pub amuse_star: Vec<f64>,
+    /// oOP transmission ratios across seeds.
+    pub oop: Vec<f64>,
+}
+
+impl RatioPoint {
+    /// Collects a sweep point from per-seed strategy costs.
+    pub fn collect(x: f64, costs: &[StrategyCosts]) -> Self {
+        Self {
+            x,
+            amuse: costs.iter().map(|c| c.ratio(c.amuse)).collect(),
+            amuse_star: costs.iter().map(|c| c.ratio(c.amuse_star)).collect(),
+            oop: costs.iter().map(|c| c.ratio(c.oop)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_sim::network_gen::{generate_network, NetworkConfig};
+    use muse_sim::workload_gen::{generate_workload, WorkloadConfig};
+
+    fn small_instance(seed: u64) -> (Network, Workload) {
+        let net = generate_network(&NetworkConfig {
+            nodes: 6,
+            types: 6,
+            event_node_ratio: 0.5,
+            rate_skew: 1.4,
+            max_rate: 10_000,
+            seed,
+        });
+        let w = generate_workload(&WorkloadConfig {
+            queries: 2,
+            prims_per_query: 3,
+            types: 6,
+            seed,
+            ..Default::default()
+        });
+        (net, w)
+    }
+
+    #[test]
+    fn evaluate_orders_strategies() {
+        for seed in 0..3 {
+            let (net, w) = small_instance(seed);
+            let costs = evaluate_workload(&w, &net);
+            assert!(costs.centralized > 0.0);
+            // oOP never beats centralized by construction? It can (it avoids
+            // shipping local events), but never exceeds it by more than the
+            // match streams. aMuSE must be within centralized.
+            assert!(
+                costs.amuse <= costs.centralized + 1e-6,
+                "seed {seed}: amuse {} central {}",
+                costs.amuse,
+                costs.centralized
+            );
+            assert!(
+                costs.amuse <= costs.amuse_star + 1e-6,
+                "seed {seed}: amuse {} star {}",
+                costs.amuse,
+                costs.amuse_star
+            );
+            assert!(costs.ratio(costs.amuse) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sweep_settings_generate_distinct_seeds() {
+        let s = SweepSettings { reps: 4, seed: 9 };
+        let seeds: Vec<u64> = s.seeds().collect();
+        assert_eq!(seeds.len(), 4);
+        let mut dedup = seeds.clone();
+        dedup.dedup();
+        assert_eq!(dedup, seeds);
+    }
+
+    #[test]
+    fn ratio_point_collects_per_strategy() {
+        let (net, w) = small_instance(1);
+        let costs = vec![evaluate_workload(&w, &net)];
+        let point = RatioPoint::collect(0.5, &costs);
+        assert_eq!(point.amuse.len(), 1);
+        assert_eq!(point.x, 0.5);
+    }
+}

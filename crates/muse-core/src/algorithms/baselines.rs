@@ -1,0 +1,682 @@
+//! Baseline evaluation strategies (§3 and §7.1 of the paper).
+//!
+//! * **Centralized**: every node ships every event to a central instance
+//!   outside the network; the cost is the total event generation rate.
+//! * **Naive in-network**: all operators of a query evaluated at the single
+//!   in-network node minimizing raw event delivery (Fig. 1a / Example 2).
+//! * **Optimal operator placement (oOP)**: the traditional model — each
+//!   *composite* operator of the query's operator hierarchy is assigned to
+//!   exactly one node so that the total transmission rate is minimal,
+//!   yielding a single sink per query. Because query operator trees are
+//!   trees, the optimum is found by dynamic programming over the hierarchy
+//!   (cf. Bokhari's tree-assignment result cited in the paper's Theorem 1).
+
+use crate::cost::operator_output_rate;
+use crate::network::Network;
+use crate::query::{OpNode, Query};
+use crate::types::{NodeId, PrimSet};
+use serde::{Deserialize, Serialize};
+
+/// Network cost of centralized evaluation: all events of all types
+/// referenced by the workload are sent out of the network, i.e.
+/// `Σ_E r(E) · |producers(E)|`.
+pub fn centralized_cost(queries: &[Query], network: &Network) -> f64 {
+    let types = queries
+        .iter()
+        .fold(crate::types::TypeSet::empty(), |acc, q| acc.union(q.types()));
+    types.iter().map(|ty| network.total_rate(ty)).sum()
+}
+
+/// Network cost of naively evaluating the whole workload at the single
+/// in-network node with the cheapest event delivery (Example 2). Returns
+/// `(best node, cost)`.
+pub fn naive_single_node_cost(queries: &[Query], network: &Network) -> (NodeId, f64) {
+    let types = queries
+        .iter()
+        .fold(crate::types::TypeSet::empty(), |acc, q| acc.union(q.types()));
+    let mut best = (NodeId(0), f64::INFINITY);
+    for node in network.nodes() {
+        let cost: f64 = types
+            .iter()
+            .map(|ty| {
+                let producers = network.num_producers(ty) as f64;
+                let local = network.generates(node, ty) as u8 as f64;
+                network.rate(ty) * (producers - local)
+            })
+            .sum();
+        if cost < best.1 {
+            best = (node, cost);
+        }
+    }
+    best
+}
+
+/// A single-sink operator placement: one node per composite operator of the
+/// query, identified by the operator's primitive set (unique per query under
+/// the distinct-event-types assumption).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorPlacement {
+    /// `(operator primitives, hosting node)` per composite operator.
+    pub assignments: Vec<(PrimSet, NodeId)>,
+    /// Total network cost of the placement.
+    pub cost: f64,
+}
+
+impl OperatorPlacement {
+    /// The node hosting the query's root operator (the sink).
+    pub fn sink(&self, query: &Query) -> Option<NodeId> {
+        let root_prims = query.prims();
+        self.assignments
+            .iter()
+            .find(|(p, _)| *p == root_prims)
+            .map(|(_, n)| *n)
+    }
+}
+
+/// Computes the *optimal* single-sink operator placement of a query by
+/// dynamic programming over the operator tree.
+///
+/// Sub-problem: `cost(o, n)` = minimal transmission rate to make the matches
+/// of subtree `o` available at node `n`. A primitive child of type `E`
+/// contributes the delivery of its events from every producer other than `n`
+/// (`r(E) · (|producers| − [n ∈ producers])`); a composite child placed at
+/// `m ≠ n` additionally ships its matches at rate
+/// `σ(c) · r̂(c) · |𝔈(c)|`.
+pub fn optimal_operator_placement(query: &Query, network: &Network) -> OperatorPlacement {
+    optimal_operator_placement_shared(query, network, &Default::default())
+}
+
+/// [`optimal_operator_placement`] with a set of already-established
+/// primitive streams `(type, from, to)` whose reuse is free — the workload
+/// variant places queries sequentially with this accounting, mirroring the
+/// multi-query reuse of the MuSE planner.
+pub fn optimal_operator_placement_shared(
+    query: &Query,
+    network: &Network,
+    shared: &std::collections::HashSet<(crate::types::EventTypeId, NodeId, NodeId)>,
+) -> OperatorPlacement {
+    let n_nodes = network.num_nodes();
+    assert!(n_nodes > 0, "network has no node");
+    let mut solver = OopSolver {
+        query,
+        network,
+        assignments: Vec::new(),
+        shared,
+    };
+    let costs = solver.place(query.root());
+    let (best_node, best_cost) = costs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, c)| (NodeId(i as u16), *c))
+        .expect("non-empty network");
+    // Re-run choosing concrete placements along the optimum.
+    let mut solver = OopSolver {
+        query,
+        network,
+        assignments: Vec::new(),
+        shared,
+    };
+    solver.reconstruct(query.root(), best_node);
+    OperatorPlacement {
+        assignments: solver.assignments,
+        cost: best_cost,
+    }
+}
+
+/// Sum of oOP costs over a workload (each query placed independently, as in
+/// the paper's baseline), *with stream sharing*: an event stream delivered
+/// to a node for one query is reused by every other query needing it there
+/// — otherwise a workload of related queries would be charged the same raw
+/// streams several times, which no real transport does.
+pub fn optimal_operator_placement_workload(queries: &[Query], network: &Network) -> f64 {
+    use crate::graph::{PlanContext, SharedTransmissions};
+    let mut table = crate::projection::ProjectionTable::new();
+    let placements = optimal_operator_placement_workload_placements(queries, network);
+    let graphs: Vec<crate::graph::MuseGraph> = queries
+        .iter()
+        .zip(&placements)
+        .map(|(q, placement)| {
+            placement_to_graph(q, placement, network, &mut table)
+                .expect("placement graph construction")
+        })
+        .collect();
+    let mut shared = SharedTransmissions::new();
+    let mut total = 0.0;
+    for g in &graphs {
+        let transmissions = {
+            let ctx = PlanContext::new(queries, network, &table).with_shared(&shared);
+            total += g.cost(&ctx);
+            g.transmissions(&ctx)
+        };
+        for (key, from, to) in transmissions {
+            shared.insert(key, from, to);
+        }
+    }
+    total
+}
+
+/// The per-query placements underlying
+/// [`optimal_operator_placement_workload`]: queries are placed sequentially
+/// and each sees the primitive streams established by its predecessors, so
+/// related queries gravitate to shared sinks.
+pub fn optimal_operator_placement_workload_placements(
+    queries: &[Query],
+    network: &Network,
+) -> Vec<OperatorPlacement> {
+    // Sequential sharing-aware placement: each query sees the primitive
+    // streams established by the previous queries' placements.
+    let mut established: std::collections::HashSet<(
+        crate::types::EventTypeId,
+        NodeId,
+        NodeId,
+    )> = Default::default();
+    queries
+        .iter()
+        .map(|q| {
+            let placement = optimal_operator_placement_shared(q, network, &established);
+            // Register the primitive deliveries this placement induces: the
+            // primitive children of each composite operator flow to its node.
+            fn register(
+                node: &OpNode,
+                query: &Query,
+                network: &Network,
+                placement: &OperatorPlacement,
+                established: &mut std::collections::HashSet<(
+                    crate::types::EventTypeId,
+                    NodeId,
+                    NodeId,
+                )>,
+            ) {
+                if let OpNode::Composite { children, .. } = node {
+                    let at = placement
+                        .assignments
+                        .iter()
+                        .find(|(p, _)| *p == node.prims())
+                        .map(|(_, n)| *n)
+                        .expect("assignment for composite");
+                    for child in children {
+                        match child {
+                            OpNode::Primitive(p) => {
+                                let ty = query.prim_type(*p);
+                                for m in network.producers(ty).iter() {
+                                    if m != at {
+                                        established.insert((ty, m, at));
+                                    }
+                                }
+                            }
+                            OpNode::Composite { .. } => {
+                                register(child, query, network, placement, established)
+                            }
+                        }
+                    }
+                }
+            }
+            register(q.root(), q, network, &placement, &mut established);
+            placement
+        })
+        .collect()
+}
+
+/// Sum of per-query oOP costs without cross-query stream sharing (the naive
+/// accounting; kept for comparison).
+pub fn optimal_operator_placement_workload_unshared(
+    queries: &[Query],
+    network: &Network,
+) -> f64 {
+    queries
+        .iter()
+        .map(|q| optimal_operator_placement(q, network).cost)
+        .sum()
+}
+
+struct OopSolver<'a> {
+    query: &'a Query,
+    network: &'a Network,
+    assignments: Vec<(PrimSet, NodeId)>,
+    /// Primitive streams `(type, from, to)` already established by earlier
+    /// queries' placements — free to reuse (workload accounting).
+    shared: &'a std::collections::HashSet<(crate::types::EventTypeId, NodeId, NodeId)>,
+}
+
+impl OopSolver<'_> {
+    /// Delivery cost of all events of a primitive operator to node `n`:
+    /// every producer other than `n` ships, unless its stream to `n` is
+    /// already established by an earlier placement.
+    fn primitive_delivery(&self, prim: crate::types::PrimId, n: usize) -> f64 {
+        let ty = self.query.prim_type(prim);
+        let to = NodeId(n as u16);
+        self.network
+            .producers(ty)
+            .iter()
+            .filter(|&m| m != to && !self.shared.contains(&(ty, m, to)))
+            .count() as f64
+            * self.network.rate(ty)
+    }
+
+    /// Transmission rate of a composite subtree's matches over one hop:
+    /// output rate times the number of event type bindings.
+    fn subtree_volume(&self, node: &OpNode) -> f64 {
+        let prims = node.prims();
+        let selectivity = self.query.selectivity_within(prims);
+        let rate = operator_output_rate(node, self.query, self.network);
+        let bindings = crate::binding::num_bindings(self.query, prims, self.network);
+        selectivity * rate * bindings
+    }
+
+    /// Minimal cost of evaluating `node` at each network node.
+    fn place(&mut self, node: &OpNode) -> Vec<f64> {
+        let n_nodes = self.network.num_nodes();
+        match node {
+            OpNode::Primitive(p) => (0..n_nodes)
+                .map(|n| self.primitive_delivery(*p, n))
+                .collect(),
+            OpNode::Composite { children, .. } => {
+                let mut totals = vec![0.0; n_nodes];
+                for child in children {
+                    match child {
+                        OpNode::Primitive(p) => {
+                            for (n, t) in totals.iter_mut().enumerate() {
+                                *t += self.primitive_delivery(*p, n);
+                            }
+                        }
+                        OpNode::Composite { .. } => {
+                            let child_costs = self.place(child);
+                            let volume = self.subtree_volume(child);
+                            for (n, t) in totals.iter_mut().enumerate() {
+                                let best = child_costs
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(m, c)| c + if m == n { 0.0 } else { volume })
+                                    .fold(f64::INFINITY, f64::min);
+                                *t += best;
+                            }
+                        }
+                    }
+                }
+                totals
+            }
+        }
+    }
+
+    /// Re-derives the per-operator node choices along the optimal solution.
+    fn reconstruct(&mut self, node: &OpNode, at: NodeId) {
+        if let OpNode::Composite { children, .. } = node {
+            self.assignments.push((node.prims(), at));
+            for child in children {
+                if let OpNode::Composite { .. } = child {
+                    let child_costs = self.place(child);
+                    let volume = self.subtree_volume(child);
+                    let best_m = child_costs
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| {
+                            let ca = a.1 + if a.0 == at.index() { 0.0 } else { volume };
+                            let cb = b.1 + if b.0 == at.index() { 0.0 } else { volume };
+                            ca.total_cmp(&cb)
+                        })
+                        .map(|(m, _)| NodeId(m as u16))
+                        .expect("non-empty network");
+                    self.reconstruct(child, best_m);
+                }
+            }
+        }
+    }
+}
+
+/// Converts a single-sink operator placement into a MuSE graph, so that
+/// traditional plans run on the same execution engine as MuSE plans (the
+/// paper's case study compares both on one engine, §7.3).
+///
+/// The operator hierarchy *is* a set of projections: each composite
+/// operator's subtree is the projection induced by its primitive operators,
+/// the predecessors of an operator are its children, and each operator is
+/// hosted at exactly one node — i.e. the classical model is the restriction
+/// of MuSE graphs to hierarchy projections with single-sink placements.
+pub fn placement_to_graph(
+    query: &Query,
+    placement: &OperatorPlacement,
+    network: &Network,
+    table: &mut crate::projection::ProjectionTable,
+) -> crate::error::Result<crate::graph::MuseGraph> {
+    use crate::graph::{MuseGraph, Vertex};
+    let mut graph = MuseGraph::new();
+    let node_of = |prims: PrimSet| -> NodeId {
+        placement
+            .assignments
+            .iter()
+            .find(|(p, _)| *p == prims)
+            .map(|(_, n)| *n)
+            .expect("assignment for composite operator")
+    };
+
+    // Recursive construction returning the subtree's output vertex.
+    fn build(
+        node: &OpNode,
+        query: &Query,
+        network: &Network,
+        table: &mut crate::projection::ProjectionTable,
+        graph: &mut crate::graph::MuseGraph,
+        node_of: &impl Fn(PrimSet) -> NodeId,
+    ) -> crate::error::Result<crate::graph::Vertex> {
+        match node {
+            OpNode::Primitive(_) => unreachable!("handled by the parent"),
+            OpNode::Composite { children, .. } => {
+                let prims = node.prims();
+                let proj = table.project_into(query, prims)?;
+                let at = node_of(prims);
+                let v = crate::graph::Vertex::new(proj, at);
+                graph.add_vertex(v);
+                for child in children {
+                    match child {
+                        OpNode::Primitive(p) => {
+                            let cp = table.project_into(query, PrimSet::single(*p))?;
+                            for producer in network.producers(query.prim_type(*p)).iter() {
+                                graph.add_edge(crate::graph::Vertex::new(cp, producer), v);
+                            }
+                        }
+                        OpNode::Composite { .. } => {
+                            let cv = build(child, query, network, table, graph, node_of)?;
+                            graph.add_edge(cv, v);
+                        }
+                    }
+                }
+                Ok(v)
+            }
+        }
+    }
+
+    match query.root() {
+        OpNode::Primitive(p) => {
+            // A primitive query has no composite operator: its "plan" is
+            // the set of producer vertices.
+            let proj = table.project_into(query, PrimSet::single(*p))?;
+            for producer in network.producers(query.prim_type(*p)).iter() {
+                graph.add_vertex(Vertex::new(proj, producer));
+            }
+        }
+        root => {
+            build(root, query, network, table, &mut graph, &node_of)?;
+        }
+    }
+    Ok(graph)
+}
+
+/// Exhaustive single-sink operator placement for cross-checking the DP on
+/// tiny instances: enumerates every assignment of composite operators to
+/// nodes. Exponential — guard with small `|N|^|O_c|` only.
+pub fn exhaustive_operator_placement(query: &Query, network: &Network) -> f64 {
+    // Collect composite operators in pre-order.
+    let mut composites: Vec<&OpNode> = Vec::new();
+    collect_composites(query.root(), &mut composites);
+    let n_nodes = network.num_nodes();
+    let combos = (n_nodes as f64).powi(composites.len() as i32);
+    assert!(
+        combos <= 1e7,
+        "exhaustive placement infeasible: {combos} assignments"
+    );
+    let mut best = f64::INFINITY;
+    let mut assignment = vec![0usize; composites.len()];
+    loop {
+        let cost = assignment_cost(query, network, &composites, &assignment);
+        best = best.min(cost);
+        // Next assignment (odometer).
+        let mut i = 0;
+        loop {
+            if i == assignment.len() {
+                return best;
+            }
+            assignment[i] += 1;
+            if assignment[i] < n_nodes {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn collect_composites<'a>(node: &'a OpNode, out: &mut Vec<&'a OpNode>) {
+    if let OpNode::Composite { children, .. } = node {
+        out.push(node);
+        for c in children {
+            collect_composites(c, out);
+        }
+    }
+}
+
+fn assignment_cost(
+    query: &Query,
+    network: &Network,
+    composites: &[&OpNode],
+    assignment: &[usize],
+) -> f64 {
+    // Index of a composite operator by pointer equality.
+    let index_of = |node: &OpNode| {
+        composites
+            .iter()
+            .position(|c| std::ptr::eq(*c, node))
+            .expect("composite collected")
+    };
+    let mut total = 0.0;
+    for (i, op) in composites.iter().enumerate() {
+        let at = assignment[i];
+        let OpNode::Composite { children, .. } = op else {
+            unreachable!()
+        };
+        for child in children {
+            match child {
+                OpNode::Primitive(p) => {
+                    let ty = query.prim_type(*p);
+                    let producers = network.num_producers(ty) as f64;
+                    let local = network.generates(NodeId(at as u16), ty) as u8 as f64;
+                    total += network.rate(ty) * (producers - local);
+                }
+                OpNode::Composite { .. } => {
+                    let j = index_of(child);
+                    if assignment[j] != at {
+                        let prims = child.prims();
+                        let volume = query.selectivity_within(prims)
+                            * operator_output_rate(child, query, network)
+                            * crate::binding::num_bindings(query, prims, network);
+                        total += volume;
+                    }
+                }
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use crate::query::Pattern;
+    use crate::types::{EventTypeId, QueryId};
+
+    fn t(i: u16) -> EventTypeId {
+        EventTypeId(i)
+    }
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Fig. 1 network: R1 = {C, F}, R2 = {C, L}, R3 = {L}.
+    fn fig1_network() -> Network {
+        NetworkBuilder::new(3, 3)
+            .node(n(0), [t(0), t(2)])
+            .node(n(1), [t(0), t(1)])
+            .node(n(2), [t(1)])
+            .rate(t(0), 100.0)
+            .rate(t(1), 100.0)
+            .rate(t(2), 1.0)
+            .build()
+    }
+
+    fn example_query() -> Query {
+        Query::build(
+            QueryId(0),
+            &Pattern::seq([
+                Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+                Pattern::leaf(t(2)),
+            ]),
+            vec![],
+            1000,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn centralized_sums_total_rates() {
+        let net = fig1_network();
+        let q = example_query();
+        // C: 2 producers · 100 + L: 2 · 100 + F: 1 · 1 = 401.
+        assert_eq!(centralized_cost(std::slice::from_ref(&q), &net), 401.0);
+    }
+
+    #[test]
+    fn naive_single_node_matches_example2() {
+        // Example 2: evaluating at R2 costs r(F) + r(C) + r(L) = 201;
+        // at R3 it costs r(F) + 2·r(C) + r(L) = 301.
+        let net = fig1_network();
+        let q = example_query();
+        let (node, cost) = naive_single_node_cost(std::slice::from_ref(&q), &net);
+        assert_eq!(node, n(1)); // R2
+        assert_eq!(cost, 201.0);
+    }
+
+    #[test]
+    fn oop_no_worse_than_naive() {
+        let net = fig1_network();
+        let q = example_query();
+        let placement = optimal_operator_placement(&q, &net);
+        let (_, naive) = naive_single_node_cost(std::slice::from_ref(&q), &net);
+        assert!(placement.cost <= naive + 1e-9);
+        assert!(placement.sink(&q).is_some());
+        // Root + AND = two composite assignments.
+        assert_eq!(placement.assignments.len(), 2);
+    }
+
+    #[test]
+    fn oop_exploits_selective_inner_operator() {
+        // With a highly selective AND(C, L), placing the AND at R2 and the
+        // root at R1 (where F originates) beats naive evaluation: only the
+        // rare AND matches travel (Fig. 1b).
+        use crate::query::{CmpOp, Predicate};
+        use crate::types::{AttrId, PrimId};
+        let net = fig1_network();
+        let pred = Predicate::binary(
+            (PrimId(0), AttrId(0)),
+            CmpOp::Eq,
+            (PrimId(1), AttrId(0)),
+            0.001,
+        );
+        let q = Query::build(
+            QueryId(0),
+            &Pattern::seq([
+                Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+                Pattern::leaf(t(2)),
+            ]),
+            vec![pred],
+            1000,
+        )
+        .unwrap();
+        let placement = optimal_operator_placement(&q, &net);
+        let (_, naive) = naive_single_node_cost(std::slice::from_ref(&q), &net);
+        // Delivering C and L to any AND host costs at least 200 in this
+        // network, so oOP cannot beat naive here — it must match it and the
+        // exhaustive search (this is exactly the paper's observation that
+        // single-sink placements barely improve on centralized/naive plans
+        // in complete-graph networks, §7.2).
+        assert!(placement.cost <= naive + 1e-9);
+        let exhaustive = exhaustive_operator_placement(&q, &net);
+        assert!((placement.cost - exhaustive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn oop_dp_matches_exhaustive_on_small_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            // Random 3-node network over 4 types.
+            let mut net = Network::new(3, 4);
+            for node in 0..3u16 {
+                for ty in 0..4u16 {
+                    if rng.gen_bool(0.6) {
+                        net.set_generates(n(node), t(ty));
+                    }
+                }
+            }
+            for ty in 0..4u16 {
+                // Ensure a producer.
+                if net.num_producers(t(ty)) == 0 {
+                    net.set_generates(n(rng.gen_range(0..3)), t(ty));
+                }
+                net.set_rate(t(ty), rng.gen_range(1.0..100.0));
+            }
+            let q = Query::build(
+                QueryId(0),
+                &Pattern::seq([
+                    Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+                    Pattern::and([Pattern::leaf(t(2)), Pattern::leaf(t(3))]),
+                ]),
+                vec![],
+                100,
+            )
+            .unwrap();
+            let dp = optimal_operator_placement(&q, &net).cost;
+            let ex = exhaustive_operator_placement(&q, &net);
+            assert!(
+                (dp - ex).abs() < 1e-6,
+                "dp={dp} exhaustive={ex}"
+            );
+        }
+    }
+
+    #[test]
+    fn placement_graph_is_correct_and_costs_match() {
+        use crate::graph::PlanContext;
+        use crate::projection::ProjectionTable;
+        let net = fig1_network();
+        let q = example_query();
+        let placement = optimal_operator_placement(&q, &net);
+        let mut table = ProjectionTable::new();
+        let graph = placement_to_graph(&q, &placement, &net, &mut table).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &table);
+        graph.check_correct(&ctx, 100_000).unwrap();
+        // Exactly one sink (single-sink model).
+        assert_eq!(graph.sinks().len(), 1);
+        // The MuSE cost model reproduces the DP's cost on this graph.
+        assert!(
+            (graph.cost(&ctx) - placement.cost).abs() < 1e-6,
+            "graph {} vs dp {}",
+            graph.cost(&ctx),
+            placement.cost
+        );
+    }
+
+    #[test]
+    fn workload_cost_sums_queries() {
+        let net = fig1_network();
+        let q0 = example_query();
+        let q1 = Query::build(
+            QueryId(1),
+            &Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(2))]),
+            vec![],
+            100,
+        )
+        .unwrap();
+        let total = optimal_operator_placement_workload(&[q0.clone(), q1.clone()], &net);
+        let a = optimal_operator_placement(&q0, &net).cost;
+        let b = optimal_operator_placement(&q1, &net).cost;
+        // With stream sharing the workload cost is at most the per-query
+        // sum (the unshared accounting), and both queries reference C and F
+        // so some sharing must materialize.
+        let unshared = optimal_operator_placement_workload_unshared(&[q0, q1], &net);
+        assert!((unshared - (a + b)).abs() < 1e-9);
+        assert!(total <= unshared + 1e-9);
+        assert!(total < unshared, "related queries must share streams");
+    }
+}

@@ -1,0 +1,237 @@
+//! The multi-query extension of aMuSE (§6.2 of the paper).
+//!
+//! For a workload `Q`, aMuSE runs sequentially per query. After each query's
+//! MuSE graph is fixed, its network transmissions are registered: a later
+//! query that needs the *same stream* (identical projection structure over
+//! event types, identical predicates, identical covered bindings, identical
+//! endpoints) reuses it at zero cost. This realizes both reuse rules of the
+//! paper — projections already placed at a node, and event types already
+//! disseminated to a node — because both are transmissions of some
+//! projection's matches to some node.
+
+use crate::algorithms::amuse::{amuse_with_table, AMuseConfig, ConstructionStats};
+use crate::error::Result;
+use crate::graph::{MuseGraph, PlanContext, SharedTransmissions, Vertex};
+use crate::network::Network;
+use crate::projection::ProjectionTable;
+use crate::workload::Workload;
+
+/// The result of planning a whole workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadPlan {
+    /// One MuSE graph per query, in workload order.
+    pub graphs: Vec<MuseGraph>,
+    /// Sinks per query.
+    pub sinks: Vec<Vec<Vertex>>,
+    /// The union of all per-query graphs (the deployable plan).
+    pub merged: MuseGraph,
+    /// Projection arena shared by all graphs.
+    pub table: ProjectionTable,
+    /// Marginal cost per query (cost given the streams established by
+    /// earlier queries).
+    pub per_query_cost: Vec<f64>,
+    /// Total workload cost: the sum of marginal costs — the rate of
+    /// *distinct* streams crossing the network.
+    pub total_cost: f64,
+    /// Construction statistics per query.
+    pub stats: Vec<ConstructionStats>,
+}
+
+impl WorkloadPlan {
+    /// Total network cost of the workload plan.
+    pub fn cost(&self) -> f64 {
+        self.total_cost
+    }
+}
+
+/// Plans a workload with aMuSE, reusing projections and event streams
+/// already disseminated by earlier queries.
+pub fn amuse_workload(
+    workload: &Workload,
+    network: &Network,
+    config: &AMuseConfig,
+) -> Result<WorkloadPlan> {
+    let mut table = ProjectionTable::new();
+    let mut shared = SharedTransmissions::new();
+    let mut graphs = Vec::with_capacity(workload.len());
+    let mut sinks = Vec::with_capacity(workload.len());
+    let mut per_query_cost = Vec::with_capacity(workload.len());
+    let mut stats = Vec::with_capacity(workload.len());
+
+    for query in workload.queries() {
+        let (graph, query_sinks, cost, query_stats) = amuse_with_table(
+            query,
+            workload.queries(),
+            network,
+            config,
+            &mut table,
+            Some(&shared),
+        )?;
+        {
+            let ctx = PlanContext::new(workload.queries(), network, &table);
+            shared.absorb(&graph, &ctx);
+        }
+        graphs.push(graph);
+        sinks.push(query_sinks);
+        per_query_cost.push(cost);
+        stats.push(query_stats);
+    }
+
+    let mut merged = MuseGraph::new();
+    for g in &graphs {
+        merged.union_with(g);
+    }
+    let total_cost = per_query_cost.iter().sum();
+    Ok(WorkloadPlan {
+        graphs,
+        sinks,
+        merged,
+        table,
+        per_query_cost,
+        total_cost,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::amuse::amuse;
+    use crate::catalog::Catalog;
+    use crate::network::NetworkBuilder;
+    use crate::query::{CmpOp, Pattern, Predicate};
+    use crate::types::{AttrId, EventTypeId, NodeId, PrimId};
+
+    fn t(i: u16) -> EventTypeId {
+        EventTypeId(i)
+    }
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    fn network() -> Network {
+        NetworkBuilder::new(4, 4)
+            .node(n(0), [t(0), t(2)])
+            .node(n(1), [t(0), t(1)])
+            .node(n(2), [t(1), t(3)])
+            .node(n(3), [t(2), t(3)])
+            .rate(t(0), 100.0)
+            .rate(t(1), 80.0)
+            .rate(t(2), 1.0)
+            .rate(t(3), 2.0)
+            .build()
+    }
+
+    fn pred(a: u8, b: u8, sel: f64) -> Predicate {
+        Predicate::binary((PrimId(a), AttrId(0)), CmpOp::Eq, (PrimId(b), AttrId(0)), sel)
+    }
+
+    /// Two queries sharing the sub-pattern SEQ(A, B) with equal predicates.
+    fn related_workload() -> Workload {
+        let catalog = Catalog::with_anonymous_types(4);
+        Workload::from_patterns(
+            catalog,
+            [
+                (
+                    Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2))]),
+                    vec![pred(0, 1, 0.01)],
+                    1000,
+                ),
+                (
+                    Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(3))]),
+                    vec![pred(0, 1, 0.01)],
+                    1000,
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn workload_plan_is_correct_per_query() {
+        let net = network();
+        let w = related_workload();
+        let plan = amuse_workload(&w, &net, &AMuseConfig::default()).unwrap();
+        assert_eq!(plan.graphs.len(), 2);
+        for (i, g) in plan.graphs.iter().enumerate() {
+            let query = &w.queries()[i..=i];
+            let ctx = PlanContext::new(query, &net, &plan.table);
+            // Well-formedness of the per-query graph w.r.t. its own query.
+            g.check_well_formed(&ctx).unwrap();
+            g.check_complete(&ctx, 100_000).unwrap();
+        }
+    }
+
+    #[test]
+    fn reuse_makes_total_cheaper_than_independent_sum() {
+        let net = network();
+        let w = related_workload();
+        let plan = amuse_workload(&w, &net, &AMuseConfig::default()).unwrap();
+        let independent: f64 = w
+            .queries()
+            .iter()
+            .map(|q| amuse(q, &net, &AMuseConfig::default()).unwrap().cost)
+            .sum();
+        assert!(
+            plan.total_cost <= independent + 1e-9,
+            "with reuse {} > independent {independent}",
+            plan.total_cost
+        );
+        // The queries share the SEQ(A, B) sub-pattern with identical
+        // predicates, so the second query's marginal cost must be strictly
+        // lower than its standalone cost.
+        let standalone_q1 = amuse(&w.queries()[1], &net, &AMuseConfig::default())
+            .unwrap()
+            .cost;
+        assert!(
+            plan.per_query_cost[1] < standalone_q1 + 1e-9,
+            "marginal {} vs standalone {standalone_q1}",
+            plan.per_query_cost[1]
+        );
+    }
+
+    #[test]
+    fn merged_graph_contains_all_queries() {
+        let net = network();
+        let w = related_workload();
+        let plan = amuse_workload(&w, &net, &AMuseConfig::default()).unwrap();
+        for g in &plan.graphs {
+            for v in g.vertices() {
+                assert!(plan.merged.contains_vertex(v));
+            }
+        }
+        assert_eq!(plan.sinks.len(), 2);
+        assert_eq!(plan.per_query_cost.len(), 2);
+        assert!((plan.cost() - plan.per_query_cost.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrelated_queries_gain_nothing() {
+        // Queries over disjoint types cannot share streams.
+        let catalog = Catalog::with_anonymous_types(4);
+        let w = Workload::from_patterns(
+            catalog,
+            [
+                (
+                    Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(2))]),
+                    vec![pred(0, 1, 0.05)],
+                    1000,
+                ),
+                (
+                    Pattern::seq([Pattern::leaf(t(1)), Pattern::leaf(t(3))]),
+                    vec![pred(0, 1, 0.05)],
+                    1000,
+                ),
+            ],
+        )
+        .unwrap();
+        let net = network();
+        let plan = amuse_workload(&w, &net, &AMuseConfig::default()).unwrap();
+        let independent: f64 = w
+            .queries()
+            .iter()
+            .map(|q| amuse(q, &net, &AMuseConfig::default()).unwrap().cost)
+            .sum();
+        assert!((plan.total_cost - independent).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,222 @@
+//! Pruning principles for MuSE graph construction (§6.1 of the paper).
+//!
+//! * **Beneficial projections** (Def. 13 / Theorem 3): a projection `p` can
+//!   only appear in an optimal MuSE graph if some combination satisfies
+//!   `r̂(p) ≤ Σ_{e ∈ β(p)} r̂(e)`. Following §6.1.1, the check is performed
+//!   against the *primitive combination* (predecessors = `p`'s primitive
+//!   operators), using `Σ r(type)` as the upper bound for a suitable
+//!   combination's cost.
+//! * **aMuSE\* rate filter** (§6.2): aMuSE* additionally requires one input
+//!   primitive with `r̂(e) ≥ r̂(p) · |𝔈(p)|`, i.e. hosting `p` at a node
+//!   producing `e` must amortize the full fan-out of `p`'s matches.
+//! * **Partitioning multi-sink placements** (Eq. 6 / `getMSP` in Alg. 3):
+//!   a predecessor `e` of `p` is a *partitioning input* when
+//!   `r̂(e) > Σ_{ẽ ∈ β(p) \ e} r̂(ẽ) · |𝔈(ẽ)|` — then `p` is hosted at every
+//!   node generating `e` and events of `e` never cross the network.
+
+use crate::binding::num_bindings;
+use crate::combination::Combination;
+use crate::cost::{primitive_rate_sum, projection_output_rate};
+use crate::error::Result;
+use crate::network::Network;
+use crate::projection::project;
+use crate::query::Query;
+use crate::types::PrimSet;
+
+/// Output rate of the projection of `query` induced by `prims`
+/// (`r̂(p) = σ(p) · r̂(root(p))`).
+pub fn projection_rate(query: &Query, prims: PrimSet, network: &Network) -> Result<f64> {
+    let p = project(query, prims)?;
+    Ok(projection_output_rate(&p, query, network))
+}
+
+/// Beneficial-projection test (Def. 13 on the primitive combination):
+/// `r̂(p) ≤ Σ_{e ∈ O_p^p} r(e.sem)`.
+pub fn is_beneficial(query: &Query, prims: PrimSet, network: &Network) -> Result<bool> {
+    let rate = projection_rate(query, prims, network)?;
+    Ok(rate <= primitive_rate_sum(prims, query, network))
+}
+
+/// The aMuSE* projection filter: some input primitive must have
+/// `r̂(e) ≥ r̂(p) · |𝔈(p)|`.
+pub fn passes_star_filter(query: &Query, prims: PrimSet, network: &Network) -> Result<bool> {
+    let volume = projection_rate(query, prims, network)? * num_bindings(query, prims, network);
+    Ok(prims
+        .iter()
+        .any(|e| network.rate(query.prim_type(e)) >= volume))
+}
+
+/// Searches for a *partitioning input* among the predecessors of a
+/// combination (Eq. 6): a predecessor `e` with
+/// `r̂(e) > Σ_{ẽ ≠ e} r̂(ẽ) · |𝔈(ẽ)|`.
+///
+/// Returns the qualifying predecessor with the highest rate (the paper's
+/// `getMSP` returns the first found; choosing the highest-rate one is a
+/// deterministic refinement that never picks a weaker partitioning input).
+pub fn partitioning_input(
+    query: &Query,
+    combination: &Combination,
+    network: &Network,
+) -> Result<Option<PrimSet>> {
+    let mut rates = Vec::with_capacity(combination.predecessors.len());
+    for e in &combination.predecessors {
+        let rate = projection_rate(query, *e, network)?;
+        let bindings = num_bindings(query, *e, network);
+        rates.push((*e, rate, bindings));
+    }
+    Ok(partitioning_input_from_rates(&rates))
+}
+
+/// [`partitioning_input`] over precomputed `(predecessor, rate, bindings)`
+/// triples — the construction algorithm's hot loop uses this to avoid
+/// re-deriving projections.
+pub fn partitioning_input_from_rates(rates: &[(PrimSet, f64, f64)]) -> Option<PrimSet> {
+    let mut best: Option<(PrimSet, f64)> = None;
+    for (i, (e, rate, _)) in rates.iter().enumerate() {
+        let others: f64 = rates
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, (_, r, b))| r * b)
+            .sum();
+        if *rate > others && best.as_ref().is_none_or(|(_, r)| rate > r) {
+            best = Some((*e, *rate));
+        }
+    }
+    best.map(|(e, _)| e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use crate::query::{CmpOp, Pattern, Predicate};
+    use crate::types::{AttrId, EventTypeId, NodeId, PrimId, QueryId};
+
+    fn t(i: u16) -> EventTypeId {
+        EventTypeId(i)
+    }
+    fn ps(prims: impl IntoIterator<Item = u8>) -> PrimSet {
+        prims.into_iter().map(PrimId).collect()
+    }
+
+    fn network(rates: [f64; 3]) -> Network {
+        NetworkBuilder::new(3, 3)
+            .node(NodeId(0), [t(0)])
+            .node(NodeId(1), [t(1)])
+            .node(NodeId(2), [t(2)])
+            .rate(t(0), rates[0])
+            .rate(t(1), rates[1])
+            .rate(t(2), rates[2])
+            .build()
+    }
+
+    fn query(selectivity: f64) -> Query {
+        let preds = if selectivity < 1.0 {
+            vec![Predicate::binary(
+                (PrimId(0), AttrId(0)),
+                CmpOp::Eq,
+                (PrimId(1), AttrId(0)),
+                selectivity,
+            )]
+        } else {
+            vec![]
+        };
+        Query::build(
+            QueryId(0),
+            &Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2))]),
+            preds,
+            100,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn low_selectivity_makes_projection_beneficial() {
+        let net = network([10.0, 10.0, 10.0]);
+        // σ = 0.01: r̂(SEQ(A,B)) = 0.01·100 = 1 ≤ 20.
+        let q = query(0.01);
+        assert!(is_beneficial(&q, ps([0, 1]), &net).unwrap());
+        // σ = 1: r̂ = 100 > 20.
+        let q = query(1.0);
+        assert!(!is_beneficial(&q, ps([0, 1]), &net).unwrap());
+    }
+
+    #[test]
+    fn rare_partner_type_makes_projection_beneficial() {
+        // SEQ(B, C) with r(B)=100, r(C)=0.5: r̂ = 50 ≤ 100.5.
+        let net = network([10.0, 100.0, 0.5]);
+        let q = query(1.0);
+        assert!(is_beneficial(&q, ps([1, 2]), &net).unwrap());
+    }
+
+    #[test]
+    fn single_prim_is_always_beneficial() {
+        let net = network([10.0, 10.0, 10.0]);
+        let q = query(1.0);
+        assert!(is_beneficial(&q, ps([0]), &net).unwrap());
+    }
+
+    #[test]
+    fn star_filter_requires_dominant_input() {
+        let q = query(0.001);
+        // r̂(SEQ(A,B)) = 0.001·10·1000 = 10; |𝔈| = 1; r(A)=10 ≥ 10 ✓.
+        let net = network([10.0, 1000.0, 1.0]);
+        assert!(passes_star_filter(&q, ps([0, 1]), &net).unwrap());
+        // With equal mid rates no input dominates the output volume.
+        let net = network([10.0, 10.0, 1.0]);
+        // r̂ = 0.001·100 = 0.1; r(A) = 10 ≥ 0.1 ✓ — still passes.
+        assert!(passes_star_filter(&q, ps([0, 1]), &net).unwrap());
+        // High selectivity: r̂ = 100 > both rates → fails.
+        let q1 = query(1.0);
+        assert!(!passes_star_filter(&q1, ps([0, 1]), &net).unwrap());
+    }
+
+    #[test]
+    fn partitioning_input_found_for_dominant_rate() {
+        // Combination of SEQ(A,B,C) from primitives; r(A) huge, others tiny.
+        let net = network([1000.0, 1.0, 1.0]);
+        let q = query(1.0);
+        let combo = Combination::primitive(ps([0, 1, 2]));
+        let part = partitioning_input(&q, &combo, &net).unwrap();
+        assert_eq!(part, Some(ps([0])));
+    }
+
+    #[test]
+    fn no_partitioning_input_for_balanced_rates() {
+        let net = network([10.0, 10.0, 10.0]);
+        let q = query(1.0);
+        let combo = Combination::primitive(ps([0, 1, 2]));
+        assert_eq!(partitioning_input(&q, &combo, &net).unwrap(), None);
+    }
+
+    #[test]
+    fn partitioning_input_accounts_for_bindings() {
+        // B produced by two nodes doubles its shipped volume.
+        let net = NetworkBuilder::new(3, 3)
+            .node(NodeId(0), [t(0)])
+            .node(NodeId(1), [t(1)])
+            .node(NodeId(2), [t(1), t(2)])
+            .rate(t(0), 25.0)
+            .rate(t(1), 10.0)
+            .rate(t(2), 1.0)
+            .build();
+        let q = query(1.0);
+        let combo = Combination::primitive(ps([0, 1, 2]));
+        // Others of A: r(B)·2 + r(C)·1 = 21 < 25 → A partitions.
+        assert_eq!(
+            partitioning_input(&q, &combo, &net).unwrap(),
+            Some(ps([0]))
+        );
+        // Raise B's rate so no predecessor dominates.
+        let net2 = NetworkBuilder::new(3, 3)
+            .node(NodeId(0), [t(0)])
+            .node(NodeId(1), [t(1)])
+            .node(NodeId(2), [t(1), t(2)])
+            .rate(t(0), 15.0)
+            .rate(t(1), 10.0)
+            .rate(t(2), 1.0)
+            .build();
+        assert_eq!(partitioning_input(&q, &combo, &net2).unwrap(), None);
+    }
+}

@@ -1,0 +1,359 @@
+//! Push-pull communication for MuSE graph edges — the future-work
+//! integration the paper names in §8 (Akdere et al.'s plan-based event
+//! acquisition combined with multi-sink placements).
+//!
+//! Under pure *push*, every network edge of a MuSE graph continuously
+//! streams its matches. Under *pull*, a producer buffers its matches and the
+//! consumer fetches them only when a *trigger* — a rarer co-input of the
+//! same join — makes a match possible. Pulling pays one request per trigger
+//! match plus the in-window partners as the response, so it wins exactly
+//! when the trigger's volume is far below the pulled stream's.
+//!
+//! With rates expressed per window unit (this repository's convention for
+//! executable workloads), the expected response batch for one trigger match
+//! is the pulled stream's per-window volume, giving the pulled-edge cost
+//!
+//! ```text
+//! c_pull(e → v) = V_trig · (c_req + V_e)      vs.      c_push(e → v) = V_e
+//! ```
+//!
+//! per target node, where `V_x = r̂(x) · |𝔄(x)|` and `c_req` is the (small)
+//! request overhead. [`annotate`] picks, per join vertex, the cheapest
+//! trigger and converts every other incoming network stream to pull wherever
+//! that lowers the edge cost; the result is a [`PullPlan`] annotation over
+//! the unchanged MuSE graph, with the achieved savings. Like the paper, the
+//! execution engine keeps using push — this pass quantifies the headroom and
+//! is exercised by the ablation analysis.
+
+use crate::graph::{MuseGraph, PlanContext, Vertex};
+use crate::types::NodeSet;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the push-pull annotation.
+#[derive(Debug, Clone)]
+pub struct PushPullConfig {
+    /// Cost of one pull request, in the same rate units as match volumes
+    /// (a request is a tiny message; 1.0 equals one match's worth).
+    pub request_cost: f64,
+}
+
+impl Default for PushPullConfig {
+    fn default() -> Self {
+        Self { request_cost: 1.0 }
+    }
+}
+
+/// One edge converted to pull mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PulledEdge {
+    /// The buffering producer.
+    pub from: Vertex,
+    /// The consumer issuing pull requests.
+    pub to: Vertex,
+    /// The trigger vertex whose matches drive the requests.
+    pub trigger: Vertex,
+    /// Push cost of the edge (per §4.4).
+    pub push_cost: f64,
+    /// Modeled pull cost (requests + responses).
+    pub pull_cost: f64,
+}
+
+/// The push-pull annotation of a MuSE graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PullPlan {
+    /// Edges cheaper under pull, with their trigger and both costs.
+    pub pulled: Vec<PulledEdge>,
+    /// Total network cost under pure push (`c(G)`).
+    pub push_cost: f64,
+    /// Total network cost with the pulled edges converted.
+    pub hybrid_cost: f64,
+}
+
+impl PullPlan {
+    /// Absolute savings of the hybrid plan over pure push.
+    pub fn savings(&self) -> f64 {
+        self.push_cost - self.hybrid_cost
+    }
+
+    /// Relative savings (0 when nothing was converted).
+    pub fn savings_ratio(&self) -> f64 {
+        if self.push_cost <= 0.0 {
+            0.0
+        } else {
+            self.savings() / self.push_cost
+        }
+    }
+}
+
+/// Annotates a MuSE graph with push-pull communication modes: per join
+/// vertex, the incoming network stream with the smallest volume acts as the
+/// trigger, and every other incoming network stream is converted to pull
+/// when that is cheaper.
+///
+/// The graph itself is not modified — correctness (§5.2) is untouched
+/// because pull changes *when* matches travel, not *which* matches are
+/// available to the join (the producer buffers one window's worth, exactly
+/// the horizon the join itself would retain them for).
+pub fn annotate(graph: &MuseGraph, ctx: &PlanContext<'_>, config: &PushPullConfig) -> PullPlan {
+    let covers = graph.covers(ctx);
+    let index: HashMap<Vertex, usize> = graph
+        .vertices()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
+    // Per-vertex outgoing volume V_v = r̂(p) · |𝔄(v)|.
+    let volume: Vec<f64> = graph
+        .vertices()
+        .enumerate()
+        .map(|(i, v)| ctx.rate_of(v.proj) * covers[i].count())
+        .collect();
+
+    let push_cost = graph.cost(ctx);
+    let mut pulled = Vec::new();
+    let mut hybrid_cost = push_cost;
+
+    for target in graph.vertices() {
+        // Incoming *network* streams of the join, grouped by producer.
+        let network_preds: Vec<Vertex> = graph
+            .predecessors(target)
+            .into_iter()
+            .filter(|p| p.node != target.node)
+            .collect();
+        if network_preds.len() < 2 {
+            continue; // pulling needs a trigger and at least one pulled stream
+        }
+        // The lowest-volume predecessor triggers; break ties by vertex order
+        // for determinism.
+        let trigger = *network_preds
+            .iter()
+            .min_by(|a, b| {
+                volume[index[a]]
+                    .total_cmp(&volume[index[b]])
+                    .then_with(|| a.cmp(b))
+            })
+            .expect("at least two predecessors");
+        let trigger_volume = volume[index[&trigger]];
+
+        for pred in network_preds {
+            if pred == trigger {
+                continue;
+            }
+            let i = index[&pred];
+            // The push edge cost into this target node honours the
+            // once-per-node sharing rule: if the producer also feeds other
+            // vertices at the same node, converting this edge alone saves
+            // nothing — skip those.
+            let shares_stream = graph.successors(pred).iter().any(|s| {
+                *s != target && s.node == target.node
+            });
+            if shares_stream {
+                continue;
+            }
+            let push_edge = volume[i];
+            let pull_edge = trigger_volume * (config.request_cost + volume[i]);
+            if pull_edge < push_edge {
+                hybrid_cost -= push_edge - pull_edge;
+                pulled.push(PulledEdge {
+                    from: pred,
+                    to: target,
+                    trigger,
+                    push_cost: push_edge,
+                    pull_cost: pull_edge,
+                });
+            }
+        }
+    }
+
+    PullPlan {
+        pulled,
+        push_cost,
+        hybrid_cost,
+    }
+}
+
+/// Convenience: the set of nodes whose outgoing traffic the hybrid plan
+/// reduces (useful for reporting).
+pub fn relieved_nodes(plan: &PullPlan) -> NodeSet {
+    let mut nodes = NodeSet::empty();
+    for e in &plan.pulled {
+        nodes.insert(e.from.node);
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::amuse::{amuse, AMuseConfig};
+    use crate::network::{Network, NetworkBuilder};
+    use crate::projection::ProjectionTable;
+    use crate::query::{Pattern, Query};
+    use crate::types::{EventTypeId, NodeId, QueryId};
+
+    fn t(i: u16) -> EventTypeId {
+        EventTypeId(i)
+    }
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    /// A network with one very rare trigger type and one frequent type,
+    /// produced on different nodes so their streams must cross.
+    fn skewed_network() -> Network {
+        NetworkBuilder::new(3, 3)
+            .node(n(0), [t(0)])
+            .node(n(1), [t(1)])
+            .node(n(2), [t(2)])
+            .rate(t(0), 0.05) // rare trigger
+            .rate(t(1), 50.0) // frequent
+            .rate(t(2), 50.0) // frequent
+            .build()
+    }
+
+    fn query() -> Query {
+        Query::build(
+            QueryId(0),
+            &Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2))]),
+            vec![],
+            100,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pull_wins_for_rare_triggers_on_single_sink_plans() {
+        // aMuSE plans on this instance already keep the frequent streams
+        // local (multi-sink), so pull's headroom shows on the classical
+        // single-sink placement, which must push one frequent stream to the
+        // sink alongside the rare trigger.
+        use crate::algorithms::baselines::{optimal_operator_placement, placement_to_graph};
+        let net = skewed_network();
+        let q = query();
+        let placement = optimal_operator_placement(&q, &net);
+        let mut table = ProjectionTable::new();
+        let graph = placement_to_graph(&q, &placement, &net, &mut table).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &table);
+        let annotated = annotate(&graph, &ctx, &PushPullConfig::default());
+        assert!(
+            !annotated.pulled.is_empty(),
+            "a rare trigger must convert some stream to pull"
+        );
+        assert!(annotated.hybrid_cost < annotated.push_cost);
+        assert!(annotated.savings() > 0.0);
+        assert!(annotated.savings_ratio() > 0.0 && annotated.savings_ratio() < 1.0);
+        // Every conversion is individually justified.
+        for e in &annotated.pulled {
+            assert!(e.pull_cost < e.push_cost, "{e:?}");
+            assert_ne!(e.from, e.trigger);
+        }
+        assert!(!relieved_nodes(&annotated).is_empty());
+
+        // The aMuSE plan needs no pulling here — it already avoids pushing
+        // the frequent streams — but annotation never hurts it.
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+        let annotated = annotate(&plan.graph, &ctx, &PushPullConfig::default());
+        assert!(annotated.hybrid_cost <= annotated.push_cost + 1e-9);
+    }
+
+    #[test]
+    fn no_pull_for_balanced_rates() {
+        // All rates equal and high: a trigger is as expensive as the data.
+        let net = NetworkBuilder::new(3, 3)
+            .node(n(0), [t(0)])
+            .node(n(1), [t(1)])
+            .node(n(2), [t(2)])
+            .rate(t(0), 50.0)
+            .rate(t(1), 50.0)
+            .rate(t(2), 50.0)
+            .build();
+        let q = query();
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+        let annotated = annotate(&plan.graph, &ctx, &PushPullConfig::default());
+        assert!(annotated.pulled.is_empty());
+        assert_eq!(annotated.push_cost, annotated.hybrid_cost);
+        assert_eq!(annotated.savings(), 0.0);
+    }
+
+    #[test]
+    fn request_cost_disables_marginal_pulls() {
+        let net = skewed_network();
+        let q = query();
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+        let cheap = annotate(&plan.graph, &ctx, &PushPullConfig { request_cost: 0.0 });
+        let expensive = annotate(
+            &plan.graph,
+            &ctx,
+            &PushPullConfig {
+                request_cost: 1e9,
+            },
+        );
+        assert!(cheap.savings() >= expensive.savings());
+        assert!(expensive.pulled.is_empty());
+    }
+
+    #[test]
+    fn annotation_never_increases_cost() {
+        // Property over a few generated instances.
+        use muse_sim_like::*;
+        mod muse_sim_like {
+            // Tiny local generator to avoid a circular dev-dependency.
+            use super::*;
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            pub fn random_net(seed: u64) -> Network {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut net = Network::new(4, 4);
+                for node in 0..4u16 {
+                    for ty in 0..4u16 {
+                        if rng.gen_bool(0.6) {
+                            net.set_generates(NodeId(node), EventTypeId(ty));
+                        }
+                    }
+                }
+                for ty in 0..4u16 {
+                    if net.num_producers(EventTypeId(ty)) == 0 {
+                        net.set_generates(NodeId(rng.gen_range(0..4)), EventTypeId(ty));
+                    }
+                    net.set_rate(EventTypeId(ty), rng.gen_range(0.01..100.0));
+                }
+                net
+            }
+        }
+        for seed in 0..8 {
+            let net = random_net(seed);
+            let q = Query::build(
+                QueryId(0),
+                &Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2))]),
+                vec![],
+                100,
+            )
+            .unwrap();
+            let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+            let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+            let annotated = annotate(&plan.graph, &ctx, &PushPullConfig::default());
+            assert!(
+                annotated.hybrid_cost <= annotated.push_cost + 1e-9,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn placement_graph_annotation() {
+        // Push-pull also applies to classical single-sink plans.
+        use crate::algorithms::baselines::{optimal_operator_placement, placement_to_graph};
+        let net = skewed_network();
+        let q = query();
+        let placement = optimal_operator_placement(&q, &net);
+        let mut table = ProjectionTable::new();
+        let graph = placement_to_graph(&q, &placement, &net, &mut table).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &table);
+        let annotated = annotate(&graph, &ctx, &PushPullConfig::default());
+        assert!(annotated.push_cost > 0.0);
+        assert!(annotated.hybrid_cost <= annotated.push_cost);
+    }
+}

@@ -1,0 +1,432 @@
+//! Event type bindings (§4.1 of the paper) and vertex covers (Def. 4).
+//!
+//! Several nodes may generate events of the same type, so the events
+//! contributing to one match may differ in origin. An *event type binding*
+//! fixes one originating node per primitive operator: a bag of
+//! `(event type, node)` tuples. The set of all bindings of a query `q` in a
+//! network `Γ` is `𝔈(Γ, q)`, of size `Π_o |producers(o.sem)|`.
+//!
+//! A vertex of a MuSE graph *covers* the bindings whose matches it
+//! generates. Because MuSE graphs route matches per source node, covers are
+//! always *product-form*: an independent set of admissible origin nodes per
+//! primitive operator. [`Cover`] exploits this for counting without
+//! enumeration, which keeps the construction algorithms polynomial in the
+//! binding count.
+//!
+//! Negated primitives (below an `NSEQ` middle child) never appear in
+//! matches, so bindings and covers range over the *positive* primitives
+//! only; events of negated types are broadcast to the evaluating vertices
+//! instead (see `muse-runtime`). For the conjunctive workloads of the
+//! paper's evaluation the two readings coincide.
+
+use crate::catalog::Catalog;
+use crate::error::{ModelError, Result};
+use crate::network::Network;
+use crate::query::Query;
+use crate::types::{NodeId, NodeSet, PrimId, PrimSet};
+use serde::{Deserialize, Serialize};
+
+/// One event type binding: an origin node per (positive) primitive operator,
+/// sorted by primitive operator id.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventTypeBinding(Vec<(PrimId, NodeId)>);
+
+impl EventTypeBinding {
+    /// Creates a binding from `(prim, node)` tuples.
+    pub fn new(mut tuples: Vec<(PrimId, NodeId)>) -> Self {
+        tuples.sort();
+        Self(tuples)
+    }
+
+    /// The tuples of the binding in primitive-operator order.
+    pub fn tuples(&self) -> &[(PrimId, NodeId)] {
+        &self.0
+    }
+
+    /// The origin node bound to a primitive operator, if present.
+    pub fn node_of(&self, prim: PrimId) -> Option<NodeId> {
+        self.0
+            .binary_search_by_key(&prim, |(p, _)| *p)
+            .ok()
+            .map(|i| self.0[i].1)
+    }
+
+    /// The set of primitive operators bound by this binding.
+    pub fn prims(&self) -> PrimSet {
+        self.0.iter().map(|(p, _)| *p).collect()
+    }
+
+    /// Returns `true` if `self` is a sub-bag of `other` (every tuple of
+    /// `self` appears in `other`). Sub-bags of a query's bindings are
+    /// bindings of its projections (§4.2).
+    pub fn is_sub_bag_of(&self, other: &EventTypeBinding) -> bool {
+        self.0
+            .iter()
+            .all(|(p, n)| other.node_of(*p) == Some(*n))
+    }
+
+    /// Restricts the binding to the given primitive operators.
+    pub fn restrict(&self, prims: PrimSet) -> EventTypeBinding {
+        EventTypeBinding(
+            self.0
+                .iter()
+                .filter(|(p, _)| prims.contains(*p))
+                .copied()
+                .collect(),
+        )
+    }
+
+    /// Renders the binding like the paper, e.g. `[(C, 1), (L, 2)]`.
+    pub fn render(&self, query: &Query, catalog: &Catalog) -> String {
+        let parts: Vec<String> = self
+            .0
+            .iter()
+            .map(|(p, n)| {
+                format!(
+                    "({}, {})",
+                    catalog.event_type_name(query.prim_type(*p)),
+                    n.0
+                )
+            })
+            .collect();
+        format!("[{}]", parts.join(", "))
+    }
+}
+
+/// The number of event type bindings of the projection of `query` induced
+/// by `prims`, i.e. `|𝔈(p)| = Π |producers(type)|` over the positive
+/// primitives. Returns 0 if some type has no producer.
+///
+/// Returned as `f64` because binding counts grow multiplicatively (e.g.
+/// `20^8` for eight primitives in a 20-node network).
+pub fn num_bindings(query: &Query, prims: PrimSet, network: &Network) -> f64 {
+    prims
+        .difference(query.negated_prims())
+        .iter()
+        .map(|p| network.num_producers(query.prim_type(p)) as f64)
+        .product()
+}
+
+/// Enumerates `𝔈(p)` for the projection of `query` induced by `prims`.
+///
+/// # Errors
+///
+/// Returns an error if some retained type has no producer, or if the number
+/// of bindings exceeds `limit` (the count is hyper-polynomial; enumeration
+/// is only used for validation on small instances).
+pub fn enumerate_bindings(
+    query: &Query,
+    prims: PrimSet,
+    network: &Network,
+    limit: usize,
+) -> Result<Vec<EventTypeBinding>> {
+    let positive = prims.difference(query.negated_prims());
+    let count = num_bindings(query, prims, network);
+    if count == 0.0 {
+        let bad = positive
+            .iter()
+            .find(|p| network.num_producers(query.prim_type(*p)) == 0)
+            .expect("zero binding count implies a producerless type");
+        return Err(ModelError::TypeWithoutProducer(query.prim_type(bad)));
+    }
+    if count > limit as f64 {
+        return Err(ModelError::UnsupportedInput(format!(
+            "{count} event type bindings exceed enumeration limit {limit}"
+        )));
+    }
+    let prim_list: Vec<PrimId> = positive.iter().collect();
+    let mut out: Vec<Vec<(PrimId, NodeId)>> = vec![Vec::new()];
+    for &prim in &prim_list {
+        let producers = network.producers(query.prim_type(prim));
+        let mut next = Vec::with_capacity(out.len() * producers.len());
+        for partial in &out {
+            for node in producers.iter() {
+                let mut v = partial.clone();
+                v.push((prim, node));
+                next.push(v);
+            }
+        }
+        out = next;
+    }
+    Ok(out.into_iter().map(EventTypeBinding::new).collect())
+}
+
+/// A product-form set of event type bindings: an admissible origin-node set
+/// per positive primitive operator. The cover `𝔄(v)` of every MuSE graph
+/// vertex has this shape (Def. 4: a binding is covered iff each of its
+/// tuples has a reachable source vertex).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cover {
+    /// Admissible nodes per primitive, sorted by primitive id.
+    per_prim: Vec<(PrimId, NodeSet)>,
+}
+
+impl Cover {
+    /// Creates a cover from per-primitive node sets.
+    pub fn new(mut per_prim: Vec<(PrimId, NodeSet)>) -> Self {
+        per_prim.sort_by_key(|(p, _)| *p);
+        Self { per_prim }
+    }
+
+    /// The full cover of a projection: all producers per positive primitive
+    /// (`𝔄(v) = 𝔈(p)` for single-sink placements).
+    pub fn full(query: &Query, prims: PrimSet, network: &Network) -> Self {
+        Self::new(
+            prims
+                .difference(query.negated_prims())
+                .iter()
+                .map(|p| (p, network.producers(query.prim_type(p))))
+                .collect(),
+        )
+    }
+
+    /// The primitive operators the cover ranges over.
+    pub fn prims(&self) -> PrimSet {
+        self.per_prim.iter().map(|(p, _)| *p).collect()
+    }
+
+    /// The admissible nodes for one primitive (empty set if the primitive is
+    /// not part of the cover).
+    pub fn nodes_of(&self, prim: PrimId) -> NodeSet {
+        self.per_prim
+            .binary_search_by_key(&prim, |(p, _)| *p)
+            .ok()
+            .map(|i| self.per_prim[i].1)
+            .unwrap_or(NodeSet::empty())
+    }
+
+    /// Restricts the admissible nodes of one primitive.
+    pub fn restrict(&mut self, prim: PrimId, nodes: NodeSet) {
+        if let Ok(i) = self.per_prim.binary_search_by_key(&prim, |(p, _)| *p) {
+            self.per_prim[i].1 = self.per_prim[i].1.intersect(nodes);
+        }
+    }
+
+    /// `|𝔄(v)|`: the number of bindings in the cover.
+    pub fn count(&self) -> f64 {
+        self.per_prim
+            .iter()
+            .map(|(_, nodes)| nodes.len() as f64)
+            .product()
+    }
+
+    /// Returns `true` if the cover contains the binding (restricted to the
+    /// cover's primitives, each tuple's node must be admissible).
+    pub fn contains(&self, binding: &EventTypeBinding) -> bool {
+        self.per_prim.iter().all(|(p, nodes)| {
+            binding
+                .node_of(*p)
+                .is_some_and(|n| nodes.contains(n))
+        })
+    }
+
+    /// Returns `true` if every binding of `self` is also in `other`
+    /// (component-wise subset over the shared primitives; primitives of
+    /// `self` missing in `other` are ignored, matching sub-bag semantics).
+    pub fn is_subset_of(&self, other: &Cover) -> bool {
+        self.per_prim.iter().all(|(p, nodes)| {
+            let o = other.nodes_of(*p);
+            o.is_empty() || nodes.is_subset(o)
+        })
+    }
+
+    /// Enumerates the bindings of the cover (validation only; respects no
+    /// limit, so call only on small covers).
+    pub fn enumerate(&self) -> Vec<EventTypeBinding> {
+        let mut out: Vec<Vec<(PrimId, NodeId)>> = vec![Vec::new()];
+        for (prim, nodes) in &self.per_prim {
+            let mut next = Vec::with_capacity(out.len() * nodes.len().max(1));
+            for partial in &out {
+                for node in nodes.iter() {
+                    let mut v = partial.clone();
+                    v.push((*prim, node));
+                    next.push(v);
+                }
+            }
+            out = next;
+        }
+        out.into_iter().map(EventTypeBinding::new).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use crate::query::{Pattern, Query};
+    use crate::types::{EventTypeId, QueryId};
+
+    fn t(i: u16) -> EventTypeId {
+        EventTypeId(i)
+    }
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Fig. 2 network Γ: node 1 = {C, F}, node 2 = {C, L}, node 3 = {L},
+    /// node 4 = {F} (nodes 0-indexed here as 0..3).
+    fn fig2_network() -> Network {
+        NetworkBuilder::new(4, 3)
+            .node(n(0), [t(0), t(2)])
+            .node(n(1), [t(0), t(1)])
+            .node(n(2), [t(1)])
+            .node(n(3), [t(2)])
+            .rate(t(0), 100.0)
+            .rate(t(1), 100.0)
+            .rate(t(2), 1.0)
+            .build()
+    }
+
+    fn example_query() -> Query {
+        let p = Pattern::seq([
+            Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+            Pattern::leaf(t(2)),
+        ]);
+        Query::build(QueryId(0), &p, vec![], 1000).unwrap()
+    }
+
+    #[test]
+    fn binding_count_is_product_of_producers() {
+        let q = example_query();
+        let net = fig2_network();
+        // C has 2 producers, L has 2, F has 2 → 8 bindings of the query.
+        assert_eq!(num_bindings(&q, q.prims(), &net), 8.0);
+        // AND(C, L) projection: 4 bindings.
+        let cl: PrimSet = [PrimId(0), PrimId(1)].into_iter().collect();
+        assert_eq!(num_bindings(&q, cl, &net), 4.0);
+    }
+
+    #[test]
+    fn enumerate_matches_count() {
+        let q = example_query();
+        let net = fig2_network();
+        let bindings = enumerate_bindings(&q, q.prims(), &net, 100).unwrap();
+        assert_eq!(bindings.len(), 8);
+        // All distinct.
+        let mut d = bindings.clone();
+        d.sort();
+        d.dedup();
+        assert_eq!(d.len(), 8);
+        // Every binding assigns a producer of the right type.
+        for b in &bindings {
+            for (p, node) in b.tuples() {
+                assert!(net.generates(*node, q.prim_type(*p)));
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_limit() {
+        let q = example_query();
+        let net = fig2_network();
+        assert!(matches!(
+            enumerate_bindings(&q, q.prims(), &net, 4),
+            Err(ModelError::UnsupportedInput(_))
+        ));
+    }
+
+    #[test]
+    fn producerless_type_is_error() {
+        let q = example_query();
+        let mut net = Network::new(2, 3);
+        net.set_generates(n(0), t(0));
+        net.set_generates(n(1), t(1));
+        // Type 2 (F) has no producer.
+        assert_eq!(num_bindings(&q, q.prims(), &net), 0.0);
+        assert_eq!(
+            enumerate_bindings(&q, q.prims(), &net, 100),
+            Err(ModelError::TypeWithoutProducer(t(2)))
+        );
+    }
+
+    #[test]
+    fn sub_bag_and_restrict() {
+        let big = EventTypeBinding::new(vec![
+            (PrimId(0), n(0)),
+            (PrimId(1), n(1)),
+            (PrimId(2), n(0)),
+        ]);
+        let small = big.restrict([PrimId(0), PrimId(1)].into_iter().collect());
+        assert_eq!(small.tuples().len(), 2);
+        assert!(small.is_sub_bag_of(&big));
+        assert!(!big.is_sub_bag_of(&small));
+        let other = EventTypeBinding::new(vec![(PrimId(0), n(1))]);
+        assert!(!other.is_sub_bag_of(&big));
+        assert_eq!(big.node_of(PrimId(1)), Some(n(1)));
+        assert_eq!(big.node_of(PrimId(5)), None);
+    }
+
+    #[test]
+    fn negated_prims_excluded_from_bindings() {
+        let p = Pattern::nseq(Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2)));
+        let q = Query::build(QueryId(0), &p, vec![], 10).unwrap();
+        let net = fig2_network();
+        // Positive prims 0 and 2: C×F = 2×2 = 4 bindings (L=prim 1 negated).
+        assert_eq!(num_bindings(&q, q.prims(), &net), 4.0);
+        let bindings = enumerate_bindings(&q, q.prims(), &net, 100).unwrap();
+        assert_eq!(bindings.len(), 4);
+        for b in bindings {
+            assert!(b.node_of(PrimId(1)).is_none());
+        }
+    }
+
+    #[test]
+    fn cover_full_and_count() {
+        let q = example_query();
+        let net = fig2_network();
+        let cover = Cover::full(&q, q.prims(), &net);
+        assert_eq!(cover.count(), 8.0);
+        assert_eq!(cover.prims(), q.prims());
+        let bindings = enumerate_bindings(&q, q.prims(), &net, 100).unwrap();
+        for b in &bindings {
+            assert!(cover.contains(b));
+        }
+        assert_eq!(cover.enumerate().len(), 8);
+    }
+
+    #[test]
+    fn cover_restrict_partitions() {
+        // Example 6: vertex v2 covers bindings of AND(C, L) with C from node
+        // 0 only: {[(C,0),(L,1)], [(C,0),(L,2)]}.
+        let q = example_query();
+        let net = fig2_network();
+        let cl: PrimSet = [PrimId(0), PrimId(1)].into_iter().collect();
+        let mut v2 = Cover::full(&q, cl, &net);
+        v2.restrict(PrimId(0), NodeSet::single(n(0)));
+        assert_eq!(v2.count(), 2.0);
+        let mut v3 = Cover::full(&q, cl, &net);
+        v3.restrict(PrimId(0), NodeSet::single(n(1)));
+        assert_eq!(v3.count(), 2.0);
+        // v2 and v3 partition 𝔈(AND(C,L)).
+        let all = Cover::full(&q, cl, &net).enumerate();
+        for b in &all {
+            assert!(v2.contains(b) ^ v3.contains(b));
+        }
+        assert!(v2.is_subset_of(&Cover::full(&q, cl, &net)));
+        assert!(!Cover::full(&q, cl, &net).is_subset_of(&v2));
+    }
+
+    #[test]
+    fn cover_subset_ignores_missing_prims() {
+        // A cover over fewer prims is compared on the shared prims only
+        // (sub-bag semantics).
+        let q = example_query();
+        let net = fig2_network();
+        let cl: PrimSet = [PrimId(0), PrimId(1)].into_iter().collect();
+        let small = Cover::full(&q, cl, &net);
+        let big = Cover::full(&q, q.prims(), &net);
+        assert!(small.is_subset_of(&big));
+        assert!(big.is_subset_of(&small)); // prim 2 ignored
+    }
+
+    #[test]
+    fn render_binding() {
+        let q = example_query();
+        let mut catalog = Catalog::new();
+        catalog.add_event_type("C").unwrap();
+        catalog.add_event_type("L").unwrap();
+        catalog.add_event_type("F").unwrap();
+        let b = EventTypeBinding::new(vec![(PrimId(0), n(0)), (PrimId(1), n(1))]);
+        assert_eq!(b.render(&q, &catalog), "[(C, 0), (L, 1)]");
+    }
+}

@@ -1,0 +1,214 @@
+//! Name interning for event types and payload attributes.
+//!
+//! The formal model of the paper works with an abstract universe of event
+//! types `E`. The catalog maps human-readable names (used by the SASE-style
+//! query parser and by examples) to the dense [`EventTypeId`] / [`AttrId`]
+//! identifiers used everywhere else.
+
+use crate::error::{ModelError, Result};
+use crate::types::{AttrId, EventTypeId, MAX_TYPES};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A registry of event-type and attribute names.
+///
+/// # Examples
+///
+/// ```
+/// use muse_core::catalog::Catalog;
+///
+/// let mut catalog = Catalog::new();
+/// let c = catalog.add_event_type("C").unwrap();
+/// let l = catalog.add_event_type("L").unwrap();
+/// assert_ne!(c, l);
+/// assert_eq!(catalog.event_type("C"), Some(c));
+/// assert_eq!(catalog.event_type_name(c), "C");
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    type_names: Vec<String>,
+    type_ids: HashMap<String, EventTypeId>,
+    attr_names: Vec<String>,
+    attr_ids: HashMap<String, AttrId>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a catalog with `n` anonymous event types named `E0..E{n-1}`.
+    ///
+    /// Convenient for synthetic experiments where type names carry no
+    /// semantics.
+    pub fn with_anonymous_types(n: usize) -> Self {
+        let mut c = Self::new();
+        for i in 0..n {
+            c.add_event_type(&format!("E{i}"))
+                .expect("anonymous type registration cannot collide");
+        }
+        c
+    }
+
+    /// Registers a new event type and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is already registered or the type
+    /// universe capacity ([`MAX_TYPES`]) is exhausted.
+    pub fn add_event_type(&mut self, name: &str) -> Result<EventTypeId> {
+        if self.type_ids.contains_key(name) {
+            return Err(ModelError::DuplicateName(name.to_string()));
+        }
+        if self.type_names.len() >= MAX_TYPES {
+            return Err(ModelError::CapacityExceeded {
+                what: "event types",
+                max: MAX_TYPES,
+            });
+        }
+        let id = EventTypeId(self.type_names.len() as u16);
+        self.type_names.push(name.to_string());
+        self.type_ids.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Returns the id of a registered event type, if present.
+    pub fn event_type(&self, name: &str) -> Option<EventTypeId> {
+        self.type_ids.get(name).copied()
+    }
+
+    /// Returns the id of an event type, registering it if unknown.
+    pub fn event_type_or_add(&mut self, name: &str) -> Result<EventTypeId> {
+        match self.event_type(name) {
+            Some(id) => Ok(id),
+            None => self.add_event_type(name),
+        }
+    }
+
+    /// Returns the name of an event type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this catalog.
+    pub fn event_type_name(&self, id: EventTypeId) -> &str {
+        &self.type_names[id.index()]
+    }
+
+    /// Number of registered event types.
+    pub fn num_event_types(&self) -> usize {
+        self.type_names.len()
+    }
+
+    /// Iterates over all registered event types.
+    pub fn event_types(&self) -> impl Iterator<Item = EventTypeId> + '_ {
+        (0..self.type_names.len()).map(|i| EventTypeId(i as u16))
+    }
+
+    /// Registers a new payload attribute and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is already registered or more than 256
+    /// attributes are requested.
+    pub fn add_attr(&mut self, name: &str) -> Result<AttrId> {
+        if self.attr_ids.contains_key(name) {
+            return Err(ModelError::DuplicateName(name.to_string()));
+        }
+        if self.attr_names.len() >= 256 {
+            return Err(ModelError::CapacityExceeded {
+                what: "attributes",
+                max: 256,
+            });
+        }
+        let id = AttrId(self.attr_names.len() as u8);
+        self.attr_names.push(name.to_string());
+        self.attr_ids.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Returns the id of a registered attribute, if present.
+    pub fn attr(&self, name: &str) -> Option<AttrId> {
+        self.attr_ids.get(name).copied()
+    }
+
+    /// Returns the id of an attribute, registering it if unknown.
+    pub fn attr_or_add(&mut self, name: &str) -> Result<AttrId> {
+        match self.attr(name) {
+            Some(id) => Ok(id),
+            None => self.add_attr(name),
+        }
+    }
+
+    /// Returns the name of an attribute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this catalog.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        &self.attr_names[id.index()]
+    }
+
+    /// Number of registered attributes.
+    pub fn num_attrs(&self) -> usize {
+        self.attr_names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_and_resolves_types() {
+        let mut c = Catalog::new();
+        let a = c.add_event_type("A").unwrap();
+        let b = c.add_event_type("B").unwrap();
+        assert_eq!(a, EventTypeId(0));
+        assert_eq!(b, EventTypeId(1));
+        assert_eq!(c.event_type("A"), Some(a));
+        assert_eq!(c.event_type("missing"), None);
+        assert_eq!(c.event_type_name(b), "B");
+        assert_eq!(c.num_event_types(), 2);
+    }
+
+    #[test]
+    fn duplicate_type_name_rejected() {
+        let mut c = Catalog::new();
+        c.add_event_type("A").unwrap();
+        assert!(c.add_event_type("A").is_err());
+        // or_add variant returns the existing id instead.
+        assert_eq!(c.event_type_or_add("A").unwrap(), EventTypeId(0));
+    }
+
+    #[test]
+    fn anonymous_types() {
+        let c = Catalog::with_anonymous_types(5);
+        assert_eq!(c.num_event_types(), 5);
+        assert_eq!(c.event_type("E3"), Some(EventTypeId(3)));
+    }
+
+    #[test]
+    fn type_capacity_enforced() {
+        let mut c = Catalog::with_anonymous_types(MAX_TYPES);
+        assert!(c.add_event_type("overflow").is_err());
+    }
+
+    #[test]
+    fn attrs() {
+        let mut c = Catalog::new();
+        let j = c.add_attr("jID").unwrap();
+        let u = c.attr_or_add("uID").unwrap();
+        assert_ne!(j, u);
+        assert_eq!(c.attr("jID"), Some(j));
+        assert_eq!(c.attr_name(u), "uID");
+        assert!(c.add_attr("jID").is_err());
+        assert_eq!(c.num_attrs(), 2);
+    }
+
+    #[test]
+    fn event_types_iterator() {
+        let c = Catalog::with_anonymous_types(3);
+        assert_eq!(c.event_types().count(), 3);
+    }
+}

@@ -1,0 +1,322 @@
+//! Combinations of query projections (§5.1 of the paper).
+//!
+//! A *combination* fixes one way of deriving the matches of a projection
+//! from the matches of other projections: a DAG `𝔠 = (𝔅, β)` assigning each
+//! projection a set of predecessor projections. A combination is *correct*
+//! (Def. 6) when every match of the target can be reconstructed as an
+//! interleaving of predecessor matches — since a projection of a match is a
+//! match of the projection (§4.2), this holds exactly when the predecessors'
+//! primitive operators jointly cover the target's (the check used in Alg. 2).
+//!
+//! A combination is *redundant* (Def. 15) when some predecessor's primitive
+//! operators are already covered by the other predecessors; Theorem 5 shows
+//! optimal MuSE graphs never need redundant combinations, so enumeration
+//! skips them.
+//!
+//! Projections are identified by their primitive-operator sets ([`PrimSet`]),
+//! which is unambiguous under the distinct-event-types-per-query assumption
+//! of §6.
+
+use crate::types::PrimSet;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One way of deriving a projection's matches: `β(target) = predecessors`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Combination {
+    /// The projection whose matches are derived (by prim set).
+    pub target: PrimSet,
+    /// The predecessor projections `β(target)`, sorted for canonical form.
+    pub predecessors: Vec<PrimSet>,
+}
+
+impl Combination {
+    /// Creates a combination, canonicalizing predecessor order.
+    pub fn new(target: PrimSet, mut predecessors: Vec<PrimSet>) -> Self {
+        predecessors.sort();
+        predecessors.dedup();
+        Self {
+            target,
+            predecessors,
+        }
+    }
+
+    /// The *primitive combination* of a projection: every predecessor is a
+    /// single primitive operator. Always correct and non-redundant; used as
+    /// the cost upper bound for the beneficial-projection test (§6.1.1).
+    pub fn primitive(target: PrimSet) -> Self {
+        Self {
+            target,
+            predecessors: target.iter().map(PrimSet::single).collect(),
+        }
+    }
+
+    /// Correctness per Def. 6 / Alg. 2: predecessors are proper non-empty
+    /// subsets of the target whose union covers the target.
+    pub fn is_correct(&self) -> bool {
+        if self.predecessors.is_empty() {
+            return false;
+        }
+        let mut union = PrimSet::empty();
+        for p in &self.predecessors {
+            if p.is_empty() || !p.is_proper_subset(self.target) {
+                return false;
+            }
+            union = union.union(*p);
+        }
+        union == self.target
+    }
+
+    /// Redundancy per Def. 15: some predecessor's primitives are covered by
+    /// the union of the others.
+    pub fn is_redundant(&self) -> bool {
+        self.predecessors.iter().enumerate().any(|(i, p)| {
+            let others = self
+                .predecessors
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .fold(PrimSet::empty(), |acc, (_, o)| acc.union(*o));
+            p.is_subset(others)
+        })
+    }
+
+    /// Returns `true` if every predecessor is a single primitive operator.
+    pub fn is_primitive(&self) -> bool {
+        self.predecessors.iter().all(|p| p.len() == 1)
+    }
+
+    /// Number of predecessors `|β(target)|`.
+    pub fn arity(&self) -> usize {
+        self.predecessors.len()
+    }
+}
+
+/// Enumerates all correct, non-redundant combinations of `target` whose
+/// non-primitive predecessors are drawn from `available` (each a proper
+/// subset of `target`); single-primitive predecessors are always available.
+///
+/// This realizes lines 7-9 of Alg. 2: instead of filtering the power set of
+/// `Π_ben^p`, the search covers the lowest uncovered primitive at each step,
+/// which only produces set covers; redundant ones are filtered at the end.
+/// For each non-redundant combination `|β(p)| ≤ |O_p^p|` (§6.1.2), so the
+/// recursion depth is bounded by the primitive count.
+pub fn enumerate_combinations(target: PrimSet, available: &[PrimSet]) -> Vec<Combination> {
+    enumerate_combinations_limited(target, available, usize::MAX)
+}
+
+/// Like [`enumerate_combinations`], but stops after `limit` combinations.
+/// The search order is deterministic (candidates in ascending [`PrimSet`]
+/// order), so truncation is reproducible.
+pub fn enumerate_combinations_limited(
+    target: PrimSet,
+    available: &[PrimSet],
+    limit: usize,
+) -> Vec<Combination> {
+    if target.len() < 2 || limit == 0 {
+        return Vec::new();
+    }
+    // Candidate predecessors: provided projections that are proper subsets,
+    // plus all single primitives of the target.
+    let mut candidates: Vec<PrimSet> = available
+        .iter()
+        .copied()
+        .filter(|p| !p.is_empty() && p.is_proper_subset(target))
+        .collect();
+    for prim in target.iter() {
+        candidates.push(PrimSet::single(prim));
+    }
+    candidates.sort();
+    candidates.dedup();
+    // Explore larger predecessors first: combinations of few, large
+    // projections tend to dominate (more shared structure, fewer streams),
+    // so a truncated enumeration keeps the most promising ones.
+    candidates.sort_by_key(|s| (std::cmp::Reverse(s.len()), *s));
+
+    let mut out = Vec::new();
+    let mut seen: HashSet<Vec<PrimSet>> = HashSet::new();
+    let mut chosen: Vec<PrimSet> = Vec::new();
+    cover_search(
+        target,
+        PrimSet::empty(),
+        &candidates,
+        &mut chosen,
+        &mut out,
+        &mut seen,
+        limit,
+    );
+    out
+}
+
+fn cover_search(
+    target: PrimSet,
+    covered: PrimSet,
+    candidates: &[PrimSet],
+    chosen: &mut Vec<PrimSet>,
+    out: &mut Vec<Combination>,
+    seen: &mut HashSet<Vec<PrimSet>>,
+    limit: usize,
+) {
+    if out.len() >= limit {
+        return;
+    }
+    if covered == target {
+        let combo = Combination::new(target, chosen.clone());
+        if !combo.is_redundant() && seen.insert(combo.predecessors.clone()) {
+            out.push(combo);
+        }
+        return;
+    }
+    // Non-redundant combinations have at most |target| predecessors.
+    if chosen.len() >= target.len() {
+        return;
+    }
+    let lowest = target
+        .difference(covered)
+        .iter()
+        .next()
+        .expect("covered ⊂ target");
+    for cand in candidates {
+        if !cand.contains(lowest) {
+            continue;
+        }
+        // A candidate fully inside the covered set would be redundant.
+        if cand.is_subset(covered) {
+            continue;
+        }
+        chosen.push(*cand);
+        cover_search(
+            target,
+            covered.union(*cand),
+            candidates,
+            chosen,
+            out,
+            seen,
+            limit,
+        );
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PrimId;
+
+    fn ps(prims: impl IntoIterator<Item = u8>) -> PrimSet {
+        prims.into_iter().map(PrimId).collect()
+    }
+
+    #[test]
+    fn primitive_combination_is_correct_and_nonredundant() {
+        let c = Combination::primitive(ps([0, 1, 2]));
+        assert!(c.is_correct());
+        assert!(!c.is_redundant());
+        assert!(c.is_primitive());
+        assert_eq!(c.arity(), 3);
+    }
+
+    #[test]
+    fn correctness_requires_full_cover() {
+        let c = Combination::new(ps([0, 1, 2]), vec![ps([0, 1])]);
+        assert!(!c.is_correct()); // prim 2 uncovered
+        let c = Combination::new(ps([0, 1, 2]), vec![ps([0, 1]), ps([2])]);
+        assert!(c.is_correct());
+    }
+
+    #[test]
+    fn correctness_rejects_improper_predecessors() {
+        // The target itself is not a valid predecessor.
+        let c = Combination::new(ps([0, 1]), vec![ps([0, 1])]);
+        assert!(!c.is_correct());
+        // Predecessors outside the target are invalid.
+        let c = Combination::new(ps([0, 1]), vec![ps([0]), ps([1, 2])]);
+        assert!(!c.is_correct());
+        // Empty predecessor list is invalid.
+        let c = Combination::new(ps([0, 1]), vec![]);
+        assert!(!c.is_correct());
+    }
+
+    #[test]
+    fn redundancy_detection() {
+        // {0,1} ⊆ {0,2} ∪ {1,2}: redundant (Def. 15).
+        let c = Combination::new(ps([0, 1, 2]), vec![ps([0, 1]), ps([0, 2]), ps([1, 2])]);
+        assert!(c.is_redundant());
+        // Overlap alone is not redundancy.
+        let c = Combination::new(ps([0, 1, 2]), vec![ps([0, 1]), ps([1, 2])]);
+        assert!(!c.is_redundant());
+    }
+
+    #[test]
+    fn enumerate_with_only_primitives() {
+        // With no composite projections available, the only combination is
+        // the primitive one.
+        let combos = enumerate_combinations(ps([0, 1]), &[]);
+        assert_eq!(combos.len(), 1);
+        assert_eq!(combos[0], Combination::primitive(ps([0, 1])));
+    }
+
+    #[test]
+    fn enumerate_three_prims_with_pairs() {
+        // Available: all three pairs. Expected correct non-redundant
+        // combinations of {0,1,2}:
+        //   {0}{1}{2}, {01}{2}, {02}{1}, {12}{0}, {01}{12}, {01}{02},
+        //   {02}{12}  — the three pair-pairs share one prim, fine —
+        // but NOT {01}{02}{12} (redundant) and NOT any containing the target.
+        let available = vec![ps([0, 1]), ps([0, 2]), ps([1, 2])];
+        let combos = enumerate_combinations(ps([0, 1, 2]), &available);
+        let sets: HashSet<Vec<PrimSet>> =
+            combos.iter().map(|c| c.predecessors.clone()).collect();
+        assert!(sets.contains(&vec![ps([0]), ps([1]), ps([2])]));
+        assert!(sets.contains(&{
+            let mut v = vec![ps([0, 1]), ps([2])];
+            v.sort();
+            v
+        }));
+        assert!(sets.contains(&{
+            let mut v = vec![ps([0, 1]), ps([1, 2])];
+            v.sort();
+            v
+        }));
+        for c in &combos {
+            assert!(c.is_correct(), "{c:?}");
+            assert!(!c.is_redundant(), "{c:?}");
+            assert!(c.arity() <= 3);
+        }
+        // No duplicates.
+        assert_eq!(sets.len(), combos.len());
+        // Exactly 7 correct non-redundant families exist: the primitive one,
+        // three pair+singleton ones, and three pair+pair ones.
+        assert_eq!(combos.len(), 7);
+    }
+
+    #[test]
+    fn enumerate_skips_primitive_targets() {
+        assert!(enumerate_combinations(ps([0]), &[]).is_empty());
+        assert!(enumerate_combinations(PrimSet::empty(), &[]).is_empty());
+    }
+
+    #[test]
+    fn enumerate_never_duplicates() {
+        let available = vec![ps([0, 1]), ps([0, 2]), ps([1, 2]), ps([0, 1, 2])];
+        let combos = enumerate_combinations(ps([0, 1, 2, 3]), &available);
+        let mut keys: Vec<_> = combos.iter().map(|c| c.predecessors.clone()).collect();
+        keys.sort();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before);
+        for c in &combos {
+            assert!(c.is_correct());
+            assert!(!c.is_redundant());
+        }
+    }
+
+    #[test]
+    fn predecessor_arity_bounded_by_prims() {
+        let available: Vec<PrimSet> = vec![];
+        let combos = enumerate_combinations(ps([0, 1, 2, 3, 4]), &available);
+        for c in combos {
+            assert!(c.arity() <= 5);
+        }
+    }
+}

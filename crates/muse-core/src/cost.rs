@@ -1,0 +1,202 @@
+//! The output-rate cost model of §4.4.
+//!
+//! The *output rate* `r̂` of an operator bounds the rate with which it
+//! produces matches, derived recursively from the event generation rates:
+//!
+//! * primitive `o`: `r̂(o) = r(o.sem)`;
+//! * `SEQ`: `r̂(o) = Π r̂(o_i)` — one concatenation per combination;
+//! * `AND`: `r̂(o) = k · Π r̂(o_i)` — combinations times interleavings
+//!   (the paper's bound);
+//! * `NSEQ`: `r̂(o) = r̂(o_1) · r̂(o_3)` — the negated child only filters.
+//!
+//! The output rate of a query or projection multiplies in its selectivity:
+//! `r̂(q) = σ(q) · r̂(root(q))`.
+//!
+//! Rates are per event type binding; transmission costs multiply the output
+//! rate with the number of bindings covered by the sending vertex (§4.4).
+
+use crate::network::Network;
+use crate::projection::Projection;
+use crate::query::{OpKind, OpNode, Query};
+use crate::types::PrimSet;
+
+/// The output rate `r̂(o)` of an operator subtree, per event type binding.
+pub fn operator_output_rate(node: &OpNode, query: &Query, network: &Network) -> f64 {
+    match node {
+        OpNode::Primitive(p) => network.rate(query.prim_type(*p)),
+        OpNode::Composite { kind, children } => match kind {
+            OpKind::Seq => children
+                .iter()
+                .map(|c| operator_output_rate(c, query, network))
+                .product(),
+            OpKind::And => {
+                let product: f64 = children
+                    .iter()
+                    .map(|c| operator_output_rate(c, query, network))
+                    .product();
+                children.len() as f64 * product
+            }
+            OpKind::NSeq => {
+                operator_output_rate(&children[0], query, network)
+                    * operator_output_rate(&children[2], query, network)
+            }
+            // Workload queries and projections are OR-free; a disjunction's
+            // rate (sum of alternatives) is provided for completeness.
+            OpKind::Or => children
+                .iter()
+                .map(|c| operator_output_rate(c, query, network))
+                .sum(),
+        },
+    }
+}
+
+/// The output rate `r̂(p) = σ(p) · r̂(root(p))` of a projection.
+pub fn projection_output_rate(projection: &Projection, query: &Query, network: &Network) -> f64 {
+    projection.selectivity * operator_output_rate(&projection.root, query, network)
+}
+
+/// The output rate `r̂(q) = σ(q) · r̂(root(q))` of a query.
+pub fn query_output_rate(query: &Query, network: &Network) -> f64 {
+    query.selectivity() * operator_output_rate(query.root(), query, network)
+}
+
+/// Sum of the primitive rates `Σ_{o ∈ O_p^p} r̂(o)` over a prim set — the
+/// upper bound used by the *beneficial projection* test (Def. 13 applied to
+/// the primitive combination, §6.1.1).
+pub fn primitive_rate_sum(prims: PrimSet, query: &Query, network: &Network) -> f64 {
+    prims
+        .iter()
+        .map(|p| network.rate(query.prim_type(p)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use crate::projection::project;
+    use crate::query::{CmpOp, Pattern, Predicate};
+    use crate::types::{AttrId, EventTypeId, NodeId, PrimId, QueryId};
+
+    fn t(i: u16) -> EventTypeId {
+        EventTypeId(i)
+    }
+
+    fn network() -> Network {
+        NetworkBuilder::new(2, 4)
+            .node(NodeId(0), [t(0), t(1)])
+            .node(NodeId(1), [t(2), t(3)])
+            .rate(t(0), 10.0)
+            .rate(t(1), 20.0)
+            .rate(t(2), 2.0)
+            .rate(t(3), 5.0)
+            .build()
+    }
+
+    #[test]
+    fn seq_rate_is_product() {
+        let q = Query::build(
+            QueryId(0),
+            &Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+            vec![],
+            10,
+        )
+        .unwrap();
+        assert_eq!(query_output_rate(&q, &network()), 200.0);
+    }
+
+    #[test]
+    fn and_rate_is_k_times_product() {
+        let q = Query::build(
+            QueryId(0),
+            &Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2))]),
+            vec![],
+            10,
+        )
+        .unwrap();
+        // 3 · 10 · 20 · 2 = 1200
+        assert_eq!(query_output_rate(&q, &network()), 1200.0);
+    }
+
+    #[test]
+    fn nseq_rate_ignores_negated_child() {
+        let q = Query::build(
+            QueryId(0),
+            &Pattern::nseq(Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2))),
+            vec![],
+            10,
+        )
+        .unwrap();
+        // 10 · 2, ignoring r(t1) = 20.
+        assert_eq!(query_output_rate(&q, &network()), 20.0);
+    }
+
+    #[test]
+    fn nested_rates() {
+        // SEQ(AND(A, B), C): (2 · 10 · 20) · 2 = 800.
+        let q = Query::build(
+            QueryId(0),
+            &Pattern::seq([
+                Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+                Pattern::leaf(t(2)),
+            ]),
+            vec![],
+            10,
+        )
+        .unwrap();
+        assert_eq!(query_output_rate(&q, &network()), 800.0);
+    }
+
+    #[test]
+    fn selectivity_scales_rate() {
+        let a = AttrId(0);
+        let pred = Predicate::binary((PrimId(0), a), CmpOp::Eq, (PrimId(1), a), 0.1);
+        let q = Query::build(
+            QueryId(0),
+            &Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+            vec![pred],
+            10,
+        )
+        .unwrap();
+        assert!((query_output_rate(&q, &network()) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_rate_uses_projected_tree_and_predicates() {
+        let a = AttrId(0);
+        let preds = vec![
+            Predicate::binary((PrimId(0), a), CmpOp::Eq, (PrimId(1), a), 0.1),
+            Predicate::binary((PrimId(1), a), CmpOp::Eq, (PrimId(2), a), 0.5),
+        ];
+        let q = Query::build(
+            QueryId(0),
+            &Pattern::seq([
+                Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+                Pattern::leaf(t(2)),
+            ]),
+            preds,
+            10,
+        )
+        .unwrap();
+        let net = network();
+        // π(q, {A, B}) = AND(A, B) with σ = 0.1 → 0.1 · 2 · 10 · 20 = 40.
+        let p = project(&q, [PrimId(0), PrimId(1)].into_iter().collect()).unwrap();
+        assert!((projection_output_rate(&p, &q, &net) - 40.0).abs() < 1e-9);
+        // π(q, {A, C}) = SEQ(A, C), no predicate → 20.
+        let p = project(&q, [PrimId(0), PrimId(2)].into_iter().collect()).unwrap();
+        assert!((projection_output_rate(&p, &q, &net) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn primitive_rate_sum_over_prims() {
+        let q = Query::build(
+            QueryId(0),
+            &Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(3))]),
+            vec![],
+            10,
+        )
+        .unwrap();
+        let s = primitive_rate_sum(q.prims(), &q, &network());
+        assert_eq!(s, 35.0);
+    }
+}

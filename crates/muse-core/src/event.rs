@@ -1,0 +1,257 @@
+//! Events and payloads (§2.1 of the paper).
+//!
+//! An event is an instantiation of an event type with a unique identifier, an
+//! occurrence timestamp, an origin node, and a payload of attribute values.
+//! The *global trace* of an event-sourced network is the interleaving of all
+//! local traces, totally ordered; ties on the timestamp are resolved
+//! deterministically by the event's unique sequence number, exactly as the
+//! paper's conceptual global trace requires.
+
+use crate::types::{AttrId, EventTypeId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Logical time, in abstract time units (the paper's `e.time ∈ ℕ`).
+pub type Timestamp = u64;
+
+/// A payload attribute value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Signed integer value (ids, counters).
+    Int(i64),
+    /// Floating-point value (measurements).
+    Float(f64),
+    /// String value.
+    Str(String),
+}
+
+impl Value {
+    /// Compares two values of the same variant; mixed variants are unordered
+    /// except Int/Float which compare numerically.
+    pub fn partial_cmp_value(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+/// An event payload: a sparse list of `(attribute, value)` pairs, sorted by
+/// attribute id.
+///
+/// Payloads are tiny (the cluster-trace events carry two ids), so a sorted
+/// vector beats a hash map in both space and lookup time.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Payload(Vec<(AttrId, Value)>);
+
+impl Payload {
+    /// Creates an empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a payload from `(attribute, value)` pairs.
+    pub fn from_pairs(mut pairs: Vec<(AttrId, Value)>) -> Self {
+        pairs.sort_by_key(|(a, _)| *a);
+        Self(pairs)
+    }
+
+    /// Sets an attribute value, replacing any previous value.
+    pub fn set(&mut self, attr: AttrId, value: Value) {
+        match self.0.binary_search_by_key(&attr, |(a, _)| *a) {
+            Ok(i) => self.0[i].1 = value,
+            Err(i) => self.0.insert(i, (attr, value)),
+        }
+    }
+
+    /// Returns the value of an attribute, if present.
+    pub fn get(&self, attr: AttrId) -> Option<&Value> {
+        self.0
+            .binary_search_by_key(&attr, |(a, _)| *a)
+            .ok()
+            .map(|i| &self.0[i].1)
+    }
+
+    /// Number of attributes in the payload.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the payload carries no attribute.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over `(attribute, value)` pairs in attribute order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Value)> {
+        self.0.iter().map(|(a, v)| (*a, v))
+    }
+}
+
+/// An event: an instantiation of an event type (§2.1).
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Globally unique sequence number; doubles as the event's position in
+    /// the conceptual global trace (ties on `time` are broken by `seq`).
+    pub seq: u64,
+    /// The event's type (`e.type`).
+    pub ty: EventTypeId,
+    /// Occurrence timestamp (`e.time`).
+    pub time: Timestamp,
+    /// The node that generated the event (`e.origin`).
+    pub origin: NodeId,
+    /// Attribute values.
+    pub payload: Payload,
+}
+
+impl Event {
+    /// Creates an event without payload.
+    pub fn new(seq: u64, ty: EventTypeId, time: Timestamp, origin: NodeId) -> Self {
+        Self {
+            seq,
+            ty,
+            time,
+            origin,
+            payload: Payload::new(),
+        }
+    }
+
+    /// Creates an event with payload.
+    pub fn with_payload(
+        seq: u64,
+        ty: EventTypeId,
+        time: Timestamp,
+        origin: NodeId,
+        payload: Payload,
+    ) -> Self {
+        Self {
+            seq,
+            ty,
+            time,
+            origin,
+            payload,
+        }
+    }
+
+    /// Total order of events in the global trace: by timestamp, ties broken
+    /// deterministically by sequence number.
+    #[inline]
+    pub fn trace_cmp(&self, other: &Event) -> Ordering {
+        self.time
+            .cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+
+    /// The event's position key in the global trace (the paper's `#_t`).
+    #[inline]
+    pub fn trace_pos(&self) -> (Timestamp, u64) {
+        (self.time, self.seq)
+    }
+}
+
+impl fmt::Debug for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Event#{}({:?}@t{} from {:?})",
+            self.seq, self.ty, self.time, self.origin
+        )
+    }
+}
+
+/// Sorts a vector of events into global-trace order.
+pub fn sort_into_trace_order(events: &mut [Event]) {
+    events.sort_by(Event::trace_cmp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, time: Timestamp) -> Event {
+        Event::new(seq, EventTypeId(0), time, NodeId(0))
+    }
+
+    #[test]
+    fn trace_order_by_time_then_seq() {
+        let a = ev(2, 5);
+        let b = ev(1, 5);
+        let c = ev(0, 7);
+        assert_eq!(a.trace_cmp(&b), Ordering::Greater); // same time, higher seq
+        assert_eq!(b.trace_cmp(&c), Ordering::Less);
+        let mut v = vec![c.clone(), a.clone(), b.clone()];
+        sort_into_trace_order(&mut v);
+        assert_eq!(v, vec![b, a, c]);
+    }
+
+    #[test]
+    fn payload_set_get() {
+        let mut p = Payload::new();
+        assert!(p.is_empty());
+        p.set(AttrId(3), Value::Int(7));
+        p.set(AttrId(1), Value::Str("x".into()));
+        p.set(AttrId(3), Value::Int(9)); // overwrite
+        assert_eq!(p.get(AttrId(3)), Some(&Value::Int(9)));
+        assert_eq!(p.get(AttrId(1)), Some(&Value::Str("x".into())));
+        assert_eq!(p.get(AttrId(0)), None);
+        assert_eq!(p.len(), 2);
+        // Iteration is in attribute order.
+        let attrs: Vec<_> = p.iter().map(|(a, _)| a).collect();
+        assert_eq!(attrs, vec![AttrId(1), AttrId(3)]);
+    }
+
+    #[test]
+    fn payload_from_pairs_sorts() {
+        let p = Payload::from_pairs(vec![
+            (AttrId(5), Value::Int(1)),
+            (AttrId(2), Value::Int(2)),
+        ]);
+        assert_eq!(p.get(AttrId(5)), Some(&Value::Int(1)));
+        assert_eq!(p.get(AttrId(2)), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn value_comparisons() {
+        assert_eq!(
+            Value::Int(3).partial_cmp_value(&Value::Int(4)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(3).partial_cmp_value(&Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Str("a".into()).partial_cmp_value(&Value::Str("b".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Str("a".into()).partial_cmp_value(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn value_from_conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+    }
+}

@@ -1,0 +1,98 @@
+//! # muse-core
+//!
+//! A from-scratch implementation of **Multi-Sink Evaluation (MuSE) graphs**
+//! for the flexible distribution of complex event processing (CEP) in
+//! networks of event sources, reproducing Akili & Weidlich, *"MuSE Graphs
+//! for Flexible Distribution of Event Stream Processing in Networks"*
+//! (SIGMOD 2021).
+//!
+//! Classic distributed CEP splits a query along its operator hierarchy and
+//! places each operator at exactly one node, funneling all results into a
+//! single sink. MuSE graphs lift both restrictions: *arbitrary query
+//! projections* act as operators, and a projection may be hosted at *many*
+//! nodes, each generating the matches whose constituent events it can see.
+//!
+//! This crate contains the paper's formal model and plan-construction
+//! algorithms:
+//!
+//! * the event-sourced network `Γ = (N, f, r)` ([`network`]),
+//! * the query language with `AND`, `SEQ`, `OR`, `NSEQ` ([`query`]),
+//! * query projections ([`projection`]) and event type bindings ([`binding`]),
+//! * combinations of projections ([`combination`]),
+//! * the output-rate cost model ([`cost`]),
+//! * MuSE graphs with covers, correctness and normal forms ([`graph`]),
+//! * plan construction: exhaustive optimal search, the `aMuSE`/`aMuSE*`
+//!   heuristics, the multi-query extension, the centralized / optimal
+//!   single-sink operator placement baselines, and push-pull edge
+//!   annotation ([`algorithms`]).
+//!
+//! Execution of the resulting plans lives in the companion crate
+//! `muse-runtime`; synthetic workload generation in `muse-sim`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use muse_core::prelude::*;
+//!
+//! // The paper's running example: three transport robots.
+//! let mut catalog = Catalog::new();
+//! let c = catalog.add_event_type("C").unwrap(); // camera, frequent
+//! let l = catalog.add_event_type("L").unwrap(); // lidar, frequent
+//! let f = catalog.add_event_type("F").unwrap(); // floor clearance, rare
+//!
+//! let network = NetworkBuilder::new(3, 3)
+//!     .node(NodeId(0), [c, f])
+//!     .node(NodeId(1), [c, l])
+//!     .node(NodeId(2), [l])
+//!     .rate(c, 100.0)
+//!     .rate(l, 100.0)
+//!     .rate(f, 1.0)
+//!     .build();
+//!
+//! let pattern = Pattern::seq([
+//!     Pattern::and([Pattern::leaf(c), Pattern::leaf(l)]),
+//!     Pattern::leaf(f),
+//! ]);
+//! let query = Query::build(QueryId(0), &pattern, vec![], 1_000).unwrap();
+//!
+//! let plan = amuse(&query, &network, &AMuseConfig::default()).unwrap();
+//! let centralized = centralized_cost(std::slice::from_ref(&query), &network);
+//! assert!(plan.cost() < centralized);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algorithms;
+pub mod binding;
+pub mod catalog;
+pub mod combination;
+pub mod cost;
+pub mod error;
+pub mod event;
+pub mod graph;
+pub mod network;
+pub mod projection;
+pub mod query;
+pub mod types;
+pub mod workload;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::algorithms::amuse::{amuse, amuse_star, AMuseConfig};
+    pub use crate::algorithms::baselines::{centralized_cost, optimal_operator_placement};
+    pub use crate::algorithms::multi_query::amuse_workload;
+    pub use crate::binding::EventTypeBinding;
+    pub use crate::catalog::Catalog;
+    pub use crate::error::{ModelError, Result};
+    pub use crate::event::{Event, Payload, Timestamp, Value};
+    pub use crate::graph::{MuseGraph, Vertex};
+    pub use crate::network::{Network, NetworkBuilder};
+    pub use crate::projection::{ProjId, Projection, ProjectionTable};
+    pub use crate::query::parser::{parse_query, ParserOptions};
+    pub use crate::query::{CmpOp, OpKind, OpNode, Pattern, Predicate, Query};
+    pub use crate::types::{
+        AttrId, EventTypeId, NodeId, NodeSet, PrimId, PrimSet, QueryId, TypeSet,
+    };
+    pub use crate::workload::Workload;
+}

@@ -1,0 +1,548 @@
+//! Query projections (§4.2 of the paper).
+//!
+//! A projection `π(q, E')` restricts a query `q` to the primitive operators
+//! whose event types lie in `E'`: leaves outside `E'` are removed, childless
+//! composite operators disappear, and single-child composite operators are
+//! spliced out. Unlike traditional sub-patterns, matches of projections need
+//! not be contiguous sub-sequences of query matches — e.g. `SEQ(C, F)` is a
+//! projection of `SEQ(AND(C, L), F)`.
+//!
+//! For workloads with negation, only *negation-closed* projections (Def. 9)
+//! may be used: retaining any primitive operator of a negated `NSEQ` child
+//! requires retaining the operator's entire context (first, negated, and
+//! last child), so that the absence check remains unambiguous.
+
+use crate::error::{ModelError, Result};
+use crate::query::{OpKind, OpNode, Query};
+use crate::types::{PrimSet, QueryId, TypeSet};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a projection within a [`ProjectionTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProjId(pub u32);
+
+impl ProjId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The projection of a query induced by a subset of its primitive operators.
+///
+/// Primitive operators keep the [`crate::types::PrimId`]s of the source
+/// query, so partial matches of different projections of the same query
+/// compose without renaming.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Projection {
+    /// The query this projection was derived from.
+    pub source: QueryId,
+    /// The retained primitive operators (identified by source-query prim ids).
+    pub prims: PrimSet,
+    /// The projected operator tree.
+    pub root: OpNode,
+    /// Indices into the source query's predicate list of the retained
+    /// predicates (`P' ⊆ P`: predicates entirely over retained primitives).
+    pub predicates: Vec<usize>,
+    /// `σ(p)`: product of the retained predicates' selectivities.
+    pub selectivity: f64,
+    /// Hash of the projection's semantic identity — structure in terms of
+    /// event types plus retained predicates — used by the multi-query
+    /// stream-reuse accounting to identify identical match streams across
+    /// queries without string comparisons.
+    pub stream_sig: u64,
+}
+
+impl Projection {
+    /// Returns `true` if the projection consists of a single primitive
+    /// operator.
+    pub fn is_primitive(&self) -> bool {
+        self.prims.len() == 1
+    }
+
+    /// Number of retained primitive operators (`|O_p^p|`).
+    pub fn num_prims(&self) -> usize {
+        self.prims.len()
+    }
+
+    /// The event types of the retained primitive operators.
+    pub fn types(&self, query: &Query) -> TypeSet {
+        query.types_of(self.prims)
+    }
+
+    /// The retained primitive operators that are *not* below a negated
+    /// `NSEQ` child. Matches contain one event per positive primitive.
+    pub fn positive_prims(&self, query: &Query) -> PrimSet {
+        self.prims.difference(query.negated_prims())
+    }
+
+    /// The retained primitive operators below a negated `NSEQ` child.
+    pub fn negated_prims(&self, query: &Query) -> PrimSet {
+        self.prims.intersect(query.negated_prims())
+    }
+
+    /// Returns `true` if this projection equals the full source query.
+    pub fn is_full_query(&self, query: &Query) -> bool {
+        self.prims == query.prims()
+    }
+
+    /// Canonical structural signature in terms of event types, usable to
+    /// detect structurally identical projections across queries (multi-query
+    /// extension, §6.2).
+    pub fn signature(&self, query: &Query) -> String {
+        self.root.signature(query.prim_types())
+    }
+}
+
+/// Checks negation-closure (Def. 9) of the projection induced by `keep`:
+/// whenever any primitive of a negated `NSEQ` child is retained, the
+/// operator's complete context (first, negated, and last child) must be
+/// retained.
+///
+/// Single-primitive projections are exempt: they are the source vertices of
+/// every MuSE graph (Def. 7 (i) requires a vertex per primitive operator
+/// and producing node), and a lone event stream carries no negation
+/// semantics — the absence check happens at the vertex hosting the full
+/// `NSEQ` context.
+pub fn is_negation_closed(query: &Query, keep: PrimSet) -> bool {
+    if keep.len() <= 1 {
+        return true;
+    }
+    query.nseq_contexts().iter().all(|ctx| {
+        let full = ctx.first.union(ctx.negated).union(ctx.last);
+        keep.is_disjoint(ctx.negated) || full.is_subset(keep)
+    })
+}
+
+/// Derives the projection of `query` induced by the primitive-operator set
+/// `keep` (`π(q, E')` with `E'` translated to prim ids via
+/// [`Query::prims_of_types`]).
+///
+/// # Errors
+///
+/// * [`ModelError::EmptyProjection`] if `keep` retains nothing;
+/// * [`ModelError::UnknownPrim`] if `keep` references primitives outside
+///   the query;
+/// * [`ModelError::NotNegationClosed`] if `keep` violates Def. 9.
+pub fn project(query: &Query, keep: PrimSet) -> Result<Projection> {
+    if keep.is_empty() {
+        return Err(ModelError::EmptyProjection);
+    }
+    if !keep.is_subset(query.prims()) {
+        let bad = keep.difference(query.prims()).iter().next().unwrap();
+        return Err(ModelError::UnknownPrim(bad));
+    }
+    if !is_negation_closed(query, keep) {
+        return Err(ModelError::NotNegationClosed);
+    }
+    let root = project_node(query.root(), keep)
+        .expect("non-empty keep set must produce a non-empty tree");
+    let predicates = query.predicates_within(keep);
+    let selectivity = query.selectivity_within(keep);
+    let stream_sig = {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        root.signature(query.prim_types()).hash(&mut h);
+        for &pi in &predicates {
+            format!("{:?}", query.predicates()[pi]).hash(&mut h);
+        }
+        h.finish()
+    };
+    Ok(Projection {
+        source: query.id(),
+        prims: keep,
+        root,
+        predicates,
+        selectivity,
+        stream_sig,
+    })
+}
+
+/// Projects a subtree onto `keep`, returning `None` if nothing remains.
+///
+/// Single-child composites are spliced out; same-kind children produced by
+/// splicing are flattened so the result is again a valid operator tree.
+/// An `NSEQ` whose negated child is fully dropped degrades to a `SEQ` of the
+/// surviving first/last parts (negation-closure guarantees the negated child
+/// is either fully dropped or fully retained).
+fn project_node(node: &OpNode, keep: PrimSet) -> Option<OpNode> {
+    match node {
+        OpNode::Primitive(p) => keep.contains(*p).then(|| node.clone()),
+        OpNode::Composite { kind, children } => match kind {
+            OpKind::NSeq => {
+                let first = project_node(&children[0], keep);
+                let last = project_node(&children[2], keep);
+                if children[1].prims().is_disjoint(keep) {
+                    // Negated child dropped: NSEQ(A, B, C) becomes SEQ(A, C).
+                    compose(OpKind::Seq, [first, last])
+                } else {
+                    let negated = project_node(&children[1], keep);
+                    if first.is_some() && negated.is_some() && last.is_some() {
+                        // Negation closure: all three children fully retained.
+                        Some(OpNode::Composite {
+                            kind: OpKind::NSeq,
+                            children: vec![first?, negated?, last?],
+                        })
+                    } else {
+                        // Only reachable for single-primitive projections of
+                        // a negated operator (exempt from Def. 9): the
+                        // projection is the surviving part itself.
+                        compose(OpKind::Seq, [first, negated, last])
+                    }
+                }
+            }
+            _ => compose(*kind, children.iter().map(|c| project_node(c, keep))),
+        },
+    }
+}
+
+/// Rebuilds a composite of `kind` from projected children, splicing empty
+/// and single-child cases and flattening same-kind children.
+fn compose(kind: OpKind, children: impl IntoIterator<Item = Option<OpNode>>) -> Option<OpNode> {
+    let mut kept: Vec<OpNode> = Vec::new();
+    for child in children.into_iter().flatten() {
+        match child {
+            // Flatten: a same-kind child produced by splicing is inlined.
+            OpNode::Composite {
+                kind: ck,
+                children: cc,
+            } if ck == kind => kept.extend(cc),
+            other => kept.push(other),
+        }
+    }
+    match kept.len() {
+        0 => None,
+        1 => Some(kept.pop().unwrap()),
+        _ => Some(OpNode::Composite {
+            kind,
+            children: kept,
+        }),
+    }
+}
+
+/// Enumerates all projections `Π(q)` of a query: one per non-empty subset of
+/// primitive operators, restricted to negation-closed subsets (Def. 9).
+///
+/// The result has at most `2^|O_p| − 1` entries and includes the projection
+/// equal to the query itself.
+pub fn all_projections(query: &Query) -> Vec<Projection> {
+    query
+        .prims()
+        .subsets()
+        .filter(|s| is_negation_closed(query, *s))
+        .map(|s| project(query, s).expect("subset of query prims is projectable"))
+        .collect()
+}
+
+/// An arena of projections, keyed by `(source query, prim set)`.
+///
+/// MuSE graph vertices reference projections by [`ProjId`]; the table makes
+/// those references cheap and stable across the construction algorithms.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProjectionTable {
+    entries: Vec<Projection>,
+    by_key: HashMap<(QueryId, PrimSet), ProjId>,
+}
+
+impl ProjectionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a projection, returning its id. Inserting the same
+    /// `(source, prims)` twice returns the existing id.
+    pub fn insert(&mut self, projection: Projection) -> ProjId {
+        let key = (projection.source, projection.prims);
+        if let Some(&id) = self.by_key.get(&key) {
+            return id;
+        }
+        let id = ProjId(self.entries.len() as u32);
+        self.entries.push(projection);
+        self.by_key.insert(key, id);
+        id
+    }
+
+    /// Derives and inserts the projection of `query` induced by `prims`.
+    pub fn project_into(&mut self, query: &Query, prims: PrimSet) -> Result<ProjId> {
+        if let Some(&id) = self.by_key.get(&(query.id(), prims)) {
+            return Ok(id);
+        }
+        let p = project(query, prims)?;
+        Ok(self.insert(p))
+    }
+
+    /// Returns the projection with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this table.
+    pub fn get(&self, id: ProjId) -> &Projection {
+        &self.entries[id.index()]
+    }
+
+    /// Looks up the id of the projection of `query` induced by `prims`.
+    pub fn id_of(&self, query: QueryId, prims: PrimSet) -> Option<ProjId> {
+        self.by_key.get(&(query, prims)).copied()
+    }
+
+    /// Number of stored projections.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all `(id, projection)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProjId, &Projection)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProjId(i as u32), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{CmpOp, Pattern, Predicate};
+    use crate::types::{AttrId, EventTypeId, PrimId};
+
+    fn t(i: u16) -> EventTypeId {
+        EventTypeId(i)
+    }
+
+    /// `SEQ(AND(C, L), F)` with prims C=0, L=1, F=2 and predicates
+    /// σ(C,L)=0.1, σ(C,F)=0.5.
+    fn example_query() -> Query {
+        let p = Pattern::seq([
+            Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+            Pattern::leaf(t(2)),
+        ]);
+        let a = AttrId(0);
+        let preds = vec![
+            Predicate::binary((PrimId(0), a), CmpOp::Eq, (PrimId(1), a), 0.1),
+            Predicate::binary((PrimId(0), a), CmpOp::Eq, (PrimId(2), a), 0.5),
+        ];
+        Query::build(QueryId(0), &p, preds, 1000).unwrap()
+    }
+
+    fn ps(prims: impl IntoIterator<Item = u8>) -> PrimSet {
+        prims.into_iter().map(PrimId).collect()
+    }
+
+    #[test]
+    fn example4_projections() {
+        // Paper Example 4/5: projections of SEQ(AND(C,L),F) for {C,F},
+        // {L,F}, {C,L}.
+        let q = example_query();
+        // p1 = π(q, {C, F}) = SEQ(C, F): deleting L removes its parent AND.
+        let p1 = project(&q, ps([0, 2])).unwrap();
+        assert_eq!(
+            p1.root,
+            OpNode::Composite {
+                kind: OpKind::Seq,
+                children: vec![OpNode::Primitive(PrimId(0)), OpNode::Primitive(PrimId(2))],
+            }
+        );
+        // p2 = π(q, {L, F}) = SEQ(L, F).
+        let p2 = project(&q, ps([1, 2])).unwrap();
+        assert_eq!(
+            p2.root,
+            OpNode::Composite {
+                kind: OpKind::Seq,
+                children: vec![OpNode::Primitive(PrimId(1)), OpNode::Primitive(PrimId(2))],
+            }
+        );
+        // p3 = π(q, {C, L}) = AND(C, L): deleting F removes the root SEQ.
+        let p3 = project(&q, ps([0, 1])).unwrap();
+        assert_eq!(
+            p3.root,
+            OpNode::Composite {
+                kind: OpKind::And,
+                children: vec![OpNode::Primitive(PrimId(0)), OpNode::Primitive(PrimId(1))],
+            }
+        );
+    }
+
+    #[test]
+    fn projection_keeps_contained_predicates() {
+        let q = example_query();
+        // {C, L} retains the σ=0.1 predicate only.
+        let p3 = project(&q, ps([0, 1])).unwrap();
+        assert_eq!(p3.predicates, vec![0]);
+        assert!((p3.selectivity - 0.1).abs() < 1e-12);
+        // {L, F} retains no predicate.
+        let p2 = project(&q, ps([1, 2])).unwrap();
+        assert!(p2.predicates.is_empty());
+        assert!((p2.selectivity - 1.0).abs() < 1e-12);
+        // Full projection retains both.
+        let pq = project(&q, q.prims()).unwrap();
+        assert_eq!(pq.predicates.len(), 2);
+        assert!((pq.selectivity - 0.05).abs() < 1e-12);
+        assert!(pq.is_full_query(&q));
+    }
+
+    #[test]
+    fn single_prim_projection() {
+        let q = example_query();
+        let p = project(&q, ps([2])).unwrap();
+        assert!(p.is_primitive());
+        assert_eq!(p.root, OpNode::Primitive(PrimId(2)));
+    }
+
+    #[test]
+    fn empty_and_foreign_prims_rejected() {
+        let q = example_query();
+        assert_eq!(
+            project(&q, PrimSet::empty()),
+            Err(ModelError::EmptyProjection)
+        );
+        assert_eq!(
+            project(&q, ps([5])),
+            Err(ModelError::UnknownPrim(PrimId(5)))
+        );
+    }
+
+    #[test]
+    fn all_projections_count() {
+        let q = example_query();
+        let all = all_projections(&q);
+        assert_eq!(all.len(), 7); // 2^3 − 1
+        assert!(all.iter().any(|p| p.is_full_query(&q)));
+        assert_eq!(all.iter().filter(|p| p.is_primitive()).count(), 3);
+    }
+
+    #[test]
+    fn flattening_same_kind_after_splice() {
+        // SEQ(AND(SEQ(B, C), E), D): projecting onto {B, C, D} splices the
+        // AND and must flatten SEQ(SEQ(B, C), D) into SEQ(B, C, D).
+        let p = Pattern::seq([
+            Pattern::and([
+                Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+                Pattern::leaf(t(2)),
+            ]),
+            Pattern::leaf(t(3)),
+        ]);
+        let q = Query::build(QueryId(0), &p, vec![], 10).unwrap();
+        // Prims in leaf order: B=0, C=1, E=2, D=3.
+        let proj = project(&q, ps([0, 1, 3])).unwrap();
+        assert_eq!(
+            proj.root,
+            OpNode::Composite {
+                kind: OpKind::Seq,
+                children: vec![
+                    OpNode::Primitive(PrimId(0)),
+                    OpNode::Primitive(PrimId(1)),
+                    OpNode::Primitive(PrimId(3)),
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn nseq_negation_closure() {
+        // NSEQ(A, B, C): keeping B requires keeping A and C.
+        let p = Pattern::nseq(Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2)));
+        let q = Query::build(QueryId(0), &p, vec![], 10).unwrap();
+        assert!(is_negation_closed(&q, ps([0, 2]))); // B dropped: fine
+        assert!(is_negation_closed(&q, ps([0, 1, 2]))); // all kept: fine
+        assert!(is_negation_closed(&q, ps([1]))); // B alone: primitive, exempt
+        assert!(!is_negation_closed(&q, ps([0, 1]))); // B without C: violation
+        assert_eq!(project(&q, ps([0, 1])), Err(ModelError::NotNegationClosed));
+        // The primitive projection of a negated operator is its event type.
+        let b = project(&q, ps([1])).unwrap();
+        assert_eq!(b.root, OpNode::Primitive(PrimId(1)));
+    }
+
+    #[test]
+    fn nseq_degrades_to_seq_when_negation_dropped() {
+        let p = Pattern::nseq(Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2)));
+        let q = Query::build(QueryId(0), &p, vec![], 10).unwrap();
+        let proj = project(&q, ps([0, 2])).unwrap();
+        assert_eq!(
+            proj.root,
+            OpNode::Composite {
+                kind: OpKind::Seq,
+                children: vec![OpNode::Primitive(PrimId(0)), OpNode::Primitive(PrimId(2))],
+            }
+        );
+        // Full projection keeps the NSEQ.
+        let full = project(&q, q.prims()).unwrap();
+        assert!(matches!(
+            full.root,
+            OpNode::Composite {
+                kind: OpKind::NSeq,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn all_projections_respect_negation_closure() {
+        let p = Pattern::nseq(
+            Pattern::leaf(t(0)),
+            Pattern::leaf(t(1)),
+            Pattern::seq([Pattern::leaf(t(2)), Pattern::leaf(t(3))]),
+        );
+        let q = Query::build(QueryId(0), &p, vec![], 10).unwrap();
+        let all = all_projections(&q);
+        // Negated prim 1 appears only in the full projection {0,1,2,3} or
+        // as the (exempt) primitive projection {1}.
+        for proj in &all {
+            if proj.prims.contains(PrimId(1)) {
+                assert!(proj.prims == q.prims() || proj.is_primitive());
+            }
+        }
+        // Subsets without prim 1: 2^3 − 1 = 7, plus the full set and the
+        // primitive projection {1} = 9.
+        assert_eq!(all.len(), 9);
+    }
+
+    #[test]
+    fn projection_positive_and_negated_prims() {
+        let p = Pattern::nseq(Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2)));
+        let q = Query::build(QueryId(0), &p, vec![], 10).unwrap();
+        let full = project(&q, q.prims()).unwrap();
+        assert_eq!(full.positive_prims(&q), ps([0, 2]));
+        assert_eq!(full.negated_prims(&q), ps([1]));
+    }
+
+    #[test]
+    fn table_dedup_and_lookup() {
+        let q = example_query();
+        let mut table = ProjectionTable::new();
+        let id1 = table.project_into(&q, ps([0, 1])).unwrap();
+        let id2 = table.project_into(&q, ps([0, 1])).unwrap();
+        assert_eq!(id1, id2);
+        assert_eq!(table.len(), 1);
+        let id3 = table.project_into(&q, ps([1, 2])).unwrap();
+        assert_ne!(id1, id3);
+        assert_eq!(table.id_of(QueryId(0), ps([0, 1])), Some(id1));
+        assert_eq!(table.id_of(QueryId(1), ps([0, 1])), None);
+        assert_eq!(table.get(id1).prims, ps([0, 1]));
+        assert_eq!(table.iter().count(), 2);
+    }
+
+    #[test]
+    fn signature_matches_across_queries_with_same_types() {
+        // Two queries over the same types with identical structure have
+        // projections with equal signatures.
+        let p = Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2))]);
+        let q1 = Query::build(QueryId(0), &p, vec![], 10).unwrap();
+        let p2 = Pattern::seq([
+            Pattern::leaf(t(0)),
+            Pattern::leaf(t(1)),
+            Pattern::leaf(t(3)),
+        ]);
+        let q2 = Query::build(QueryId(1), &p2, vec![], 10).unwrap();
+        let a = project(&q1, ps([0, 1])).unwrap();
+        let b = project(&q2, ps([0, 1])).unwrap();
+        assert_eq!(a.signature(&q1), b.signature(&q2));
+    }
+}

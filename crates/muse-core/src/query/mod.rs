@@ -1,0 +1,555 @@
+//! CEP queries (§2.2 of the paper): operator trees, predicates, and time
+//! windows, plus the derived structural information (precedence relations,
+//! negation contexts) the rest of the system relies on.
+
+pub mod operator;
+pub mod parser;
+pub mod predicate;
+
+pub use operator::{OpKind, OpNode, Pattern};
+pub use predicate::{CmpOp, Predicate, PredicateExpr};
+
+use crate::catalog::Catalog;
+use crate::error::{ModelError, Result};
+use crate::event::Timestamp;
+use crate::types::{EventTypeId, PrimId, PrimSet, QueryId, TypeSet, MAX_PRIMS};
+use serde::{Deserialize, Serialize};
+
+/// The temporal relation between two primitive operators, derived from the
+/// operator tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrderRel {
+    /// The first primitive must occur before the second in the trace.
+    Before,
+    /// The first primitive must occur after the second.
+    After,
+    /// No order constraint (their least common ancestor is an `AND`).
+    Unordered,
+}
+
+/// The negation context of one `NSEQ` operator: the primitive operators of
+/// its first, (negated) second, and third child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NSeqContext {
+    /// Primitives of the first child (the prefix pattern).
+    pub first: PrimSet,
+    /// Primitives of the negated middle child.
+    pub negated: PrimSet,
+    /// Primitives of the third child (the suffix pattern).
+    pub last: PrimSet,
+}
+
+/// A valid CEP query `q = (O, λ, P)` with a time window `τ_q`.
+///
+/// Queries are constructed from a [`Pattern`] via [`Query::build`], which
+/// assigns [`PrimId`]s to leaves in left-to-right order and validates the
+/// structure (tree with a single root, composite arity ≥ 2, no two directly
+/// nested operators of the same type, `NSEQ` with exactly three children).
+///
+/// Workload queries must be free of `OR` operators; use
+/// [`Pattern::split_disjunctions`] first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    id: QueryId,
+    root: OpNode,
+    prim_types: Vec<EventTypeId>,
+    predicates: Vec<Predicate>,
+    window: Timestamp,
+    /// Pairwise order constraints, row-major `prims × prims`.
+    order: Vec<OrderRel>,
+    /// Primitives below the negated child of some `NSEQ`.
+    negated: PrimSet,
+    /// One context per `NSEQ` operator, in pre-order.
+    nseq_contexts: Vec<NSeqContext>,
+}
+
+impl Query {
+    /// Builds and validates a query from a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidQuery`] if the pattern violates the
+    /// structural rules of §2.2, contains an `OR` (split disjunctions
+    /// first), or has more than [`MAX_PRIMS`] leaves.
+    pub fn build(
+        id: QueryId,
+        pattern: &Pattern,
+        predicates: Vec<Predicate>,
+        window: Timestamp,
+    ) -> Result<Self> {
+        if pattern.contains_or() {
+            return Err(ModelError::InvalidQuery {
+                query: Some(id),
+                reason: "workload queries must be OR-free; call split_disjunctions first"
+                    .to_string(),
+            });
+        }
+        let n = pattern.num_leaves();
+        if n == 0 {
+            return Err(ModelError::InvalidQuery {
+                query: Some(id),
+                reason: "query has no primitive operator".to_string(),
+            });
+        }
+        if n > MAX_PRIMS {
+            return Err(ModelError::CapacityExceeded {
+                what: "primitive operators per query",
+                max: MAX_PRIMS,
+            });
+        }
+
+        let mut prim_types = Vec::with_capacity(n);
+        let root = Self::resolve(pattern, &mut prim_types, id)?;
+        Self::validate_nesting(&root, id)?;
+
+        for p in &predicates {
+            if !(p.selectivity > 0.0 && p.selectivity <= 1.0) {
+                return Err(ModelError::InvalidQuery {
+                    query: Some(id),
+                    reason: format!("predicate selectivity {} outside (0, 1]", p.selectivity),
+                });
+            }
+            for prim in p.prims().iter() {
+                if prim.index() >= n {
+                    return Err(ModelError::UnknownPrim(prim));
+                }
+            }
+        }
+
+        let mut order = vec![OrderRel::Unordered; n * n];
+        let mut nseq_contexts = Vec::new();
+        Self::derive_order(&root, &mut order, n, &mut nseq_contexts);
+        let negated = nseq_contexts
+            .iter()
+            .fold(PrimSet::empty(), |acc, c| acc.union(c.negated));
+
+        Ok(Self {
+            id,
+            root,
+            prim_types,
+            predicates,
+            window,
+            order,
+            negated,
+            nseq_contexts,
+        })
+    }
+
+    /// Resolves a pattern into an [`OpNode`] tree, assigning prim ids.
+    fn resolve(
+        pattern: &Pattern,
+        prim_types: &mut Vec<EventTypeId>,
+        id: QueryId,
+    ) -> Result<OpNode> {
+        match pattern {
+            Pattern::Leaf(ty) => {
+                let prim = PrimId(prim_types.len() as u8);
+                prim_types.push(*ty);
+                Ok(OpNode::Primitive(prim))
+            }
+            Pattern::Seq(children) | Pattern::And(children) => {
+                let kind = if matches!(pattern, Pattern::Seq(_)) {
+                    OpKind::Seq
+                } else {
+                    OpKind::And
+                };
+                if children.len() < 2 {
+                    return Err(ModelError::InvalidQuery {
+                        query: Some(id),
+                        reason: format!("{} operator needs at least 2 children", kind.name()),
+                    });
+                }
+                let children = children
+                    .iter()
+                    .map(|c| Self::resolve(c, prim_types, id))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(OpNode::Composite { kind, children })
+            }
+            Pattern::Or(_) => unreachable!("contains_or checked by caller"),
+            Pattern::NSeq(first, negated, last) => {
+                let children = vec![
+                    Self::resolve(first, prim_types, id)?,
+                    Self::resolve(negated, prim_types, id)?,
+                    Self::resolve(last, prim_types, id)?,
+                ];
+                Ok(OpNode::Composite {
+                    kind: OpKind::NSeq,
+                    children,
+                })
+            }
+        }
+    }
+
+    /// Checks that no two directly nested composite operators have the same
+    /// type (validity condition of §2.2).
+    fn validate_nesting(node: &OpNode, id: QueryId) -> Result<()> {
+        if let OpNode::Composite { kind, children } = node {
+            for c in children {
+                if let OpNode::Composite { kind: ck, .. } = c {
+                    if ck == kind {
+                        return Err(ModelError::InvalidQuery {
+                            query: Some(id),
+                            reason: format!(
+                                "two directly nested {} operators; flatten them",
+                                kind.name()
+                            ),
+                        });
+                    }
+                }
+                Self::validate_nesting(c, id)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Derives the pairwise order relation and the `NSEQ` contexts.
+    fn derive_order(
+        node: &OpNode,
+        order: &mut [OrderRel],
+        n: usize,
+        nseq_contexts: &mut Vec<NSeqContext>,
+    ) {
+        if let OpNode::Composite { kind, children } = node {
+            match kind {
+                OpKind::Seq => {
+                    // Every prim of child i precedes every prim of child j>i.
+                    for i in 0..children.len() {
+                        for j in (i + 1)..children.len() {
+                            for a in children[i].prims().iter() {
+                                for b in children[j].prims().iter() {
+                                    order[a.index() * n + b.index()] = OrderRel::Before;
+                                    order[b.index() * n + a.index()] = OrderRel::After;
+                                }
+                            }
+                        }
+                    }
+                }
+                OpKind::NSeq => {
+                    // First precedes last; the negated child imposes no
+                    // pairwise constraint on positive matches (its absence is
+                    // checked over an interval instead).
+                    let first = children[0].prims();
+                    let last = children[2].prims();
+                    for a in first.iter() {
+                        for b in last.iter() {
+                            order[a.index() * n + b.index()] = OrderRel::Before;
+                            order[b.index() * n + a.index()] = OrderRel::After;
+                        }
+                    }
+                    nseq_contexts.push(NSeqContext {
+                        first,
+                        negated: children[1].prims(),
+                        last,
+                    });
+                }
+                OpKind::And | OpKind::Or => {}
+            }
+            for c in children {
+                Self::derive_order(c, order, n, nseq_contexts);
+            }
+        }
+    }
+
+    /// The query's id within its workload.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// The root operator (`root(q)`).
+    pub fn root(&self) -> &OpNode {
+        &self.root
+    }
+
+    /// Number of primitive operators (`|O_p|`).
+    pub fn num_prims(&self) -> usize {
+        self.prim_types.len()
+    }
+
+    /// The set of all primitive operators.
+    pub fn prims(&self) -> PrimSet {
+        PrimSet::full(self.num_prims())
+    }
+
+    /// The set of *positive* (non-negated) primitive operators. Matches of
+    /// the query contain exactly one event per positive primitive operator.
+    pub fn positive_prims(&self) -> PrimSet {
+        self.prims().difference(self.negated)
+    }
+
+    /// The primitives below a negated `NSEQ` child.
+    pub fn negated_prims(&self) -> PrimSet {
+        self.negated
+    }
+
+    /// The event type of a primitive operator (`o.sem`).
+    pub fn prim_type(&self, prim: PrimId) -> EventTypeId {
+        self.prim_types[prim.index()]
+    }
+
+    /// The prim-id → event-type table, in prim order.
+    pub fn prim_types(&self) -> &[EventTypeId] {
+        &self.prim_types
+    }
+
+    /// All event types referenced by the given primitive operators.
+    pub fn types_of(&self, prims: PrimSet) -> TypeSet {
+        prims
+            .iter()
+            .map(|p| self.prim_type(p))
+            .collect()
+    }
+
+    /// All event types referenced by the query.
+    pub fn types(&self) -> TypeSet {
+        self.types_of(self.prims())
+    }
+
+    /// The primitive operators referencing the given event types. Inverse of
+    /// [`Query::types_of`]; used to translate the paper's type-induced
+    /// projections `π(q, E')` into prim sets.
+    pub fn prims_of_types(&self, types: TypeSet) -> PrimSet {
+        (0..self.num_prims())
+            .map(|i| PrimId(i as u8))
+            .filter(|p| types.contains(self.prim_type(*p)))
+            .collect()
+    }
+
+    /// Returns `true` if no two primitive operators share an event type.
+    /// aMuSE (§6) requires this property.
+    pub fn has_distinct_prim_types(&self) -> bool {
+        let mut seen = TypeSet::empty();
+        for ty in &self.prim_types {
+            if seen.contains(*ty) {
+                return false;
+            }
+            seen.insert(*ty);
+        }
+        true
+    }
+
+    /// The query's predicates (`P`).
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// The time window `τ_q`.
+    pub fn window(&self) -> Timestamp {
+        self.window
+    }
+
+    /// The temporal relation between two primitive operators.
+    pub fn order_rel(&self, a: PrimId, b: PrimId) -> OrderRel {
+        self.order[a.index() * self.num_prims() + b.index()]
+    }
+
+    /// The `NSEQ` contexts of the query, in pre-order.
+    pub fn nseq_contexts(&self) -> &[NSeqContext] {
+        &self.nseq_contexts
+    }
+
+    /// The query's selectivity `σ(q) = Π_{a ∈ P} σ(a)`.
+    pub fn selectivity(&self) -> f64 {
+        self.predicates.iter().map(|p| p.selectivity).product()
+    }
+
+    /// The product of selectivities of predicates defined entirely over the
+    /// given primitive operators — the selectivity of the projection induced
+    /// by them (§4.2: "σ(p) corresponds to the product of the selectivities
+    /// of the shared predicates").
+    pub fn selectivity_within(&self, prims: PrimSet) -> f64 {
+        self.predicates
+            .iter()
+            .filter(|p| p.prims().is_subset(prims))
+            .map(|p| p.selectivity)
+            .product()
+    }
+
+    /// Indices (into [`Query::predicates`]) of predicates defined entirely
+    /// over the given primitive operators.
+    pub fn predicates_within(&self, prims: PrimSet) -> Vec<usize> {
+        self.predicates
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.prims().is_subset(prims))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Overrides the selectivity of one predicate — used by planners that
+    /// re-estimate statistics (e.g. from observed traces) after parsing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range or the selectivity is outside
+    /// `(0, 1]`.
+    pub fn set_predicate_selectivity(&mut self, index: usize, selectivity: f64) {
+        assert!(
+            selectivity > 0.0 && selectivity <= 1.0,
+            "selectivity {selectivity} outside (0, 1]"
+        );
+        self.predicates[index].selectivity = selectivity;
+    }
+
+    /// Renders the query with type names (e.g. `SEQ(AND(C, L), F)`).
+    pub fn render(&self, catalog: &Catalog) -> String {
+        self.root.render(&self.prim_types, catalog)
+    }
+
+    /// Canonical structural signature in terms of event types, for
+    /// cross-query structural comparison.
+    pub fn signature(&self) -> String {
+        self.root.signature(&self.prim_types)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::AttrId;
+
+    fn t(i: u16) -> EventTypeId {
+        EventTypeId(i)
+    }
+
+    /// The paper's running example: `SEQ(AND(C, L), F)` with C=0, L=1, F=2.
+    pub(crate) fn example_query() -> Query {
+        let p = Pattern::seq([
+            Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+            Pattern::leaf(t(2)),
+        ]);
+        Query::build(QueryId(0), &p, vec![], 1000).unwrap()
+    }
+
+    #[test]
+    fn builds_and_assigns_prims_in_leaf_order() {
+        let q = example_query();
+        assert_eq!(q.num_prims(), 3);
+        assert_eq!(q.prim_type(PrimId(0)), t(0)); // C
+        assert_eq!(q.prim_type(PrimId(1)), t(1)); // L
+        assert_eq!(q.prim_type(PrimId(2)), t(2)); // F
+        assert!(q.has_distinct_prim_types());
+        assert_eq!(q.window(), 1000);
+    }
+
+    #[test]
+    fn order_relations() {
+        let q = example_query();
+        // C and L are under AND: unordered.
+        assert_eq!(q.order_rel(PrimId(0), PrimId(1)), OrderRel::Unordered);
+        // C before F, L before F (SEQ).
+        assert_eq!(q.order_rel(PrimId(0), PrimId(2)), OrderRel::Before);
+        assert_eq!(q.order_rel(PrimId(2), PrimId(1)), OrderRel::After);
+    }
+
+    #[test]
+    fn rejects_or() {
+        let p = Pattern::or([Pattern::leaf(t(0)), Pattern::leaf(t(1))]);
+        assert!(matches!(
+            Query::build(QueryId(0), &p, vec![], 10),
+            Err(ModelError::InvalidQuery { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_single_child_composite() {
+        let p = Pattern::Seq(vec![Pattern::leaf(t(0))]);
+        assert!(Query::build(QueryId(0), &p, vec![], 10).is_err());
+    }
+
+    #[test]
+    fn rejects_directly_nested_same_kind() {
+        let p = Pattern::seq([
+            Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+            Pattern::leaf(t(2)),
+        ]);
+        let err = Query::build(QueryId(0), &p, vec![], 10).unwrap_err();
+        assert!(matches!(err, ModelError::InvalidQuery { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_selectivity() {
+        let p = Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1))]);
+        let pred = Predicate::unary(PrimId(0), AttrId(0), CmpOp::Eq, 1i64.into(), 0.0);
+        assert!(Query::build(QueryId(0), &p, vec![pred], 10).is_err());
+        let pred = Predicate::unary(PrimId(0), AttrId(0), CmpOp::Eq, 1i64.into(), 1.5);
+        assert!(Query::build(QueryId(0), &p, vec![pred], 10).is_err());
+    }
+
+    #[test]
+    fn rejects_predicate_on_unknown_prim() {
+        let p = Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1))]);
+        let pred = Predicate::unary(PrimId(7), AttrId(0), CmpOp::Eq, 1i64.into(), 0.5);
+        assert_eq!(
+            Query::build(QueryId(0), &p, vec![pred], 10),
+            Err(ModelError::UnknownPrim(PrimId(7)))
+        );
+    }
+
+    #[test]
+    fn nseq_contexts_and_negated_prims() {
+        // NSEQ(A, B, C): B is negated.
+        let p = Pattern::nseq(Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2)));
+        let q = Query::build(QueryId(0), &p, vec![], 10).unwrap();
+        assert_eq!(q.nseq_contexts().len(), 1);
+        let ctx = q.nseq_contexts()[0];
+        assert_eq!(ctx.first, PrimSet::single(PrimId(0)));
+        assert_eq!(ctx.negated, PrimSet::single(PrimId(1)));
+        assert_eq!(ctx.last, PrimSet::single(PrimId(2)));
+        assert_eq!(q.negated_prims(), PrimSet::single(PrimId(1)));
+        assert_eq!(q.positive_prims().len(), 2);
+        // First precedes last; negated unordered.
+        assert_eq!(q.order_rel(PrimId(0), PrimId(2)), OrderRel::Before);
+        assert_eq!(q.order_rel(PrimId(0), PrimId(1)), OrderRel::Unordered);
+    }
+
+    #[test]
+    fn selectivities() {
+        let a = AttrId(0);
+        let p = Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2))]);
+        let preds = vec![
+            Predicate::binary((PrimId(0), a), CmpOp::Eq, (PrimId(1), a), 0.1),
+            Predicate::binary((PrimId(1), a), CmpOp::Eq, (PrimId(2), a), 0.5),
+        ];
+        let q = Query::build(QueryId(0), &p, preds, 10).unwrap();
+        assert!((q.selectivity() - 0.05).abs() < 1e-12);
+        // Projection on {P0, P1} keeps only the first predicate.
+        let s: PrimSet = [PrimId(0), PrimId(1)].into_iter().collect();
+        assert!((q.selectivity_within(s) - 0.1).abs() < 1e-12);
+        assert_eq!(q.predicates_within(s), vec![0]);
+        // Projection on {P0, P2} keeps nothing.
+        let s2: PrimSet = [PrimId(0), PrimId(2)].into_iter().collect();
+        assert!((q.selectivity_within(s2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn types_and_prims_roundtrip() {
+        let q = example_query();
+        let all = q.types();
+        assert_eq!(all.len(), 3);
+        assert_eq!(q.prims_of_types(all), q.prims());
+        let ts: TypeSet = [t(0), t(2)].into_iter().collect();
+        let ps = q.prims_of_types(ts);
+        assert_eq!(q.types_of(ps), ts);
+    }
+
+    #[test]
+    fn duplicate_types_detected() {
+        let p = Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(0))]);
+        let q = Query::build(QueryId(0), &p, vec![], 10).unwrap();
+        assert!(!q.has_distinct_prim_types());
+    }
+
+    #[test]
+    fn render_and_signature() {
+        let q = example_query();
+        let catalog = {
+            let mut c = Catalog::new();
+            c.add_event_type("C").unwrap();
+            c.add_event_type("L").unwrap();
+            c.add_event_type("F").unwrap();
+            c
+        };
+        assert_eq!(q.render(&catalog), "SEQ(AND(C, L), F)");
+        assert_eq!(q.signature(), "SEQ(AND(t0,t1),t2)");
+    }
+}

@@ -1,0 +1,427 @@
+//! Operator trees of CEP queries (§2.2 of the paper).
+//!
+//! A query is an ordered tree of operators: *primitive* operators detect
+//! events of a specific type, *composite* operators (`AND`, `SEQ`, `OR`,
+//! `NSEQ`) compose the patterns of their children.
+
+use crate::catalog::Catalog;
+use crate::types::{EventTypeId, PrimId, PrimSet};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// The semantics of a composite operator (`o.sem` for `o ∈ O_c`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Patterns of all children, in the specified order.
+    Seq,
+    /// Patterns of all children, in any interleaving.
+    And,
+    /// Pattern of at least one child.
+    Or,
+    /// Pattern of the first child, followed by the third, with no pattern of
+    /// the (negated) second child in between. Always has exactly 3 children.
+    NSeq,
+}
+
+impl OpKind {
+    /// The operator keyword as written in queries.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Seq => "SEQ",
+            OpKind::And => "AND",
+            OpKind::Or => "OR",
+            OpKind::NSeq => "NSEQ",
+        }
+    }
+}
+
+/// A node of a resolved operator tree. Primitive operators carry the
+/// [`PrimId`] assigned by the owning [`crate::query::Query`] in left-to-right
+/// leaf order; the owning query maps prim ids to event types.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpNode {
+    /// A primitive operator detecting events of one type.
+    Primitive(PrimId),
+    /// A composite operator.
+    Composite {
+        /// Operator semantics.
+        kind: OpKind,
+        /// Ordered children (`λ(o)`).
+        children: Vec<OpNode>,
+    },
+}
+
+impl OpNode {
+    /// Returns the set of primitive operators in this subtree.
+    pub fn prims(&self) -> PrimSet {
+        match self {
+            OpNode::Primitive(p) => PrimSet::single(*p),
+            OpNode::Composite { children, .. } => children
+                .iter()
+                .fold(PrimSet::empty(), |acc, c| acc.union(c.prims())),
+        }
+    }
+
+    /// Returns `true` if this node is a primitive operator.
+    pub fn is_primitive(&self) -> bool {
+        matches!(self, OpNode::Primitive(_))
+    }
+
+    /// Number of operators (primitive + composite) in the subtree (`|O|`).
+    pub fn num_operators(&self) -> usize {
+        match self {
+            OpNode::Primitive(_) => 1,
+            OpNode::Composite { children, .. } => {
+                1 + children.iter().map(OpNode::num_operators).sum::<usize>()
+            }
+        }
+    }
+
+    /// Maximum nesting depth (a single primitive has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            OpNode::Primitive(_) => 1,
+            OpNode::Composite { children, .. } => {
+                1 + children.iter().map(OpNode::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Visits every node in pre-order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a OpNode)) {
+        f(self);
+        if let OpNode::Composite { children, .. } = self {
+            for c in children {
+                c.visit(f);
+            }
+        }
+    }
+
+    /// Renders the subtree with event-type names resolved via `prim_types`
+    /// and `catalog` (e.g. `SEQ(AND(C, L), F)`).
+    pub fn render(&self, prim_types: &[EventTypeId], catalog: &Catalog) -> String {
+        let mut s = String::new();
+        self.render_into(&mut s, &|p: PrimId| {
+            catalog.event_type_name(prim_types[p.index()]).to_string()
+        });
+        s
+    }
+
+    /// Renders the subtree with a caller-provided primitive formatter.
+    pub fn render_with(&self, fmt_prim: &impl Fn(PrimId) -> String) -> String {
+        let mut s = String::new();
+        self.render_into(&mut s, fmt_prim);
+        s
+    }
+
+    fn render_into(&self, out: &mut String, fmt_prim: &impl Fn(PrimId) -> String) {
+        match self {
+            OpNode::Primitive(p) => out.push_str(&fmt_prim(*p)),
+            OpNode::Composite { kind, children } => {
+                out.push_str(kind.name());
+                out.push('(');
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    c.render_into(out, fmt_prim);
+                }
+                out.push(')');
+            }
+        }
+    }
+
+    /// A canonical structural signature of the subtree in terms of *event
+    /// types* (not prim ids), used to detect structurally equal projections
+    /// across queries for the multi-query extension (§6.2).
+    pub fn signature(&self, prim_types: &[EventTypeId]) -> String {
+        let mut s = String::new();
+        self.signature_into(&mut s, prim_types);
+        s
+    }
+
+    fn signature_into(&self, out: &mut String, prim_types: &[EventTypeId]) {
+        match self {
+            OpNode::Primitive(p) => {
+                let _ = write!(out, "t{}", prim_types[p.index()].0);
+            }
+            OpNode::Composite { kind, children } => {
+                out.push_str(kind.name());
+                out.push('(');
+                // AND is commutative: sort child signatures for a canonical
+                // form. SEQ and NSEQ are order-sensitive.
+                if *kind == OpKind::And || *kind == OpKind::Or {
+                    let mut sigs: Vec<String> = children
+                        .iter()
+                        .map(|c| c.signature(prim_types))
+                        .collect();
+                    sigs.sort();
+                    out.push_str(&sigs.join(","));
+                } else {
+                    for (i, c) in children.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        c.signature_into(out, prim_types);
+                    }
+                }
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// An unresolved pattern, as written by a user or produced by the parser.
+/// Leaves carry event types; [`crate::query::Query::build`] resolves a
+/// pattern into an [`OpNode`] tree by assigning prim ids in leaf order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// An event of the given type.
+    Leaf(EventTypeId),
+    /// Sequence of sub-patterns.
+    Seq(Vec<Pattern>),
+    /// Conjunction of sub-patterns, any order.
+    And(Vec<Pattern>),
+    /// Disjunction of sub-patterns.
+    Or(Vec<Pattern>),
+    /// Negated sequence: first, negated middle, last.
+    NSeq(Box<Pattern>, Box<Pattern>, Box<Pattern>),
+}
+
+impl Pattern {
+    /// Shorthand for a leaf pattern.
+    pub fn leaf(ty: EventTypeId) -> Pattern {
+        Pattern::Leaf(ty)
+    }
+
+    /// Shorthand for a `SEQ` pattern.
+    pub fn seq(children: impl IntoIterator<Item = Pattern>) -> Pattern {
+        Pattern::Seq(children.into_iter().collect())
+    }
+
+    /// Shorthand for an `AND` pattern.
+    pub fn and(children: impl IntoIterator<Item = Pattern>) -> Pattern {
+        Pattern::And(children.into_iter().collect())
+    }
+
+    /// Shorthand for an `OR` pattern.
+    pub fn or(children: impl IntoIterator<Item = Pattern>) -> Pattern {
+        Pattern::Or(children.into_iter().collect())
+    }
+
+    /// Shorthand for an `NSEQ` pattern.
+    pub fn nseq(first: Pattern, negated: Pattern, last: Pattern) -> Pattern {
+        Pattern::NSeq(Box::new(first), Box::new(negated), Box::new(last))
+    }
+
+    /// Number of leaves in the pattern.
+    pub fn num_leaves(&self) -> usize {
+        match self {
+            Pattern::Leaf(_) => 1,
+            Pattern::Seq(c) | Pattern::And(c) | Pattern::Or(c) => {
+                c.iter().map(Pattern::num_leaves).sum()
+            }
+            Pattern::NSeq(a, b, c) => a.num_leaves() + b.num_leaves() + c.num_leaves(),
+        }
+    }
+
+    /// Returns `true` if the pattern contains an `OR` operator anywhere.
+    pub fn contains_or(&self) -> bool {
+        match self {
+            Pattern::Leaf(_) => false,
+            Pattern::Or(_) => true,
+            Pattern::Seq(c) | Pattern::And(c) => c.iter().any(Pattern::contains_or),
+            Pattern::NSeq(a, b, c) => a.contains_or() || b.contains_or() || c.contains_or(),
+        }
+    }
+
+    /// Splits disjunctions into OR-free alternatives (§2.2: "each query with
+    /// a composite operator of type OR can be split into multiple queries
+    /// containing solely SEQ, AND, and NSEQ operators").
+    ///
+    /// The result is the cartesian product of alternative choices over all
+    /// `OR` occurrences; each returned pattern is OR-free.
+    pub fn split_disjunctions(&self) -> Vec<Pattern> {
+        match self {
+            Pattern::Leaf(t) => vec![Pattern::Leaf(*t)],
+            Pattern::Or(children) => children
+                .iter()
+                .flat_map(|c| c.split_disjunctions())
+                .collect(),
+            Pattern::Seq(children) => Self::product(children)
+                .into_iter()
+                .map(Pattern::Seq)
+                .collect(),
+            Pattern::And(children) => Self::product(children)
+                .into_iter()
+                .map(Pattern::And)
+                .collect(),
+            Pattern::NSeq(a, b, c) => {
+                let mut out = Vec::new();
+                for a in a.split_disjunctions() {
+                    for b in b.split_disjunctions() {
+                        for c in c.split_disjunctions() {
+                            out.push(Pattern::nseq(a.clone(), b.clone(), c.clone()));
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Cartesian product of the per-child alternative lists.
+    fn product(children: &[Pattern]) -> Vec<Vec<Pattern>> {
+        let mut acc: Vec<Vec<Pattern>> = vec![Vec::new()];
+        for child in children {
+            let alts = child.split_disjunctions();
+            let mut next = Vec::with_capacity(acc.len() * alts.len());
+            for prefix in &acc {
+                for alt in &alts {
+                    let mut v = prefix.clone();
+                    v.push(alt.clone());
+                    next.push(v);
+                }
+            }
+            acc = next;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u16) -> EventTypeId {
+        EventTypeId(i)
+    }
+
+    #[test]
+    fn opnode_prims_and_counts() {
+        // SEQ(AND(P0, P1), P2)
+        let tree = OpNode::Composite {
+            kind: OpKind::Seq,
+            children: vec![
+                OpNode::Composite {
+                    kind: OpKind::And,
+                    children: vec![OpNode::Primitive(PrimId(0)), OpNode::Primitive(PrimId(1))],
+                },
+                OpNode::Primitive(PrimId(2)),
+            ],
+        };
+        assert_eq!(tree.prims().len(), 3);
+        assert_eq!(tree.num_operators(), 5);
+        assert_eq!(tree.depth(), 3);
+        assert!(!tree.is_primitive());
+        let mut count = 0;
+        tree.visit(&mut |_| count += 1);
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn render_with_names() {
+        let mut catalog = Catalog::new();
+        let c = catalog.add_event_type("C").unwrap();
+        let l = catalog.add_event_type("L").unwrap();
+        let f = catalog.add_event_type("F").unwrap();
+        let tree = OpNode::Composite {
+            kind: OpKind::Seq,
+            children: vec![
+                OpNode::Composite {
+                    kind: OpKind::And,
+                    children: vec![OpNode::Primitive(PrimId(0)), OpNode::Primitive(PrimId(1))],
+                },
+                OpNode::Primitive(PrimId(2)),
+            ],
+        };
+        assert_eq!(tree.render(&[c, l, f], &catalog), "SEQ(AND(C, L), F)");
+    }
+
+    #[test]
+    fn signature_canonicalizes_and() {
+        let types = [t(0), t(1)];
+        let a = OpNode::Composite {
+            kind: OpKind::And,
+            children: vec![OpNode::Primitive(PrimId(0)), OpNode::Primitive(PrimId(1))],
+        };
+        let b = OpNode::Composite {
+            kind: OpKind::And,
+            children: vec![OpNode::Primitive(PrimId(1)), OpNode::Primitive(PrimId(0))],
+        };
+        assert_eq!(a.signature(&types), b.signature(&types));
+        let s = OpNode::Composite {
+            kind: OpKind::Seq,
+            children: vec![OpNode::Primitive(PrimId(0)), OpNode::Primitive(PrimId(1))],
+        };
+        let s_rev = OpNode::Composite {
+            kind: OpKind::Seq,
+            children: vec![OpNode::Primitive(PrimId(1)), OpNode::Primitive(PrimId(0))],
+        };
+        assert_ne!(s.signature(&types), s_rev.signature(&types));
+    }
+
+    #[test]
+    fn pattern_leaf_count() {
+        let p = Pattern::seq([
+            Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+            Pattern::leaf(t(2)),
+        ]);
+        assert_eq!(p.num_leaves(), 3);
+        assert!(!p.contains_or());
+    }
+
+    #[test]
+    fn split_disjunctions_simple() {
+        // SEQ(OR(A, B), C) → [SEQ(A, C), SEQ(B, C)]
+        let p = Pattern::seq([
+            Pattern::or([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+            Pattern::leaf(t(2)),
+        ]);
+        assert!(p.contains_or());
+        let alts = p.split_disjunctions();
+        assert_eq!(alts.len(), 2);
+        assert_eq!(
+            alts[0],
+            Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(2))])
+        );
+        assert_eq!(
+            alts[1],
+            Pattern::seq([Pattern::leaf(t(1)), Pattern::leaf(t(2))])
+        );
+        for alt in alts {
+            assert!(!alt.contains_or());
+        }
+    }
+
+    #[test]
+    fn split_disjunctions_product() {
+        // AND(OR(A,B), OR(C,D)) → 4 alternatives
+        let p = Pattern::and([
+            Pattern::or([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+            Pattern::or([Pattern::leaf(t(2)), Pattern::leaf(t(3))]),
+        ]);
+        assert_eq!(p.split_disjunctions().len(), 4);
+    }
+
+    #[test]
+    fn split_disjunctions_nseq() {
+        let p = Pattern::nseq(
+            Pattern::or([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+            Pattern::leaf(t(2)),
+            Pattern::leaf(t(3)),
+        );
+        let alts = p.split_disjunctions();
+        assert_eq!(alts.len(), 2);
+        for alt in alts {
+            assert!(!alt.contains_or());
+            assert!(matches!(alt, Pattern::NSeq(..)));
+        }
+    }
+
+    #[test]
+    fn split_or_free_is_identity() {
+        let p = Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1))]);
+        assert_eq!(p.split_disjunctions(), vec![p.clone()]);
+    }
+}

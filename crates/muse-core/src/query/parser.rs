@@ -1,0 +1,795 @@
+//! A parser for SASE-style textual queries, as used in Listing 1 of the
+//! paper:
+//!
+//! ```text
+//! PATTERN SEQ(Fail f, Evict e, Kill k, UpdateR u)
+//! WHERE f.uID = e.uID AND e.uID = k.uID AND k.uID = u.uID
+//! WITHIN 30min
+//! ```
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! query    := 'PATTERN' pattern ('WHERE' pred ('AND' pred)*)? ('WITHIN' duration)?
+//! pattern  := ('SEQ'|'AND'|'OR'|'NSEQ') '(' pattern (',' pattern)* ')'
+//!           | TypeName Alias?
+//! pred     := ref op (ref | literal) ('{' float '}')?
+//! ref      := Alias '.' AttrName
+//! op       := '=' | '!=' | '<' | '<=' | '>' | '>='
+//! duration := integer ('ms' | 's' | 'sec' | 'min' | 'h')?
+//! ```
+//!
+//! Timestamps are interpreted in milliseconds; a bare `WITHIN` number is
+//! taken as raw time units (= ms). Predicate selectivities can be annotated
+//! inline (`{0.1}`); otherwise a default provided by [`ParserOptions`]
+//! applies.
+
+use crate::catalog::Catalog;
+use crate::error::{ModelError, Result};
+use crate::event::{Timestamp, Value};
+use crate::query::{CmpOp, Pattern, Predicate, Query};
+use crate::types::{PrimId, QueryId};
+use std::collections::HashMap;
+
+/// Options controlling parsing behaviour.
+#[derive(Debug, Clone)]
+pub struct ParserOptions {
+    /// Selectivity assigned to predicates without an inline `{σ}` annotation.
+    pub default_selectivity: f64,
+    /// Register unknown event type names in the catalog instead of erroring.
+    pub auto_register_types: bool,
+    /// Register unknown attribute names in the catalog instead of erroring.
+    pub auto_register_attrs: bool,
+    /// Window used when the query has no `WITHIN` clause.
+    pub default_window: Timestamp,
+}
+
+impl Default for ParserOptions {
+    fn default() -> Self {
+        Self {
+            default_selectivity: 0.1,
+            auto_register_types: false,
+            auto_register_attrs: true,
+            default_window: Timestamp::MAX,
+        }
+    }
+}
+
+/// Parses a SASE-style query string into a [`Query`].
+///
+/// # Examples
+///
+/// ```
+/// use muse_core::catalog::Catalog;
+/// use muse_core::query::parser::{parse_query, ParserOptions};
+/// use muse_core::types::QueryId;
+///
+/// let mut catalog = Catalog::new();
+/// for ty in ["Fail", "Evict", "Kill", "UpdateR"] {
+///     catalog.add_event_type(ty).unwrap();
+/// }
+/// let q = parse_query(
+///     "PATTERN SEQ(Fail f, Evict e, Kill k, UpdateR u) \
+///      WHERE f.uID = e.uID AND e.uID = k.uID AND k.uID = u.uID \
+///      WITHIN 30min",
+///     QueryId(0),
+///     &mut catalog,
+///     &ParserOptions::default(),
+/// )
+/// .unwrap();
+/// assert_eq!(q.num_prims(), 4);
+/// assert_eq!(q.window(), 30 * 60 * 1000);
+/// ```
+pub fn parse_query(
+    input: &str,
+    id: QueryId,
+    catalog: &mut Catalog,
+    options: &ParserOptions,
+) -> Result<Query> {
+    let mut p = Parser::new(input, catalog, options);
+    p.parse(id)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Dot,
+    Op(CmpOp),
+}
+
+struct Lexer<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ModelError {
+        ModelError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<(usize, Token)>> {
+        self.skip_ws();
+        if self.pos >= self.input.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let c = self.input[self.pos];
+        let tok = match c {
+            b'(' => {
+                self.pos += 1;
+                Token::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Token::RParen
+            }
+            b'{' => {
+                self.pos += 1;
+                Token::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                Token::RBrace
+            }
+            b',' => {
+                self.pos += 1;
+                Token::Comma
+            }
+            b'.' => {
+                self.pos += 1;
+                Token::Dot
+            }
+            b'=' => {
+                self.pos += 1;
+                // Accept both '=' and '=='.
+                if self.peek_byte() == Some(b'=') {
+                    self.pos += 1;
+                }
+                Token::Op(CmpOp::Eq)
+            }
+            b'!' => {
+                self.pos += 1;
+                if self.peek_byte() == Some(b'=') {
+                    self.pos += 1;
+                    Token::Op(CmpOp::Ne)
+                } else {
+                    return Err(self.error("expected '=' after '!'"));
+                }
+            }
+            b'<' => {
+                self.pos += 1;
+                if self.peek_byte() == Some(b'=') {
+                    self.pos += 1;
+                    Token::Op(CmpOp::Le)
+                } else {
+                    Token::Op(CmpOp::Lt)
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek_byte() == Some(b'=') {
+                    self.pos += 1;
+                    Token::Op(CmpOp::Ge)
+                } else {
+                    Token::Op(CmpOp::Gt)
+                }
+            }
+            b'\'' | b'"' => {
+                let quote = c;
+                self.pos += 1;
+                let s = self.pos;
+                while self.pos < self.input.len() && self.input[self.pos] != quote {
+                    self.pos += 1;
+                }
+                if self.pos >= self.input.len() {
+                    return Err(self.error("unterminated string literal"));
+                }
+                let text = std::str::from_utf8(&self.input[s..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string literal"))?
+                    .to_string();
+                self.pos += 1;
+                Token::Str(text)
+            }
+            b'0'..=b'9' | b'-' => {
+                let s = self.pos;
+                self.pos += 1;
+                let mut is_float = false;
+                while self.pos < self.input.len() {
+                    let b = self.input[self.pos];
+                    if b.is_ascii_digit() {
+                        self.pos += 1;
+                    } else if b == b'.'
+                        && !is_float
+                        && self
+                            .input
+                            .get(self.pos + 1)
+                            .is_some_and(|n| n.is_ascii_digit())
+                    {
+                        is_float = true;
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&self.input[s..self.pos]).unwrap();
+                if is_float {
+                    Token::Float(text.parse().map_err(|_| self.error("invalid float"))?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| self.error("invalid integer"))?)
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let s = self.pos;
+                while self.pos < self.input.len()
+                    && (self.input[self.pos].is_ascii_alphanumeric() || self.input[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                Token::Ident(std::str::from_utf8(&self.input[s..self.pos]).unwrap().to_string())
+            }
+            other => {
+                return Err(self.error(format!("unexpected character '{}'", other as char)));
+            }
+        };
+        Ok(Some((start, tok)))
+    }
+}
+
+struct Parser<'a> {
+    tokens: Vec<(usize, Token)>,
+    idx: usize,
+    input_len: usize,
+    catalog: &'a mut Catalog,
+    options: &'a ParserOptions,
+    /// alias → prim id, filled while parsing the pattern.
+    aliases: HashMap<String, PrimId>,
+    next_prim: u8,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str, catalog: &'a mut Catalog, options: &'a ParserOptions) -> Self {
+        Self {
+            tokens: Vec::new(),
+            idx: 0,
+            input_len: input.len(),
+            catalog,
+            options,
+            aliases: HashMap::new(),
+            next_prim: 0,
+        }
+        .lex(input)
+    }
+
+    fn lex(mut self, input: &str) -> Self {
+        let mut lexer = Lexer::new(input);
+        loop {
+            match lexer.next() {
+                Ok(Some(t)) => self.tokens.push(t),
+                Ok(None) => break,
+                Err(_) => {
+                    // Defer the error: re-lex in parse() for a proper Result.
+                    break;
+                }
+            }
+        }
+        self
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.idx)
+            .map(|(o, _)| *o)
+            .unwrap_or(self.input_len)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ModelError {
+        ModelError::Parse {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.idx).map(|(_, t)| t)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.idx).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn expect_ident(&mut self, kw: &str) -> Result<()> {
+        match self.advance() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            _ => Err(self.error(format!("expected keyword '{kw}'"))),
+        }
+    }
+
+    fn expect(&mut self, tok: Token) -> Result<()> {
+        match self.advance() {
+            Some(t) if t == tok => Ok(()),
+            _ => Err(self.error(format!("expected {tok:?}"))),
+        }
+    }
+
+    fn parse(&mut self, id: QueryId) -> Result<Query> {
+        self.expect_ident("PATTERN")?;
+        let pattern = self.parse_pattern()?;
+        let mut predicates = Vec::new();
+        if matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("WHERE")) {
+            self.advance();
+            loop {
+                predicates.push(self.parse_predicate()?);
+                if matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("AND")) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut window = self.options.default_window;
+        if matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("WITHIN")) {
+            self.advance();
+            window = self.parse_duration()?;
+        }
+        if self.peek().is_some() {
+            return Err(self.error("trailing input after query"));
+        }
+        Query::build(id, &pattern, predicates, window)
+    }
+
+    fn parse_pattern(&mut self) -> Result<Pattern> {
+        let name = match self.advance() {
+            Some(Token::Ident(s)) => s,
+            _ => return Err(self.error("expected operator or event type name")),
+        };
+        let upper = name.to_ascii_uppercase();
+        let is_operator = matches!(upper.as_str(), "SEQ" | "AND" | "OR" | "NSEQ")
+            && matches!(self.peek(), Some(Token::LParen));
+        if is_operator {
+            self.expect(Token::LParen)?;
+            let mut children = vec![self.parse_pattern()?];
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.advance();
+                children.push(self.parse_pattern()?);
+            }
+            self.expect(Token::RParen)?;
+            match upper.as_str() {
+                "SEQ" => Ok(Pattern::Seq(children)),
+                "AND" => Ok(Pattern::And(children)),
+                "OR" => Ok(Pattern::Or(children)),
+                "NSEQ" => {
+                    if children.len() != 3 {
+                        return Err(self.error("NSEQ requires exactly 3 children"));
+                    }
+                    let mut it = children.into_iter();
+                    Ok(Pattern::nseq(
+                        it.next().unwrap(),
+                        it.next().unwrap(),
+                        it.next().unwrap(),
+                    ))
+                }
+                _ => unreachable!(),
+            }
+        } else {
+            // Event type, with optional alias.
+            let ty = match self.catalog.event_type(&name) {
+                Some(ty) => ty,
+                None if self.options.auto_register_types => {
+                    self.catalog.add_event_type(&name)?
+                }
+                None => {
+                    return Err(self.error(format!("unknown event type '{name}'")));
+                }
+            };
+            let prim = PrimId(self.next_prim);
+            self.next_prim = self.next_prim.checked_add(1).ok_or_else(|| {
+                self.error("too many primitive operators")
+            })?;
+            if let Some(Token::Ident(alias)) = self.peek() {
+                // An identifier directly after a type name is its alias,
+                // unless it's a clause keyword.
+                let up = alias.to_ascii_uppercase();
+                if up != "WHERE" && up != "WITHIN" && up != "AND" {
+                    let alias = alias.clone();
+                    self.advance();
+                    if self.aliases.insert(alias.clone(), prim).is_some() {
+                        return Err(self.error(format!("duplicate alias '{alias}'")));
+                    }
+                }
+            }
+            Ok(Pattern::Leaf(ty))
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Predicate> {
+        let (l_prim, l_attr) = self.parse_ref()?;
+        let op = match self.advance() {
+            Some(Token::Op(op)) => op,
+            _ => return Err(self.error("expected comparison operator")),
+        };
+        let pred = match self.peek().cloned() {
+            Some(Token::Int(v)) => {
+                self.advance();
+                Predicate::unary(l_prim, l_attr, op, Value::Int(v), 0.0)
+            }
+            Some(Token::Float(v)) => {
+                self.advance();
+                Predicate::unary(l_prim, l_attr, op, Value::Float(v), 0.0)
+            }
+            Some(Token::Str(v)) => {
+                self.advance();
+                Predicate::unary(l_prim, l_attr, op, Value::Str(v), 0.0)
+            }
+            Some(Token::Ident(_)) => {
+                let (r_prim, r_attr) = self.parse_ref()?;
+                Predicate::binary((l_prim, l_attr), op, (r_prim, r_attr), 0.0)
+            }
+            _ => return Err(self.error("expected literal or attribute reference")),
+        };
+        // Optional inline selectivity annotation `{σ}`.
+        let selectivity = if matches!(self.peek(), Some(Token::LBrace)) {
+            self.advance();
+            let s = match self.advance() {
+                Some(Token::Float(v)) => v,
+                Some(Token::Int(v)) => v as f64,
+                _ => return Err(self.error("expected selectivity value")),
+            };
+            self.expect(Token::RBrace)?;
+            s
+        } else {
+            self.options.default_selectivity
+        };
+        Ok(Predicate { selectivity, ..pred })
+    }
+
+    fn parse_ref(&mut self) -> Result<(PrimId, crate::types::AttrId)> {
+        let alias = match self.advance() {
+            Some(Token::Ident(s)) => s,
+            _ => return Err(self.error("expected alias")),
+        };
+        let prim = *self
+            .aliases
+            .get(&alias)
+            .ok_or_else(|| self.error(format!("unknown alias '{alias}'")))?;
+        self.expect(Token::Dot)?;
+        let attr_name = match self.advance() {
+            Some(Token::Ident(s)) => s,
+            _ => return Err(self.error("expected attribute name")),
+        };
+        let attr = match self.catalog.attr(&attr_name) {
+            Some(a) => a,
+            None if self.options.auto_register_attrs => self.catalog.add_attr(&attr_name)?,
+            None => return Err(self.error(format!("unknown attribute '{attr_name}'"))),
+        };
+        Ok((prim, attr))
+    }
+
+    fn parse_duration(&mut self) -> Result<Timestamp> {
+        let value = match self.advance() {
+            Some(Token::Int(v)) if v >= 0 => v as u64,
+            _ => return Err(self.error("expected non-negative integer duration")),
+        };
+        let multiplier: u64 = match self.peek() {
+            Some(Token::Ident(unit)) => {
+                let m = match unit.to_ascii_lowercase().as_str() {
+                    "ms" => Some(1),
+                    "s" | "sec" => Some(1_000),
+                    "min" => Some(60_000),
+                    "h" => Some(3_600_000),
+                    _ => None,
+                };
+                match m {
+                    Some(m) => {
+                        self.advance();
+                        m
+                    }
+                    None => 1,
+                }
+            }
+            _ => 1,
+        };
+        value
+            .checked_mul(multiplier)
+            .ok_or_else(|| self.error("duration overflows"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{OpKind, OpNode, PredicateExpr};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for ty in ["Fail", "Evict", "Kill", "UpdateR", "Finish", "C", "L", "F"] {
+            c.add_event_type(ty).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn parses_listing1_query1() {
+        let mut cat = catalog();
+        let q = parse_query(
+            "PATTERN SEQ(Fail f, Evict e, Kill k, UpdateR u)
+             WHERE f.uID = e.uID AND e.uID = k.uID AND k.uID = u.uID
+             WITHIN 30min",
+            QueryId(0),
+            &mut cat,
+            &ParserOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(q.num_prims(), 4);
+        assert_eq!(q.predicates().len(), 3);
+        assert_eq!(q.window(), 30 * 60 * 1000);
+        assert_eq!(q.prim_type(PrimId(0)), cat.event_type("Fail").unwrap());
+        match q.root() {
+            OpNode::Composite { kind, children } => {
+                assert_eq!(*kind, OpKind::Seq);
+                assert_eq!(children.len(), 4);
+            }
+            _ => panic!("expected composite root"),
+        }
+    }
+
+    #[test]
+    fn parses_listing1_query2_and() {
+        let mut cat = catalog();
+        let q = parse_query(
+            "PATTERN AND(Finish fi, Fail fa, Kill k, UpdateR u)
+             WHERE fi.jID = fa.jID AND fa.jID = k.jID AND k.jID = u.jID
+             WITHIN 30min",
+            QueryId(1),
+            &mut cat,
+            &ParserOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(q.num_prims(), 4);
+        match q.root() {
+            OpNode::Composite { kind, .. } => assert_eq!(*kind, OpKind::And),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_nested_pattern() {
+        let mut cat = catalog();
+        let q = parse_query(
+            "PATTERN SEQ(AND(C c, L l), F f) WITHIN 1000",
+            QueryId(0),
+            &mut cat,
+            &ParserOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(q.num_prims(), 3);
+        assert_eq!(q.window(), 1000);
+        assert_eq!(q.render(&cat), "SEQ(AND(C, L), F)");
+    }
+
+    #[test]
+    fn parses_nseq() {
+        let mut cat = catalog();
+        let q = parse_query(
+            "PATTERN NSEQ(Fail f, Kill k, UpdateR u) WITHIN 10s",
+            QueryId(0),
+            &mut cat,
+            &ParserOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(q.nseq_contexts().len(), 1);
+        assert_eq!(q.window(), 10_000);
+    }
+
+    #[test]
+    fn nseq_arity_enforced() {
+        let mut cat = catalog();
+        let err = parse_query(
+            "PATTERN NSEQ(Fail f, Kill k)",
+            QueryId(0),
+            &mut cat,
+            &ParserOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::Parse { .. }));
+    }
+
+    #[test]
+    fn inline_selectivity_annotation() {
+        let mut cat = catalog();
+        let q = parse_query(
+            "PATTERN SEQ(Fail f, Kill k) WHERE f.uID = k.uID {0.25} WITHIN 5s",
+            QueryId(0),
+            &mut cat,
+            &ParserOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(q.predicates().len(), 1);
+        assert!((q.predicates()[0].selectivity - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_selectivity_applies() {
+        let mut cat = catalog();
+        let opts = ParserOptions {
+            default_selectivity: 0.05,
+            ..Default::default()
+        };
+        let q = parse_query(
+            "PATTERN SEQ(Fail f, Kill k) WHERE f.uID = k.uID",
+            QueryId(0),
+            &mut cat,
+            &opts,
+        )
+        .unwrap();
+        assert!((q.predicates()[0].selectivity - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unary_constant_predicate() {
+        let mut cat = catalog();
+        let q = parse_query(
+            "PATTERN SEQ(Fail f, Kill k) WHERE f.code >= 3 {0.5}",
+            QueryId(0),
+            &mut cat,
+            &ParserOptions::default(),
+        )
+        .unwrap();
+        match &q.predicates()[0].expr {
+            PredicateExpr::UnaryConst { op, value, .. } => {
+                assert_eq!(*op, CmpOp::Ge);
+                assert_eq!(*value, Value::Int(3));
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_literal_predicate() {
+        let mut cat = catalog();
+        let q = parse_query(
+            "PATTERN SEQ(Fail f, Kill k) WHERE f.reason = 'oom' {0.2}",
+            QueryId(0),
+            &mut cat,
+            &ParserOptions::default(),
+        )
+        .unwrap();
+        match &q.predicates()[0].expr {
+            PredicateExpr::UnaryConst { value, .. } => {
+                assert_eq!(*value, Value::Str("oom".into()));
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_type_errors_without_auto_register() {
+        let mut cat = catalog();
+        let err = parse_query(
+            "PATTERN SEQ(Mystery m, Fail f)",
+            QueryId(0),
+            &mut cat,
+            &ParserOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("Mystery"));
+    }
+
+    #[test]
+    fn auto_register_types() {
+        let mut cat = Catalog::new();
+        let opts = ParserOptions {
+            auto_register_types: true,
+            ..Default::default()
+        };
+        let q = parse_query("PATTERN SEQ(A a, B b)", QueryId(0), &mut cat, &opts).unwrap();
+        assert_eq!(cat.num_event_types(), 2);
+        assert_eq!(q.num_prims(), 2);
+    }
+
+    #[test]
+    fn unknown_alias_errors() {
+        let mut cat = catalog();
+        let err = parse_query(
+            "PATTERN SEQ(Fail f, Kill k) WHERE z.uID = f.uID",
+            QueryId(0),
+            &mut cat,
+            &ParserOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("alias"));
+    }
+
+    #[test]
+    fn duplicate_alias_errors() {
+        let mut cat = catalog();
+        let err = parse_query(
+            "PATTERN SEQ(Fail f, Kill f)",
+            QueryId(0),
+            &mut cat,
+            &ParserOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate alias"));
+    }
+
+    #[test]
+    fn or_pattern_parses_then_build_rejects() {
+        // OR parses at the pattern level but Query::build refuses it; callers
+        // split disjunctions first.
+        let mut cat = catalog();
+        let err = parse_query(
+            "PATTERN OR(Fail f, Kill k)",
+            QueryId(0),
+            &mut cat,
+            &ParserOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidQuery { .. }));
+    }
+
+    #[test]
+    fn duration_units() {
+        let mut cat = catalog();
+        for (text, expected) in [
+            ("100ms", 100),
+            ("2s", 2_000),
+            ("3min", 180_000),
+            ("1h", 3_600_000),
+            ("42", 42),
+        ] {
+            let q = parse_query(
+                &format!("PATTERN SEQ(Fail f, Kill k) WITHIN {text}"),
+                QueryId(0),
+                &mut cat,
+                &ParserOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(q.window(), expected, "for {text}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut cat = catalog();
+        let err = parse_query(
+            "PATTERN SEQ(Fail f, Kill k) WITHIN 5s garbage",
+            QueryId(0),
+            &mut cat,
+            &ParserOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::Parse { .. }));
+    }
+}

@@ -1,0 +1,259 @@
+//! Query predicates (§2.2 of the paper).
+//!
+//! Predicates are Boolean conditions over constants and the payload
+//! attributes of at most two primitive operators, and are assumed to be
+//! independent of each other. Each predicate carries a selectivity `σ(a)`,
+//! the ratio of candidate matches satisfying it; the selectivity of a query
+//! is `σ(q) = Π_{a ∈ P} σ(a)`.
+
+use crate::event::{Event, Value};
+use crate::types::{AttrId, PrimId, PrimSet};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equality (`=`).
+    Eq,
+    /// Inequality (`≠`).
+    Ne,
+    /// Less than (`<`).
+    Lt,
+    /// Less or equal (`≤`).
+    Le,
+    /// Greater than (`>`).
+    Gt,
+    /// Greater or equal (`≥`).
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison to an ordering result. Incomparable values
+    /// (`None`) fail every comparison except `Ne`.
+    pub fn test(self, ord: Option<Ordering>) -> bool {
+        match (self, ord) {
+            (CmpOp::Eq, Some(Ordering::Equal)) => true,
+            (CmpOp::Ne, Some(Ordering::Equal)) => false,
+            (CmpOp::Ne, _) => true,
+            (CmpOp::Lt, Some(Ordering::Less)) => true,
+            (CmpOp::Le, Some(Ordering::Less | Ordering::Equal)) => true,
+            (CmpOp::Gt, Some(Ordering::Greater)) => true,
+            (CmpOp::Ge, Some(Ordering::Greater | Ordering::Equal)) => true,
+            _ => false,
+        }
+    }
+
+    /// The operator's textual form.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// The body of a predicate: unary (one primitive operator against a
+/// constant) or binary (attributes of two primitive operators).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PredicateExpr {
+    /// `prim.attr OP constant`
+    UnaryConst {
+        /// The constrained primitive operator.
+        prim: PrimId,
+        /// The payload attribute.
+        attr: AttrId,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant to compare against.
+        value: Value,
+    },
+    /// `left.attr OP right.attr`
+    BinaryAttr {
+        /// Left primitive operator.
+        left_prim: PrimId,
+        /// Left attribute.
+        left_attr: AttrId,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right primitive operator.
+        right_prim: PrimId,
+        /// Right attribute.
+        right_attr: AttrId,
+    },
+}
+
+/// A predicate with its selectivity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// The Boolean condition.
+    pub expr: PredicateExpr,
+    /// The ratio of candidate matches satisfying the condition, `σ(a) ∈ (0, 1]`.
+    pub selectivity: f64,
+}
+
+impl Predicate {
+    /// Creates a unary predicate `prim.attr OP value` with a selectivity.
+    pub fn unary(prim: PrimId, attr: AttrId, op: CmpOp, value: Value, selectivity: f64) -> Self {
+        Self {
+            expr: PredicateExpr::UnaryConst {
+                prim,
+                attr,
+                op,
+                value,
+            },
+            selectivity,
+        }
+    }
+
+    /// Creates a binary predicate `left.attr OP right.attr` with a
+    /// selectivity.
+    pub fn binary(
+        left: (PrimId, AttrId),
+        op: CmpOp,
+        right: (PrimId, AttrId),
+        selectivity: f64,
+    ) -> Self {
+        Self {
+            expr: PredicateExpr::BinaryAttr {
+                left_prim: left.0,
+                left_attr: left.1,
+                op,
+                right_prim: right.0,
+                right_attr: right.1,
+            },
+            selectivity,
+        }
+    }
+
+    /// The set of primitive operators the predicate constrains (at most two,
+    /// per the paper's assumption).
+    pub fn prims(&self) -> PrimSet {
+        match &self.expr {
+            PredicateExpr::UnaryConst { prim, .. } => PrimSet::single(*prim),
+            PredicateExpr::BinaryAttr {
+                left_prim,
+                right_prim,
+                ..
+            } => {
+                let mut s = PrimSet::single(*left_prim);
+                s.insert(*right_prim);
+                s
+            }
+        }
+    }
+
+    /// Evaluates the predicate over a (partial) assignment of primitive
+    /// operators to events.
+    ///
+    /// Returns `None` if an involved event is not yet assigned (the
+    /// predicate cannot be decided), `Some(false)` if an assigned event
+    /// lacks the attribute or fails the comparison.
+    pub fn evaluate<'a>(&self, lookup: impl Fn(PrimId) -> Option<&'a Event>) -> Option<bool> {
+        match &self.expr {
+            PredicateExpr::UnaryConst {
+                prim,
+                attr,
+                op,
+                value,
+            } => {
+                let e = lookup(*prim)?;
+                match e.payload.get(*attr) {
+                    Some(v) => Some(op.test(v.partial_cmp_value(value))),
+                    None => Some(false),
+                }
+            }
+            PredicateExpr::BinaryAttr {
+                left_prim,
+                left_attr,
+                op,
+                right_prim,
+                right_attr,
+            } => {
+                let l = lookup(*left_prim)?;
+                let r = lookup(*right_prim)?;
+                match (l.payload.get(*left_attr), r.payload.get(*right_attr)) {
+                    (Some(lv), Some(rv)) => Some(op.test(lv.partial_cmp_value(rv))),
+                    _ => Some(false),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Payload;
+    use crate::types::{EventTypeId, NodeId};
+
+    fn event_with(attr: AttrId, v: Value) -> Event {
+        let mut p = Payload::new();
+        p.set(attr, v);
+        Event::with_payload(0, EventTypeId(0), 0, NodeId(0), p)
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Eq.test(Some(Ordering::Equal)));
+        assert!(!CmpOp::Eq.test(Some(Ordering::Less)));
+        assert!(!CmpOp::Eq.test(None));
+        assert!(CmpOp::Ne.test(None));
+        assert!(CmpOp::Ne.test(Some(Ordering::Greater)));
+        assert!(CmpOp::Le.test(Some(Ordering::Equal)));
+        assert!(CmpOp::Ge.test(Some(Ordering::Greater)));
+        assert!(!CmpOp::Lt.test(Some(Ordering::Greater)));
+    }
+
+    #[test]
+    fn unary_predicate() {
+        let a = AttrId(0);
+        let pred = Predicate::unary(PrimId(0), a, CmpOp::Gt, Value::Int(10), 0.5);
+        let hi = event_with(a, Value::Int(20));
+        let lo = event_with(a, Value::Int(5));
+        assert_eq!(pred.evaluate(|_| Some(&hi)), Some(true));
+        assert_eq!(pred.evaluate(|_| Some(&lo)), Some(false));
+        assert_eq!(pred.evaluate(|_| None), None);
+        assert_eq!(pred.prims(), PrimSet::single(PrimId(0)));
+    }
+
+    #[test]
+    fn unary_predicate_missing_attr_fails() {
+        let pred = Predicate::unary(PrimId(0), AttrId(3), CmpOp::Eq, Value::Int(1), 1.0);
+        let e = event_with(AttrId(0), Value::Int(1));
+        assert_eq!(pred.evaluate(|_| Some(&e)), Some(false));
+    }
+
+    #[test]
+    fn binary_predicate_equality() {
+        let a = AttrId(0);
+        let pred = Predicate::binary((PrimId(0), a), CmpOp::Eq, (PrimId(1), a), 0.1);
+        let e1 = event_with(a, Value::Int(42));
+        let e2 = event_with(a, Value::Int(42));
+        let e3 = event_with(a, Value::Int(7));
+        let lookup = |p: PrimId| -> Option<&Event> {
+            match p.0 {
+                0 => Some(&e1),
+                1 => Some(&e2),
+                _ => None,
+            }
+        };
+        assert_eq!(pred.evaluate(lookup), Some(true));
+        let lookup2 = |p: PrimId| -> Option<&Event> {
+            match p.0 {
+                0 => Some(&e1),
+                1 => Some(&e3),
+                _ => None,
+            }
+        };
+        assert_eq!(pred.evaluate(lookup2), Some(false));
+        // Partial assignment: undecidable.
+        let lookup3 = |p: PrimId| -> Option<&Event> { (p.0 == 0).then_some(&e1) };
+        assert_eq!(pred.evaluate(lookup3), None);
+        assert_eq!(pred.prims().len(), 2);
+    }
+}

@@ -1,0 +1,398 @@
+//! Small, interned identifier types and bitset collections used throughout the
+//! MuSE graph model.
+//!
+//! The construction algorithms of the paper are exponential in the number of
+//! primitive operators of a query and polynomial in the number of network
+//! nodes. Representing sets of primitive operators and sets of nodes as
+//! machine-word bitsets keeps the exponential enumeration allocation-free.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an event type within a [`crate::catalog::Catalog`].
+///
+/// The paper's universe of event types `E = {E_1, ..., E_n}` is interned into
+/// dense ids so that type sets fit into a [`TypeSet`] bitset.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventTypeId(pub u16);
+
+/// Identifier of a network node (`n ∈ N` in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+/// Identifier of a query within a workload (`q_i ∈ Q`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QueryId(pub u16);
+
+/// Index of a primitive operator within a single query, assigned in
+/// left-to-right leaf order of the operator tree.
+///
+/// Because §6 of the paper assumes that a query does not contain multiple
+/// primitive operators referencing the same event type, a `PrimId` within a
+/// query corresponds one-to-one to an event type.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PrimId(pub u8);
+
+/// Identifier of a payload attribute within a [`crate::catalog::Catalog`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrId(pub u8);
+
+impl fmt::Debug for EventTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+impl fmt::Debug for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+impl fmt::Debug for PrimId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+impl fmt::Debug for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+impl EventTypeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl NodeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl QueryId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl PrimId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl AttrId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Maximum number of primitive operators per query supported by [`PrimSet`].
+pub const MAX_PRIMS: usize = 64;
+
+/// Maximum number of event types supported by [`TypeSet`].
+pub const MAX_TYPES: usize = 64;
+
+/// Maximum number of network nodes supported by [`NodeSet`].
+pub const MAX_NODES: usize = 128;
+
+macro_rules! bitset_common {
+    ($name:ident, $word:ty, $idty:ty, $max:expr, $mkid:expr) => {
+        impl $name {
+            /// The empty set.
+            pub const EMPTY: Self = Self(0);
+
+            /// Creates an empty set.
+            #[inline]
+            pub const fn empty() -> Self {
+                Self(0)
+            }
+
+            /// Creates a set containing a single element.
+            #[inline]
+            pub fn single(id: $idty) -> Self {
+                let mut s = Self(0);
+                s.insert(id);
+                s
+            }
+
+            /// Creates a set containing all elements `0..n`.
+            #[inline]
+            pub fn full(n: usize) -> Self {
+                assert!(n <= $max, "bitset capacity exceeded: {n} > {}", $max);
+                if n == 0 {
+                    Self(0)
+                } else if n == $max {
+                    Self(<$word>::MAX)
+                } else {
+                    Self((1 as $word << n) - 1)
+                }
+            }
+
+            /// Inserts an element into the set.
+            #[inline]
+            pub fn insert(&mut self, id: $idty) {
+                let i = id.index();
+                assert!(i < $max, "bitset capacity exceeded: {i} >= {}", $max);
+                self.0 |= (1 as $word) << i;
+            }
+
+            /// Removes an element from the set.
+            #[inline]
+            pub fn remove(&mut self, id: $idty) {
+                let i = id.index();
+                if i < $max {
+                    self.0 &= !((1 as $word) << i);
+                }
+            }
+
+            /// Returns `true` if the set contains the element.
+            #[inline]
+            pub fn contains(&self, id: $idty) -> bool {
+                let i = id.index();
+                i < $max && (self.0 >> i) & 1 == 1
+            }
+
+            /// Returns the number of elements in the set.
+            #[inline]
+            pub fn len(&self) -> usize {
+                self.0.count_ones() as usize
+            }
+
+            /// Returns `true` if the set is empty.
+            #[inline]
+            pub fn is_empty(&self) -> bool {
+                self.0 == 0
+            }
+
+            /// Set union.
+            #[inline]
+            pub fn union(self, other: Self) -> Self {
+                Self(self.0 | other.0)
+            }
+
+            /// Set intersection.
+            #[inline]
+            pub fn intersect(self, other: Self) -> Self {
+                Self(self.0 & other.0)
+            }
+
+            /// Set difference (`self \ other`).
+            #[inline]
+            pub fn difference(self, other: Self) -> Self {
+                Self(self.0 & !other.0)
+            }
+
+            /// Returns `true` if `self ⊆ other`.
+            #[inline]
+            pub fn is_subset(self, other: Self) -> bool {
+                self.0 & !other.0 == 0
+            }
+
+            /// Returns `true` if `self ⊂ other` (proper subset).
+            #[inline]
+            pub fn is_proper_subset(self, other: Self) -> bool {
+                self.is_subset(other) && self.0 != other.0
+            }
+
+            /// Returns `true` if the two sets share no element.
+            #[inline]
+            pub fn is_disjoint(self, other: Self) -> bool {
+                self.0 & other.0 == 0
+            }
+
+            /// Iterates over the elements in ascending order.
+            pub fn iter(self) -> impl Iterator<Item = $idty> {
+                let mut bits = self.0;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        None
+                    } else {
+                        let i = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        Some($mkid(i))
+                    }
+                })
+            }
+
+            /// Returns the raw bit representation.
+            #[inline]
+            pub fn bits(self) -> $word {
+                self.0
+            }
+
+            /// Constructs a set from raw bits.
+            #[inline]
+            pub fn from_bits(bits: $word) -> Self {
+                Self(bits)
+            }
+        }
+
+        impl FromIterator<$idty> for $name {
+            fn from_iter<I: IntoIterator<Item = $idty>>(iter: I) -> Self {
+                let mut s = Self::empty();
+                for id in iter {
+                    s.insert(id);
+                }
+                s
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_set().entries(self.iter()).finish()
+            }
+        }
+    };
+}
+
+/// A set of primitive operators of a single query, as a 64-bit bitset.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct PrimSet(u64);
+bitset_common!(PrimSet, u64, PrimId, MAX_PRIMS, |i| PrimId(i as u8));
+
+/// A set of event types, as a 64-bit bitset.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct TypeSet(u64);
+bitset_common!(TypeSet, u64, EventTypeId, MAX_TYPES, |i| EventTypeId(i as u16));
+
+/// A set of network nodes, as a 128-bit bitset (networks of up to 128 nodes).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct NodeSet(u128);
+bitset_common!(NodeSet, u128, NodeId, MAX_NODES, |i| NodeId(i as u16));
+
+impl PrimSet {
+    /// Enumerates all non-empty subsets of `self` in ascending bit order.
+    ///
+    /// This is the standard sub-mask enumeration used to enumerate the
+    /// projection lattice `Π(q)` (§4.2 of the paper: `|Π(q)| ≤ 2^|O_p|`).
+    pub fn subsets(self) -> impl Iterator<Item = PrimSet> {
+        let full = self.0;
+        let mut sub = 0u64;
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            // Advance to the next submask.
+            sub = sub.wrapping_sub(full) & full;
+            if sub == 0 {
+                done = true;
+                return None;
+            }
+            Some(PrimSet(sub))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primset_insert_contains_remove() {
+        let mut s = PrimSet::empty();
+        assert!(s.is_empty());
+        s.insert(PrimId(3));
+        s.insert(PrimId(0));
+        assert!(s.contains(PrimId(3)));
+        assert!(s.contains(PrimId(0)));
+        assert!(!s.contains(PrimId(1)));
+        assert_eq!(s.len(), 2);
+        s.remove(PrimId(3));
+        assert!(!s.contains(PrimId(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn primset_set_algebra() {
+        let a: PrimSet = [PrimId(0), PrimId(1), PrimId(2)].into_iter().collect();
+        let b: PrimSet = [PrimId(1), PrimId(2), PrimId(3)].into_iter().collect();
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersect(b).len(), 2);
+        assert_eq!(a.difference(b), PrimSet::single(PrimId(0)));
+        assert!(a.intersect(b).is_subset(a));
+        assert!(a.intersect(b).is_proper_subset(a));
+        assert!(!a.is_subset(b));
+        assert!(PrimSet::empty().is_subset(a));
+    }
+
+    #[test]
+    fn primset_full() {
+        assert_eq!(PrimSet::full(0), PrimSet::empty());
+        assert_eq!(PrimSet::full(3).len(), 3);
+        assert_eq!(PrimSet::full(64).len(), 64);
+    }
+
+    #[test]
+    fn primset_iter_ascending() {
+        let s: PrimSet = [PrimId(5), PrimId(1), PrimId(9)].into_iter().collect();
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got, vec![PrimId(1), PrimId(5), PrimId(9)]);
+    }
+
+    #[test]
+    fn primset_subset_enumeration() {
+        let s = PrimSet::full(3);
+        let subs: Vec<_> = s.subsets().collect();
+        assert_eq!(subs.len(), 7); // 2^3 - 1 non-empty subsets
+        for sub in &subs {
+            assert!(sub.is_subset(s));
+            assert!(!sub.is_empty());
+        }
+        // All distinct.
+        let mut dedup = subs.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), subs.len());
+    }
+
+    #[test]
+    fn primset_subsets_sparse_mask() {
+        let s: PrimSet = [PrimId(1), PrimId(4), PrimId(63)].into_iter().collect();
+        let subs: Vec<_> = s.subsets().collect();
+        assert_eq!(subs.len(), 7);
+        for sub in subs {
+            assert!(sub.is_subset(s));
+        }
+    }
+
+    #[test]
+    fn nodeset_128_bits() {
+        let mut s = NodeSet::empty();
+        s.insert(NodeId(127));
+        s.insert(NodeId(0));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(NodeId(127)));
+        let full = NodeSet::full(128);
+        assert_eq!(full.len(), 128);
+        assert!(s.is_subset(full));
+    }
+
+    #[test]
+    fn typeset_disjoint() {
+        let a = TypeSet::single(EventTypeId(0));
+        let b = TypeSet::single(EventTypeId(1));
+        assert!(a.is_disjoint(b));
+        assert!(!a.union(b).is_disjoint(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exceeded")]
+    fn primset_overflow_panics() {
+        let mut s = PrimSet::empty();
+        s.insert(PrimId(64));
+    }
+}

@@ -1,0 +1,230 @@
+//! Query workloads (§2.2): sets of OR-free queries evaluated together.
+
+use crate::catalog::Catalog;
+use crate::error::{ModelError, Result};
+use crate::event::Timestamp;
+use crate::network::Network;
+use crate::query::parser::{parse_query, ParserOptions};
+use crate::query::{Pattern, Predicate, Query};
+use crate::types::{QueryId, TypeSet};
+use serde::{Deserialize, Serialize};
+
+/// A query workload `Q = {q_1, …, q_n}` together with the catalog its
+/// queries were resolved against.
+///
+/// All queries of a workload conceptually share the same time window
+/// (§2.2: the largest window is adopted for evaluation; smaller windows are
+/// re-checked at the individual root operators).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Workload {
+    catalog: Catalog,
+    queries: Vec<Query>,
+}
+
+impl Workload {
+    /// Creates a workload from already-built queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if query ids are not the dense sequence `0..n` (the
+    /// rest of the system indexes queries by id).
+    pub fn new(catalog: Catalog, queries: Vec<Query>) -> Result<Self> {
+        for (i, q) in queries.iter().enumerate() {
+            if q.id().index() != i {
+                return Err(ModelError::InvalidQuery {
+                    query: Some(q.id()),
+                    reason: format!("workload query ids must be dense; expected Q{i}"),
+                });
+            }
+        }
+        Ok(Self { catalog, queries })
+    }
+
+    /// Builds a workload from patterns, assigning dense query ids. Patterns
+    /// containing `OR` are split into OR-free alternatives first (§2.2), each
+    /// becoming its own query with the same predicates and window.
+    pub fn from_patterns(
+        catalog: Catalog,
+        patterns: impl IntoIterator<Item = (Pattern, Vec<Predicate>, Timestamp)>,
+    ) -> Result<Self> {
+        let mut queries = Vec::new();
+        for (pattern, predicates, window) in patterns {
+            for alternative in pattern.split_disjunctions() {
+                let id = QueryId(queries.len() as u16);
+                queries.push(Query::build(id, &alternative, predicates.clone(), window)?);
+            }
+        }
+        Ok(Self { catalog, queries })
+    }
+
+    /// Parses a workload from SASE-style query strings.
+    pub fn parse(
+        mut catalog: Catalog,
+        sources: impl IntoIterator<Item = impl AsRef<str>>,
+        options: &ParserOptions,
+    ) -> Result<Self> {
+        let mut queries = Vec::new();
+        for src in sources {
+            let id = QueryId(queries.len() as u16);
+            queries.push(parse_query(src.as_ref(), id, &mut catalog, options)?);
+        }
+        Ok(Self { catalog, queries })
+    }
+
+    /// The catalog the queries were resolved against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The queries of the workload.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Mutable access to the queries, e.g. to refresh predicate
+    /// selectivities after estimating statistics from observed traces.
+    pub fn queries_mut(&mut self) -> &mut [Query] {
+        &mut self.queries
+    }
+
+    /// Looks up a query by id.
+    pub fn query(&self, id: QueryId) -> &Query {
+        &self.queries[id.index()]
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Returns `true` if the workload has no query.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// All event types referenced by any query.
+    pub fn types(&self) -> TypeSet {
+        self.queries
+            .iter()
+            .fold(TypeSet::empty(), |acc, q| acc.union(q.types()))
+    }
+
+    /// The largest window among the queries — the window adopted for shared
+    /// evaluation (§2.2).
+    pub fn max_window(&self) -> Timestamp {
+        self.queries.iter().map(Query::window).max().unwrap_or(0)
+    }
+
+    /// Validates that every referenced type has a producer in the network.
+    pub fn check_against(&self, network: &Network) -> Result<()> {
+        network.check_producible(self.types())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use crate::types::{EventTypeId, NodeId};
+
+    fn t(i: u16) -> EventTypeId {
+        EventTypeId(i)
+    }
+
+    #[test]
+    fn from_patterns_assigns_dense_ids() {
+        let catalog = Catalog::with_anonymous_types(4);
+        let w = Workload::from_patterns(
+            catalog,
+            [
+                (
+                    Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+                    vec![],
+                    100,
+                ),
+                (
+                    Pattern::and([Pattern::leaf(t(2)), Pattern::leaf(t(3))]),
+                    vec![],
+                    50,
+                ),
+            ],
+        )
+        .unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.query(QueryId(1)).id(), QueryId(1));
+        assert_eq!(w.max_window(), 100);
+        assert_eq!(w.types().len(), 4);
+    }
+
+    #[test]
+    fn or_patterns_split_into_queries() {
+        let catalog = Catalog::with_anonymous_types(3);
+        let w = Workload::from_patterns(
+            catalog,
+            [(
+                Pattern::seq([
+                    Pattern::or([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+                    Pattern::leaf(t(2)),
+                ]),
+                vec![],
+                100,
+            )],
+        )
+        .unwrap();
+        assert_eq!(w.len(), 2);
+        for q in w.queries() {
+            assert_eq!(q.num_prims(), 2);
+        }
+    }
+
+    #[test]
+    fn new_rejects_non_dense_ids() {
+        let catalog = Catalog::with_anonymous_types(2);
+        let q = Query::build(
+            QueryId(3),
+            &Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+            vec![],
+            10,
+        )
+        .unwrap();
+        assert!(Workload::new(catalog, vec![q]).is_err());
+    }
+
+    #[test]
+    fn parse_workload() {
+        let mut catalog = Catalog::new();
+        for ty in ["A", "B", "C"] {
+            catalog.add_event_type(ty).unwrap();
+        }
+        let w = Workload::parse(
+            catalog,
+            ["PATTERN SEQ(A a, B b) WITHIN 10s", "PATTERN AND(B b, C c) WITHIN 5s"],
+            &ParserOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.max_window(), 10_000);
+    }
+
+    #[test]
+    fn check_against_network() {
+        let catalog = Catalog::with_anonymous_types(2);
+        let w = Workload::from_patterns(
+            catalog,
+            [(
+                Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+                vec![],
+                10,
+            )],
+        )
+        .unwrap();
+        let good = NetworkBuilder::new(1, 2)
+            .node(NodeId(0), [t(0), t(1)])
+            .rate(t(0), 1.0)
+            .rate(t(1), 1.0)
+            .build();
+        assert!(w.check_against(&good).is_ok());
+        let bad = NetworkBuilder::new(1, 2).node(NodeId(0), [t(0)]).build();
+        assert!(w.check_against(&bad).is_err());
+    }
+}

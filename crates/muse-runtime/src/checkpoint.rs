@@ -1,0 +1,96 @@
+//! Checkpointing of executor state — the stand-in for Ambrosia's "virtual
+//! resiliency" (§7.3 of the paper).
+//!
+//! The paper's case-study engine runs each node inside an Ambrosia
+//! *immortal* that checkpoints the application state (input queues and
+//! partial matches) and replays logged calls after a failure. Here the
+//! equivalent durable state is the [`crate::sim::SimState`]: per-task join
+//! buffers, pending deliveries, metrics, and collected matches. A snapshot
+//! taken mid-run and restored into a fresh executor resumes to exactly the
+//! same results as an uninterrupted run (verified by the executor tests).
+
+use crate::deploy::Deployment;
+use crate::sim::{SimConfig, SimExecutor, SimState};
+
+/// Errors raised by snapshot/restore.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// State (de)serialization failed.
+    Serde(serde_json::Error),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Serde(e) => write!(f, "checkpoint serialization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serializes an executor's state into a durable snapshot.
+pub fn snapshot(executor: &SimExecutor<'_>) -> Result<Vec<u8>, CheckpointError> {
+    serde_json::to_vec(&executor.state()).map_err(CheckpointError::Serde)
+}
+
+/// Restores an executor from a snapshot against the same deployment.
+pub fn restore<'a>(
+    deployment: &'a Deployment,
+    config: SimConfig,
+    bytes: &[u8],
+) -> Result<SimExecutor<'a>, CheckpointError> {
+    let state: SimState = serde_json::from_slice(bytes).map_err(CheckpointError::Serde)?;
+    Ok(SimExecutor::from_state(deployment, config, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_core::algorithms::amuse::{amuse, AMuseConfig};
+    use muse_core::graph::PlanContext;
+    use muse_core::network::NetworkBuilder;
+    use muse_core::query::{Pattern, Query};
+    use muse_core::types::{EventTypeId, NodeId, QueryId};
+
+    #[test]
+    fn snapshot_roundtrip_empty_executor() {
+        let t0 = EventTypeId(0);
+        let t1 = EventTypeId(1);
+        let net = NetworkBuilder::new(2, 2)
+            .node(NodeId(0), [t0])
+            .node(NodeId(1), [t1])
+            .rate(t0, 1.0)
+            .rate(t1, 1.0)
+            .build();
+        let q = Query::build(
+            QueryId(0),
+            &Pattern::seq([Pattern::leaf(t0), Pattern::leaf(t1)]),
+            vec![],
+            100,
+        )
+        .unwrap();
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+        let deployment = Deployment::new(&plan.graph, &ctx);
+        let executor = SimExecutor::new(&deployment, SimConfig::default());
+        let bytes = snapshot(&executor).unwrap();
+        let restored = restore(&deployment, SimConfig::default(), &bytes).unwrap();
+        assert_eq!(restored.metrics().events_injected, 0);
+        assert!(restored.matches().iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn corrupt_snapshot_rejected() {
+        let t0 = EventTypeId(0);
+        let net = NetworkBuilder::new(1, 1)
+            .node(NodeId(0), [t0])
+            .rate(t0, 1.0)
+            .build();
+        let q = Query::build(QueryId(0), &Pattern::leaf(t0), vec![], 10).unwrap();
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+        let deployment = Deployment::new(&plan.graph, &ctx);
+        assert!(restore(&deployment, SimConfig::default(), b"not json").is_err());
+    }
+}

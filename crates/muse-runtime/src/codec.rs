@@ -1,0 +1,144 @@
+//! Compact binary wire format for events and matches.
+//!
+//! Used (a) to account transmitted bytes realistically in the executors and
+//! (b) as the match payload of the threaded executor's channel messages.
+//! The format is length-prefixed and self-describing enough for roundtrips;
+//! it is not a versioned storage format.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use muse_core::event::{Event, Payload, Value};
+use muse_core::types::{AttrId, EventTypeId, NodeId, PrimId};
+
+use crate::matcher::Match;
+
+/// Encodes a match.
+pub fn encode_match(m: &Match) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + m.len() * 32);
+    buf.put_u16(m.len() as u16);
+    for (prim, event) in m.entries() {
+        buf.put_u8(prim.0);
+        encode_event(event, &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Decodes a match.
+///
+/// # Panics
+///
+/// Panics on malformed input (the format is only produced by
+/// [`encode_match`]).
+pub fn decode_match(mut buf: impl Buf) -> Match {
+    let n = buf.get_u16() as usize;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let prim = PrimId(buf.get_u8());
+        let event = decode_event(&mut buf);
+        entries.push((prim, event));
+    }
+    Match::new(entries)
+}
+
+/// Encodes an event into the buffer.
+pub fn encode_event(e: &Event, buf: &mut BytesMut) {
+    buf.put_u64(e.seq);
+    buf.put_u16(e.ty.0);
+    buf.put_u64(e.time);
+    buf.put_u16(e.origin.0);
+    buf.put_u8(e.payload.len() as u8);
+    for (attr, value) in e.payload.iter() {
+        buf.put_u8(attr.0);
+        match value {
+            Value::Int(v) => {
+                buf.put_u8(0);
+                buf.put_i64(*v);
+            }
+            Value::Float(v) => {
+                buf.put_u8(1);
+                buf.put_f64(*v);
+            }
+            Value::Str(s) => {
+                buf.put_u8(2);
+                buf.put_u32(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+        }
+    }
+}
+
+/// Decodes an event from the buffer.
+pub fn decode_event(buf: &mut impl Buf) -> Event {
+    let seq = buf.get_u64();
+    let ty = EventTypeId(buf.get_u16());
+    let time = buf.get_u64();
+    let origin = NodeId(buf.get_u16());
+    let n_attrs = buf.get_u8() as usize;
+    let mut payload = Payload::new();
+    for _ in 0..n_attrs {
+        let attr = AttrId(buf.get_u8());
+        let value = match buf.get_u8() {
+            0 => Value::Int(buf.get_i64()),
+            1 => Value::Float(buf.get_f64()),
+            2 => {
+                let len = buf.get_u32() as usize;
+                let mut bytes = vec![0u8; len];
+                buf.copy_to_slice(&mut bytes);
+                Value::Str(String::from_utf8(bytes).expect("valid UTF-8"))
+            }
+            tag => panic!("unknown value tag {tag}"),
+        };
+        payload.set(attr, value);
+    }
+    Event::with_payload(seq, ty, time, origin, payload)
+}
+
+/// Encoded size of a match in bytes (what a network transmission costs).
+pub fn encoded_len(m: &Match) -> usize {
+    encode_match(m).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event() -> Event {
+        let mut p = Payload::new();
+        p.set(AttrId(0), Value::Int(-7));
+        p.set(AttrId(3), Value::Float(2.5));
+        p.set(AttrId(5), Value::Str("job-42".into()));
+        Event::with_payload(99, EventTypeId(4), 123_456, NodeId(17), p)
+    }
+
+    #[test]
+    fn event_roundtrip() {
+        let e = sample_event();
+        let mut buf = BytesMut::new();
+        encode_event(&e, &mut buf);
+        let back = decode_event(&mut buf.freeze());
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn match_roundtrip() {
+        let m = Match::new(vec![
+            (PrimId(0), sample_event()),
+            (PrimId(2), Event::new(5, EventTypeId(1), 10, NodeId(0))),
+        ]);
+        let encoded = encode_match(&m);
+        let back = decode_match(encoded);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn empty_match_roundtrip() {
+        let m = Match::new(vec![]);
+        assert_eq!(decode_match(encode_match(&m)), m);
+    }
+
+    #[test]
+    fn encoded_len_reflects_payload() {
+        let small = Match::single(PrimId(0), Event::new(1, EventTypeId(0), 1, NodeId(0)));
+        let big = Match::single(PrimId(0), sample_event());
+        assert!(encoded_len(&big) > encoded_len(&small));
+    }
+}

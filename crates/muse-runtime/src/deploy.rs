@@ -1,0 +1,354 @@
+//! Deployment: turning a MuSE graph into runnable per-node tasks and a
+//! routing table.
+//!
+//! Every graph vertex `(p, n)` becomes a *task* at node `n`: a source task
+//! for primitive projections (forwarding locally generated events of one
+//! type, filtered by the projection's unary predicates) or a join task for
+//! composite projections (combining predecessor match streams,
+//! [`crate::matcher::JoinTask`]). Every graph edge becomes a *route*; routes
+//! whose endpoints live on different nodes are network transmissions.
+//!
+//! The deployment owns copies of the workload queries so executors are
+//! self-contained (no lifetimes into the planning structures).
+
+use crate::matcher::JoinTask;
+use muse_core::graph::{MuseGraph, PlanContext, Vertex};
+use muse_core::query::Query;
+use muse_core::types::{EventTypeId, NodeId, PrimId, PrimSet, QueryId};
+use std::collections::HashMap;
+
+/// The role of a task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskKind {
+    /// Forwards local events of one primitive operator's type.
+    Source {
+        /// The primitive operator.
+        prim: PrimId,
+        /// Its event type.
+        ty: EventTypeId,
+        /// Indices into the query's predicate list of unary predicates to
+        /// apply at the source.
+        predicates: Vec<usize>,
+    },
+    /// Joins predecessor match streams into matches of the projection.
+    Join {
+        /// Predecessor projections, one per input slot, sorted.
+        slots: Vec<PrimSet>,
+    },
+}
+
+/// One deployable task (a MuSE graph vertex).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    /// The originating graph vertex.
+    pub vertex: Vertex,
+    /// Semantic identity of the task's output stream (from
+    /// [`muse_core::projection::Projection::stream_sig`]): two tasks with
+    /// equal signatures at the same node emit identical matches, so their
+    /// network transmissions are multiplexed (counted once) by the
+    /// executors — the runtime analogue of the planner's stream reuse.
+    pub stream_sig: u64,
+    /// Hosting node.
+    pub node: NodeId,
+    /// Index into [`Deployment::queries`] of the source query.
+    pub query_idx: usize,
+    /// Primitive operators of the hosted projection.
+    pub prims: PrimSet,
+    /// `true` if the task hosts the full query (a sink).
+    pub is_sink: bool,
+    /// The task's role.
+    pub kind: TaskKind,
+}
+
+/// A routed output of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Index of the receiving task.
+    pub target: usize,
+    /// Input slot at the receiver.
+    pub slot: usize,
+    /// `true` if the edge crosses the network.
+    pub remote: bool,
+}
+
+/// A runnable deployment of a MuSE graph.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// The workload queries, deduplicated, indexed by `query_idx`.
+    pub queries: Vec<Query>,
+    /// Number of network nodes.
+    pub num_nodes: usize,
+    /// All tasks, in graph vertex order.
+    pub tasks: Vec<TaskSpec>,
+    /// Outgoing routes per task.
+    pub routes: Vec<Vec<Route>>,
+    /// Source task indices by `(origin node, event type)`.
+    sources_by_origin: HashMap<(NodeId, EventTypeId), Vec<usize>>,
+    /// Sink task indices per query (parallel to `queries`).
+    pub sink_tasks: Vec<Vec<usize>>,
+}
+
+impl Deployment {
+    /// Builds a deployment from a MuSE graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source vertex hosts a composite projection or a
+    /// composite vertex has no predecessors (i.e. the graph is malformed;
+    /// validate with [`MuseGraph::check_well_formed`] first).
+    pub fn new(graph: &MuseGraph, ctx: &PlanContext<'_>) -> Self {
+        // Deduplicated query list in id order.
+        let mut query_ids: Vec<QueryId> = graph
+            .vertices()
+            .map(|v| ctx.proj(v.proj).source)
+            .collect();
+        query_ids.sort();
+        query_ids.dedup();
+        let queries: Vec<Query> = query_ids
+            .iter()
+            .map(|id| {
+                ctx.queries
+                    .iter()
+                    .find(|q| q.id() == *id)
+                    .expect("query present in context")
+                    .clone()
+            })
+            .collect();
+        let query_index: HashMap<QueryId, usize> = query_ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (*id, i))
+            .collect();
+
+        let vertices: Vec<Vertex> = graph.vertices().collect();
+        let vertex_index: HashMap<Vertex, usize> = vertices
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (*v, i))
+            .collect();
+
+        let mut tasks = Vec::with_capacity(vertices.len());
+        let mut sources_by_origin: HashMap<(NodeId, EventTypeId), Vec<usize>> = HashMap::new();
+        let mut sink_tasks = vec![Vec::new(); queries.len()];
+        for (i, v) in vertices.iter().enumerate() {
+            let proj = ctx.proj(v.proj);
+            let query = ctx.query_of(v.proj);
+            let query_idx = query_index[&proj.source];
+            let preds = graph.predecessors(*v);
+            let kind = if preds.is_empty() {
+                assert!(
+                    proj.is_primitive(),
+                    "source vertex must host a primitive projection"
+                );
+                let prim = proj.prims.iter().next().unwrap();
+                let ty = query.prim_type(prim);
+                sources_by_origin
+                    .entry((v.node, ty))
+                    .or_default()
+                    .push(i);
+                TaskKind::Source {
+                    prim,
+                    ty,
+                    predicates: proj.predicates.clone(),
+                }
+            } else {
+                let mut slots: Vec<PrimSet> =
+                    preds.iter().map(|p| ctx.proj(p.proj).prims).collect();
+                slots.sort();
+                slots.dedup();
+                TaskKind::Join { slots }
+            };
+            let is_sink = proj.is_full_query(query);
+            if is_sink {
+                sink_tasks[query_idx].push(i);
+            }
+            tasks.push(TaskSpec {
+                vertex: *v,
+                stream_sig: proj.stream_sig,
+                node: v.node,
+                query_idx,
+                prims: proj.prims,
+                is_sink,
+                kind,
+            });
+        }
+
+        let mut routes = vec![Vec::new(); tasks.len()];
+        for (from, to) in graph.edges() {
+            let fi = vertex_index[&from];
+            let ti = vertex_index[&to];
+            let TaskKind::Join { slots } = &tasks[ti].kind else {
+                panic!("edge into a source task");
+            };
+            let from_prims = ctx.proj(from.proj).prims;
+            let slot = slots
+                .iter()
+                .position(|s| *s == from_prims)
+                .expect("slot for predecessor projection");
+            routes[fi].push(Route {
+                target: ti,
+                slot,
+                remote: from.node != to.node,
+            });
+        }
+        for r in &mut routes {
+            r.sort_by_key(|r| (r.target, r.slot));
+        }
+
+        Self {
+            queries,
+            num_nodes: ctx.network.num_nodes(),
+            tasks,
+            routes,
+            sources_by_origin,
+            sink_tasks,
+        }
+    }
+
+    /// The source tasks receiving events of `ty` generated at `node`.
+    pub fn sources_for(&self, node: NodeId, ty: EventTypeId) -> &[usize] {
+        self.sources_by_origin
+            .get(&(node, ty))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Instantiates the join state for a task (`None` for sources).
+    pub fn make_join(&self, task: usize, slack: f64) -> Option<JoinTask> {
+        let spec = &self.tasks[task];
+        match &spec.kind {
+            TaskKind::Source { .. } => None,
+            TaskKind::Join { slots } => Some(JoinTask::with_slack(
+                &self.queries[spec.query_idx],
+                spec.prims,
+                slots,
+                slack,
+            )),
+        }
+    }
+
+    /// Task indices hosted at a node.
+    pub fn tasks_at(&self, node: NodeId) -> Vec<usize> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.node == node)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of network edges in the deployment.
+    pub fn num_remote_routes(&self) -> usize {
+        self.routes
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|r| r.remote)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_core::algorithms::amuse::{amuse, AMuseConfig};
+    use muse_core::network::{Network, NetworkBuilder};
+    use muse_core::query::Pattern;
+
+    fn t(i: u16) -> EventTypeId {
+        EventTypeId(i)
+    }
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    fn fig1_network() -> Network {
+        NetworkBuilder::new(3, 3)
+            .node(n(0), [t(0), t(2)])
+            .node(n(1), [t(0), t(1)])
+            .node(n(2), [t(1)])
+            .rate(t(0), 100.0)
+            .rate(t(1), 100.0)
+            .rate(t(2), 1.0)
+            .build()
+    }
+
+    fn robots_query() -> Query {
+        Query::build(
+            QueryId(0),
+            &Pattern::seq([
+                Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+                Pattern::leaf(t(2)),
+            ]),
+            vec![],
+            1000,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deploys_amuse_plan() {
+        let net = fig1_network();
+        let q = robots_query();
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+        let deployment = Deployment::new(&plan.graph, &ctx);
+        assert_eq!(deployment.queries.len(), 1);
+        assert_eq!(deployment.num_nodes, 3);
+        assert_eq!(deployment.tasks.len(), plan.graph.num_vertices());
+        // Every sink vertex surfaced.
+        assert_eq!(deployment.sink_tasks[0].len(), plan.sinks.len());
+        // Source lookup: node 1 generates C (type 0).
+        assert!(!deployment.sources_for(n(1), t(0)).is_empty());
+        assert!(deployment.sources_for(n(2), t(0)).is_empty());
+        // Route counts match graph edges.
+        let total_routes: usize = deployment.routes.iter().map(Vec::len).sum();
+        assert_eq!(total_routes, plan.graph.num_edges());
+    }
+
+    #[test]
+    fn join_tasks_instantiate() {
+        let net = fig1_network();
+        let q = robots_query();
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+        let deployment = Deployment::new(&plan.graph, &ctx);
+        let mut joins = 0;
+        for i in 0..deployment.tasks.len() {
+            match &deployment.tasks[i].kind {
+                TaskKind::Source { .. } => assert!(deployment.make_join(i, 1.0).is_none()),
+                TaskKind::Join { slots } => {
+                    joins += 1;
+                    let join = deployment.make_join(i, 1.0).unwrap();
+                    assert_eq!(join.slots().len(), slots.len());
+                }
+            }
+        }
+        assert!(joins > 0);
+    }
+
+    #[test]
+    fn remote_routes_match_graph_topology() {
+        let net = fig1_network();
+        let q = robots_query();
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+        let deployment = Deployment::new(&plan.graph, &ctx);
+        let remote_edges = plan
+            .graph
+            .edges()
+            .filter(|(a, b)| a.node != b.node)
+            .count();
+        assert_eq!(deployment.num_remote_routes(), remote_edges);
+    }
+
+    #[test]
+    fn tasks_at_partitions_nodes() {
+        let net = fig1_network();
+        let q = robots_query();
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+        let deployment = Deployment::new(&plan.graph, &ctx);
+        let total: usize = (0..3).map(|i| deployment.tasks_at(n(i)).len()).sum();
+        assert_eq!(total, deployment.tasks.len());
+    }
+}

@@ -1,0 +1,37 @@
+//! # muse-runtime
+//!
+//! A distributed CEP execution engine for MuSE graph evaluation plans —
+//! the Rust counterpart of the paper's C#/Ambrosia query processor (§7.3).
+//!
+//! A [`deploy::Deployment`] turns a MuSE graph into per-node tasks (event
+//! sources and partial-match joins) plus a routing table describing the
+//! exchange of matches. Two executors run deployments:
+//!
+//! * [`sim`] — a deterministic discrete-event simulator with a virtual
+//!   clock, used for correctness validation and transmission accounting;
+//! * [`threaded`] — a thread-per-node executor on `crossbeam` channels for
+//!   wall-clock latency and throughput measurements (Fig. 8).
+//!
+//! [`matcher`] implements the query semantics (skip-till-any-match, §2.2):
+//! a centralized [`matcher::Evaluator`] doubles as the ground truth that
+//! distributed runs are verified against. [`checkpoint`] provides
+//! snapshot/restore of executor state — the stand-in for Ambrosia's virtual
+//! resiliency; [`codec`] is the compact wire format used for transmission
+//! byte accounting and snapshots.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod deploy;
+pub mod matcher;
+pub mod metrics;
+pub mod sim;
+pub mod threaded;
+
+pub use deploy::{Deployment, Route, TaskKind, TaskSpec};
+pub use matcher::{Evaluator, JoinTask, Match};
+pub use metrics::Metrics;
+pub use sim::{run_simulation, SimConfig, SimExecutor, SimReport};
+pub use threaded::{run_threaded, ThreadedConfig, ThreadedReport};

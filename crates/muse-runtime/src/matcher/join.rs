@@ -1,0 +1,428 @@
+//! Partial-match joins: evaluating a projection from the matches of its
+//! combination's predecessor projections.
+//!
+//! A MuSE graph vertex `(p, n)` derives matches of `p` from predecessor
+//! match streams (§4.3). Distribution makes these streams arrive in
+//! arbitrary relative order, so — like the paper's automata whose states
+//! accept any still-needed sub-projection result, with order constraints as
+//! transition guards — the join buffers matches per input slot and checks
+//! all order/window/predicate constraints on the merged assignment.
+//!
+//! Combination predecessors may *overlap* in their primitive operators
+//! (e.g. `SEQ(A,B)` and `SEQ(B,C)` for `SEQ(A,B,C)`); overlapping inputs
+//! must agree on the shared primitives' events (cf. Example 8), which
+//! [`Match::merge`] enforces.
+//!
+//! Negated primitives arrive as raw primitive streams (negation-closure
+//! keeps their context together, §5.2); per `NSEQ` context the join runs a
+//! sub-[`Evaluator`] over the forbidden pattern and suppresses positive
+//! matches with a forbidden match strictly inside the context interval.
+
+use super::{is_valid_match, nseq_violated, Evaluator, Match};
+use muse_core::event::Timestamp;
+use muse_core::query::{NSeqContext, Query};
+use muse_core::types::PrimSet;
+use serde::{Deserialize, Serialize};
+
+/// Static description of one input slot of a join: the predecessor
+/// projection's primitive operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotSpec {
+    /// The predecessor projection's primitives.
+    pub prims: PrimSet,
+    /// `true` if the slot carries only negated primitives (a negation guard
+    /// stream rather than a positive input).
+    pub negated: bool,
+}
+
+/// A join task deriving matches of one target projection from predecessor
+/// match streams.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JoinTask {
+    query: Query,
+    target: PrimSet,
+    /// Positive primitives of the target (events of emitted matches).
+    positive: PrimSet,
+    slots: Vec<SlotSpec>,
+    /// Buffered matches per positive slot (parallel to `slots`; negated
+    /// slots keep theirs inside `negations`).
+    stores: Vec<Vec<Match>>,
+    /// `NSEQ` contexts whose absence check happens at this join.
+    negations: Vec<NegationCheck>,
+    /// Largest timestamp seen on any input.
+    max_time: Timestamp,
+    /// Eviction slack: stores keep matches for `slack × window` (≥ 1.0;
+    /// > 1 tolerates out-of-order arrival in the threaded executor).
+    slack: f64,
+    /// Matches emitted (for metrics).
+    emitted: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NegationCheck {
+    context: NSeqContext,
+    evaluator: Evaluator,
+    forbidden: Vec<Match>,
+}
+
+impl JoinTask {
+    /// Creates a join for the projection of `query` with primitives
+    /// `target`, fed by predecessors with the given primitive sets (the
+    /// combination `β(target)` realized by the MuSE graph edges).
+    pub fn new(query: &Query, target: PrimSet, predecessors: &[PrimSet]) -> Self {
+        Self::with_slack(query, target, predecessors, 1.0)
+    }
+
+    /// Like [`JoinTask::new`] with an eviction slack factor for
+    /// out-of-order tolerant execution.
+    pub fn with_slack(
+        query: &Query,
+        target: PrimSet,
+        predecessors: &[PrimSet],
+        slack: f64,
+    ) -> Self {
+        assert!(slack >= 1.0);
+        let negated_prims = query.negated_prims();
+        let slots: Vec<SlotSpec> = predecessors
+            .iter()
+            .map(|&prims| SlotSpec {
+                prims,
+                negated: prims.is_subset(negated_prims),
+            })
+            .collect();
+        let guard_prims = slots
+            .iter()
+            .filter(|s| s.negated)
+            .fold(PrimSet::empty(), |acc, s| acc.union(s.prims));
+        let negations = query
+            .nseq_contexts()
+            .iter()
+            .filter(|ctx| {
+                let full = ctx.first.union(ctx.negated).union(ctx.last);
+                full.is_subset(target) && !ctx.negated.intersect(guard_prims).is_empty()
+            })
+            .map(|ctx| NegationCheck {
+                context: *ctx,
+                evaluator: Evaluator::with_positive(query, ctx.negated, ctx.negated),
+                forbidden: Vec::new(),
+            })
+            .collect();
+        let stores = vec![Vec::new(); slots.len()];
+        Self {
+            query: query.clone(),
+            target,
+            positive: target.difference(negated_prims),
+            slots,
+            stores,
+            negations,
+            max_time: 0,
+            slack,
+            emitted: 0,
+        }
+    }
+
+    /// The target projection's primitives.
+    pub fn target(&self) -> PrimSet {
+        self.target
+    }
+
+    /// The input slots.
+    pub fn slots(&self) -> &[SlotSpec] {
+        &self.slots
+    }
+
+    /// Total buffered matches across positive stores.
+    pub fn buffered(&self) -> usize {
+        self.stores.iter().map(Vec::len).sum()
+    }
+
+    /// Matches emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Feeds one match into a slot, returning the complete target matches
+    /// it triggers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot index is out of range.
+    pub fn on_match(&mut self, slot: usize, m: Match) -> Vec<Match> {
+        self.max_time = self.max_time.max(m.last_time());
+        if self.slots[slot].negated {
+            // Negation guard: feed the forbidden-pattern evaluator of each
+            // context this primitive belongs to.
+            for (prim, event) in m.entries() {
+                for neg in &mut self.negations {
+                    if neg.context.negated.contains(*prim) {
+                        let found = neg.evaluator.on_event(event);
+                        neg.forbidden.extend(found);
+                    }
+                }
+            }
+            self.evict();
+            return Vec::new();
+        }
+
+        // Join the new match against all other positive slots.
+        let mut acc = vec![m.clone()];
+        for (i, spec) in self.slots.iter().enumerate() {
+            if i == slot || spec.negated {
+                continue;
+            }
+            let mut next = Vec::new();
+            for partial in &acc {
+                for stored in &self.stores[i] {
+                    if let Some(merged) = partial.merge(stored) {
+                        if is_valid_match(&merged, &self.query) {
+                            next.push(merged);
+                        }
+                    }
+                }
+            }
+            acc = next;
+            if acc.is_empty() {
+                break;
+            }
+        }
+        let mut emitted: Vec<Match> = acc
+            .into_iter()
+            .filter(|c| c.prims() == self.positive)
+            .filter(|c| is_valid_match(c, &self.query))
+            .filter(|c| self.passes_negation(c))
+            .collect();
+        // Deduplicate (overlapping slots can assemble the same final match
+        // along different merge orders within one trigger).
+        emitted.sort_by_key(Match::fingerprint);
+        emitted.dedup_by(|a, b| a.fingerprint() == b.fingerprint());
+
+        self.stores[slot].push(m);
+        self.emitted += emitted.len() as u64;
+        self.evict();
+        emitted
+    }
+
+    fn passes_negation(&self, m: &Match) -> bool {
+        self.negations.iter().all(|n| {
+            n.forbidden
+                .iter()
+                .all(|f| !nseq_violated(m, f, n.context.first, n.context.last, &self.query))
+        })
+    }
+
+    /// Drops buffered matches outside the (slack-scaled) window.
+    fn evict(&mut self) {
+        let horizon = self
+            .max_time
+            .saturating_sub((self.query.window() as f64 * self.slack) as Timestamp);
+        for store in &mut self.stores {
+            store.retain(|m| m.first_time() >= horizon);
+        }
+        for neg in &mut self.negations {
+            neg.forbidden.retain(|m| m.first_time() >= horizon);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_core::event::Event;
+    use muse_core::query::Pattern;
+    use muse_core::types::{EventTypeId, NodeId, PrimId, QueryId};
+
+    fn ev(seq: u64, ty: u16, time: Timestamp) -> Event {
+        Event::new(seq, EventTypeId(ty), time, NodeId(0))
+    }
+
+    fn ps(prims: impl IntoIterator<Item = u8>) -> PrimSet {
+        prims.into_iter().map(PrimId).collect()
+    }
+
+    /// SEQ(A, B, C), window 100.
+    fn seq_abc() -> Query {
+        Query::build(
+            QueryId(0),
+            &Pattern::seq([
+                Pattern::leaf(EventTypeId(0)),
+                Pattern::leaf(EventTypeId(1)),
+                Pattern::leaf(EventTypeId(2)),
+            ]),
+            vec![],
+            100,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn joins_disjoint_predecessors() {
+        // β(SEQ(A,B,C)) = {SEQ(A,B), C}.
+        let q = seq_abc();
+        let mut join = JoinTask::new(&q, q.prims(), &[ps([0, 1]), ps([2])]);
+        let ab = Match::new(vec![(PrimId(0), ev(0, 0, 1)), (PrimId(1), ev(1, 1, 2))]);
+        assert!(join.on_match(0, ab).is_empty());
+        let c = Match::single(PrimId(2), ev(2, 2, 3));
+        let out = join.on_match(1, c);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].fingerprint(), vec![0, 1, 2]);
+        assert_eq!(join.emitted(), 1);
+    }
+
+    #[test]
+    fn join_respects_order() {
+        // C arriving with a position before B must not match.
+        let q = seq_abc();
+        let mut join = JoinTask::new(&q, q.prims(), &[ps([0, 1]), ps([2])]);
+        let ab = Match::new(vec![(PrimId(0), ev(1, 0, 5)), (PrimId(1), ev(3, 1, 9))]);
+        join.on_match(0, ab);
+        let c_early = Match::single(PrimId(2), ev(2, 2, 7));
+        assert!(join.on_match(1, c_early).is_empty());
+    }
+
+    #[test]
+    fn join_out_of_order_arrival() {
+        // The C match arrives first; the AB match triggers the emission.
+        let q = seq_abc();
+        let mut join = JoinTask::new(&q, q.prims(), &[ps([0, 1]), ps([2])]);
+        let c = Match::single(PrimId(2), ev(2, 2, 30));
+        assert!(join.on_match(1, c).is_empty());
+        let ab = Match::new(vec![(PrimId(0), ev(0, 0, 1)), (PrimId(1), ev(1, 1, 2))]);
+        let out = join.on_match(0, ab);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn overlapping_predecessors_must_agree() {
+        // β = {SEQ(A,B), SEQ(B,C)}: shared primitive B must be the same
+        // event (Example 8 of the paper).
+        let q = seq_abc();
+        let mut join = JoinTask::new(&q, q.prims(), &[ps([0, 1]), ps([1, 2])]);
+        let ab = Match::new(vec![(PrimId(0), ev(0, 0, 1)), (PrimId(1), ev(1, 1, 2))]);
+        join.on_match(0, ab);
+        // Agreeing BC (same B event): emits.
+        let bc_agree = Match::new(vec![(PrimId(1), ev(1, 1, 2)), (PrimId(2), ev(2, 2, 3))]);
+        assert_eq!(join.on_match(1, bc_agree).len(), 1);
+        // Disagreeing BC (different B event): no emission.
+        let bc_other = Match::new(vec![(PrimId(1), ev(5, 1, 2)), (PrimId(2), ev(6, 2, 3))]);
+        assert!(join.on_match(1, bc_other).is_empty());
+    }
+
+    #[test]
+    fn skip_till_any_match_multiplicity() {
+        // Two AB matches and one C: two emissions.
+        let q = seq_abc();
+        let mut join = JoinTask::new(&q, q.prims(), &[ps([0, 1]), ps([2])]);
+        join.on_match(
+            0,
+            Match::new(vec![(PrimId(0), ev(0, 0, 1)), (PrimId(1), ev(1, 1, 2))]),
+        );
+        join.on_match(
+            0,
+            Match::new(vec![(PrimId(0), ev(3, 0, 3)), (PrimId(1), ev(4, 1, 4))]),
+        );
+        let out = join.on_match(1, Match::single(PrimId(2), ev(9, 2, 10)));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn window_eviction() {
+        let q = seq_abc();
+        let mut join = JoinTask::new(&q, q.prims(), &[ps([0, 1]), ps([2])]);
+        join.on_match(
+            0,
+            Match::new(vec![(PrimId(0), ev(0, 0, 1)), (PrimId(1), ev(1, 1, 2))]),
+        );
+        // A C far in the future evicts the stale AB and matches nothing.
+        let out = join.on_match(1, Match::single(PrimId(2), ev(2, 2, 500)));
+        assert!(out.is_empty());
+        assert_eq!(join.buffered(), 1); // only the C remains
+    }
+
+    #[test]
+    fn three_way_join() {
+        let q = seq_abc();
+        let mut join = JoinTask::new(&q, q.prims(), &[ps([0]), ps([1]), ps([2])]);
+        join.on_match(0, Match::single(PrimId(0), ev(0, 0, 1)));
+        join.on_match(1, Match::single(PrimId(1), ev(1, 1, 2)));
+        let out = join.on_match(2, Match::single(PrimId(2), ev(2, 2, 3)));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn nseq_guard_slot_blocks_matches() {
+        // NSEQ(A, B, C) with β = {SEQ(A, C) — via projection {0,2} — , B}.
+        let q = Query::build(
+            QueryId(0),
+            &Pattern::nseq(
+                Pattern::leaf(EventTypeId(0)),
+                Pattern::leaf(EventTypeId(1)),
+                Pattern::leaf(EventTypeId(2)),
+            ),
+            vec![],
+            100,
+        )
+        .unwrap();
+        let mut join = JoinTask::new(&q, q.prims(), &[ps([0, 2]), ps([1])]);
+        assert!(join.slots()[1].negated);
+        // Forbidden B at t=20 arrives before the positive part completes.
+        join.on_match(1, Match::single(PrimId(1), ev(1, 1, 20)));
+        // AC spanning the B: blocked.
+        let ac_spanning = Match::new(vec![(PrimId(0), ev(0, 0, 10)), (PrimId(2), ev(2, 2, 30))]);
+        assert!(join.on_match(0, ac_spanning).is_empty());
+        // AC after the B: fine.
+        let ac_after = Match::new(vec![(PrimId(0), ev(3, 0, 25)), (PrimId(2), ev(4, 2, 30))]);
+        assert_eq!(join.on_match(0, ac_after).len(), 1);
+    }
+
+    #[test]
+    fn nseq_composite_forbidden_pattern_assembled_from_primitives() {
+        // NSEQ(A, SEQ(B, D), C): guards arrive as primitive B and D streams
+        // and the join assembles the forbidden SEQ(B, D) itself.
+        let q = Query::build(
+            QueryId(0),
+            &Pattern::nseq(
+                Pattern::leaf(EventTypeId(0)),
+                Pattern::seq([Pattern::leaf(EventTypeId(1)), Pattern::leaf(EventTypeId(3))]),
+                Pattern::leaf(EventTypeId(2)),
+            ),
+            vec![],
+            100,
+        )
+        .unwrap();
+        // Positive prims: A=0, C=3? Leaf order: A=0, B=1, D=2, C=3.
+        let positive = ps([0, 3]);
+        let mut join = JoinTask::new(&q, q.prims(), &[positive, ps([1]), ps([2])]);
+        // B@20 then D@25: forbidden pattern completes inside (10, 30).
+        join.on_match(1, Match::single(PrimId(1), ev(1, 1, 20)));
+        join.on_match(2, Match::single(PrimId(2), ev(2, 3, 25)));
+        let ac = Match::new(vec![(PrimId(0), ev(0, 0, 10)), (PrimId(3), ev(5, 2, 30))]);
+        assert!(join.on_match(0, ac).is_empty());
+        // Only D (no B): no forbidden match, positive emits.
+        let mut join = JoinTask::new(&q, q.prims(), &[positive, ps([1]), ps([2])]);
+        join.on_match(2, Match::single(PrimId(2), ev(2, 3, 25)));
+        let ac = Match::new(vec![(PrimId(0), ev(0, 0, 10)), (PrimId(3), ev(5, 2, 30))]);
+        assert_eq!(join.on_match(0, ac).len(), 1);
+    }
+
+    #[test]
+    fn no_duplicate_emissions_with_overlap() {
+        // β = {AB, BC} and also {AC}? Use {AB, BC, AC}: all three overlap;
+        // the same final match must be emitted exactly once per trigger.
+        let q = seq_abc();
+        let mut join =
+            JoinTask::new(&q, q.prims(), &[ps([0, 1]), ps([1, 2]), ps([0, 2])]);
+        join.on_match(
+            0,
+            Match::new(vec![(PrimId(0), ev(0, 0, 1)), (PrimId(1), ev(1, 1, 2))]),
+        );
+        join.on_match(
+            1,
+            Match::new(vec![(PrimId(1), ev(1, 1, 2)), (PrimId(2), ev(2, 2, 3))]),
+        );
+        let out = join.on_match(
+            2,
+            Match::new(vec![(PrimId(0), ev(0, 0, 1)), (PrimId(2), ev(2, 2, 3))]),
+        );
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Execution metrics: transmission accounting, processing load, and match
+//! latencies.
+//!
+//! The paper's central metric is the *transmission ratio*: the rate of
+//! events (matches) sent over the network under a plan, relative to
+//! centralized evaluation where every raw event crosses the network once
+//! (§7.1). The case study (§7.3) additionally reports throughput and
+//! per-match latency.
+
+use muse_core::event::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Counters collected during an execution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Raw events injected at their origin nodes.
+    pub events_injected: u64,
+    /// Matches sent over a network edge (one count per remote target node,
+    /// matching the cost model's once-per-node shipping, §4.4).
+    pub messages_sent: u64,
+    /// Encoded bytes of the network messages.
+    pub bytes_sent: u64,
+    /// Matches handed between tasks on the same node (zero network cost).
+    pub local_deliveries: u64,
+    /// Matches emitted at sink tasks.
+    pub sink_matches: u64,
+    /// Per-node count of processed inputs (events + matches).
+    pub per_node_processed: Vec<u64>,
+    /// Virtual-time latency per sink match: emission time minus the latest
+    /// constituent event's timestamp (ticks).
+    pub latencies: Vec<Timestamp>,
+}
+
+impl Metrics {
+    /// Creates metrics for a network of `n` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            per_node_processed: vec![0; num_nodes],
+            ..Default::default()
+        }
+    }
+
+    /// Records a processed input at a node.
+    pub fn record_processed(&mut self, node: usize) {
+        if node < self.per_node_processed.len() {
+            self.per_node_processed[node] += 1;
+        }
+    }
+
+    /// Merges another metrics object into this one (for per-thread
+    /// collection).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.events_injected += other.events_injected;
+        self.messages_sent += other.messages_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.local_deliveries += other.local_deliveries;
+        self.sink_matches += other.sink_matches;
+        if self.per_node_processed.len() < other.per_node_processed.len() {
+            self.per_node_processed
+                .resize(other.per_node_processed.len(), 0);
+        }
+        for (i, v) in other.per_node_processed.iter().enumerate() {
+            self.per_node_processed[i] += v;
+        }
+        self.latencies.extend_from_slice(&other.latencies);
+    }
+
+    /// The transmission ratio of this run against a centralized run in
+    /// which every injected event crosses the network once.
+    pub fn transmission_ratio(&self) -> f64 {
+        if self.events_injected == 0 {
+            return 0.0;
+        }
+        self.messages_sent as f64 / self.events_injected as f64
+    }
+
+    /// Latency percentile in ticks (p ∈ [0, 100]); `None` when no match was
+    /// produced.
+    pub fn latency_percentile(&self, p: f64) -> Option<Timestamp> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// Five-number latency summary `(min, p25, p50, p75, max)` as reported
+    /// in Fig. 8 of the paper.
+    pub fn latency_summary(&self) -> Option<[Timestamp; 5]> {
+        Some([
+            self.latency_percentile(0.0)?,
+            self.latency_percentile(25.0)?,
+            self.latency_percentile(50.0)?,
+            self.latency_percentile(75.0)?,
+            self.latency_percentile(100.0)?,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Metrics::new(2);
+        a.events_injected = 10;
+        a.messages_sent = 3;
+        a.record_processed(0);
+        let mut b = Metrics::new(2);
+        b.events_injected = 5;
+        b.messages_sent = 2;
+        b.latencies.push(7);
+        b.record_processed(1);
+        a.merge(&b);
+        assert_eq!(a.events_injected, 15);
+        assert_eq!(a.messages_sent, 5);
+        assert_eq!(a.per_node_processed, vec![1, 1]);
+        assert_eq!(a.latencies, vec![7]);
+    }
+
+    #[test]
+    fn transmission_ratio() {
+        let mut m = Metrics::new(1);
+        assert_eq!(m.transmission_ratio(), 0.0);
+        m.events_injected = 100;
+        m.messages_sent = 5;
+        assert!((m.transmission_ratio() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut m = Metrics::new(1);
+        assert_eq!(m.latency_percentile(50.0), None);
+        m.latencies = vec![10, 30, 20, 40, 50];
+        assert_eq!(m.latency_percentile(0.0), Some(10));
+        assert_eq!(m.latency_percentile(50.0), Some(30));
+        assert_eq!(m.latency_percentile(100.0), Some(50));
+        assert_eq!(m.latency_summary(), Some([10, 20, 30, 40, 50]));
+    }
+
+    #[test]
+    fn merge_grows_node_vector() {
+        let mut a = Metrics::new(1);
+        let mut b = Metrics::new(3);
+        b.record_processed(2);
+        a.merge(&b);
+        assert_eq!(a.per_node_processed, vec![0, 0, 1]);
+    }
+}

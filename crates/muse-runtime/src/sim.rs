@@ -1,0 +1,649 @@
+//! Deterministic discrete-event execution of a deployment.
+//!
+//! The simulator drives a [`Deployment`] over a global event trace with a
+//! virtual clock: events are injected in trace order, every triggered
+//! cascade of match deliveries is processed before the next injection, and
+//! deliveries are ordered by `(virtual time, triggering event, hop)` so that
+//! causality — in particular the arrive-before-candidate property that the
+//! `NSEQ` absence check relies on — holds exactly when the network latency
+//! is zero.
+//!
+//! The simulator is the measurement instrument for the paper's transmission
+//! experiments (§7.2, Table 3): it counts every match that crosses the
+//! network (once per target node, matching the cost model's shipping rule
+//! of §4.4) and the encoded bytes.
+
+use crate::codec::encoded_len;
+use crate::deploy::{Deployment, TaskKind};
+use crate::matcher::{JoinTask, Match};
+use crate::metrics::Metrics;
+use muse_core::event::{Event, Timestamp};
+use muse_core::types::NodeId;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Virtual network latency per hop, in ticks. With the default of 0 the
+    /// simulation is exactly trace-ordered (required for `NSEQ` queries).
+    pub latency: Timestamp,
+    /// Join store eviction slack (≥ 1.0).
+    pub slack: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            latency: 0,
+            slack: 1.0,
+        }
+    }
+}
+
+/// Runtime state of one task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum TaskState {
+    /// A source task is stateless.
+    Source,
+    /// A join task with its buffered matches (boxed: join state is large
+    /// compared to the empty source variant).
+    Join(Box<JoinTask>),
+}
+
+/// A scheduled match delivery.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct QItem {
+    time: Timestamp,
+    trigger: u64,
+    sub: u64,
+    target: usize,
+    slot: usize,
+    m: Match,
+}
+
+/// Heap adapter ordering deliveries by `(time, trigger, sub)` ascending.
+#[derive(Debug, Clone)]
+struct HeapEntry(QItem);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for a min-heap on BinaryHeap.
+        other.key().cmp(&self.key())
+    }
+}
+impl HeapEntry {
+    fn key(&self) -> (Timestamp, u64, u64) {
+        (self.0.time, self.0.trigger, self.0.sub)
+    }
+}
+
+/// Serializable executor state (everything but the deployment itself); the
+/// unit of checkpointing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimState {
+    /// Per-task runtime state.
+    pub states: Vec<TaskState>,
+    /// Pending deliveries (drained heap).
+    pending: Vec<QItem>,
+    next_sub: u64,
+    /// Collected metrics.
+    pub metrics: Metrics,
+    /// Sink matches per query (parallel to `Deployment::queries`).
+    pub matches: Vec<Vec<Match>>,
+    /// Transmission-multiplexing memory (see `SimExecutor::sent`).
+    #[serde(default)]
+    sent: Vec<(u64, NodeId, NodeId, u64)>,
+}
+
+/// The result of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Sink matches per query (parallel to `Deployment::queries`).
+    pub matches: Vec<Vec<Match>>,
+    /// Collected metrics.
+    pub metrics: Metrics,
+}
+
+/// A resumable discrete-event executor.
+pub struct SimExecutor<'a> {
+    deployment: &'a Deployment,
+    config: SimConfig,
+    states: Vec<TaskState>,
+    heap: BinaryHeap<HeapEntry>,
+    next_sub: u64,
+    metrics: Metrics,
+    matches: Vec<Vec<Match>>,
+    /// Already-transmitted streams `(stream sig, from, to, match hash)`:
+    /// identical matches of semantically identical tasks are shipped to a
+    /// node once and multiplexed (cross-query stream reuse at runtime).
+    sent: std::collections::HashSet<(u64, NodeId, NodeId, u64)>,
+}
+
+impl<'a> SimExecutor<'a> {
+    /// Creates an executor with fresh task state.
+    pub fn new(deployment: &'a Deployment, config: SimConfig) -> Self {
+        let states = (0..deployment.tasks.len())
+            .map(|i| match &deployment.tasks[i].kind {
+                TaskKind::Source { .. } => TaskState::Source,
+                TaskKind::Join { .. } => TaskState::Join(Box::new(
+                    deployment
+                        .make_join(i, config.slack)
+                        .expect("join task instantiates"),
+                )),
+            })
+            .collect();
+        let matches = vec![Vec::new(); deployment.queries.len()];
+        let metrics = Metrics::new(deployment.num_nodes);
+        Self {
+            deployment,
+            config,
+            states,
+            heap: BinaryHeap::new(),
+            next_sub: 0,
+            metrics,
+            matches,
+            sent: Default::default(),
+        }
+    }
+
+    /// Feeds a slice of the global trace (events must be in trace order and
+    /// non-decreasing across successive calls).
+    pub fn process_trace(&mut self, events: &[Event]) {
+        for event in events {
+            self.inject(event);
+            self.drain();
+        }
+    }
+
+    /// Injects one event into the source tasks at its origin.
+    fn inject(&mut self, event: &Event) {
+        let sources: Vec<usize> = self
+            .deployment
+            .sources_for(event.origin, event.ty)
+            .to_vec();
+        if sources.is_empty() {
+            return;
+        }
+        self.metrics.events_injected += 1;
+        self.metrics.record_processed(event.origin.index());
+        for task in sources {
+            let TaskKind::Source { prim, predicates, .. } = &self.deployment.tasks[task].kind
+            else {
+                unreachable!("sources_for returns source tasks");
+            };
+            let query = &self.deployment.queries[self.deployment.tasks[task].query_idx];
+            let passes = predicates.iter().all(|&pi| {
+                query.predicates()[pi].evaluate(|p| (p == *prim).then_some(event)) == Some(true)
+            });
+            if !passes {
+                continue;
+            }
+            let m = Match::single(*prim, event.clone());
+            self.route(task, vec![m], event.time, event.seq);
+        }
+    }
+
+    /// Routes emitted matches of a task: schedules deliveries, counting
+    /// network messages once per (match, remote target node).
+    fn route(&mut self, task: usize, outs: Vec<Match>, time: Timestamp, trigger: u64) {
+        if outs.is_empty() {
+            return;
+        }
+        let routes = self.deployment.routes[task].clone();
+        if routes.is_empty() {
+            return;
+        }
+        let own_node = self.deployment.tasks[task].node;
+        for m in outs {
+            // Count each remote node once (§4.4: matches are shipped to a
+            // node once and shared by its placements).
+            let mut remote_nodes: Vec<NodeId> = routes
+                .iter()
+                .filter(|r| r.remote)
+                .map(|r| self.deployment.tasks[r.target].node)
+                .collect();
+            remote_nodes.sort();
+            remote_nodes.dedup();
+            if !remote_nodes.is_empty() {
+                let bytes = encoded_len(&m) as u64;
+                let sig = self.deployment.tasks[task].stream_sig;
+                let mhash = match_hash(&m);
+                for &n in &remote_nodes {
+                    if self.sent.insert((sig, own_node, n, mhash)) {
+                        self.metrics.messages_sent += 1;
+                        self.metrics.bytes_sent += bytes;
+                    }
+                }
+            }
+            for r in &routes {
+                let delivery_time = if r.remote {
+                    time + self.config.latency
+                } else {
+                    self.metrics.local_deliveries += 1;
+                    time
+                };
+                debug_assert!(
+                    r.remote || self.deployment.tasks[r.target].node == own_node,
+                    "local route must stay on the node"
+                );
+                self.next_sub += 1;
+                self.heap.push(HeapEntry(QItem {
+                    time: delivery_time,
+                    trigger,
+                    sub: self.next_sub,
+                    target: r.target,
+                    slot: r.slot,
+                    m: m.clone(),
+                }));
+            }
+        }
+    }
+
+    /// Processes all pending deliveries.
+    fn drain(&mut self) {
+        while let Some(HeapEntry(item)) = self.heap.pop() {
+            let spec = &self.deployment.tasks[item.target];
+            let node = spec.node.index();
+            self.metrics.record_processed(node);
+            let outs = match &mut self.states[item.target] {
+                TaskState::Join(join) => join.on_match(item.slot, item.m),
+                TaskState::Source => unreachable!("deliveries only target joins"),
+            };
+            if outs.is_empty() {
+                continue;
+            }
+            if spec.is_sink {
+                let query_idx = spec.query_idx;
+                for m in &outs {
+                    self.metrics.sink_matches += 1;
+                    self.metrics
+                        .latencies
+                        .push(item.time.saturating_sub(m.last_time()));
+                    self.matches[query_idx].push(m.clone());
+                }
+            }
+            self.route(item.target, outs, item.time, item.trigger);
+        }
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The sink matches collected so far, per query.
+    pub fn matches(&self) -> &[Vec<Match>] {
+        &self.matches
+    }
+
+    /// Extracts the serializable state (checkpointing support).
+    pub fn state(&self) -> SimState {
+        let mut pending: Vec<QItem> = self.heap.iter().map(|e| e.0.clone()).collect();
+        pending.sort_by_key(|i| (i.time, i.trigger, i.sub));
+        let mut sent: Vec<(u64, NodeId, NodeId, u64)> = self.sent.iter().copied().collect();
+        sent.sort_unstable();
+        SimState {
+            states: self.states.clone(),
+            pending,
+            next_sub: self.next_sub,
+            metrics: self.metrics.clone(),
+            matches: self.matches.clone(),
+            sent,
+        }
+    }
+
+    /// Rebuilds an executor from a previously extracted state.
+    pub fn from_state(deployment: &'a Deployment, config: SimConfig, state: SimState) -> Self {
+        let heap = state.pending.into_iter().map(HeapEntry).collect();
+        Self {
+            deployment,
+            config,
+            states: state.states,
+            heap,
+            next_sub: state.next_sub,
+            metrics: state.metrics,
+            matches: state.matches,
+            sent: state.sent.into_iter().collect(),
+        }
+    }
+
+    /// Finishes the run and returns the report.
+    pub fn finish(mut self) -> SimReport {
+        self.drain();
+        SimReport {
+            matches: self.matches,
+            metrics: self.metrics,
+        }
+    }
+}
+
+/// A compact hash of a match's constituent events (for transmission
+/// multiplexing; collisions only skew the metric, never the results).
+pub(crate) fn match_hash_for_mux(m: &Match) -> u64 {
+    match_hash(m)
+}
+
+fn match_hash(m: &Match) -> u64 {
+    // Only the constituent events identify the physical payload: primitive
+    // operator ids are receiver-side interpretation and differ across
+    // queries for semantically identical streams.
+    let mut seqs: Vec<u64> = m.entries().iter().map(|(_, e)| e.seq).collect();
+    seqs.sort_unstable();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for s in seqs {
+        h = (h ^ s).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs a deployment over a complete global trace.
+///
+/// # Examples
+///
+/// ```
+/// use muse_core::graph::PlanContext;
+/// use muse_core::prelude::*;
+/// use muse_runtime::sim::{run_simulation, SimConfig};
+/// use muse_runtime::Deployment;
+///
+/// // Two nodes, each producing one type; query SEQ(A, B).
+/// let (a, b) = (EventTypeId(0), EventTypeId(1));
+/// let network = NetworkBuilder::new(2, 2)
+///     .node(NodeId(0), [a])
+///     .node(NodeId(1), [b])
+///     .rate(a, 5.0)
+///     .rate(b, 5.0)
+///     .build();
+/// let query = Query::build(
+///     QueryId(0),
+///     &Pattern::seq([Pattern::leaf(a), Pattern::leaf(b)]),
+///     vec![],
+///     1_000,
+/// )
+/// .unwrap();
+/// let plan = amuse(&query, &network, &AMuseConfig::default()).unwrap();
+/// let ctx = PlanContext::new(std::slice::from_ref(&query), &network, &plan.table);
+/// let deployment = Deployment::new(&plan.graph, &ctx);
+///
+/// let trace = vec![
+///     Event::new(0, a, 10, NodeId(0)),
+///     Event::new(1, b, 20, NodeId(1)),
+/// ];
+/// let report = run_simulation(&deployment, &trace, &SimConfig::default());
+/// assert_eq!(report.matches[0].len(), 1);
+/// assert!(report.metrics.messages_sent >= 1); // something crossed the network
+/// ```
+pub fn run_simulation(
+    deployment: &Deployment,
+    events: &[Event],
+    config: &SimConfig,
+) -> SimReport {
+    let mut executor = SimExecutor::new(deployment, config.clone());
+    executor.process_trace(events);
+    executor.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::Evaluator;
+    use muse_core::algorithms::amuse::{amuse, AMuseConfig};
+    use muse_core::graph::PlanContext;
+    use muse_core::network::{Network, NetworkBuilder};
+    use muse_core::query::{CmpOp, Pattern, Predicate, Query};
+    use muse_core::types::{AttrId, EventTypeId, PrimId, QueryId};
+    use std::collections::BTreeSet;
+
+    fn t(i: u16) -> EventTypeId {
+        EventTypeId(i)
+    }
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    fn fig1_network() -> Network {
+        NetworkBuilder::new(3, 3)
+            .node(n(0), [t(0), t(2)])
+            .node(n(1), [t(0), t(1)])
+            .node(n(2), [t(1)])
+            .rate(t(0), 20.0)
+            .rate(t(1), 20.0)
+            .rate(t(2), 1.0)
+            .build()
+    }
+
+    fn robots_query(selectivity: Option<f64>) -> Query {
+        let preds = selectivity
+            .map(|s| {
+                vec![Predicate::binary(
+                    (PrimId(0), AttrId(0)),
+                    CmpOp::Eq,
+                    (PrimId(1), AttrId(0)),
+                    s,
+                )]
+            })
+            .unwrap_or_default();
+        Query::build(
+            QueryId(0),
+            &Pattern::seq([
+                Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+                Pattern::leaf(t(2)),
+            ]),
+            preds,
+            5_000,
+        )
+        .unwrap()
+    }
+
+    fn fingerprints(matches: &[Match]) -> BTreeSet<Vec<u64>> {
+        matches.iter().map(Match::fingerprint).collect()
+    }
+
+    fn deploy_and_run(query: &Query, network: &Network, events: &[Event]) -> SimReport {
+        let plan = amuse(query, network, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(query), network, &plan.table);
+        plan.graph.check_correct(&ctx, 1_000_000).unwrap();
+        let deployment = Deployment::new(&plan.graph, &ctx);
+        run_simulation(&deployment, events, &SimConfig::default())
+    }
+
+    fn trace(network: &Network, seed: u64, key_domain: u32) -> Vec<Event> {
+        muse_sim::traces::generate_traces(
+            network,
+            &muse_sim::traces::TraceConfig {
+                duration: 30.0,
+                ticks_per_unit: 100.0,
+                rate_scale: 0.05,
+                key_domain,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn distributed_matches_equal_centralized() {
+        let net = fig1_network();
+        let q = robots_query(None);
+        for seed in 0..3 {
+            let events = trace(&net, seed, 0);
+            let report = deploy_and_run(&q, &net, &events);
+            let central = Evaluator::for_query(&q).run(&events);
+            assert_eq!(
+                fingerprints(&report.matches[0]),
+                fingerprints(&central),
+                "seed {seed}: {} vs {} matches",
+                report.matches[0].len(),
+                central.len()
+            );
+            // No duplicates across sinks.
+            assert_eq!(
+                report.matches[0].len(),
+                fingerprints(&report.matches[0]).len()
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_matches_with_predicates() {
+        let net = fig1_network();
+        let q = robots_query(Some(0.5));
+        let events = muse_sim::traces::generate_traces(
+            &net,
+            &muse_sim::traces::TraceConfig {
+                duration: 60.0,
+                ticks_per_unit: 100.0,
+                rate_scale: 0.15,
+                key_domain: 2, // equality selectivity 0.5
+                seed: 7,
+            },
+        );
+        let report = deploy_and_run(&q, &net, &events);
+        let central = Evaluator::for_query(&q).run(&events);
+        assert_eq!(fingerprints(&report.matches[0]), fingerprints(&central));
+        assert!(!central.is_empty(), "trace should produce matches");
+    }
+
+    #[test]
+    fn transmissions_below_centralized() {
+        let net = fig1_network();
+        let q = robots_query(Some(0.25));
+        let events = trace(&net, 3, 4);
+        let report = deploy_and_run(&q, &net, &events);
+        assert!(report.metrics.events_injected > 0);
+        // The MuSE plan must move fewer matches than centralized shipping
+        // of every event.
+        assert!(
+            report.metrics.messages_sent < report.metrics.events_injected,
+            "sent {} of {} events",
+            report.metrics.messages_sent,
+            report.metrics.events_injected
+        );
+        assert!(report.metrics.bytes_sent > 0);
+        assert_eq!(
+            report.metrics.sink_matches as usize,
+            report.matches[0].len()
+        );
+    }
+
+    #[test]
+    fn multi_sink_plan_partitions_matches() {
+        // Network where every node produces the frequent type: aMuSE builds
+        // a multi-sink plan; matches must be partitioned, not duplicated.
+        let net = NetworkBuilder::new(3, 3)
+            .node(n(0), [t(0), t(1)])
+            .node(n(1), [t(0)])
+            .node(n(2), [t(0), t(2)])
+            .rate(t(0), 50.0)
+            .rate(t(1), 1.0)
+            .rate(t(2), 1.0)
+            .build();
+        let q = Query::build(
+            QueryId(0),
+            &Pattern::seq([Pattern::leaf(t(1)), Pattern::leaf(t(0)), Pattern::leaf(t(2))]),
+            vec![],
+            5_000,
+        )
+        .unwrap();
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let events = trace(&net, 11, 0);
+        let report = deploy_and_run(&q, &net, &events);
+        let central = Evaluator::for_query(&q).run(&events);
+        assert_eq!(fingerprints(&report.matches[0]), fingerprints(&central));
+        assert!(plan.is_multi_sink());
+    }
+
+    #[test]
+    fn nseq_query_distributed() {
+        // NSEQ(F, C, L): rare F, then rare L, with no frequent C between.
+        let net = fig1_network();
+        let q = Query::build(
+            QueryId(0),
+            &Pattern::nseq(Pattern::leaf(t(2)), Pattern::leaf(t(0)), Pattern::leaf(t(1))),
+            vec![],
+            5_000,
+        )
+        .unwrap();
+        let events = trace(&net, 5, 0);
+        let report = deploy_and_run(&q, &net, &events);
+        let central = Evaluator::for_query(&q).run(&events);
+        assert_eq!(fingerprints(&report.matches[0]), fingerprints(&central));
+    }
+
+    #[test]
+    fn checkpoint_and_restore_resumes_identically() {
+        let net = fig1_network();
+        let q = robots_query(None);
+        let events = trace(&net, 13, 0);
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+        let deployment = Deployment::new(&plan.graph, &ctx);
+
+        // Uninterrupted run.
+        let full = run_simulation(&deployment, &events, &SimConfig::default());
+
+        // Interrupted run: snapshot at the midpoint, restore, resume.
+        let mid = events.len() / 2;
+        let mut first = SimExecutor::new(&deployment, SimConfig::default());
+        first.process_trace(&events[..mid]);
+        let snapshot = crate::checkpoint::snapshot(&first).unwrap();
+        drop(first);
+        let mut resumed =
+            crate::checkpoint::restore(&deployment, SimConfig::default(), &snapshot).unwrap();
+        resumed.process_trace(&events[mid..]);
+        let report = resumed.finish();
+
+        assert_eq!(
+            fingerprints(&report.matches[0]),
+            fingerprints(&full.matches[0])
+        );
+        assert_eq!(report.metrics.messages_sent, full.metrics.messages_sent);
+    }
+
+    #[test]
+    fn latencies_recorded_per_sink_match() {
+        let net = fig1_network();
+        let q = robots_query(None);
+        let events = trace(&net, 17, 0);
+        let report = deploy_and_run(&q, &net, &events);
+        assert_eq!(
+            report.metrics.latencies.len(),
+            report.matches[0].len()
+        );
+        // Zero latency network: emission happens at the closing event time.
+        assert!(report.metrics.latencies.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn network_latency_adds_to_match_latency() {
+        let net = fig1_network();
+        let q = robots_query(None);
+        let events = trace(&net, 17, 0);
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+        let deployment = Deployment::new(&plan.graph, &ctx);
+        let report = run_simulation(
+            &deployment,
+            &events,
+            &SimConfig {
+                latency: 10,
+                slack: 2.0,
+            },
+        );
+        if !report.metrics.latencies.is_empty() {
+            assert!(report.metrics.latencies.iter().any(|&l| l > 0));
+        }
+    }
+}

@@ -1,0 +1,530 @@
+//! Thread-per-node execution of a deployment for wall-clock latency and
+//! throughput measurements (the Fig. 8 experiment of the paper).
+//!
+//! Each network node runs as one OS thread owning its tasks; matches cross
+//! nodes via `crossbeam` channels. Execution proceeds in *chunks* of
+//! virtual time: within a chunk every node injects its local events as fast
+//! as possible (interleaved with inbox draining), then all nodes run a
+//! fixed number of barrier-synchronized drain rounds — one per possible
+//! network hop — so every in-flight match is consumed before the next chunk
+//! starts. With a store-eviction slack covering the chunk skew, the
+//! produced match sets equal the deterministic simulator's for
+//! negation-free queries (asserted in tests), while wall-clock throughput
+//! and per-match latency reflect real parallel execution.
+
+use crate::codec::encoded_len;
+use crate::deploy::{Deployment, TaskKind};
+use crate::matcher::{JoinTask, Match};
+use crate::metrics::Metrics;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use muse_core::event::{Event, Timestamp};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Configuration of the threaded executor.
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    /// Join store eviction slack (multiples of the window; must cover the
+    /// inter-node skew of one chunk, ≥ 2 recommended).
+    pub slack: f64,
+    /// Virtual-time chunk length; defaults to the workload's largest
+    /// window.
+    pub chunk_ticks: Option<Timestamp>,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        Self {
+            slack: 4.0,
+            chunk_ticks: None,
+        }
+    }
+}
+
+/// The result of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadedReport {
+    /// Sink matches per query.
+    pub matches: Vec<Vec<Match>>,
+    /// Aggregated metrics (virtual-time latencies unused; see
+    /// `wall_latencies_ns`).
+    pub metrics: Metrics,
+    /// Total wall-clock execution time.
+    pub wall_time: Duration,
+    /// Injected events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Wall-clock latency per sink match, in nanoseconds: emission minus
+    /// injection of the match's newest constituent event.
+    pub wall_latencies_ns: Vec<u64>,
+}
+
+impl ThreadedReport {
+    /// Five-number summary of wall-clock latencies in nanoseconds
+    /// `(min, p25, p50, p75, max)`, as plotted in Fig. 8.
+    pub fn latency_summary_ns(&self) -> Option<[u64; 5]> {
+        if self.wall_latencies_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.wall_latencies_ns.clone();
+        sorted.sort_unstable();
+        let pick = |p: f64| sorted[((p * (sorted.len() - 1) as f64).round()) as usize];
+        Some([pick(0.0), pick(0.25), pick(0.5), pick(0.75), pick(1.0)])
+    }
+}
+
+/// A match in flight between nodes.
+struct NodeMsg {
+    target: usize,
+    slot: usize,
+    m: Match,
+}
+
+/// The maximum number of network hops on any task path — the number of
+/// drain rounds needed to reach quiescence after all sends of a chunk.
+fn remote_depth(deployment: &Deployment) -> usize {
+    let n = deployment.tasks.len();
+    let mut indeg = vec![0usize; n];
+    for routes in &deployment.routes {
+        for r in routes {
+            indeg[r.target] += 1;
+        }
+    }
+    let mut depth = vec![0usize; n];
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut head = 0;
+    let mut max_depth = 0;
+    while head < queue.len() {
+        let i = queue[head];
+        head += 1;
+        for r in &deployment.routes[i] {
+            let d = depth[i] + usize::from(r.remote);
+            if d > depth[r.target] {
+                depth[r.target] = d;
+                max_depth = max_depth.max(d);
+            }
+            indeg[r.target] -= 1;
+            if indeg[r.target] == 0 {
+                queue.push(r.target);
+            }
+        }
+    }
+    max_depth
+}
+
+/// Runs a deployment with one thread per network node.
+pub fn run_threaded(
+    deployment: &Deployment,
+    events: &[Event],
+    config: &ThreadedConfig,
+) -> ThreadedReport {
+    let num_nodes = deployment.num_nodes.max(1);
+    let chunk = config
+        .chunk_ticks
+        .unwrap_or_else(|| {
+            deployment
+                .queries
+                .iter()
+                .map(|q| q.window())
+                .max()
+                .unwrap_or(1)
+        })
+        .max(1);
+    let t_end = events.iter().map(|e| e.time).max().unwrap_or(0) + 1;
+    let num_chunks = t_end.div_ceil(chunk).max(1);
+    let rounds_per_chunk = remote_depth(deployment) + 1;
+
+    // Per-node local event slices (trace order preserved).
+    let mut per_node: Vec<Vec<Event>> = vec![Vec::new(); num_nodes];
+    for e in events {
+        if e.origin.index() < num_nodes {
+            per_node[e.origin.index()].push(e.clone());
+        }
+    }
+
+    // Channels, barriers, shared injection timestamps.
+    let mut senders: Vec<Sender<NodeMsg>> = Vec::with_capacity(num_nodes);
+    let mut receivers: Vec<Option<Receiver<NodeMsg>>> = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(Some(r));
+    }
+    let barrier = Arc::new(Barrier::new(num_nodes));
+    let max_seq = events.iter().map(|e| e.seq).max().unwrap_or(0) as usize;
+    let inject_ns: Arc<Vec<AtomicU64>> =
+        Arc::new((0..=max_seq).map(|_| AtomicU64::new(0)).collect());
+    let start = Instant::now();
+
+    let report_parts: Vec<NodeOutcome> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_nodes);
+        for node in 0..num_nodes {
+            let local_events = std::mem::take(&mut per_node[node]);
+            let receiver = receivers[node].take().expect("receiver unused");
+            let senders = senders.clone();
+            let barrier = Arc::clone(&barrier);
+            let inject_ns = Arc::clone(&inject_ns);
+            let config = config.clone();
+            handles.push(scope.spawn(move || {
+                run_node(
+                    deployment,
+                    node,
+                    local_events,
+                    receiver,
+                    senders,
+                    barrier,
+                    inject_ns,
+                    start,
+                    chunk,
+                    num_chunks,
+                    rounds_per_chunk,
+                    config.slack,
+                )
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("node thread")).collect()
+    });
+
+    let wall_time = start.elapsed();
+    let mut metrics = Metrics::new(num_nodes);
+    let mut matches = vec![Vec::new(); deployment.queries.len()];
+    let mut wall_latencies_ns = Vec::new();
+    for part in report_parts {
+        metrics.merge(&part.metrics);
+        for (q, ms) in part.matches.into_iter().enumerate() {
+            matches[q].extend(ms);
+        }
+        wall_latencies_ns.extend(part.wall_latencies_ns);
+    }
+    let events_per_sec = if wall_time.as_secs_f64() > 0.0 {
+        events.len() as f64 / wall_time.as_secs_f64()
+    } else {
+        0.0
+    };
+    ThreadedReport {
+        matches,
+        metrics,
+        wall_time,
+        events_per_sec,
+        wall_latencies_ns,
+    }
+}
+
+struct NodeOutcome {
+    metrics: Metrics,
+    matches: Vec<Vec<Match>>,
+    wall_latencies_ns: Vec<u64>,
+}
+
+struct NodeRunner<'a> {
+    deployment: &'a Deployment,
+    node: usize,
+    joins: Vec<Option<JoinTask>>,
+    senders: Vec<Sender<NodeMsg>>,
+    inject_ns: Arc<Vec<AtomicU64>>,
+    start: Instant,
+    metrics: Metrics,
+    matches: Vec<Vec<Match>>,
+    wall_latencies_ns: Vec<u64>,
+    /// Sender-side transmission multiplexing (see the simulator's `sent`).
+    sent: std::collections::HashSet<(u64, usize, u64)>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_node(
+    deployment: &Deployment,
+    node: usize,
+    local_events: Vec<Event>,
+    receiver: Receiver<NodeMsg>,
+    senders: Vec<Sender<NodeMsg>>,
+    barrier: Arc<Barrier>,
+    inject_ns: Arc<Vec<AtomicU64>>,
+    start: Instant,
+    chunk: Timestamp,
+    num_chunks: u64,
+    rounds_per_chunk: usize,
+    slack: f64,
+) -> NodeOutcome {
+    let joins: Vec<Option<JoinTask>> = (0..deployment.tasks.len())
+        .map(|i| {
+            if deployment.tasks[i].node.index() == node {
+                deployment.make_join(i, slack)
+            } else {
+                None
+            }
+        })
+        .collect();
+    let mut runner = NodeRunner {
+        deployment,
+        node,
+        joins,
+        senders,
+        inject_ns,
+        start,
+        metrics: Metrics::new(deployment.num_nodes),
+        matches: vec![Vec::new(); deployment.queries.len()],
+        wall_latencies_ns: Vec::new(),
+        sent: Default::default(),
+    };
+
+    let mut next = 0usize;
+    for chunk_idx in 0..num_chunks {
+        let bound = (chunk_idx + 1) * chunk;
+        while next < local_events.len() && local_events[next].time < bound {
+            runner.drain(&receiver);
+            runner.inject(&local_events[next]);
+            next += 1;
+        }
+        // Quiescence: one barrier-synchronized drain round per possible
+        // network hop.
+        for _ in 0..rounds_per_chunk {
+            barrier.wait();
+            runner.drain(&receiver);
+        }
+        barrier.wait();
+    }
+    NodeOutcome {
+        metrics: runner.metrics,
+        matches: runner.matches,
+        wall_latencies_ns: runner.wall_latencies_ns,
+    }
+}
+
+impl NodeRunner<'_> {
+    fn drain(&mut self, receiver: &Receiver<NodeMsg>) {
+        while let Ok(msg) = receiver.try_recv() {
+            self.handle(msg.target, msg.slot, msg.m);
+        }
+    }
+
+    fn inject(&mut self, event: &Event) {
+        let sources: Vec<usize> = self
+            .deployment
+            .sources_for(event.origin, event.ty)
+            .to_vec();
+        if sources.is_empty() {
+            return;
+        }
+        self.metrics.events_injected += 1;
+        self.metrics.record_processed(self.node);
+        if (event.seq as usize) < self.inject_ns.len() {
+            self.inject_ns[event.seq as usize].store(
+                self.start.elapsed().as_nanos() as u64,
+                Ordering::Release,
+            );
+        }
+        for task in sources {
+            let TaskKind::Source { prim, predicates, .. } = &self.deployment.tasks[task].kind
+            else {
+                unreachable!("sources_for returns source tasks");
+            };
+            let query = &self.deployment.queries[self.deployment.tasks[task].query_idx];
+            let passes = predicates.iter().all(|&pi| {
+                query.predicates()[pi].evaluate(|p| (p == *prim).then_some(event)) == Some(true)
+            });
+            if passes {
+                let m = Match::single(*prim, event.clone());
+                self.route(task, vec![m]);
+            }
+        }
+    }
+
+    fn handle(&mut self, task: usize, slot: usize, m: Match) {
+        self.metrics.record_processed(self.node);
+        let outs = self.joins[task]
+            .as_mut()
+            .expect("deliveries target local joins")
+            .on_match(slot, m);
+        if outs.is_empty() {
+            return;
+        }
+        let spec = &self.deployment.tasks[task];
+        if spec.is_sink {
+            let now = self.start.elapsed().as_nanos() as u64;
+            for m in &outs {
+                self.metrics.sink_matches += 1;
+                let newest = m
+                    .entries()
+                    .iter()
+                    .map(|(_, e)| e)
+                    .max_by(|a, b| a.trace_cmp(b))
+                    .expect("non-empty match");
+                let injected = self
+                    .inject_ns
+                    .get(newest.seq as usize)
+                    .map(|a| a.load(Ordering::Acquire))
+                    .unwrap_or(0);
+                self.wall_latencies_ns.push(now.saturating_sub(injected));
+                self.matches[spec.query_idx].push(m.clone());
+            }
+        }
+        self.route(task, outs);
+    }
+
+    fn route(&mut self, task: usize, outs: Vec<Match>) {
+        let routes = &self.deployment.routes[task];
+        if routes.is_empty() {
+            return;
+        }
+        for m in outs {
+            let mut remote_nodes: Vec<usize> = routes
+                .iter()
+                .filter(|r| r.remote)
+                .map(|r| self.deployment.tasks[r.target].node.index())
+                .collect();
+            remote_nodes.sort_unstable();
+            remote_nodes.dedup();
+            if !remote_nodes.is_empty() {
+                let bytes = encoded_len(&m) as u64;
+                let sig = self.deployment.tasks[task].stream_sig;
+                let mhash = crate::sim::match_hash_for_mux(&m);
+                for &n in &remote_nodes {
+                    if self.sent.insert((sig, n, mhash)) {
+                        self.metrics.messages_sent += 1;
+                        self.metrics.bytes_sent += bytes;
+                    }
+                }
+            }
+            // Clone per route; local routes recurse inline.
+            let routes: Vec<crate::deploy::Route> = routes.clone();
+            for r in routes {
+                if r.remote {
+                    let target_node = self.deployment.tasks[r.target].node.index();
+                    self.senders[target_node]
+                        .send(NodeMsg {
+                            target: r.target,
+                            slot: r.slot,
+                            m: m.clone(),
+                        })
+                        .expect("receiver alive during execution");
+                } else {
+                    self.metrics.local_deliveries += 1;
+                    self.handle(r.target, r.slot, m.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{run_simulation, SimConfig};
+    use muse_core::algorithms::amuse::{amuse, AMuseConfig};
+    use muse_core::graph::PlanContext;
+    use muse_core::network::{Network, NetworkBuilder};
+    use muse_core::query::{Pattern, Query};
+    use muse_core::types::{EventTypeId, NodeId, QueryId};
+    use std::collections::BTreeSet;
+
+    fn t(i: u16) -> EventTypeId {
+        EventTypeId(i)
+    }
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    fn network() -> Network {
+        NetworkBuilder::new(3, 3)
+            .node(n(0), [t(0), t(2)])
+            .node(n(1), [t(0), t(1)])
+            .node(n(2), [t(1)])
+            .rate(t(0), 20.0)
+            .rate(t(1), 20.0)
+            .rate(t(2), 1.0)
+            .build()
+    }
+
+    fn query() -> Query {
+        Query::build(
+            QueryId(0),
+            &Pattern::seq([
+                Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+                Pattern::leaf(t(2)),
+            ]),
+            vec![],
+            5_000,
+        )
+        .unwrap()
+    }
+
+    fn fingerprints(ms: &[Match]) -> BTreeSet<Vec<u64>> {
+        ms.iter().map(Match::fingerprint).collect()
+    }
+
+    #[test]
+    fn threaded_matches_equal_simulator() {
+        let net = network();
+        let q = query();
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+        let deployment = Deployment::new(&plan.graph, &ctx);
+        let events = muse_sim::traces::generate_traces(
+            &net,
+            &muse_sim::traces::TraceConfig {
+                duration: 40.0,
+                ticks_per_unit: 100.0,
+                rate_scale: 0.05,
+                key_domain: 0,
+                seed: 23,
+            },
+        );
+        let sim = run_simulation(&deployment, &events, &SimConfig::default());
+        let threaded = run_threaded(&deployment, &events, &ThreadedConfig::default());
+        assert_eq!(
+            fingerprints(&threaded.matches[0]),
+            fingerprints(&sim.matches[0]),
+            "threaded {} vs sim {}",
+            threaded.matches[0].len(),
+            sim.matches[0].len()
+        );
+        // Same network transmissions.
+        assert_eq!(threaded.metrics.messages_sent, sim.metrics.messages_sent);
+        assert!(threaded.events_per_sec > 0.0);
+        assert_eq!(
+            threaded.wall_latencies_ns.len(),
+            threaded.matches[0].len()
+        );
+    }
+
+    #[test]
+    fn latency_summary_shape() {
+        let report = ThreadedReport {
+            matches: vec![],
+            metrics: Metrics::new(1),
+            wall_time: Duration::from_millis(1),
+            events_per_sec: 0.0,
+            wall_latencies_ns: vec![50, 10, 30, 20, 40],
+        };
+        assert_eq!(report.latency_summary_ns(), Some([10, 20, 30, 40, 50]));
+        let empty = ThreadedReport {
+            wall_latencies_ns: vec![],
+            ..report
+        };
+        assert_eq!(empty.latency_summary_ns(), None);
+    }
+
+    #[test]
+    fn remote_depth_counts_network_hops() {
+        let net = network();
+        let q = query();
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+        let deployment = Deployment::new(&plan.graph, &ctx);
+        let d = remote_depth(&deployment);
+        assert!(d >= 1, "plan must have at least one network hop");
+        assert!(d <= deployment.tasks.len());
+    }
+
+    #[test]
+    fn empty_trace_completes() {
+        let net = network();
+        let q = query();
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+        let deployment = Deployment::new(&plan.graph, &ctx);
+        let report = run_threaded(&deployment, &[], &ThreadedConfig::default());
+        assert_eq!(report.metrics.events_injected, 0);
+        assert!(report.matches[0].is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! Probability distributions used by the generators.
+//!
+//! Only the approved offline crates are available, so the Zipf and
+//! exponential samplers are implemented here instead of pulling in
+//! `rand_distr`. Both are small, deterministic under a seeded PRNG, and
+//! property-tested.
+
+use rand::Rng;
+
+/// A Zipf distribution over `{1, …, max}` with exponent `s`:
+/// `P(X = k) ∝ k^(−s)`.
+///
+/// Used for the paper's *event rate skew* (§7.1): rates are drawn i.i.d.
+/// from a Zipfian distribution. A low exponent (1.1) has a heavy tail —
+/// drawn rates may differ by up to `max` (10⁶ in the paper) — while a high
+/// exponent (2.0) concentrates mass near 1, making rates nearly equivalent.
+///
+/// Sampling is inverse-CDF over a precomputed cumulative table: exact,
+/// deterministic, and fast enough for the handful of draws per network.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max == 0` or `s` is not finite and positive.
+    pub fn new(max: usize, s: f64) -> Self {
+        assert!(max > 0, "Zipf support must be non-empty");
+        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(max);
+        let mut acc = 0.0;
+        for k in 1..=max {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draws one sample in `1..=max`.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        // First index with cdf[i] >= u.
+        let i = self.cdf.partition_point(|&c| c < u);
+        (i.min(self.cdf.len() - 1) + 1) as u64
+    }
+
+    /// The size of the support.
+    pub fn max(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// Draws an exponential inter-arrival time with the given rate (events per
+/// time unit). Used to generate Poisson event streams (§7.1: "event
+/// generation follows a Poisson distribution").
+pub fn exponential(rng: &mut impl Rng, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_samples_in_support() {
+        let z = Zipf::new(100, 1.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let s = z.sample(&mut rng);
+            assert!((1..=100).contains(&s));
+        }
+    }
+
+    #[test]
+    fn zipf_rank_one_most_frequent() {
+        let z = Zipf::new(1000, 1.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 4]; // ranks 1, 2, 3, rest
+        for _ in 0..50_000 {
+            match z.sample(&mut rng) {
+                1 => counts[0] += 1,
+                2 => counts[1] += 1,
+                3 => counts[2] += 1,
+                _ => counts[3] += 1,
+            }
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[2]);
+        // For s = 1.5, P(1) ≈ 1/ζ(1.5) ≈ 0.38.
+        let p1 = counts[0] as f64 / 50_000.0;
+        assert!((p1 - 0.38).abs() < 0.03, "p1 = {p1}");
+    }
+
+    #[test]
+    fn zipf_high_skew_concentrates() {
+        // s = 2.0: almost all samples are tiny (rates nearly equivalent).
+        let z = Zipf::new(1_000_000, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = (0..10_000)
+            .filter(|_| z.sample(&mut rng) <= 10)
+            .count();
+        // P(X ≤ 10) = H₂(10)/ζ(2) ≈ 0.942 for s = 2.
+        assert!(small > 9_200, "{small} of 10000 ≤ 10");
+    }
+
+    #[test]
+    fn zipf_low_skew_has_heavy_tail() {
+        // s = 1.1 over 10⁶: large values do occur.
+        let z = Zipf::new(1_000_000, 1.1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let big = (0..20_000)
+            .map(|_| z.sample(&mut rng))
+            .max()
+            .unwrap();
+        assert!(big > 10_000, "max sample {big}");
+    }
+
+    #[test]
+    fn zipf_deterministic_under_seed() {
+        let z = Zipf::new(1000, 1.3);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rate = 4.0;
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut rng, rate)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            assert!(exponential(&mut rng, 0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "support")]
+    fn zipf_empty_support_panics() {
+        Zipf::new(0, 1.5);
+    }
+}

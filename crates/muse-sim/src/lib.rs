@@ -1,0 +1,26 @@
+//! # muse-sim
+//!
+//! Synthetic workload, network, and trace generators for the MuSE graphs
+//! reproduction, matching the experimental setup of §7.1 of the paper:
+//!
+//! * [`dist`] — hand-rolled samplers (Zipf over `{1..max}`, exponential
+//!   inter-arrival times) so the dependency set stays minimal;
+//! * [`network_gen`] — event-sourced networks with a configurable
+//!   *event-node ratio* and Zipf-skewed per-type rates;
+//! * [`workload_gen`] — random `SEQ`/`AND` query workloads with pairwise
+//!   selectivities drawn uniformly from a configurable range;
+//! * [`traces`] — Poisson event traces for a network (exponential
+//!   inter-arrival times per `(node, type)` pair);
+//! * [`cluster_trace`] — a synthetic stand-in for the Google cluster
+//!   workload traces used in the paper's case study (§7.3): per-task
+//!   life-cycle state machines over 9 event types on a 20-node network.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster_trace;
+pub mod dist;
+pub mod network_gen;
+pub mod stats_est;
+pub mod traces;
+pub mod workload_gen;

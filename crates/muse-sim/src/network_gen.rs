@@ -1,0 +1,184 @@
+//! Synthetic event-sourced networks (§7.1 of the paper).
+//!
+//! The default simulation setup of the paper is a network of 20 nodes and
+//! 15 event types with an *event node ratio* of 0.5 (each node generates
+//! ~50 % of the types on average) and rates drawn from a Zipfian
+//! distribution with skew 1.5; the scalability setup uses 50 nodes and 20
+//! types.
+
+use crate::dist::Zipf;
+use muse_core::network::Network;
+use muse_core::types::{EventTypeId, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic network generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Number of nodes (`|N|`).
+    pub nodes: usize,
+    /// Number of event types in the universe.
+    pub types: usize,
+    /// Average share of event types generated per node (0, 1].
+    pub event_node_ratio: f64,
+    /// Zipf exponent for per-type rates (paper: skew ∈ [1.1, 2.0],
+    /// default 1.5; lower = more skewed).
+    pub rate_skew: f64,
+    /// Upper bound of the rate support (paper: differences of up to 10⁶).
+    pub max_rate: usize,
+    /// PRNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 20,
+            types: 15,
+            event_node_ratio: 0.5,
+            rate_skew: 1.5,
+            max_rate: 1_000_000,
+            seed: 0,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// The paper's scalability setup: 50 nodes, 20 event types.
+    pub fn large() -> Self {
+        Self {
+            nodes: 50,
+            types: 20,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates a network: each `(node, type)` pair generates with probability
+/// `event_node_ratio` (at least one producer per type and at least one type
+/// per node are guaranteed), and each type's rate is one Zipf draw.
+pub fn generate_network(config: &NetworkConfig) -> Network {
+    assert!(config.nodes > 0 && config.types > 0);
+    assert!(
+        config.event_node_ratio > 0.0 && config.event_node_ratio <= 1.0,
+        "event node ratio must lie in (0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut network = Network::new(config.nodes, config.types);
+
+    for node in 0..config.nodes {
+        for ty in 0..config.types {
+            if rng.gen_bool(config.event_node_ratio) {
+                network.set_generates(NodeId(node as u16), EventTypeId(ty as u16));
+            }
+        }
+    }
+    // Guarantee a producer per type …
+    for ty in 0..config.types {
+        let t = EventTypeId(ty as u16);
+        if network.num_producers(t) == 0 {
+            let node = rng.gen_range(0..config.nodes);
+            network.set_generates(NodeId(node as u16), t);
+        }
+    }
+    // … and a type per node.
+    for node in 0..config.nodes {
+        let n = NodeId(node as u16);
+        if network.generated_types(n).is_empty() {
+            let ty = rng.gen_range(0..config.types);
+            network.set_generates(n, EventTypeId(ty as u16));
+        }
+    }
+
+    let zipf = Zipf::new(config.max_rate, config.rate_skew);
+    for ty in 0..config.types {
+        network.set_rate(EventTypeId(ty as u16), zipf.sample(&mut rng) as f64);
+    }
+    network
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = NetworkConfig::default();
+        assert_eq!((c.nodes, c.types), (20, 15));
+        assert_eq!(c.event_node_ratio, 0.5);
+        assert_eq!(c.rate_skew, 1.5);
+        let l = NetworkConfig::large();
+        assert_eq!((l.nodes, l.types), (50, 20));
+    }
+
+    #[test]
+    fn every_type_has_a_producer() {
+        for seed in 0..10 {
+            let net = generate_network(&NetworkConfig {
+                event_node_ratio: 0.1,
+                seed,
+                ..Default::default()
+            });
+            for ty in 0..net.num_types() {
+                assert!(net.num_producers(EventTypeId(ty as u16)) >= 1);
+            }
+            for node in net.nodes() {
+                assert!(!net.generated_types(node).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn event_node_ratio_approximated() {
+        let net = generate_network(&NetworkConfig {
+            nodes: 50,
+            types: 20,
+            event_node_ratio: 0.5,
+            seed: 42,
+            ..Default::default()
+        });
+        let ratio = net.event_node_ratio();
+        assert!((ratio - 0.5).abs() < 0.08, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn rates_are_positive() {
+        let net = generate_network(&NetworkConfig::default());
+        for ty in 0..net.num_types() {
+            assert!(net.rate(EventTypeId(ty as u16)) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate_network(&NetworkConfig {
+            seed: 7,
+            ..Default::default()
+        });
+        let b = generate_network(&NetworkConfig {
+            seed: 7,
+            ..Default::default()
+        });
+        for ty in 0..a.num_types() {
+            let t = EventTypeId(ty as u16);
+            assert_eq!(a.rate(t), b.rate(t));
+            assert_eq!(a.producers(t), b.producers(t));
+        }
+    }
+
+    #[test]
+    fn low_skew_produces_rate_spread() {
+        // With skew 1.1 and enough types, rates should differ widely.
+        let net = generate_network(&NetworkConfig {
+            types: 30,
+            rate_skew: 1.1,
+            seed: 3,
+            ..Default::default()
+        });
+        let rates: Vec<f64> = (0..30).map(|t| net.rate(EventTypeId(t))).collect();
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 100.0, "spread {max}/{min}");
+    }
+}

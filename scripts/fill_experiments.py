@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Render results/*.json into markdown tables for EXPERIMENTS.md.
+
+Usage: python3 scripts/fill_experiments.py [results_dir]
+Prints a markdown fragment per experiment; paste/patch into EXPERIMENTS.md.
+"""
+import json
+import statistics
+import sys
+from pathlib import Path
+
+
+def med(values):
+    return statistics.median(values) if values else float("nan")
+
+
+def fmt_ratio(values):
+    if not values:
+        return "—"
+    return f"{med(values):.4f} [{min(values):.4f}, {max(values):.4f}]"
+
+
+def render(payload):
+    if "RatioSweep" in payload:
+        d = payload["RatioSweep"]
+        out = [f"### {d['id']}: {d['title']}", ""]
+        out.append(f"| {d['x_label']} | aMuSE | aMuSE* | oOP |")
+        out.append("|---|---|---|---|")
+        for p in d["points"]:
+            out.append(
+                f"| {p['x']} | {fmt_ratio(p['amuse'])} | "
+                f"{fmt_ratio(p['amuse_star'])} | {fmt_ratio(p['oop'])} |"
+            )
+        return "\n".join(out)
+    if "Construction" in payload:
+        d = payload["Construction"]
+        out = [f"### {d['id']}: construction efficiency", ""]
+        out.append("| setting | aMuSE [ms] | aMuSE* [ms] | aMuSE #proj | aMuSE* #proj |")
+        out.append("|---|---|---|---|---|")
+        for r in d["rows"]:
+            out.append(
+                f"| {r['setting']} | {r['amuse_ms']:.0f} | {r['amuse_star_ms']:.0f} "
+                f"| {r['amuse_projections']:.0f} | {r['amuse_star_projections']:.0f} |"
+            )
+        return "\n".join(out)
+    if "CaseStudyTable" in payload:
+        d = payload["CaseStudyTable"]
+        out = [f"### {d['id']}: case study transmission ratio", ""]
+        out.append("| scenario | aMuSE | oOP | matches |")
+        out.append("|---|---|---|---|")
+        for r in d["rows"]:
+            out.append(
+                f"| {r['scenario']} | {r['amuse_ratio'] * 100:.1f}% "
+                f"| {r['oop_ratio'] * 100:.1f}% | {r['matches']} |"
+            )
+        return "\n".join(out)
+    if "CaseStudyRuns" in payload:
+        d = payload["CaseStudyRuns"]
+        out = [f"### {d['id']}: case study latency & throughput", ""]
+        out.append("| scenario | plan | latency µs (min/q1/med/q3/max) | events/s | matches |")
+        out.append("|---|---|---|---|---|")
+        for r in d["rows"]:
+            lat = "/".join(f"{v:.0f}" for v in r["latency_us"])
+            out.append(
+                f"| {r['scenario']} | {r['strategy']} | {lat} "
+                f"| {r['events_per_sec']:.0f} | {r['matches']} |"
+            )
+        return "\n".join(out)
+    return f"(unrecognized payload: {list(payload)[0]})"
+
+
+def main():
+    results = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    order = [
+        "fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b",
+        "fig7a", "fig7b", "fig7c", "fig7d", "table3", "fig8", "ablation",
+    ]
+    for name in order:
+        path = results / f"{name}.json"
+        if not path.exists():
+            continue
+        print(render(json.loads(path.read_text())))
+        print()
+
+
+if __name__ == "__main__":
+    main()

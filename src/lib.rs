@@ -1,0 +1,18 @@
+//! # muse
+//!
+//! Umbrella crate for the MuSE graphs reproduction: re-exports the model and
+//! algorithms (`muse-core`), the distributed CEP execution engine
+//! (`muse-runtime`), and the synthetic workload generators (`muse-sim`).
+//!
+//! See the repository README for an architecture overview, `examples/` for
+//! runnable scenarios, and `crates/muse-bench` for the experiment harness
+//! regenerating every table and figure of the paper.
+
+pub use muse_core as core;
+pub use muse_runtime as runtime;
+pub use muse_sim as sim;
+
+/// Commonly used items across all three crates.
+pub mod prelude {
+    pub use muse_core::prelude::*;
+}

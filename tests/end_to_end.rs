@@ -1,0 +1,268 @@
+//! Cross-crate integration tests: generate → plan → validate → execute →
+//! verify, over randomized instances.
+
+use muse_core::algorithms::amuse::{amuse, AMuseConfig};
+use muse_core::algorithms::baselines::{
+    centralized_cost, optimal_operator_placement, optimal_operator_placement_workload,
+    placement_to_graph,
+};
+use muse_core::algorithms::multi_query::amuse_workload;
+use muse_core::graph::PlanContext;
+use muse_core::prelude::*;
+use muse_runtime::matcher::Evaluator;
+use muse_runtime::sim::{run_simulation, SimConfig};
+use muse_runtime::Deployment;
+use muse_sim::network_gen::{generate_network, NetworkConfig};
+use muse_sim::traces::{generate_traces, TraceConfig};
+use muse_sim::workload_gen::{generate_workload, WorkloadConfig};
+use std::collections::BTreeSet;
+
+fn small_network(seed: u64) -> NetworkConfig {
+    NetworkConfig {
+        nodes: 6,
+        types: 6,
+        event_node_ratio: 0.6,
+        rate_skew: 1.4,
+        max_rate: 1_000,
+        seed,
+    }
+}
+
+fn small_workload(seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        queries: 3,
+        prims_per_query: 3,
+        types: 6,
+        window: 3_000,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Every generated instance yields correct plans whose costs order as the
+/// paper's evaluation reports: aMuSE ≤ aMuSE* and aMuSE below centralized.
+#[test]
+fn plans_are_correct_and_ordered_across_seeds() {
+    for seed in 0..5 {
+        let network = generate_network(&small_network(seed));
+        let workload = generate_workload(&small_workload(seed));
+        let central = centralized_cost(workload.queries(), &network);
+        let plan = amuse_workload(&workload, &network, &AMuseConfig::default()).unwrap();
+        let star = amuse_workload(&workload, &network, &AMuseConfig::star()).unwrap();
+        let oop = optimal_operator_placement_workload(workload.queries(), &network);
+        // aMuSE explores a superset of aMuSE*'s projections; with the
+        // bounded combination enumeration the two can diverge slightly in
+        // either direction, but aMuSE must stay in the same ballpark.
+        assert!(
+            plan.total_cost <= star.total_cost * 1.25 + 1e-6,
+            "seed {seed}: amuse {} star {}",
+            plan.total_cost,
+            star.total_cost
+        );
+        assert!(plan.total_cost <= central * 1.001, "seed {seed}");
+        assert!(oop <= central * 1.5, "seed {seed}: oop {oop} central {central}");
+        // Per-query graphs are correct MuSE graphs.
+        for (i, g) in plan.graphs.iter().enumerate() {
+            let q = &workload.queries()[i..=i];
+            let ctx = PlanContext::new(q, &network, &plan.table);
+            g.check_correct(&ctx, 1_000_000)
+                .unwrap_or_else(|e| panic!("seed {seed} query {i}: {e}"));
+        }
+    }
+}
+
+/// Distributed execution of aMuSE plans produces exactly the centralized
+/// ground-truth match sets on random instances (with payload keys driving
+/// real predicate evaluation).
+#[test]
+fn distributed_execution_matches_ground_truth() {
+    for seed in 0..3 {
+        let network = generate_network(&small_network(seed + 100));
+        let workload = generate_workload(&WorkloadConfig {
+            queries: 2,
+            prims_per_query: 3,
+            types: 6,
+            // Selectivity 0.5 so traces with key domain 2 produce matches.
+            selectivity_min: 0.5,
+            selectivity_max: 0.5,
+            window: 3_000,
+            seed: seed + 100,
+            ..Default::default()
+        });
+        let events = generate_traces(
+            &network,
+            &TraceConfig {
+                duration: 30.0,
+                ticks_per_unit: 100.0,
+                rate_scale: 3.0 / 1_000.0,
+                key_domain: 2,
+                seed,
+            },
+        );
+        let plan = amuse_workload(&workload, &network, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(workload.queries(), &network, &plan.table);
+        let deployment = Deployment::new(&plan.merged, &ctx);
+        let report = run_simulation(&deployment, &events, &SimConfig::default());
+        for (i, q) in workload.queries().iter().enumerate() {
+            let truth: BTreeSet<Vec<u64>> = Evaluator::for_query(q)
+                .run(&events)
+                .iter()
+                .map(|m| m.fingerprint())
+                .collect();
+            let got: BTreeSet<Vec<u64>> =
+                report.matches[i].iter().map(|m| m.fingerprint()).collect();
+            assert_eq!(got, truth, "seed {seed} query {i}");
+        }
+    }
+}
+
+/// The oOP plan, converted to a MuSE graph and executed on the same
+/// engine, produces the same matches as the aMuSE plan but ships more.
+#[test]
+fn oop_and_amuse_agree_on_matches() {
+    let network = generate_network(&small_network(7));
+    let workload = generate_workload(&WorkloadConfig {
+        queries: 1,
+        prims_per_query: 3,
+        types: 6,
+        selectivity_min: 0.5,
+        selectivity_max: 0.5,
+        window: 3_000,
+        seed: 7,
+        ..Default::default()
+    });
+    let query = &workload.queries()[0];
+    let events = generate_traces(
+        &network,
+        &TraceConfig {
+            duration: 40.0,
+            ticks_per_unit: 100.0,
+            rate_scale: 3.0 / 1_000.0,
+            key_domain: 2,
+            seed: 7,
+        },
+    );
+
+    let plan = amuse(query, &network, &AMuseConfig::default()).unwrap();
+    let ctx = PlanContext::new(std::slice::from_ref(query), &network, &plan.table);
+    let ms = run_simulation(
+        &Deployment::new(&plan.graph, &ctx),
+        &events,
+        &SimConfig::default(),
+    );
+
+    let placement = optimal_operator_placement(query, &network);
+    let mut table = ProjectionTable::new();
+    let graph = placement_to_graph(query, &placement, &network, &mut table).unwrap();
+    let ctx = PlanContext::new(std::slice::from_ref(query), &network, &table);
+    let op = run_simulation(&Deployment::new(&graph, &ctx), &events, &SimConfig::default());
+
+    let ms_set: BTreeSet<Vec<u64>> = ms.matches[0].iter().map(|m| m.fingerprint()).collect();
+    let op_set: BTreeSet<Vec<u64>> = op.matches[0].iter().map(|m| m.fingerprint()).collect();
+    assert_eq!(ms_set, op_set);
+}
+
+/// NSEQ queries work end-to-end through the full pipeline, with the
+/// negation guard streams distributed across nodes.
+#[test]
+fn nseq_pipeline_end_to_end() {
+    let network = generate_network(&small_network(3));
+    let pattern = Pattern::nseq(
+        Pattern::leaf(EventTypeId(0)),
+        Pattern::leaf(EventTypeId(1)),
+        Pattern::leaf(EventTypeId(2)),
+    );
+    let query = Query::build(QueryId(0), &pattern, vec![], 3_000).unwrap();
+    let events = generate_traces(
+        &network,
+        &TraceConfig {
+            duration: 40.0,
+            ticks_per_unit: 100.0,
+            rate_scale: 3.0 / 1_000.0,
+            key_domain: 0,
+            seed: 3,
+        },
+    );
+    let plan = amuse(&query, &network, &AMuseConfig::default()).unwrap();
+    let ctx = PlanContext::new(std::slice::from_ref(&query), &network, &plan.table);
+    let deployment = Deployment::new(&plan.graph, &ctx);
+    let report = run_simulation(&deployment, &events, &SimConfig::default());
+    let truth: BTreeSet<Vec<u64>> = Evaluator::for_query(&query)
+        .run(&events)
+        .iter()
+        .map(|m| m.fingerprint())
+        .collect();
+    let got: BTreeSet<Vec<u64>> = report.matches[0].iter().map(|m| m.fingerprint()).collect();
+    assert_eq!(got, truth);
+}
+
+/// A whole workload's merged deployment runs on the threaded executor and
+/// produces the same matches as the deterministic simulator.
+#[test]
+fn workload_threaded_equals_simulator() {
+    let network = generate_network(&small_network(55));
+    let workload = generate_workload(&WorkloadConfig {
+        queries: 2,
+        prims_per_query: 3,
+        types: 6,
+        selectivity_min: 0.5,
+        selectivity_max: 0.5,
+        window: 3_000,
+        seed: 55,
+        ..Default::default()
+    });
+    let events = generate_traces(
+        &network,
+        &TraceConfig {
+            duration: 30.0,
+            ticks_per_unit: 100.0,
+            rate_scale: 3.0 / 1_000.0,
+            key_domain: 2,
+            seed: 55,
+        },
+    );
+    let plan = amuse_workload(&workload, &network, &AMuseConfig::default()).unwrap();
+    let ctx = PlanContext::new(workload.queries(), &network, &plan.table);
+    let deployment = Deployment::new(&plan.merged, &ctx);
+    let sim = run_simulation(&deployment, &events, &SimConfig::default());
+    let threaded = muse_runtime::run_threaded(
+        &deployment,
+        &events,
+        &muse_runtime::ThreadedConfig::default(),
+    );
+    for i in 0..workload.len() {
+        let a: BTreeSet<Vec<u64>> = sim.matches[i].iter().map(|m| m.fingerprint()).collect();
+        let b: BTreeSet<Vec<u64>> =
+            threaded.matches[i].iter().map(|m| m.fingerprint()).collect();
+        assert_eq!(a, b, "query {i}");
+    }
+    assert_eq!(sim.metrics.messages_sent, threaded.metrics.messages_sent);
+}
+
+/// The multi-sink ablation: disabling partitioning placements never
+/// improves the plan.
+#[test]
+fn multi_sink_ablation_never_helps_to_disable() {
+    for seed in 0..4 {
+        let network = generate_network(&small_network(seed + 40));
+        let workload = generate_workload(&small_workload(seed + 40));
+        for q in workload.queries() {
+            let with = amuse(q, &network, &AMuseConfig::default()).unwrap();
+            let without = amuse(
+                q,
+                &network,
+                &AMuseConfig {
+                    disable_multi_sink: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                with.cost <= without.cost + 1e-6,
+                "seed {seed}: with {} without {}",
+                with.cost,
+                without.cost
+            );
+        }
+    }
+}
