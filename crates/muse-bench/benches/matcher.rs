@@ -1,12 +1,15 @@
 //! Matcher benchmarks: skip-till-any-match evaluation throughput and
 //! partial-match join throughput — the per-node work that MuSE graphs
-//! distribute.
+//! distribute. The `join_indexed`/`join_naive` pair compares the indexed,
+//! window-pruned engine against the naive cross-product reference on the
+//! shared stress workload (same workload as `harness -- matcher`).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use muse_bench::matcher_stress::{stress_feed, stress_query, stress_slots};
 use muse_core::event::Event;
 use muse_core::query::{Pattern, Query};
 use muse_core::types::{EventTypeId, NodeId, PrimId, PrimSet, QueryId};
-use muse_runtime::matcher::{Evaluator, JoinTask, Match};
+use muse_runtime::matcher::{Evaluator, JoinTask, Match, NaiveJoinTask};
 use std::hint::black_box;
 
 fn make_query() -> Query {
@@ -79,5 +82,38 @@ fn evaluator_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, evaluator_throughput);
+/// Indexed vs. naive join engine on the out-of-order stress feed
+/// (slack 4.0, like the threaded executor's default).
+fn join_engine_throughput(c: &mut Criterion) {
+    let query = stress_query();
+    let slots = stress_slots();
+    let feed = stress_feed(6_000, 42);
+    let mut group = c.benchmark_group("join_engine");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    group.throughput(Throughput::Elements(feed.len() as u64));
+    group.bench_function("join_indexed", |b| {
+        b.iter(|| {
+            let mut join = JoinTask::with_slack(&query, query.prims(), &slots, 4.0);
+            let mut count = 0usize;
+            for (slot, m) in &feed {
+                count += join.on_match(*slot, black_box(m.clone())).len();
+            }
+            black_box(count)
+        })
+    });
+    group.bench_function("join_naive", |b| {
+        b.iter(|| {
+            let mut join = NaiveJoinTask::with_slack(&query, query.prims(), &slots, 4.0);
+            let mut count = 0usize;
+            for (slot, m) in &feed {
+                count += join.on_match(*slot, black_box(m.clone())).len();
+            }
+            black_box(count)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, evaluator_throughput, join_engine_throughput);
 criterion_main!(benches);

@@ -7,7 +7,10 @@
 //!
 //! Experiments: fig5a fig5b fig5c fig5d fig6a fig6b fig7a fig7b fig7c fig7d
 //! table3 fig8. Results are printed as text tables and, with `--out`,
-//! written as JSON for downstream plotting.
+//! written as JSON for downstream plotting. Two extra experiments are run
+//! only when named explicitly: `ablation` (design-choice ablations) and
+//! `matcher` (indexed vs. naive join engine; written as
+//! `BENCH_matcher.json`).
 
 use muse_bench::experiments::{all_experiments, run_experiment};
 use muse_bench::runner::SweepSettings;
@@ -53,7 +56,7 @@ fn main() -> ExitCode {
                 ));
             }
             "all" => ids.extend(all_experiments().iter().map(|s| s.to_string())),
-            id if all_experiments().contains(&id) || id == "ablation" => {
+            id if all_experiments().contains(&id) || id == "ablation" || id == "matcher" => {
                 ids.push(id.to_string())
             }
             other => die(&format!("unknown argument '{other}'")),
@@ -76,7 +79,13 @@ fn main() -> ExitCode {
         println!("{}", output.render());
         eprintln!("{id} finished in {:.1?}\n", started.elapsed());
         if let Some(dir) = &out_dir {
-            let path = dir.join(format!("{id}.json"));
+            // The matcher join bench is a named deliverable, not a paper figure.
+            let file = if id == "matcher" {
+                "BENCH_matcher.json".to_string()
+            } else {
+                format!("{id}.json")
+            };
+            let path = dir.join(file);
             let json = serde_json::to_string_pretty(&output).expect("serialize result");
             std::fs::write(&path, json).expect("write result file");
             eprintln!("wrote {}", path.display());

@@ -60,6 +60,41 @@ pub enum ExperimentOutput {
         /// Per-scenario latency and throughput of MS vs. OP.
         rows: Vec<RunRow>,
     },
+    /// Matcher join-engine throughput: indexed vs. naive reference
+    /// (written as `BENCH_matcher.json`; not a paper artifact).
+    MatcherBench {
+        /// Experiment id ("matcher").
+        id: String,
+        /// Join arrivals fed per engine run.
+        arrivals: u64,
+        /// Query window (ticks).
+        window: u64,
+        /// Eviction slack factor (the threaded executor's default).
+        slack: f64,
+        /// Indexed engine measurements.
+        indexed: MatcherEngineRow,
+        /// Naive reference engine measurements.
+        naive: MatcherEngineRow,
+        /// Indexed events/sec over naive events/sec.
+        speedup: f64,
+        /// Whether both engines emitted identical fingerprint streams.
+        fingerprints_equal: bool,
+    },
+}
+
+/// One engine's measurements in the matcher bench.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatcherEngineRow {
+    /// Engine name ("indexed" or "naive").
+    pub engine: String,
+    /// Join arrivals processed per wall-clock second (best of reps).
+    pub events_per_sec: f64,
+    /// Complete matches emitted.
+    pub matches_emitted: u64,
+    /// Peak simultaneously open (live) partial matches in the join stores.
+    pub peak_open_partials: u64,
+    /// Wall-clock time of the best rep, milliseconds.
+    pub wall_ms: f64,
 }
 
 /// One Fig. 7d row.
@@ -135,6 +170,7 @@ pub fn run_experiment(id: &str, settings: &SweepSettings) -> ExperimentOutput {
         "table3" => table3_case_study(id, settings),
         "fig8" => fig8_case_study(id, settings),
         "ablation" => ablation(id, settings),
+        "matcher" => matcher_bench(id, settings),
         other => panic!("unknown experiment '{other}'; see `all_experiments()`"),
     }
 }
@@ -530,6 +566,85 @@ fn fig8_case_study(id: &str, settings: &SweepSettings) -> ExperimentOutput {
     }
 }
 
+/// The `matcher` experiment (`BENCH_matcher.json`): indexed vs. naive join
+/// throughput on the skip-till-any-match stress workload, with the
+/// emission streams cross-checked for byte identity.
+fn matcher_bench(id: &str, settings: &SweepSettings) -> ExperimentOutput {
+    let arrivals = if settings.reps <= 2 { 40_000 } else { 150_000 };
+    matcher_bench_sized(id, arrivals, settings)
+}
+
+fn matcher_bench_sized(id: &str, arrivals: usize, settings: &SweepSettings) -> ExperimentOutput {
+    use crate::matcher_stress::{stress_feed, stress_query, stress_slots, WINDOW};
+    use muse_runtime::matcher::{JoinTask, Match, NaiveJoinTask};
+    use std::time::Instant;
+
+    // The threaded executor's default out-of-order slack: the naive engine
+    // buffers (and rescans) this many windows of matches per slot.
+    let slack = 4.0;
+    let query = stress_query();
+    let slots = stress_slots();
+    let feed = stress_feed(arrivals, settings.seed);
+    let reps = settings.reps.max(1);
+
+    let run = |naive_engine: bool| -> (MatcherEngineRow, Vec<Vec<u64>>) {
+        let mut best_ms = f64::INFINITY;
+        let mut emitted = 0u64;
+        let mut peak = 0u64;
+        let mut prints: Vec<Vec<u64>> = Vec::new();
+        for rep in 0..reps {
+            let mut fps = Vec::new();
+            let start = Instant::now();
+            let (e, p) = if naive_engine {
+                let mut join = NaiveJoinTask::with_slack(&query, query.prims(), &slots, slack);
+                let mut peak = 0usize;
+                for (slot, m) in &feed {
+                    fps.extend(join.on_match(*slot, m.clone()).iter().map(Match::fingerprint));
+                    peak = peak.max(join.buffered());
+                }
+                (join.emitted(), peak as u64)
+            } else {
+                let mut join = JoinTask::with_slack(&query, query.prims(), &slots, slack);
+                for (slot, m) in &feed {
+                    fps.extend(join.on_match(*slot, m.clone()).iter().map(Match::fingerprint));
+                }
+                (join.emitted(), join.stats().peak_buffered)
+            };
+            best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            emitted = e;
+            peak = p;
+            if rep == 0 {
+                prints = fps;
+            }
+        }
+        (
+            MatcherEngineRow {
+                engine: if naive_engine { "naive" } else { "indexed" }.to_string(),
+                events_per_sec: arrivals as f64 / (best_ms / 1e3),
+                matches_emitted: emitted,
+                peak_open_partials: peak,
+                wall_ms: best_ms,
+            },
+            prints,
+        )
+    };
+
+    let (indexed, indexed_fps) = run(false);
+    let (naive, naive_fps) = run(true);
+    let fingerprints_equal = indexed_fps == naive_fps;
+    let speedup = indexed.events_per_sec / naive.events_per_sec;
+    ExperimentOutput::MatcherBench {
+        id: id.to_string(),
+        arrivals: arrivals as u64,
+        window: WINDOW,
+        slack,
+        indexed,
+        naive,
+        speedup,
+        fingerprints_equal,
+    }
+}
+
 impl ExperimentOutput {
     /// The experiment's id.
     pub fn id(&self) -> &str {
@@ -537,7 +652,8 @@ impl ExperimentOutput {
             ExperimentOutput::RatioSweep { id, .. }
             | ExperimentOutput::Construction { id, .. }
             | ExperimentOutput::CaseStudyTable { id, .. }
-            | ExperimentOutput::CaseStudyRuns { id, .. } => id,
+            | ExperimentOutput::CaseStudyRuns { id, .. }
+            | ExperimentOutput::MatcherBench { id, .. } => id,
         }
     }
 
@@ -626,6 +742,39 @@ impl ExperimentOutput {
                     );
                 }
             }
+            ExperimentOutput::MatcherBench {
+                id,
+                arrivals,
+                window,
+                slack,
+                indexed,
+                naive,
+                speedup,
+                fingerprints_equal,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "== {id}: join engine throughput ({arrivals} arrivals, window {window}, \
+                     slack {slack}) =="
+                );
+                let _ = writeln!(
+                    out,
+                    "{:>8} | {:>12} | {:>10} | {:>14} | {:>10}",
+                    "engine", "events/s", "wall ms", "peak partials", "matches"
+                );
+                for r in [indexed, naive] {
+                    let _ = writeln!(
+                        out,
+                        "{:>8} | {:>12.0} | {:>10.1} | {:>14} | {:>10}",
+                        r.engine, r.events_per_sec, r.wall_ms, r.peak_open_partials,
+                        r.matches_emitted
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "speedup: {speedup:.2}x, emission streams identical: {fingerprints_equal}"
+                );
+            }
         }
         out
     }
@@ -648,6 +797,29 @@ mod tests {
     #[should_panic(expected = "unknown experiment")]
     fn unknown_id_panics() {
         run_experiment("fig99", &quick());
+    }
+
+    #[test]
+    fn matcher_bench_small_instance_agrees() {
+        let out = matcher_bench_sized("matcher", 2_000, &quick());
+        match &out {
+            ExperimentOutput::MatcherBench {
+                indexed,
+                naive,
+                fingerprints_equal,
+                ..
+            } => {
+                assert!(*fingerprints_equal, "engines diverged");
+                assert_eq!(indexed.matches_emitted, naive.matches_emitted);
+                assert!(indexed.matches_emitted > 0);
+                assert!(indexed.peak_open_partials > 0);
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+        assert_eq!(out.id(), "matcher");
+        let text = out.render();
+        assert!(text.contains("speedup"));
+        assert!(text.contains("indexed"));
     }
 
     #[test]

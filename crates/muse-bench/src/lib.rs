@@ -21,6 +21,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod matcher_stress;
 pub mod runner;
 pub mod stats;
 

@@ -12,6 +12,8 @@
 //! verify distributed execution, and (b) the per-node engine for evaluating
 //! a projection whose inputs are all local.
 
+use super::join::default_stride;
+use super::store::MatchStore;
 use super::{is_valid_match, nseq_violated, Match};
 use muse_core::event::Event;
 use muse_core::query::{NSeqContext, OrderRel, Query};
@@ -51,11 +53,14 @@ pub struct Evaluator {
     prims: PrimSet,
     /// Primitives whose events form emitted matches.
     positive: PrimSet,
-    /// Open partial matches.
-    partials: Vec<Match>,
+    /// Open partial matches, indexed by first timestamp with watermark
+    /// eviction (same [`MatchStore`] as the join engine's slot stores).
+    partials: MatchStore,
     /// `NSEQ` contexts fully contained in `prims`, with the forbidden
     /// matches observed so far and a sub-evaluator producing them.
     negations: Vec<Negation>,
+    /// Minimum horizon progress between physical prefix drains.
+    evict_stride: muse_core::event::Timestamp,
     /// Total partial matches ever created (a load proxy; §7.3 attributes
     /// latency/throughput to per-node partial-match state).
     partials_created: u64,
@@ -65,7 +70,7 @@ pub struct Evaluator {
 struct Negation {
     context: NSeqContext,
     sub: Box<Evaluator>,
-    forbidden: Vec<Match>,
+    forbidden: MatchStore,
 }
 
 impl Evaluator {
@@ -100,16 +105,17 @@ impl Evaluator {
                     ctx.negated,
                     ctx.negated,
                 )),
-                forbidden: Vec::new(),
+                forbidden: MatchStore::new(),
             })
             .collect();
         Self {
-            query: query.clone(),
             prims,
             positive,
-            partials: Vec::new(),
+            partials: MatchStore::new(),
             negations,
+            evict_stride: default_stride(query.window()),
             partials_created: 0,
+            query: query.clone(),
         }
     }
 
@@ -118,7 +124,9 @@ impl Evaluator {
         self.prims
     }
 
-    /// Number of currently open partial matches (including sub-evaluators).
+    /// Number of currently open (live) partial matches, including
+    /// sub-evaluators. Partials past the eviction watermark do not count,
+    /// whether or not they have been physically drained yet.
     pub fn open_partials(&self) -> usize {
         self.partials.len()
             + self
@@ -141,14 +149,15 @@ impl Evaluator {
     /// Feeds one event (in global trace order) and returns the complete
     /// matches it triggers.
     pub fn on_event(&mut self, event: &Event) -> Vec<Match> {
+        let horizon = event.time.saturating_sub(self.query.window());
         // Feed negated-pattern sub-evaluators first: a forbidden pattern
         // ending before a candidate's suffix is always observed first in
         // trace order.
         for negation in &mut self.negations {
-            let found = negation.sub.on_event(event);
-            negation.forbidden.extend(found);
-            let horizon = event.time.saturating_sub(self.query.window());
-            negation.forbidden.retain(|m| m.first_time() >= horizon);
+            for found in negation.sub.on_event(event) {
+                negation.forbidden.insert(found);
+            }
+            negation.forbidden.advance_horizon(horizon, self.evict_stride);
         }
 
         let mut emitted = Vec::new();
@@ -159,14 +168,17 @@ impl Evaluator {
             .filter(|p| self.query.prim_type(*p) == event.ty)
             .collect();
         if candidates.is_empty() {
-            self.evict(event);
+            self.partials.advance_horizon(horizon, self.evict_stride);
             return emitted;
         }
 
         let mut created: Vec<Match> = Vec::new();
         for prim in candidates {
             // Extend every compatible open partial (skip-till-any-match).
-            for pm in &self.partials {
+            // The index skips partials that start before `time − window`
+            // outright — `can_extend` would reject every one of them.
+            for stored in self.partials.live_from(horizon) {
+                let pm = &stored.m;
                 if pm.get(prim).is_some() {
                     continue;
                 }
@@ -197,8 +209,8 @@ impl Evaluator {
             }
         }
         self.partials_created += created.len() as u64;
-        self.partials.extend(created);
-        self.evict(event);
+        self.partials.insert_batch(created);
+        self.partials.advance_horizon(horizon, self.evict_stride);
         emitted
     }
 
@@ -249,19 +261,13 @@ impl Evaluator {
     }
 
     /// Checks all fully-contained `NSEQ` contexts against the collected
-    /// forbidden matches.
+    /// (live) forbidden matches.
     fn passes_negation(&self, m: &Match) -> bool {
         self.negations.iter().all(|n| {
-            n.forbidden
-                .iter()
-                .all(|f| !nseq_violated(m, f, n.context.first, n.context.last, &self.query))
+            n.forbidden.live().iter().all(|f| {
+                !nseq_violated(m, &f.m, n.context.first, n.context.last, &self.query)
+            })
         })
-    }
-
-    /// Drops partial matches that can no longer complete within the window.
-    fn evict(&mut self, event: &Event) {
-        let horizon = event.time.saturating_sub(self.query.window());
-        self.partials.retain(|pm| pm.first_time() >= horizon);
     }
 }
 

@@ -17,8 +17,24 @@
 //! keeps their context together, §5.2); per `NSEQ` context the join runs a
 //! sub-[`Evaluator`] over the forbidden pattern and suppresses positive
 //! matches with a forbidden match strictly inside the context interval.
+//!
+//! # Probe strategy
+//!
+//! [`JoinTask`] keeps each slot's matches in a [`MatchStore`] sorted by
+//! first timestamp. An arriving match probes only the window-compatible
+//! slice of each other slot (two binary searches) instead of the full
+//! store, visits the slots smallest-slice-first so thin inputs cut the
+//! candidate set early, and rejects pairs with a cheap window-span /
+//! shared-primitive guard before paying for a merge. Eviction is a logical
+//! watermark applied at probe time, with the physical prefix truncated only
+//! every [`JoinTask::with_evict_stride`] ticks of horizon progress — the
+//! emitted match stream is identical to the naive retain-per-arrival
+//! strategy ([`NaiveJoinTask`]), which is kept as the reference
+//! implementation for equivalence tests and benchmarks.
 
+use super::store::MatchStore;
 use super::{is_valid_match, nseq_violated, Evaluator, Match};
+use crate::metrics::JoinStats;
 use muse_core::event::Timestamp;
 use muse_core::query::{NSeqContext, Query};
 use muse_core::types::PrimSet;
@@ -36,7 +52,7 @@ pub struct SlotSpec {
 }
 
 /// A join task deriving matches of one target projection from predecessor
-/// match streams.
+/// match streams, with indexed, window-pruned probing.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JoinTask {
     query: Query,
@@ -46,7 +62,7 @@ pub struct JoinTask {
     slots: Vec<SlotSpec>,
     /// Buffered matches per positive slot (parallel to `slots`; negated
     /// slots keep theirs inside `negations`).
-    stores: Vec<Vec<Match>>,
+    stores: Vec<MatchStore>,
     /// `NSEQ` contexts whose absence check happens at this join.
     negations: Vec<NegationCheck>,
     /// Largest timestamp seen on any input.
@@ -54,15 +70,24 @@ pub struct JoinTask {
     /// Eviction slack: stores keep matches for `slack × window` (≥ 1.0;
     /// > 1 tolerates out-of-order arrival in the threaded executor).
     slack: f64,
-    /// Matches emitted (for metrics).
-    emitted: u64,
+    /// Minimum horizon progress between physical prefix drains.
+    evict_stride: Timestamp,
+    /// Observability counters.
+    stats: JoinStats,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct NegationCheck {
     context: NSeqContext,
     evaluator: Evaluator,
-    forbidden: Vec<Match>,
+    forbidden: MatchStore,
+}
+
+/// A join candidate being assembled across slots, with its cached span.
+struct Candidate {
+    first: Timestamp,
+    last: Timestamp,
+    m: Match,
 }
 
 impl JoinTask {
@@ -104,10 +129,10 @@ impl JoinTask {
             .map(|ctx| NegationCheck {
                 context: *ctx,
                 evaluator: Evaluator::with_positive(query, ctx.negated, ctx.negated),
-                forbidden: Vec::new(),
+                forbidden: MatchStore::new(),
             })
             .collect();
-        let stores = vec![Vec::new(); slots.len()];
+        let stores = vec![MatchStore::new(); slots.len()];
         Self {
             query: query.clone(),
             target,
@@ -117,13 +142,240 @@ impl JoinTask {
             negations,
             max_time: 0,
             slack,
-            emitted: 0,
+            evict_stride: default_stride(query.window()),
+            stats: JoinStats::default(),
         }
+    }
+
+    /// Sets the watermark stride: the horizon must advance at least this
+    /// far before dead store prefixes are physically truncated. Larger
+    /// strides amortize eviction further at the cost of memory; the emitted
+    /// matches are unaffected.
+    pub fn with_evict_stride(mut self, stride: Timestamp) -> Self {
+        self.evict_stride = stride.max(1);
+        self
     }
 
     /// The target projection's primitives.
     pub fn target(&self) -> PrimSet {
         self.target
+    }
+
+    /// The input slots.
+    pub fn slots(&self) -> &[SlotSpec] {
+        &self.slots
+    }
+
+    /// Total live (non-evicted) matches across positive stores.
+    pub fn buffered(&self) -> usize {
+        self.stores.iter().map(MatchStore::len).sum()
+    }
+
+    /// Total physically buffered matches, including dead entries awaiting
+    /// the next stride drain.
+    pub fn physical_buffered(&self) -> usize {
+        self.stores.iter().map(MatchStore::physical_len).sum()
+    }
+
+    /// Matches emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.stats.emitted
+    }
+
+    /// The join's observability counters.
+    pub fn stats(&self) -> &JoinStats {
+        &self.stats
+    }
+
+    /// Feeds one match into a slot, returning the complete target matches
+    /// it triggers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot index is out of range.
+    pub fn on_match(&mut self, slot: usize, m: Match) -> Vec<Match> {
+        self.stats.inputs += 1;
+        self.max_time = self.max_time.max(m.last_time());
+        if self.slots[slot].negated {
+            // Negation guard: feed the forbidden-pattern evaluator of each
+            // context this primitive belongs to.
+            for (prim, event) in m.entries() {
+                for neg in &mut self.negations {
+                    if neg.context.negated.contains(*prim) {
+                        for found in neg.evaluator.on_event(event) {
+                            neg.forbidden.insert(found);
+                        }
+                    }
+                }
+            }
+            self.evict();
+            return Vec::new();
+        }
+
+        let window = self.query.window();
+        let (m_first, m_last) = (m.first_time(), m.last_time());
+
+        // Visit the other positive slots smallest-compatible-slice-first:
+        // a thin slot shrinks the candidate set before wide slots multiply
+        // it (index as tiebreak keeps the order deterministic).
+        let mut order: Vec<(usize, usize)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|&(i, spec)| i != slot && !spec.negated)
+            .map(|(i, _)| (self.stores[i].compatible(m_first, m_last, window).len(), i))
+            .collect();
+        order.sort_unstable();
+
+        let mut acc = vec![Candidate {
+            first: m_first,
+            last: m_last,
+            m: m.clone(),
+        }];
+        for (_, i) in order {
+            let slot_prims = self.slots[i].prims;
+            let mut next = Vec::new();
+            for cand in &acc {
+                let shared = cand.m.prims().intersect(slot_prims);
+                let slice = self.stores[i].compatible(cand.first, cand.last, window);
+                self.stats.probes += slice.len() as u64;
+                for stored in slice {
+                    let first = cand.first.min(stored.first);
+                    let last = cand.last.max(stored.last);
+                    // Cheap guards before the allocating merge: combined
+                    // span within the window, shared primitives agree.
+                    if last - first > window || !cand.m.agrees_on(&stored.m, shared) {
+                        self.stats.guard_rejects += 1;
+                        continue;
+                    }
+                    self.stats.merge_attempts += 1;
+                    if let Some(merged) = cand.m.merge(&stored.m) {
+                        if is_valid_match(&merged, &self.query) {
+                            self.stats.merge_successes += 1;
+                            next.push(Candidate { first, last, m: merged });
+                        }
+                    }
+                }
+            }
+            acc = next;
+            if acc.is_empty() {
+                break;
+            }
+        }
+        let mut emitted: Vec<Match> = acc
+            .into_iter()
+            .map(|c| c.m)
+            .filter(|c| c.prims() == self.positive)
+            .filter(|c| is_valid_match(c, &self.query))
+            .filter(|c| self.passes_negation(c))
+            .collect();
+        // Deduplicate (overlapping slots can assemble the same final match
+        // along different merge orders within one trigger).
+        emitted.sort_by_key(Match::fingerprint);
+        emitted.dedup_by(|a, b| a.fingerprint() == b.fingerprint());
+
+        self.stores[slot].insert(m);
+        self.stats.emitted += emitted.len() as u64;
+        self.evict();
+        self.stats.peak_buffered = self.stats.peak_buffered.max(self.buffered() as u64);
+        emitted
+    }
+
+    fn passes_negation(&self, m: &Match) -> bool {
+        self.negations.iter().all(|n| {
+            n.forbidden.live().iter().all(|f| {
+                !nseq_violated(m, &f.m, n.context.first, n.context.last, &self.query)
+            })
+        })
+    }
+
+    /// Advances the eviction watermark to `max_time − slack × window`.
+    /// Matches below it become invisible immediately; the sorted prefix is
+    /// physically truncated once the watermark has moved a whole stride.
+    fn evict(&mut self) {
+        let horizon = self
+            .max_time
+            .saturating_sub((self.query.window() as f64 * self.slack) as Timestamp);
+        for store in &mut self.stores {
+            self.stats.evicted += store.advance_horizon(horizon, self.evict_stride);
+        }
+        for neg in &mut self.negations {
+            self.stats.evicted += neg.forbidden.advance_horizon(horizon, self.evict_stride);
+        }
+    }
+}
+
+/// Default watermark stride: a quarter window bounds dead entries to a
+/// fraction of the live set while draining only a few times per window.
+pub(crate) fn default_stride(window: Timestamp) -> Timestamp {
+    (window / 4).max(1)
+}
+
+/// The straightforward join the indexed [`JoinTask`] replaces: unsorted
+/// per-slot buffers, a full cross-product probe relying on
+/// [`is_valid_match`] to reject incompatible pairs, and a `retain` scan of
+/// every store on every arrival.
+///
+/// Kept as the reference implementation: the equivalence property suite
+/// (`tests/join_equivalence.rs`) checks that [`JoinTask`] emits an
+/// identical match stream, and the matcher benchmark measures the indexed
+/// engine's speedup against it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NaiveJoinTask {
+    query: Query,
+    target: PrimSet,
+    positive: PrimSet,
+    slots: Vec<SlotSpec>,
+    stores: Vec<Vec<Match>>,
+    negations: Vec<NaiveNegationCheck>,
+    max_time: Timestamp,
+    slack: f64,
+    emitted: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NaiveNegationCheck {
+    context: NSeqContext,
+    evaluator: Evaluator,
+    forbidden: Vec<Match>,
+}
+
+impl NaiveJoinTask {
+    /// See [`JoinTask::new`].
+    pub fn new(query: &Query, target: PrimSet, predecessors: &[PrimSet]) -> Self {
+        Self::with_slack(query, target, predecessors, 1.0)
+    }
+
+    /// See [`JoinTask::with_slack`].
+    pub fn with_slack(
+        query: &Query,
+        target: PrimSet,
+        predecessors: &[PrimSet],
+        slack: f64,
+    ) -> Self {
+        // Reuse the indexed constructor's slot/negation analysis.
+        let task = JoinTask::with_slack(query, target, predecessors, slack);
+        let stores = vec![Vec::new(); task.slots.len()];
+        let negations = task
+            .negations
+            .iter()
+            .map(|n| NaiveNegationCheck {
+                context: n.context,
+                evaluator: n.evaluator.clone(),
+                forbidden: Vec::new(),
+            })
+            .collect();
+        Self {
+            query: task.query,
+            target: task.target,
+            positive: task.positive,
+            slots: task.slots,
+            stores,
+            negations,
+            max_time: 0,
+            slack,
+            emitted: 0,
+        }
     }
 
     /// The input slots.
@@ -141,17 +393,10 @@ impl JoinTask {
         self.emitted
     }
 
-    /// Feeds one match into a slot, returning the complete target matches
-    /// it triggers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the slot index is out of range.
+    /// See [`JoinTask::on_match`].
     pub fn on_match(&mut self, slot: usize, m: Match) -> Vec<Match> {
         self.max_time = self.max_time.max(m.last_time());
         if self.slots[slot].negated {
-            // Negation guard: feed the forbidden-pattern evaluator of each
-            // context this primitive belongs to.
             for (prim, event) in m.entries() {
                 for neg in &mut self.negations {
                     if neg.context.negated.contains(*prim) {
@@ -191,8 +436,6 @@ impl JoinTask {
             .filter(|c| is_valid_match(c, &self.query))
             .filter(|c| self.passes_negation(c))
             .collect();
-        // Deduplicate (overlapping slots can assemble the same final match
-        // along different merge orders within one trigger).
         emitted.sort_by_key(Match::fingerprint);
         emitted.dedup_by(|a, b| a.fingerprint() == b.fingerprint());
 
@@ -339,6 +582,68 @@ mod tests {
     }
 
     #[test]
+    fn watermark_eviction_is_logical_first() {
+        // With a huge stride the dead AB stays physically buffered but is
+        // invisible to probes and to `buffered()`.
+        let q = seq_abc();
+        let mut join = JoinTask::new(&q, q.prims(), &[ps([0, 1]), ps([2])])
+            .with_evict_stride(1_000_000);
+        join.on_match(
+            0,
+            Match::new(vec![(PrimId(0), ev(0, 0, 1)), (PrimId(1), ev(1, 1, 2))]),
+        );
+        assert!(join.on_match(1, Match::single(PrimId(2), ev(2, 2, 500))).is_empty());
+        assert_eq!(join.buffered(), 1);
+        assert_eq!(join.physical_buffered(), 2);
+        // An in-window AB joins with the live C; the dead AB stays dead.
+        let out = join.on_match(
+            0,
+            Match::new(vec![(PrimId(0), ev(3, 0, 450)), (PrimId(1), ev(4, 1, 460))]),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].fingerprint(), vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn stride_drain_truncates_prefix() {
+        let q = seq_abc();
+        let mut join =
+            JoinTask::new(&q, q.prims(), &[ps([0, 1]), ps([2])]).with_evict_stride(50);
+        join.on_match(
+            0,
+            Match::new(vec![(PrimId(0), ev(0, 0, 1)), (PrimId(1), ev(1, 1, 2))]),
+        );
+        join.on_match(1, Match::single(PrimId(2), ev(2, 2, 500)));
+        // Horizon jumped 0 → 400 ≥ stride: the dead AB is gone physically.
+        assert_eq!(join.physical_buffered(), 1);
+        assert!(join.stats().evicted >= 1);
+    }
+
+    #[test]
+    fn stats_count_probes_and_guards() {
+        let q = seq_abc();
+        let mut join = JoinTask::new(&q, q.prims(), &[ps([0, 1]), ps([1, 2])]);
+        let ab = Match::new(vec![(PrimId(0), ev(0, 0, 1)), (PrimId(1), ev(1, 1, 2))]);
+        join.on_match(0, ab);
+        // Disagreeing BC: rejected by the shared-primitive guard, no merge.
+        let bc_other = Match::new(vec![(PrimId(1), ev(5, 1, 2)), (PrimId(2), ev(6, 2, 3))]);
+        join.on_match(1, bc_other);
+        let s = *join.stats();
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.probes, 1);
+        assert_eq!(s.guard_rejects, 1);
+        assert_eq!(s.merge_attempts, 0);
+        // Agreeing BC merges and emits.
+        let bc_agree = Match::new(vec![(PrimId(1), ev(1, 1, 2)), (PrimId(2), ev(2, 2, 3))]);
+        join.on_match(1, bc_agree);
+        let s = *join.stats();
+        assert_eq!(s.merge_attempts, 1);
+        assert_eq!(s.merge_successes, 1);
+        assert_eq!(s.emitted, 1);
+        assert!(s.peak_buffered >= 2);
+    }
+
+    #[test]
     fn three_way_join() {
         let q = seq_abc();
         let mut join = JoinTask::new(&q, q.prims(), &[ps([0]), ps([1]), ps([2])]);
@@ -424,5 +729,38 @@ mod tests {
             Match::new(vec![(PrimId(0), ev(0, 0, 1)), (PrimId(2), ev(2, 2, 3))]),
         );
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn naive_join_agrees_on_a_small_stream() {
+        // The same out-of-order stream through both engines, emission for
+        // emission (the property suite generalizes this to random streams).
+        let q = seq_abc();
+        let slots = [ps([0, 1]), ps([1, 2])];
+        let mut indexed = JoinTask::with_slack(&q, q.prims(), &slots, 2.0);
+        let mut naive = NaiveJoinTask::with_slack(&q, q.prims(), &slots, 2.0);
+        let feed = [
+            (0, Match::new(vec![(PrimId(0), ev(0, 0, 5)), (PrimId(1), ev(1, 1, 8))])),
+            (1, Match::new(vec![(PrimId(1), ev(1, 1, 8)), (PrimId(2), ev(2, 2, 9))])),
+            (1, Match::new(vec![(PrimId(1), ev(3, 1, 2)), (PrimId(2), ev(4, 2, 4))])),
+            (0, Match::new(vec![(PrimId(0), ev(5, 0, 1)), (PrimId(1), ev(3, 1, 2))])),
+            (1, Match::new(vec![(PrimId(1), ev(1, 1, 8)), (PrimId(2), ev(6, 2, 300))])),
+            (0, Match::new(vec![(PrimId(0), ev(7, 0, 290)), (PrimId(1), ev(8, 1, 295))])),
+        ];
+        for (slot, m) in feed {
+            let a: Vec<Vec<u64>> = indexed
+                .on_match(slot, m.clone())
+                .iter()
+                .map(Match::fingerprint)
+                .collect();
+            let b: Vec<Vec<u64>> = naive
+                .on_match(slot, m)
+                .iter()
+                .map(Match::fingerprint)
+                .collect();
+            assert_eq!(a, b);
+            assert_eq!(indexed.buffered(), naive.buffered());
+        }
+        assert_eq!(indexed.emitted(), naive.emitted());
     }
 }

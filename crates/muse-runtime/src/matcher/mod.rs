@@ -8,34 +8,43 @@
 
 pub mod evaluator;
 pub mod join;
+pub mod store;
 
 use muse_core::event::{Event, Timestamp};
 use muse_core::query::{OrderRel, Query};
 use muse_core::types::PrimSet;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 pub use evaluator::Evaluator;
-pub use join::{JoinTask, SlotSpec};
+pub use join::{JoinTask, NaiveJoinTask, SlotSpec};
+pub use store::{MatchStore, StoredMatch};
 
 /// A (partial) match: events assigned to primitive operators, sorted by
 /// primitive id. Prim ids are those of the *source query*, so matches of
 /// different projections of one query merge without renaming.
+///
+/// The event list is shared (`Arc`), so cloning a match — which the join
+/// engine does once per store insert and per network route — is O(1) and
+/// allocation-free instead of a deep copy of every payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Match {
-    events: Vec<(muse_core::types::PrimId, Event)>,
+    events: Arc<[(muse_core::types::PrimId, Event)]>,
 }
 
 impl Match {
     /// Creates a match from `(prim, event)` pairs.
     pub fn new(mut events: Vec<(muse_core::types::PrimId, Event)>) -> Self {
         events.sort_by_key(|(p, _)| *p);
-        Self { events }
+        Self {
+            events: events.into(),
+        }
     }
 
     /// A single-event match for a primitive operator.
     pub fn single(prim: muse_core::types::PrimId, event: Event) -> Self {
         Self {
-            events: vec![(prim, event)],
+            events: vec![(prim, event)].into(),
         }
     }
 
@@ -100,8 +109,8 @@ impl Match {
     /// from overlapping projections must agree on shared primitives,
     /// cf. Example 8 of the paper).
     pub fn merge(&self, other: &Match) -> Option<Match> {
-        let mut events = self.events.clone();
-        for (p, e) in &other.events {
+        let mut events = self.events.to_vec();
+        for (p, e) in other.events.iter() {
             match events.binary_search_by_key(p, |(q, _)| *q) {
                 Ok(i) => {
                     if events[i].1.seq != e.seq {
@@ -111,7 +120,20 @@ impl Match {
                 Err(i) => events.insert(i, (*p, e.clone())),
             }
         }
-        Some(Match { events })
+        Some(Match {
+            events: events.into(),
+        })
+    }
+
+    /// Checks that both matches assign the same event to every primitive of
+    /// `shared` that they both assign. This is a cheap pre-merge guard:
+    /// when it returns `false`, [`Match::merge`] is guaranteed to fail, so
+    /// the merge's allocation and event copies can be skipped.
+    pub fn agrees_on(&self, other: &Match, shared: PrimSet) -> bool {
+        shared.iter().all(|p| match (self.get(p), other.get(p)) {
+            (Some(a), Some(b)) => a.seq == b.seq,
+            _ => true,
+        })
     }
 
     /// A canonical fingerprint (sorted event sequence numbers), usable for

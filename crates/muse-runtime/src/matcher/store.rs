@@ -1,0 +1,272 @@
+//! Sorted, window-pruned storage for (partial) matches — the index behind
+//! the join engine and the evaluator's open-partial set.
+//!
+//! Entries are kept sorted by their earliest constituent timestamp so a
+//! probe can binary-search the window-compatible slice instead of scanning
+//! the whole buffer. Eviction is split in two:
+//!
+//! * a *logical horizon* (watermark) that only ever advances and is applied
+//!   on every read — readers never observe an entry a retain-per-arrival
+//!   strategy would already have dropped, and
+//! * a *physical drain* that truncates the dead prefix, but only once the
+//!   horizon has advanced by at least a configurable stride, amortizing the
+//!   O(n) memmove over many arrivals.
+//!
+//! Because the horizon is monotone, the set of live entries is always a
+//! suffix of the sorted vector; "evict" is a prefix truncation, never a
+//! scattered retain.
+
+use super::Match;
+use muse_core::event::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// A buffered match with its cached time span (so probes never re-scan the
+/// match's events for timestamps).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredMatch {
+    /// Earliest constituent timestamp — the sort key.
+    pub first: Timestamp,
+    /// Latest constituent timestamp.
+    pub last: Timestamp,
+    /// The match itself.
+    pub m: Match,
+}
+
+/// An indexed buffer of matches ordered by [`Match::first_time`], with
+/// watermark-based eviction.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MatchStore {
+    /// Sorted by `first` (ties keep insertion order).
+    entries: Vec<StoredMatch>,
+    /// Logical eviction watermark: entries with `first < horizon` are dead.
+    horizon: Timestamp,
+    /// Horizon value at the last physical drain.
+    drained_at: Timestamp,
+    /// Dead entries physically dropped so far.
+    evicted: u64,
+}
+
+impl MatchStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a match, keeping the buffer sorted by first timestamp.
+    /// Entries with equal keys keep their insertion order.
+    pub fn insert(&mut self, m: Match) {
+        let (first, last) = (m.first_time(), m.last_time());
+        let idx = self.entries.partition_point(|e| e.first <= first);
+        self.entries.insert(idx, StoredMatch { first, last, m });
+    }
+
+    /// Inserts a batch of matches in one merge pass (cheaper than repeated
+    /// [`MatchStore::insert`] when many matches arrive per trigger).
+    pub fn insert_batch(&mut self, batch: Vec<Match>) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut incoming: Vec<StoredMatch> = batch
+            .into_iter()
+            .map(|m| StoredMatch {
+                first: m.first_time(),
+                last: m.last_time(),
+                m,
+            })
+            .collect();
+        // Stable, so same-key batch entries keep their creation order.
+        incoming.sort_by_key(|e| e.first);
+        if self
+            .entries
+            .last()
+            .map_or(true, |e| e.first <= incoming[0].first)
+        {
+            self.entries.append(&mut incoming);
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.entries.len() + incoming.len());
+        let mut new = incoming.into_iter().peekable();
+        for old in self.entries.drain(..) {
+            // Existing entries come first among equal keys.
+            while new.peek().is_some_and(|n| n.first < old.first) {
+                merged.push(new.next().unwrap());
+            }
+            merged.push(old);
+        }
+        merged.extend(new);
+        self.entries = merged;
+    }
+
+    /// Index of the first live entry.
+    fn live_start(&self) -> usize {
+        self.entries.partition_point(|e| e.first < self.horizon)
+    }
+
+    /// The live (non-evicted) entries, oldest first.
+    pub fn live(&self) -> &[StoredMatch] {
+        &self.entries[self.live_start()..]
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len() - self.live_start()
+    }
+
+    /// `true` when no live entry remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of physically buffered entries (live + not-yet-drained dead).
+    pub fn physical_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The live entries that could merge with a probe spanning
+    /// `[first, last]` into a match within `window`: exactly those whose
+    /// first timestamp lies in `[max(horizon, last − window), first + window]`.
+    /// Anything outside would force the merged span beyond the window, so
+    /// skipping it cannot change the join's output.
+    pub fn compatible(&self, first: Timestamp, last: Timestamp, window: Timestamp) -> &[StoredMatch] {
+        let lo = self.horizon.max(last.saturating_sub(window));
+        let hi = first.saturating_add(window);
+        let start = self.entries.partition_point(|e| e.first < lo);
+        let end = self.entries.partition_point(|e| e.first <= hi);
+        &self.entries[start..end.max(start)]
+    }
+
+    /// The live entries with first timestamp ≥ `lo` (no upper bound) —
+    /// the evaluator's probe, whose window check lives in `can_extend`.
+    pub fn live_from(&self, lo: Timestamp) -> &[StoredMatch] {
+        let lo = self.horizon.max(lo);
+        let start = self.entries.partition_point(|e| e.first < lo);
+        &self.entries[start..]
+    }
+
+    /// Advances the logical horizon (monotone; smaller values are ignored)
+    /// and physically truncates the dead prefix once the horizon has moved
+    /// at least `stride` past the last drain. Returns the number of entries
+    /// dropped by this call.
+    pub fn advance_horizon(&mut self, horizon: Timestamp, stride: Timestamp) -> u64 {
+        if horizon > self.horizon {
+            self.horizon = horizon;
+        }
+        if self.horizon < self.drained_at.saturating_add(stride.max(1)) {
+            return 0;
+        }
+        let dead = self.live_start();
+        if dead > 0 {
+            self.entries.drain(..dead);
+            self.evicted += dead as u64;
+        }
+        self.drained_at = self.horizon;
+        dead as u64
+    }
+
+    /// Current logical horizon.
+    pub fn horizon(&self) -> Timestamp {
+        self.horizon
+    }
+
+    /// Entries physically dropped over the store's lifetime.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_core::event::Event;
+    use muse_core::types::{EventTypeId, NodeId, PrimId};
+
+    fn m(seq: u64, time: Timestamp) -> Match {
+        Match::single(PrimId(0), Event::new(seq, EventTypeId(0), time, NodeId(0)))
+    }
+
+    fn firsts(s: &[StoredMatch]) -> Vec<Timestamp> {
+        s.iter().map(|e| e.first).collect()
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let mut s = MatchStore::new();
+        for (seq, t) in [(0, 30), (1, 10), (2, 20), (3, 10)] {
+            s.insert(m(seq, t));
+        }
+        assert_eq!(firsts(s.live()), vec![10, 10, 20, 30]);
+        // Equal keys keep insertion order.
+        assert_eq!(s.live()[0].m.fingerprint(), vec![1]);
+        assert_eq!(s.live()[1].m.fingerprint(), vec![3]);
+    }
+
+    #[test]
+    fn insert_batch_matches_repeated_insert() {
+        let mut a = MatchStore::new();
+        let mut b = MatchStore::new();
+        for (seq, t) in [(0, 5), (1, 40), (2, 20)] {
+            a.insert(m(seq, t));
+            b.insert(m(seq, t));
+        }
+        let batch: Vec<Match> = [(3, 20), (4, 1), (5, 60)].map(|(q, t)| m(q, t)).into();
+        for x in batch.clone() {
+            a.insert(x);
+        }
+        b.insert_batch(batch);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compatible_slices_by_window() {
+        let mut s = MatchStore::new();
+        for (seq, t) in [(0, 0), (1, 50), (2, 100), (3, 150), (4, 200)] {
+            s.insert(m(seq, t));
+        }
+        // Probe [100, 100] with window 60: firsts in [40, 160].
+        assert_eq!(firsts(s.compatible(100, 100, 60)), vec![50, 100, 150]);
+        // Horizon cuts the lower end further.
+        s.advance_horizon(120, 1_000_000);
+        assert_eq!(firsts(s.compatible(100, 100, 60)), vec![150]);
+    }
+
+    #[test]
+    fn horizon_is_logical_until_stride_elapses() {
+        let mut s = MatchStore::new();
+        for (seq, t) in [(0, 0), (1, 10), (2, 90)] {
+            s.insert(m(seq, t));
+        }
+        // Large stride: no physical drain yet, but reads hide the dead.
+        assert_eq!(s.advance_horizon(50, 1_000), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.physical_len(), 3);
+        assert_eq!(firsts(s.live()), vec![90]);
+        assert!(s.compatible(95, 95, 100).iter().all(|e| e.first >= 50));
+        // Once the horizon moves ≥ stride past the last drain, it truncates.
+        assert_eq!(s.advance_horizon(1_060, 1_000), 3);
+        assert_eq!(s.physical_len(), 0);
+        assert_eq!(s.evicted(), 3);
+    }
+
+    #[test]
+    fn horizon_never_regresses() {
+        let mut s = MatchStore::new();
+        s.insert(m(0, 100));
+        s.advance_horizon(150, 1);
+        assert_eq!(s.len(), 0);
+        // A smaller watermark (out-of-order input) must not resurrect.
+        s.advance_horizon(50, 1);
+        assert_eq!(s.horizon(), 150);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn live_from_applies_horizon_and_bound() {
+        let mut s = MatchStore::new();
+        for (seq, t) in [(0, 10), (1, 20), (2, 30)] {
+            s.insert(m(seq, t));
+        }
+        assert_eq!(firsts(s.live_from(15)), vec![20, 30]);
+        s.advance_horizon(25, 1_000);
+        assert_eq!(firsts(s.live_from(0)), vec![30]);
+    }
+}

@@ -10,6 +10,67 @@
 use muse_core::event::Timestamp;
 use serde::{Deserialize, Serialize};
 
+/// Per-join observability counters of the indexed join engine, aggregated
+/// over all join tasks of a run. Probe counts versus merge attempts expose
+/// how much work the window slicing saves; merge attempts versus merge
+/// successes expose how selective the pre-merge guards leave the hot path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct JoinStats {
+    /// Matches fed into join slots (positive and negated).
+    pub inputs: u64,
+    /// Stored matches inspected by window-sliced probes.
+    pub probes: u64,
+    /// Probed pairs rejected by the cheap pre-merge guards (window span or
+    /// shared-primitive disagreement) before any merge allocation.
+    pub guard_rejects: u64,
+    /// Merges actually attempted ([`crate::matcher::Match::merge`] calls).
+    pub merge_attempts: u64,
+    /// Merges that produced a valid (partial) assignment.
+    pub merge_successes: u64,
+    /// Complete target matches emitted.
+    pub emitted: u64,
+    /// Stored matches physically dropped by watermark eviction.
+    pub evicted: u64,
+    /// Largest number of simultaneously buffered (live) matches observed in
+    /// any single join task.
+    pub peak_buffered: u64,
+}
+
+impl JoinStats {
+    /// Accumulates another task's counters (peak is a maximum, the rest
+    /// are sums).
+    pub fn merge(&mut self, other: &JoinStats) {
+        self.inputs += other.inputs;
+        self.probes += other.probes;
+        self.guard_rejects += other.guard_rejects;
+        self.merge_attempts += other.merge_attempts;
+        self.merge_successes += other.merge_successes;
+        self.emitted += other.emitted;
+        self.evicted += other.evicted;
+        self.peak_buffered = self.peak_buffered.max(other.peak_buffered);
+    }
+
+    /// Fraction of attempted merges that produced a valid assignment
+    /// (1.0 when nothing was attempted).
+    pub fn merge_success_ratio(&self) -> f64 {
+        if self.merge_attempts == 0 {
+            1.0
+        } else {
+            self.merge_successes as f64 / self.merge_attempts as f64
+        }
+    }
+
+    /// Fraction of probed pairs that survived the pre-merge guards
+    /// (1.0 when nothing was probed).
+    pub fn guard_pass_ratio(&self) -> f64 {
+        if self.probes == 0 {
+            1.0
+        } else {
+            self.merge_attempts as f64 / self.probes as f64
+        }
+    }
+}
+
 /// Counters collected during an execution.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
@@ -29,6 +90,8 @@ pub struct Metrics {
     /// Virtual-time latency per sink match: emission time minus the latest
     /// constituent event's timestamp (ticks).
     pub latencies: Vec<Timestamp>,
+    /// Join-engine counters aggregated over all join tasks.
+    pub join: JoinStats,
 }
 
 impl Metrics {
@@ -63,6 +126,7 @@ impl Metrics {
             self.per_node_processed[i] += v;
         }
         self.latencies.extend_from_slice(&other.latencies);
+        self.join.merge(&other.join);
     }
 
     /// The transmission ratio of this run against a centralized run in

@@ -320,9 +320,15 @@ impl<'a> SimExecutor<'a> {
         }
     }
 
-    /// Finishes the run and returns the report.
+    /// Finishes the run and returns the report, folding per-join engine
+    /// counters into the metrics.
     pub fn finish(mut self) -> SimReport {
         self.drain();
+        for state in &self.states {
+            if let TaskState::Join(join) = state {
+                self.metrics.join.merge(join.stats());
+            }
+        }
         SimReport {
             matches: self.matches,
             metrics: self.metrics,

@@ -283,6 +283,10 @@ fn run_node(
         }
         barrier.wait();
     }
+    // Fold this node's join-engine counters into its metrics share.
+    for join in runner.joins.iter().flatten() {
+        runner.metrics.join.merge(join.stats());
+    }
     NodeOutcome {
         metrics: runner.metrics,
         matches: runner.matches,

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Tier-1 CI gate: release build, full workspace test suite, and a smoke run
+# of the matcher join bench (emits BENCH_matcher.json at the repo root).
+# Exits nonzero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "== smoke: matcher join bench =="
+cargo run -p muse-bench --release --bin harness -- matcher --quick --out .
+
+echo "ci.sh: all checks passed"

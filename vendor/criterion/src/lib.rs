@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the bench-file API (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `criterion_group!`/`criterion_main!`)
+//! but runs each benchmark under a small wall-clock budget and prints a
+//! one-line summary instead of doing full statistical analysis. The budget
+//! is `min(measurement_time, MUSE_BENCH_BUDGET_MS)` (env var, default
+//! 500 ms), so `cargo bench` stays usable as a CI smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+fn budget(measurement_time: Duration) -> Duration {
+    let cap_ms = std::env::var("MUSE_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(500);
+    measurement_time.min(Duration::from_millis(cap_ms))
+}
+
+/// Benchmark driver (stub of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            measurement_time: Duration::from_secs(5),
+            throughput: None,
+        }
+    }
+}
+
+/// Unit the throughput line is reported in.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark identifier with a parameter, e.g. `amuse/4`.
+#[derive(Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes runs by wall clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Upper bound on the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the throughput reported for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: budget(self.measurement_time),
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        b.report(&self.name, &id.to_string(), self.throughput);
+        self
+    }
+
+    /// Runs a parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            budget: budget(self.measurement_time),
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        b.report(&self.name, &id.id, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the wall-clock budget is spent
+    /// (always at least once).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        loop {
+            let r = f();
+            std::hint::black_box(&r);
+            self.iters += 1;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= self.budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("{group}/{id}: no iterations recorded");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let mut line = format!(
+            "{group}/{id}: {:.1} ns/iter ({} iters in {:.1} ms)",
+            per_iter,
+            self.iters,
+            self.elapsed.as_secs_f64() * 1e3
+        );
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (per_iter / 1e9);
+                line.push_str(&format!(", {:.0} elem/s", rate));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (per_iter / 1e9);
+                line.push_str(&format!(", {:.0} B/s", rate));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_least_once_and_reports() {
+        std::env::set_var("MUSE_BENCH_BUDGET_MS", "10");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.measurement_time(Duration::from_millis(20));
+        group.throughput(Throughput::Elements(100));
+        let mut ran = 0u64;
+        group.bench_function("f", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("p", 3), &3usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(ran >= 1);
+    }
+}

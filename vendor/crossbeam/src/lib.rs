@@ -1,0 +1,32 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used here,
+//! and only in SPSC/MPSC mode (receivers are never cloned), so
+//! `std::sync::mpsc` is a faithful substitute.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, TryRecvError};
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            tx2.send(21u32).unwrap();
+        });
+        tx.send(21u32).unwrap();
+        h.join().unwrap();
+        assert_eq!(rx.try_recv().unwrap() + rx.try_recv().unwrap(), 42);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+    }
+}

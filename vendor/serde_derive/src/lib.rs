@@ -1,0 +1,492 @@
+//! Derive macros for the vendored offline `serde` stand-in.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote`: the build environment is
+//! offline). Supports the container shapes used in this workspace:
+//!
+//! * named-field structs, tuple/newtype structs, unit structs;
+//! * enums with unit, tuple, and struct variants;
+//! * container attribute `#[serde(from = "T", into = "T")]`;
+//! * field attribute `#[serde(default)]`.
+//!
+//! Generic containers are intentionally unsupported (none of the
+//! workspace's serialized types are generic); deriving on one produces a
+//! compile error rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    from: Option<String>,
+    into: Option<String>,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Kind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` (value-tree reconstruction).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing --
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let mut attrs = ContainerAttrs::default();
+    for serde_attr in collect_attrs(&tokens, &mut i) {
+        parse_container_attr(&serde_attr, &mut attrs)?;
+    }
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i)?;
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => return Err(format!("derive expects struct or enum, found `{other}`")),
+    };
+    let name = expect_ident(&tokens, &mut i)?;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde derive does not support generic type `{name}`"
+        ));
+    }
+
+    let kind = if is_enum {
+        let TokenTree::Group(g) = tokens
+            .get(i)
+            .ok_or_else(|| "expected enum body".to_string())?
+        else {
+            return Err("expected enum body".to_string());
+        };
+        Kind::Enum(parse_variants(g.stream())?)
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            None => Kind::Unit,
+            other => return Err(format!("unexpected token in struct body: {other:?}")),
+        }
+    };
+
+    Ok(Item { name, attrs, kind })
+}
+
+/// Collects leading attributes, returning the token streams of `#[serde(...)]`
+/// ones and skipping the rest (doc comments, other derives, etc.).
+fn collect_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<Vec<TokenTree>> {
+    let mut serde_attrs = Vec::new();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    serde_attrs.push(args.stream().into_iter().collect());
+                }
+            }
+            *i += 1;
+        }
+    }
+    serde_attrs
+}
+
+fn parse_container_attr(tokens: &[TokenTree], attrs: &mut ContainerAttrs) -> Result<(), String> {
+    let mut i = 0;
+    while i < tokens.len() {
+        let TokenTree::Ident(key) = &tokens[i] else {
+            i += 1;
+            continue;
+        };
+        let key = key.to_string();
+        let value = match (tokens.get(i + 1), tokens.get(i + 2)) {
+            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+                i += 3;
+                Some(lit.to_string().trim_matches('"').to_string())
+            }
+            _ => {
+                i += 1;
+                None
+            }
+        };
+        match (key.as_str(), value) {
+            ("from", Some(v)) => attrs.from = Some(v),
+            ("into", Some(v)) => attrs.into = Some(v),
+            ("default", None) => {} // container-level default: ignored
+            (other, _) => {
+                return Err(format!(
+                    "vendored serde derive does not support container attribute `{other}`"
+                ))
+            }
+        }
+        // Skip a separating comma if present.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+/// Splits a token list into top-level comma-separated chunks, treating `<...>`
+/// nesting as opaque (groups are already atomic token trees).
+fn split_top_level(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level(stream.into_iter().collect()) {
+        let mut i = 0;
+        let serde_attrs = collect_attrs(&chunk, &mut i);
+        let default = serde_attrs.iter().any(|a| {
+            matches!(a.first(), Some(TokenTree::Ident(id)) if id.to_string() == "default")
+        });
+        skip_visibility(&chunk, &mut i);
+        let name = expect_ident(&chunk, &mut i)?;
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream.into_iter().collect()).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream.into_iter().collect()) {
+        let mut i = 0;
+        collect_attrs(&chunk, &mut i);
+        let name = expect_ident(&chunk, &mut i)?;
+        let kind = match chunk.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen --
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into) = &item.attrs.into {
+        format!(
+            "let repr: {into} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&repr)"
+        )
+    } else {
+        match &item.kind {
+            Kind::Unit => "::serde::Value::Null".to_string(),
+            Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Kind::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+            }
+            Kind::Named(fields) => {
+                let mut s = String::from("let mut m = ::serde::Map::new();\n");
+                for f in fields {
+                    s.push_str(&format!(
+                        "m.insert(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(&self.{0}));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Object(m)");
+                s
+            }
+            Kind::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vn}\")),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("a{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(a0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                            };
+                            arms.push_str(&format!(
+                                "{name}::{vn}({binds}) => {{\n\
+                                 let mut m = ::serde::Map::new();\n\
+                                 m.insert(::std::string::String::from(\"{vn}\"), {inner});\n\
+                                 ::serde::Value::Object(m)\n}}\n",
+                                binds = binds.join(", ")
+                            ));
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let mut inner = String::from(
+                                "let mut fm = ::serde::Map::new();\n",
+                            );
+                            for f in fields {
+                                inner.push_str(&format!(
+                                    "fm.insert(::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::to_value({0}));\n",
+                                    f.name
+                                ));
+                            }
+                            arms.push_str(&format!(
+                                "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                                 let mut m = ::serde::Map::new();\n\
+                                 m.insert(::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(fm));\n\
+                                 ::serde::Value::Object(m)\n}}\n",
+                                binds = binds.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn field_from_map(container: &str, f: &Field) -> String {
+    let n = &f.name;
+    if f.default {
+        format!(
+            "{n}: match m.get(\"{n}\") {{\n\
+             ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+             ::std::option::Option::None => ::std::default::Default::default(),\n}},\n"
+        )
+    } else {
+        // Absent fields deserialize from Null so `Option` fields tolerate
+        // omission; everything else reports a missing-field error.
+        format!(
+            "{n}: match m.get(\"{n}\") {{\n\
+             ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+             ::std::option::Option::None => \
+             ::serde::Deserialize::from_value(&::serde::Value::Null).map_err(|_| \
+             ::serde::DeError::custom(\"missing field `{n}` in `{container}`\"))?,\n}},\n"
+        )
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from) = &item.attrs.from {
+        format!(
+            "let repr: {from} = ::serde::Deserialize::from_value(v)?;\n\
+             ::std::result::Result::Ok(::std::convert::From::from(repr))"
+        )
+    } else {
+        match &item.kind {
+            Kind::Unit => format!("::std::result::Result::Ok({name})"),
+            Kind::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+            ),
+            Kind::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                    .collect();
+                format!(
+                    "let arr = v.as_array().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected array for `{name}`\"))?;\n\
+                     if arr.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                     \"wrong tuple arity for `{name}`\"));\n}}\n\
+                     ::std::result::Result::Ok({name}({elems}))",
+                    elems = elems.join(", ")
+                )
+            }
+            Kind::Named(fields) => {
+                let mut s = format!(
+                    "let m = v.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected object for `{name}`\"))?;\n\
+                     ::std::result::Result::Ok({name} {{\n"
+                );
+                for f in fields {
+                    s.push_str(&field_from_map(name, f));
+                }
+                s.push_str("})");
+                s
+            }
+            Kind::Enum(variants) => {
+                let mut str_arms = String::new();
+                let mut obj_arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            str_arms.push_str(&format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                            ));
+                        }
+                        VariantKind::Tuple(1) => {
+                            obj_arms.push_str(&format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(inner)?)),\n"
+                            ));
+                        }
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&arr[{i}])?")
+                                })
+                                .collect();
+                            obj_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let arr = inner.as_array().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected array for variant \
+                                 `{name}::{vn}`\"))?;\n\
+                                 if arr.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                                 \"wrong arity for variant `{name}::{vn}`\"));\n}}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({elems}))\n}}\n",
+                                elems = elems.join(", ")
+                            ));
+                        }
+                        VariantKind::Named(fields) => {
+                            let mut inner_body = format!(
+                                "let m = inner.as_object().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected object for variant \
+                                 `{name}::{vn}`\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{\n"
+                            );
+                            for f in fields {
+                                inner_body.push_str(&field_from_map(name, f));
+                            }
+                            inner_body.push_str("})");
+                            obj_arms.push_str(&format!("\"{vn}\" => {{\n{inner_body}\n}}\n"));
+                        }
+                    }
+                }
+                format!(
+                    "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n{str_arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(format!(\
+                     \"unknown variant `{{other}}` of `{name}`\"))),\n}},\n\
+                     ::serde::Value::Object(m) => {{\n\
+                     let (k, inner) = m.iter().next().ok_or_else(|| \
+                     ::serde::DeError::custom(\"empty variant object for `{name}`\"))?;\n\
+                     match k.as_str() {{\n{obj_arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(format!(\
+                     \"unknown variant `{{other}}` of `{name}`\"))),\n}}\n}}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(format!(\
+                     \"expected string or object for `{name}`, found {{other:?}}\"))),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
