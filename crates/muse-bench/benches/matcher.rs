@@ -67,7 +67,10 @@ fn evaluator_throughput(c: &mut Criterion) {
                 let t = i * 7;
                 let ab_match = Match::new(vec![
                     (PrimId(0), Event::new(i * 3, EventTypeId(0), t, NodeId(0))),
-                    (PrimId(1), Event::new(i * 3 + 1, EventTypeId(1), t + 1, NodeId(1))),
+                    (
+                        PrimId(1),
+                        Event::new(i * 3 + 1, EventTypeId(1), t + 1, NodeId(1)),
+                    ),
                 ]);
                 count += join.on_match(0, ab_match).len();
                 let c_match = Match::single(

@@ -2,7 +2,7 @@
 //! paper's evaluation (§7).
 //!
 //! ```text
-//! harness <experiment|all> [--reps N] [--seed S] [--quick] [--out DIR]
+//! harness <experiment|all> [--reps N] [--seed S] [--quick] [--out DIR] [--telemetry DIR]
 //! ```
 //!
 //! Experiments: fig5a fig5b fig5c fig5d fig6a fig6b fig7a fig7b fig7c fig7d
@@ -11,9 +11,17 @@
 //! only when named explicitly: `ablation` (design-choice ablations) and
 //! `matcher` (indexed vs. naive join engine; written as
 //! `BENCH_matcher.json`).
+//!
+//! With `--telemetry DIR`, the executing experiments (`table3`, `fig8`,
+//! `matcher`) additionally collect run telemetry — registry snapshots,
+//! per-task series, lineage traces — written as `DIR/telemetry.json`,
+//! `DIR/series.jsonl`, and `DIR/trace.jsonl`, with a per-task summary
+//! table printed per run and the experiment wall time sourced from the
+//! telemetry registry.
 
-use muse_bench::experiments::{all_experiments, run_experiment};
+use muse_bench::experiments::{all_experiments, run_experiment_telemetry};
 use muse_bench::runner::SweepSettings;
+use muse_bench::telemetry::{TelemetryCollector, TelemetryOutput};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -21,7 +29,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: harness <experiment|all> [--reps N] [--seed S] [--quick] [--out DIR]\n\
+            "usage: harness <experiment|all> [--reps N] [--seed S] [--quick] [--out DIR] \
+             [--telemetry DIR]\n\
              experiments: {} all",
             all_experiments().join(" ")
         );
@@ -31,6 +40,7 @@ fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut settings = SweepSettings::default();
     let mut out_dir: Option<PathBuf> = None;
+    let mut telemetry_dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -55,6 +65,13 @@ fn main() -> ExitCode {
                     args.get(i).unwrap_or_else(|| die("--out needs a path")),
                 ));
             }
+            "--telemetry" => {
+                i += 1;
+                telemetry_dir = Some(PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--telemetry needs a path")),
+                ));
+            }
             "all" => ids.extend(all_experiments().iter().map(|s| s.to_string())),
             id if all_experiments().contains(&id) || id == "ablation" || id == "matcher" => {
                 ids.push(id.to_string())
@@ -72,12 +89,34 @@ fn main() -> ExitCode {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
 
+    let mut telemetry_out = telemetry_dir.as_ref().map(|_| TelemetryOutput::new());
+    let mut all_checks_pass = true;
     for id in &ids {
         eprintln!("running {id} (reps = {}) …", settings.reps);
+        let mut collector = telemetry_dir.as_ref().map(|_| TelemetryCollector::new());
         let started = std::time::Instant::now();
-        let output = run_experiment(id, &settings);
+        let output = run_experiment_telemetry(id, &settings, collector.as_mut());
+        let elapsed = started.elapsed();
         println!("{}", output.render());
-        eprintln!("{id} finished in {:.1?}\n", started.elapsed());
+        if let Some(collector) = &mut collector {
+            // The experiment's wall time flows through the telemetry
+            // registry; the summary line below reads it (and the peak
+            // live-match gauge) back from there rather than from ad-hoc
+            // `Instant` arithmetic.
+            collector.set_wall_ns(elapsed.as_nanos() as u64);
+            for (label, run) in collector.runs() {
+                if !run.tasks.is_empty() {
+                    println!("-- {label} --\n{}", run.task_table());
+                }
+            }
+            eprintln!("{id} finished: {}\n", collector.summary_line());
+            all_checks_pass &= collector.checks_pass();
+            if let Some(out) = &mut telemetry_out {
+                out.add(id, collector);
+            }
+        } else {
+            eprintln!("{id} finished in {elapsed:.1?}\n");
+        }
         if let Some(dir) = &out_dir {
             // The matcher join bench is a named deliverable, not a paper figure.
             let file = if id == "matcher" {
@@ -90,6 +129,16 @@ fn main() -> ExitCode {
             std::fs::write(&path, json).expect("write result file");
             eprintln!("wrote {}", path.display());
         }
+    }
+    if let (Some(dir), Some(out)) = (&telemetry_dir, &telemetry_out) {
+        let paths = out.write(dir).expect("write telemetry files");
+        for p in paths {
+            eprintln!("wrote {}", p.display());
+        }
+    }
+    if !all_checks_pass {
+        eprintln!("error: telemetry latency checks failed (histogram vs. exact percentiles)");
+        return ExitCode::from(1);
     }
     ExitCode::SUCCESS
 }

@@ -5,8 +5,9 @@
 //! study (Table 3, Fig. 8) actually executes the plans on the runtime over
 //! the synthetic cluster trace.
 
-use crate::runner::{evaluate_workload, RatioPoint, SweepSettings, StrategyCosts};
+use crate::runner::{evaluate_workload, RatioPoint, StrategyCosts, SweepSettings};
 use crate::stats::summarize;
+use crate::telemetry::TelemetryCollector;
 use muse_core::algorithms::amuse::AMuseConfig;
 use muse_core::algorithms::baselines::placement_to_graph;
 use muse_core::algorithms::multi_query::amuse_workload;
@@ -145,8 +146,8 @@ pub struct RunRow {
 /// choices) and is therefore not part of `all`; run it explicitly.
 pub fn all_experiments() -> Vec<&'static str> {
     vec![
-        "fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b", "fig7a", "fig7b", "fig7c",
-        "fig7d", "table3", "fig8",
+        "fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b", "fig7a", "fig7b", "fig7c", "fig7d",
+        "table3", "fig8",
     ]
 }
 
@@ -156,6 +157,21 @@ pub fn all_experiments() -> Vec<&'static str> {
 ///
 /// Panics on an unknown id; see [`all_experiments`].
 pub fn run_experiment(id: &str, settings: &SweepSettings) -> ExperimentOutput {
+    run_experiment_telemetry(id, settings, None)
+}
+
+/// Runs one experiment by id, optionally collecting executor telemetry.
+/// Only the experiments that actually execute plans (`table3`, `fig8`,
+/// `matcher`) produce telemetry; the analytic sweeps ignore the collector.
+///
+/// # Panics
+///
+/// Panics on an unknown id; see [`all_experiments`].
+pub fn run_experiment_telemetry(
+    id: &str,
+    settings: &SweepSettings,
+    tel: Option<&mut TelemetryCollector>,
+) -> ExperimentOutput {
     match id {
         "fig5a" => fig5_event_node_ratio(id, false, settings),
         "fig5b" => fig5_event_node_ratio(id, true, settings),
@@ -167,16 +183,19 @@ pub fn run_experiment(id: &str, settings: &SweepSettings) -> ExperimentOutput {
         "fig7b" => fig7_selectivity(id, true, settings),
         "fig7c" => fig7_workload_size(id, settings),
         "fig7d" => fig7_construction(id, settings),
-        "table3" => table3_case_study(id, settings),
-        "fig8" => fig8_case_study(id, settings),
+        "table3" => table3_case_study(id, settings, tel),
+        "fig8" => fig8_case_study(id, settings, tel),
         "ablation" => ablation(id, settings),
-        "matcher" => matcher_bench(id, settings),
+        "matcher" => matcher_bench(id, settings, tel),
         other => panic!("unknown experiment '{other}'; see `all_experiments()`"),
     }
 }
 
 /// Builds the (network, workload) instance of a simulation experiment.
-fn instance(net_cfg: &NetworkConfig, wl_cfg: &WorkloadConfig) -> (muse_core::network::Network, Workload) {
+fn instance(
+    net_cfg: &NetworkConfig,
+    wl_cfg: &WorkloadConfig,
+) -> (muse_core::network::Network, Workload) {
     let network = generate_network(net_cfg);
     let workload = generate_workload(wl_cfg);
     (network, workload)
@@ -219,8 +238,7 @@ fn sweep(
     let points = xs
         .iter()
         .map(|&x| {
-            let costs: Vec<StrategyCosts> =
-                settings.seeds().map(|seed| make(x, seed)).collect();
+            let costs: Vec<StrategyCosts> = settings.seeds().map(|seed| make(x, seed)).collect();
             RatioPoint::collect(x, &costs)
         })
         .collect();
@@ -331,7 +349,10 @@ fn fig7_workload_size(id: &str, settings: &SweepSettings) -> ExperimentOutput {
 /// default and large settings.
 fn fig7_construction(id: &str, settings: &SweepSettings) -> ExperimentOutput {
     let mut rows = Vec::new();
-    for (setting, large) in [("default (20 nodes, 5 queries)", false), ("large (50 nodes, 15 queries)", true)] {
+    for (setting, large) in [
+        ("default (20 nodes, 5 queries)", false),
+        ("large (50 nodes, 15 queries)", true),
+    ] {
         let costs: Vec<StrategyCosts> = settings
             .seeds()
             .map(|seed| {
@@ -369,8 +390,7 @@ fn ablation(id: &str, settings: &SweepSettings) -> ExperimentOutput {
         let (mut nc, wc) = base_configs(false, seed);
         nc.event_node_ratio = x;
         let (net, w) = instance(&nc, &wc);
-        let central =
-            muse_core::algorithms::baselines::centralized_cost(w.queries(), &net);
+        let central = muse_core::algorithms::baselines::centralized_cost(w.queries(), &net);
         let plan = amuse_workload(&w, &net, config).expect("plans");
         plan.total_cost / central.max(f64::MIN_POSITIVE)
     };
@@ -444,10 +464,7 @@ fn case_study_instance(
     sources: &[&str],
     jobs: usize,
     seed: u64,
-) -> (
-    muse_sim::cluster_trace::ClusterTrace,
-    Workload,
-) {
+) -> (muse_sim::cluster_trace::ClusterTrace, Workload) {
     let mut trace = generate_cluster_trace(&ClusterTraceConfig {
         jobs,
         seed,
@@ -500,8 +517,8 @@ fn case_study_deployments(
             &trace.network,
         );
     for (q, placement) in workload.queries().iter().zip(&placements) {
-        let g = placement_to_graph(q, placement, &trace.network, &mut table)
-            .expect("placement graph");
+        let g =
+            placement_to_graph(q, placement, &trace.network, &mut table).expect("placement graph");
         oop_graph.union_with(&g);
     }
     let oop_ctx = PlanContext::new(workload.queries(), &trace.network, &table);
@@ -510,20 +527,37 @@ fn case_study_deployments(
 }
 
 /// Table 3: executed transmission ratios of the case study.
-fn table3_case_study(id: &str, settings: &SweepSettings) -> ExperimentOutput {
+fn table3_case_study(
+    id: &str,
+    settings: &SweepSettings,
+    mut tel: Option<&mut TelemetryCollector>,
+) -> ExperimentOutput {
     let jobs = if settings.reps <= 2 { 150 } else { 400 };
+    let sim_config = SimConfig {
+        telemetry: tel.as_ref().map(|t| t.spec()),
+        ..SimConfig::default()
+    };
     let mut rows = Vec::new();
     for (scenario, sources) in case_study_scenarios() {
         let (trace, workload) = case_study_instance(&sources, jobs, settings.seed);
         let (ms, op) = case_study_deployments(&trace, &workload);
-        let ms_report = run_simulation(&ms, &trace.events, &SimConfig::default());
-        let op_report = run_simulation(&op, &trace.events, &SimConfig::default());
+        let mut ms_report = run_simulation(&ms, &trace.events, &sim_config);
+        let mut op_report = run_simulation(&op, &trace.events, &sim_config);
         let ms_matches: u64 = ms_report.matches.iter().map(|m| m.len() as u64).sum();
         let op_matches: u64 = op_report.matches.iter().map(|m| m.len() as u64).sum();
         assert_eq!(
             ms_matches, op_matches,
             "{scenario}: MuSE and oOP plans must produce identical matches"
         );
+        if let Some(tel) = tel.as_deref_mut() {
+            for (strategy, report) in [("MS", &mut ms_report), ("OP", &mut op_report)] {
+                let label = format!("{id}/{scenario}/{strategy}");
+                if let Some(run) = report.telemetry.take() {
+                    tel.record_run(&label, run);
+                }
+                tel.check_latency(&label, &report.metrics);
+            }
+        }
         rows.push(CaseStudyRow {
             scenario: scenario.to_string(),
             amuse_ratio: ms_report.metrics.transmission_ratio(),
@@ -539,14 +573,27 @@ fn table3_case_study(id: &str, settings: &SweepSettings) -> ExperimentOutput {
 
 /// Fig. 8: wall-clock latency and throughput of MS vs. OP on the threaded
 /// executor.
-fn fig8_case_study(id: &str, settings: &SweepSettings) -> ExperimentOutput {
+fn fig8_case_study(
+    id: &str,
+    settings: &SweepSettings,
+    mut tel: Option<&mut TelemetryCollector>,
+) -> ExperimentOutput {
     let jobs = if settings.reps <= 2 { 100 } else { 250 };
+    let threaded_config = ThreadedConfig {
+        telemetry: tel.as_ref().map(|t| t.spec()),
+        ..ThreadedConfig::default()
+    };
     let mut rows = Vec::new();
     for (scenario, sources) in case_study_scenarios() {
         let (trace, workload) = case_study_instance(&sources, jobs, settings.seed);
         let (ms, op) = case_study_deployments(&trace, &workload);
         for (strategy, deployment) in [("MS", &ms), ("OP", &op)] {
-            let report = run_threaded(deployment, &trace.events, &ThreadedConfig::default());
+            let mut report = run_threaded(deployment, &trace.events, &threaded_config);
+            if let Some(tel) = tel.as_deref_mut() {
+                if let Some(run) = report.telemetry.take() {
+                    tel.record_run(&format!("{id}/{scenario}/{strategy}"), run);
+                }
+            }
             let latency_us = report
                 .latency_summary_ns()
                 .map(|s| s.map(|v| v as f64 / 1e3))
@@ -569,12 +616,21 @@ fn fig8_case_study(id: &str, settings: &SweepSettings) -> ExperimentOutput {
 /// The `matcher` experiment (`BENCH_matcher.json`): indexed vs. naive join
 /// throughput on the skip-till-any-match stress workload, with the
 /// emission streams cross-checked for byte identity.
-fn matcher_bench(id: &str, settings: &SweepSettings) -> ExperimentOutput {
+fn matcher_bench(
+    id: &str,
+    settings: &SweepSettings,
+    tel: Option<&mut TelemetryCollector>,
+) -> ExperimentOutput {
     let arrivals = if settings.reps <= 2 { 40_000 } else { 150_000 };
-    matcher_bench_sized(id, arrivals, settings)
+    matcher_bench_sized(id, arrivals, settings, tel)
 }
 
-fn matcher_bench_sized(id: &str, arrivals: usize, settings: &SweepSettings) -> ExperimentOutput {
+fn matcher_bench_sized(
+    id: &str,
+    arrivals: usize,
+    settings: &SweepSettings,
+    tel: Option<&mut TelemetryCollector>,
+) -> ExperimentOutput {
     use crate::matcher_stress::{stress_feed, stress_query, stress_slots, WINDOW};
     use muse_runtime::matcher::{JoinTask, Match, NaiveJoinTask};
     use std::time::Instant;
@@ -599,14 +655,22 @@ fn matcher_bench_sized(id: &str, arrivals: usize, settings: &SweepSettings) -> E
                 let mut join = NaiveJoinTask::with_slack(&query, query.prims(), &slots, slack);
                 let mut peak = 0usize;
                 for (slot, m) in &feed {
-                    fps.extend(join.on_match(*slot, m.clone()).iter().map(Match::fingerprint));
+                    fps.extend(
+                        join.on_match(*slot, m.clone())
+                            .iter()
+                            .map(Match::fingerprint),
+                    );
                     peak = peak.max(join.buffered());
                 }
                 (join.emitted(), peak as u64)
             } else {
                 let mut join = JoinTask::with_slack(&query, query.prims(), &slots, slack);
                 for (slot, m) in &feed {
-                    fps.extend(join.on_match(*slot, m.clone()).iter().map(Match::fingerprint));
+                    fps.extend(
+                        join.on_match(*slot, m.clone())
+                            .iter()
+                            .map(Match::fingerprint),
+                    );
                 }
                 (join.emitted(), join.stats().peak_buffered)
             };
@@ -633,6 +697,94 @@ fn matcher_bench_sized(id: &str, arrivals: usize, settings: &SweepSettings) -> E
     let (naive, naive_fps) = run(true);
     let fingerprints_equal = indexed_fps == naive_fps;
     let speedup = indexed.events_per_sec / naive.events_per_sec;
+
+    // A separate instrumented pass over the indexed engine: emit-lag
+    // latencies (engine watermark minus the emitted match's newest event)
+    // feed both the exact vector and the streaming histogram, so the
+    // exported quantiles can be cross-checked against the exact
+    // percentiles.
+    if let Some(tel) = tel {
+        use muse_runtime::metrics::Metrics;
+        use muse_runtime::telemetry::{
+            names, ClockDomain, GaugeKind, RunTelemetry, TaskSummary, TraceRecord,
+        };
+        use muse_telemetry::SeriesRecord;
+
+        let spec = tel.spec();
+        let mut run = RunTelemetry::new(ClockDomain::VirtualTicks, &spec);
+        let c_sink = run.registry.counter(names::SINK_MATCHES);
+        let h_lat = run.registry.hist(names::LATENCY_SINK);
+        let mut metrics = Metrics::new(1);
+        let mut join = JoinTask::with_slack(&query, query.prims(), &slots, slack);
+        let cadence = spec.series_cadence_ticks.max(1);
+        let mut next_sample = 0u64;
+        let mut prev = [0u64; 4];
+        for (slot, m) in &feed {
+            let outs = join.on_match(*slot, m.clone());
+            let now = join.last_seen();
+            for out in &outs {
+                let lag = now.saturating_sub(out.last_time());
+                metrics.record_latency(lag);
+                run.registry.inc(c_sink, 1);
+                run.registry.observe(h_lat, lag);
+                run.trace.push(TraceRecord::SinkMatch {
+                    t: now,
+                    node: 0,
+                    task: 0,
+                    size: out.len(),
+                    last_time: out.last_time(),
+                });
+            }
+            if now >= next_sample {
+                let s = join.stats();
+                run.series.push(SeriesRecord {
+                    t: now,
+                    task: 0,
+                    node: 0,
+                    label: "J0@stress".to_string(),
+                    queue_depth: 0,
+                    live_matches: join.buffered() as u64,
+                    watermark_lag: 0,
+                    inputs: s.inputs.saturating_sub(prev[0]),
+                    probes: s.probes.saturating_sub(prev[1]),
+                    evictions: s.evicted.saturating_sub(prev[2]),
+                    emitted: s.emitted.saturating_sub(prev[3]),
+                });
+                prev = [s.inputs, s.probes, s.evicted, s.emitted];
+                next_sample = now + cadence;
+            }
+        }
+        let s = *join.stats();
+        for (name, v) in [
+            (names::JOIN_INPUTS, s.inputs),
+            (names::JOIN_PROBES, s.probes),
+            (names::JOIN_GUARD_REJECTS, s.guard_rejects),
+            (names::JOIN_MERGE_ATTEMPTS, s.merge_attempts),
+            (names::JOIN_MERGE_SUCCESSES, s.merge_successes),
+            (names::JOIN_EMITTED, s.emitted),
+            (names::JOIN_EVICTED, s.evicted),
+        ] {
+            let c = run.registry.counter(name);
+            run.registry.inc(c, v);
+        }
+        let g = run.registry.gauge(names::JOIN_PEAK_LIVE, GaugeKind::Max);
+        run.registry.gauge_peak(g, s.peak_buffered);
+        run.tasks.push(TaskSummary {
+            task: 0,
+            node: 0,
+            label: "J0@stress".to_string(),
+            kind: "sink".to_string(),
+            inputs: s.inputs,
+            probes: s.probes,
+            emitted: s.emitted,
+            evictions: s.evicted,
+            peak_live: s.peak_buffered,
+        });
+        let label = format!("{id}/indexed");
+        tel.record_run(&label, run);
+        tel.check_latency(&label, &metrics);
+    }
+
     ExperimentOutput::MatcherBench {
         id: id.to_string(),
         arrivals: arrivals as u64,
@@ -699,7 +851,10 @@ impl ExperimentOutput {
                     let _ = writeln!(
                         out,
                         "{:>32} | {:>12.2} | {:>12.2} | {:>12.0} | {:>12.0}",
-                        r.setting, r.amuse_ms, r.amuse_star_ms, r.amuse_projections,
+                        r.setting,
+                        r.amuse_ms,
+                        r.amuse_star_ms,
+                        r.amuse_projections,
                         r.amuse_star_projections
                     );
                 }
@@ -732,7 +887,10 @@ impl ExperimentOutput {
                 for r in rows {
                     let lat = format!(
                         "{:.0}/{:.0}/{:.0}/{:.0}/{:.0}",
-                        r.latency_us[0], r.latency_us[1], r.latency_us[2], r.latency_us[3],
+                        r.latency_us[0],
+                        r.latency_us[1],
+                        r.latency_us[2],
+                        r.latency_us[3],
                         r.latency_us[4]
                     );
                     let _ = writeln!(
@@ -766,7 +924,10 @@ impl ExperimentOutput {
                     let _ = writeln!(
                         out,
                         "{:>8} | {:>12.0} | {:>10.1} | {:>14} | {:>10}",
-                        r.engine, r.events_per_sec, r.wall_ms, r.peak_open_partials,
+                        r.engine,
+                        r.events_per_sec,
+                        r.wall_ms,
+                        r.peak_open_partials,
                         r.matches_emitted
                     );
                 }
@@ -801,7 +962,7 @@ mod tests {
 
     #[test]
     fn matcher_bench_small_instance_agrees() {
-        let out = matcher_bench_sized("matcher", 2_000, &quick());
+        let out = matcher_bench_sized("matcher", 2_000, &quick(), None);
         match &out {
             ExperimentOutput::MatcherBench {
                 indexed,
@@ -820,6 +981,25 @@ mod tests {
         let text = out.render();
         assert!(text.contains("speedup"));
         assert!(text.contains("indexed"));
+    }
+
+    #[test]
+    fn matcher_bench_telemetry_quantiles_match_exact() {
+        let mut tel = TelemetryCollector::new();
+        matcher_bench_sized("matcher", 2_000, &quick(), Some(&mut tel));
+        let (label, run) = tel.runs().next().expect("one instrumented run");
+        assert_eq!(label, "matcher/indexed");
+        assert!(run.registry.counter_value("sink_matches").unwrap() > 0);
+        assert!(!run.tasks.is_empty());
+        assert!(!run.series.is_empty());
+        // The histogram-derived p50/p100 must match the exact sorted
+        // percentiles within one bucket's relative error.
+        assert!(!tel.checks().is_empty(), "no latency checks recorded");
+        assert!(
+            tel.checks_pass(),
+            "latency checks failed: {:?}",
+            tel.checks()
+        );
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub mod experiments;
 pub mod matcher_stress;
 pub mod runner;
 pub mod stats;
+pub mod telemetry;
 
 pub use experiments::{all_experiments, run_experiment, ExperimentOutput};
 pub use runner::{evaluate_workload, StrategyCosts, SweepSettings};
+pub use telemetry::{TelemetryCollector, TelemetryOutput};

@@ -2,9 +2,7 @@
 //! with every strategy and sweeping a parameter over repeated seeds.
 
 use muse_core::algorithms::amuse::AMuseConfig;
-use muse_core::algorithms::baselines::{
-    centralized_cost, optimal_operator_placement_workload,
-};
+use muse_core::algorithms::baselines::{centralized_cost, optimal_operator_placement_workload};
 use muse_core::algorithms::multi_query::amuse_workload;
 use muse_core::network::Network;
 use muse_core::workload::Workload;

@@ -1,0 +1,292 @@
+//! Harness-side telemetry aggregation and export (`--telemetry DIR`).
+//!
+//! Executors hand back one [`RunTelemetry`] per run; the harness collects
+//! them per experiment in a [`TelemetryCollector`] (which also merges every
+//! run's registry into one experiment-level registry, the source of the
+//! end-of-experiment wall-time/peak-live summary line) and a
+//! [`TelemetryOutput`] writes three artifacts into the chosen directory:
+//!
+//! * `telemetry.json` — per-experiment aggregated registry snapshots,
+//!   per-run registry/task sections, and histogram-vs-exact latency checks;
+//! * `series.jsonl` — every buffered per-task series sample, one JSON
+//!   object per line, tagged with its experiment and run;
+//! * `trace.jsonl` — the bounded lineage trace rings, tagged likewise.
+
+use muse_runtime::metrics::Metrics;
+use muse_runtime::telemetry::{names, RunTelemetry, TelemetrySpec};
+use muse_telemetry::{GaugeKind, LogHistogram, Registry};
+use serde::Serialize;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+
+/// One histogram-vs-exact latency quantile comparison, asserting the
+/// streaming [`LogHistogram`] stays within its documented relative error of
+/// the exact sorted percentile.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyCheck {
+    /// Run the check belongs to (e.g. `"matcher/indexed"`).
+    pub run: String,
+    /// Quantile label (`"p50"` or `"p100"`).
+    pub quantile: String,
+    /// Exact value from the sorted latency vector.
+    pub exact: u64,
+    /// Estimate from the streaming histogram.
+    pub histogram: u64,
+    /// Permitted absolute deviation (`exact · max_relative_error + 1`).
+    pub bound: f64,
+    /// Whether the estimate lies within the bound.
+    pub pass: bool,
+}
+
+/// Builds a JSON object from string keys and values.
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Per-experiment telemetry collection: the runs' telemetry payloads, an
+/// experiment-level aggregated registry, and the latency parity checks.
+pub struct TelemetryCollector {
+    spec: TelemetrySpec,
+    registry: Registry,
+    runs: Vec<(String, RunTelemetry)>,
+    checks: Vec<LatencyCheck>,
+}
+
+impl Default for TelemetryCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetryCollector {
+    /// Creates a collector with the default [`TelemetrySpec`].
+    pub fn new() -> Self {
+        Self {
+            spec: TelemetrySpec::default(),
+            registry: Registry::new(),
+            runs: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// The spec to hand to executor configs.
+    pub fn spec(&self) -> TelemetrySpec {
+        self.spec.clone()
+    }
+
+    /// Absorbs one run's telemetry under the given label, folding its
+    /// registry into the experiment-level aggregate.
+    pub fn record_run(&mut self, label: &str, run: RunTelemetry) {
+        self.registry.merge(&run.registry);
+        self.runs.push((label.to_string(), run));
+    }
+
+    /// Compares the streaming histogram's p50/p100 against the exact sorted
+    /// percentiles of `metrics` (no-op when the run had no matches).
+    pub fn check_latency(&mut self, run: &str, metrics: &Metrics) {
+        let Some(exact) = metrics.latency_summary() else {
+            return;
+        };
+        for (label, q, exact) in [("p50", 0.5, exact[2]), ("p100", 1.0, exact[4])] {
+            let est = metrics.latency_hist.quantile(q).unwrap_or(0);
+            let bound = exact as f64 * LogHistogram::max_relative_error() + 1.0;
+            self.checks.push(LatencyCheck {
+                run: run.to_string(),
+                quantile: label.to_string(),
+                exact,
+                histogram: est,
+                bound,
+                pass: (est as f64 - exact as f64).abs() <= bound,
+            });
+        }
+    }
+
+    /// Records the experiment's wall time into the aggregated registry
+    /// (the summary line reads it back from there).
+    pub fn set_wall_ns(&mut self, ns: u64) {
+        let g = self.registry.gauge(names::RUN_WALL_NS, GaugeKind::Max);
+        self.registry.gauge_peak(g, ns);
+    }
+
+    /// `true` when every latency check passed (vacuously true without
+    /// checks).
+    pub fn checks_pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// The collected runs, in recording order.
+    pub fn runs(&self) -> impl Iterator<Item = &(String, RunTelemetry)> {
+        self.runs.iter()
+    }
+
+    /// The latency checks recorded so far.
+    pub fn checks(&self) -> &[LatencyCheck] {
+        &self.checks
+    }
+
+    /// One-line experiment summary sourced from the aggregated registry:
+    /// wall time and peak live partial matches.
+    pub fn summary_line(&self) -> String {
+        let wall_ms = self.registry.gauge_value(names::RUN_WALL_NS).unwrap_or(0) as f64 / 1e6;
+        let peak = self
+            .registry
+            .gauge_value(names::JOIN_PEAK_LIVE)
+            .unwrap_or(0);
+        format!("wall {wall_ms:.1} ms, peak live matches {peak} [registry]")
+    }
+
+    fn section(&self, experiment: &str) -> Value {
+        let runs: Vec<Value> = self
+            .runs
+            .iter()
+            .map(|(label, run)| {
+                obj(vec![
+                    ("run", label.to_value()),
+                    ("clock", run.clock.to_value()),
+                    ("registry", run.registry.snapshot().to_value()),
+                    ("tasks", run.tasks.to_value()),
+                    (
+                        "series",
+                        obj(vec![
+                            ("len", (run.series.len() as u64).to_value()),
+                            ("dropped", run.series.dropped().to_value()),
+                        ]),
+                    ),
+                    (
+                        "trace",
+                        obj(vec![
+                            ("len", (run.trace.len() as u64).to_value()),
+                            ("dropped", run.trace.dropped().to_value()),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("experiment", experiment.to_value()),
+            ("registry", self.registry.snapshot().to_value()),
+            ("runs", Value::Array(runs)),
+            ("latency_checks", self.checks.to_value()),
+        ])
+    }
+}
+
+/// Tags a serialized record with its experiment and run, one JSONL line.
+fn tagged_line<T: Serialize>(experiment: &str, run: &str, rec: &T) -> String {
+    let mut v = rec.to_value();
+    if let Value::Object(map) = &mut v {
+        map.insert("experiment".to_string(), experiment.to_value());
+        map.insert("run".to_string(), run.to_value());
+    }
+    serde_json::to_string(&v).expect("value renders as JSON")
+}
+
+/// Accumulates every experiment's telemetry and writes the export files.
+#[derive(Default)]
+pub struct TelemetryOutput {
+    experiments: Vec<Value>,
+    series: String,
+    trace: String,
+}
+
+impl TelemetryOutput {
+    /// Creates an empty output.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one finished experiment's collector into the output.
+    pub fn add(&mut self, experiment: &str, collector: &TelemetryCollector) {
+        self.experiments.push(collector.section(experiment));
+        for (label, run) in collector.runs() {
+            for rec in run.series.records() {
+                self.series.push_str(&tagged_line(experiment, label, rec));
+                self.series.push('\n');
+            }
+            for rec in run.trace.records() {
+                self.trace.push_str(&tagged_line(experiment, label, rec));
+                self.trace.push('\n');
+            }
+        }
+    }
+
+    /// Writes `telemetry.json`, `series.jsonl`, and `trace.jsonl` into
+    /// `dir` (created if missing). Returns the written paths.
+    pub fn write(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let doc = obj(vec![(
+            "experiments",
+            Value::Array(self.experiments.clone()),
+        )]);
+        let text = serde_json::to_string_pretty(&doc)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let json_path = dir.join("telemetry.json");
+        std::fs::write(&json_path, text)?;
+        let series_path = dir.join("series.jsonl");
+        std::fs::write(&series_path, &self.series)?;
+        let trace_path = dir.join("trace.jsonl");
+        std::fs::write(&trace_path, &self.trace)?;
+        Ok(vec![json_path, series_path, trace_path])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_runtime::telemetry::ClockDomain;
+
+    #[test]
+    fn latency_check_passes_on_histogram_fed_metrics() {
+        let mut metrics = Metrics::new(1);
+        for l in [5u64, 100, 2_000, 30_000, 400_000] {
+            metrics.record_latency(l);
+        }
+        let mut c = TelemetryCollector::new();
+        c.check_latency("t", &metrics);
+        assert_eq!(c.checks().len(), 2);
+        assert!(c.checks_pass(), "checks: {:?}", c.checks());
+    }
+
+    #[test]
+    fn summary_line_reads_registry() {
+        let mut c = TelemetryCollector::new();
+        c.set_wall_ns(2_500_000);
+        assert!(c.summary_line().contains("wall 2.5 ms"));
+    }
+
+    #[test]
+    fn output_writes_tagged_jsonl() {
+        let mut c = TelemetryCollector::new();
+        let mut run = RunTelemetry::new(ClockDomain::VirtualTicks, &c.spec());
+        run.series.push(muse_telemetry::SeriesRecord {
+            t: 7,
+            task: 0,
+            node: 0,
+            label: "J0".into(),
+            queue_depth: 1,
+            live_matches: 2,
+            watermark_lag: 0,
+            inputs: 1,
+            probes: 1,
+            evictions: 0,
+            emitted: 0,
+        });
+        c.record_run("r0", run);
+        let mut out = TelemetryOutput::new();
+        out.add("exp", &c);
+        let line = serde_json::parse(out.series.lines().next().unwrap()).unwrap();
+        let map = line.as_object().unwrap();
+        assert_eq!(map.get("experiment").and_then(Value::as_str), Some("exp"));
+        assert_eq!(map.get("run").and_then(Value::as_str), Some("r0"));
+        assert!(map.contains_key("t"));
+        // The experiment section carries the latency-check array.
+        let section = out.experiments[0].as_object().unwrap();
+        assert!(section.contains_key("latency_checks"));
+        assert!(section.contains_key("registry"));
+    }
+}

@@ -249,8 +249,7 @@ pub(crate) fn amuse_with_table(
             available.truncate(config.max_predecessor_candidates);
             available.sort();
         }
-        let list =
-            enumerate_combinations_limited(target, &available, config.max_combinations);
+        let list = enumerate_combinations_limited(target, &available, config.max_combinations);
         stats.combinations += list.len();
         combos.insert(target, list);
     }
@@ -323,11 +322,10 @@ pub(crate) fn amuse_with_table(
                     let Some(pred_plan) = plans.get(&(e_part, po)) else {
                         continue;
                     };
-                    let nodes: BTreeSet<NodeId> =
-                        pred_plan.sinks.iter().map(|v| v.node).collect();
+                    let nodes: BTreeSet<NodeId> = pred_plan.sinks.iter().map(|v| v.node).collect();
                     let cand = construct_subgraph(
-                        query, target, combo, e_part, po, &nodes, &plans, &ctx, table,
-                        &set_stats, &mut stats,
+                        query, target, combo, e_part, po, &nodes, &plans, &ctx, table, &set_stats,
+                        &mut stats,
                     )?;
                     keep_min(&mut plans, (target, po), cand);
                 }
@@ -354,19 +352,15 @@ pub(crate) fn amuse_with_table(
                         let Some(pred_plan) = plans.get(&(e, po)) else {
                             continue;
                         };
-                        let node = choose_single_sink_node(
-                            &pred_plan.sinks,
-                            query,
-                            target,
-                            network,
-                        );
+                        let node =
+                            choose_single_sink_node(&pred_plan.sinks, query, target, network);
                         let idx = match built.iter().position(|(n, _)| *n == node) {
                             Some(idx) => idx,
                             None => {
                                 let nodes: BTreeSet<NodeId> = [node].into_iter().collect();
                                 let cand = construct_subgraph(
-                                    query, target, combo, e, po, &nodes, &plans, &ctx,
-                                    table, &set_stats, &mut stats,
+                                    query, target, combo, e, po, &nodes, &plans, &ctx, table,
+                                    &set_stats, &mut stats,
                                 )?;
                                 built.push((node, cand));
                                 built.len() - 1
@@ -396,7 +390,11 @@ pub(crate) fn amuse_with_table(
 }
 
 /// Inserts `cand` under `key` if it is cheaper than the incumbent.
-fn keep_min(plans: &mut HashMap<(PrimSet, PrimId), SubPlan>, key: (PrimSet, PrimId), cand: SubPlan) {
+fn keep_min(
+    plans: &mut HashMap<(PrimSet, PrimId), SubPlan>,
+    key: (PrimSet, PrimId),
+    cand: SubPlan,
+) {
     match plans.get(&key) {
         Some(existing) if existing.cost <= cand.cost => {}
         _ => {
@@ -433,10 +431,7 @@ fn choose_single_sink_node(
         .iter()
         .map(|v| v.node)
         .max_by_key(|n| {
-            let local = types
-                .iter()
-                .filter(|ty| network.generates(*n, *ty))
-                .count();
+            let local = types.iter().filter(|ty| network.generates(*n, *ty)).count();
             (local, std::cmp::Reverse(n.0))
         })
         .expect("anchor plan has sinks")
@@ -474,10 +469,7 @@ pub(crate) fn construct_subgraph(
     let anchor_plan = &plans[&(anchor, po)];
 
     let mut graph = MuseGraph::new();
-    let sinks: Vec<Vertex> = nodes
-        .iter()
-        .map(|&n| Vertex::new(target_proj, n))
-        .collect();
+    let sinks: Vec<Vertex> = nodes.iter().map(|&n| Vertex::new(target_proj, n)).collect();
     for &s in &sinks {
         graph.add_vertex(s);
     }
@@ -536,12 +528,7 @@ pub(crate) fn construct_subgraph(
     let counts = graph.cover_counts(ctx);
     let sink_counts = sinks
         .iter()
-        .map(|s| {
-            graph
-                .index_of(*s)
-                .map(|i| counts[i])
-                .unwrap_or(0.0)
-        })
+        .map(|s| graph.index_of(*s).map(|i| counts[i]).unwrap_or(0.0))
         .collect();
     Ok(SubPlan {
         graph,
@@ -684,7 +671,11 @@ mod tests {
             .build();
         let q = Query::build(
             QueryId(0),
-            &Pattern::seq([Pattern::leaf(t(1)), Pattern::leaf(t(0)), Pattern::leaf(t(2))]),
+            &Pattern::seq([
+                Pattern::leaf(t(1)),
+                Pattern::leaf(t(0)),
+                Pattern::leaf(t(2)),
+            ]),
             vec![],
             100,
         )
@@ -694,10 +685,18 @@ mod tests {
         // Cost upper bound: broadcast both rare types everywhere = 2 types ·
         // 1.0 rate · ≤4 targets + final match streams.
         let central = centralized_cost(std::slice::from_ref(&q), &net);
-        assert!(plan.cost < central / 10.0, "cost {} central {central}", plan.cost);
+        assert!(
+            plan.cost < central / 10.0,
+            "cost {} central {central}",
+            plan.cost
+        );
         let ctx = plan_ctx(&q, &net, &plan.table);
         plan.graph.check_correct(&ctx, 100_000).unwrap();
-        assert!(plan.is_multi_sink(), "expected multi-sink, got {:?}", plan.sinks);
+        assert!(
+            plan.is_multi_sink(),
+            "expected multi-sink, got {:?}",
+            plan.sinks
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@ use serde::{Deserialize, Serialize};
 pub fn centralized_cost(queries: &[Query], network: &Network) -> f64 {
     let types = queries
         .iter()
-        .fold(crate::types::TypeSet::empty(), |acc, q| acc.union(q.types()));
+        .fold(crate::types::TypeSet::empty(), |acc, q| {
+            acc.union(q.types())
+        });
     types.iter().map(|ty| network.total_rate(ty)).sum()
 }
 
@@ -33,7 +35,9 @@ pub fn centralized_cost(queries: &[Query], network: &Network) -> f64 {
 pub fn naive_single_node_cost(queries: &[Query], network: &Network) -> (NodeId, f64) {
     let types = queries
         .iter()
-        .fold(crate::types::TypeSet::empty(), |acc, q| acc.union(q.types()));
+        .fold(crate::types::TypeSet::empty(), |acc, q| {
+            acc.union(q.types())
+        });
     let mut best = (NodeId(0), f64::INFINITY);
     for node in network.nodes() {
         let cost: f64 = types
@@ -166,11 +170,8 @@ pub fn optimal_operator_placement_workload_placements(
 ) -> Vec<OperatorPlacement> {
     // Sequential sharing-aware placement: each query sees the primitive
     // streams established by the previous queries' placements.
-    let mut established: std::collections::HashSet<(
-        crate::types::EventTypeId,
-        NodeId,
-        NodeId,
-    )> = Default::default();
+    let mut established: std::collections::HashSet<(crate::types::EventTypeId, NodeId, NodeId)> =
+        Default::default();
     queries
         .iter()
         .map(|q| {
@@ -220,10 +221,7 @@ pub fn optimal_operator_placement_workload_placements(
 
 /// Sum of per-query oOP costs without cross-query stream sharing (the naive
 /// accounting; kept for comparison).
-pub fn optimal_operator_placement_workload_unshared(
-    queries: &[Query],
-    network: &Network,
-) -> f64 {
+pub fn optimal_operator_placement_workload_unshared(queries: &[Query], network: &Network) -> f64 {
     queries
         .iter()
         .map(|q| optimal_operator_placement(q, network).cost)
@@ -628,10 +626,7 @@ mod tests {
             .unwrap();
             let dp = optimal_operator_placement(&q, &net).cost;
             let ex = exhaustive_operator_placement(&q, &net);
-            assert!(
-                (dp - ex).abs() < 1e-6,
-                "dp={dp} exhaustive={ex}"
-            );
+            assert!((dp - ex).abs() < 1e-6, "dp={dp} exhaustive={ex}");
         }
     }
 

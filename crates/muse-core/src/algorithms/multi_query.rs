@@ -123,7 +123,12 @@ mod tests {
     }
 
     fn pred(a: u8, b: u8, sel: f64) -> Predicate {
-        Predicate::binary((PrimId(a), AttrId(0)), CmpOp::Eq, (PrimId(b), AttrId(0)), sel)
+        Predicate::binary(
+            (PrimId(a), AttrId(0)),
+            CmpOp::Eq,
+            (PrimId(b), AttrId(0)),
+            sel,
+        )
     }
 
     /// Two queries sharing the sub-pattern SEQ(A, B) with equal predicates.
@@ -133,12 +138,20 @@ mod tests {
             catalog,
             [
                 (
-                    Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2))]),
+                    Pattern::seq([
+                        Pattern::leaf(t(0)),
+                        Pattern::leaf(t(1)),
+                        Pattern::leaf(t(2)),
+                    ]),
                     vec![pred(0, 1, 0.01)],
                     1000,
                 ),
                 (
-                    Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(3))]),
+                    Pattern::seq([
+                        Pattern::leaf(t(0)),
+                        Pattern::leaf(t(1)),
+                        Pattern::leaf(t(3)),
+                    ]),
                     vec![pred(0, 1, 0.01)],
                     1000,
                 ),

@@ -141,9 +141,10 @@ pub fn optimal_muse_graph(
     search.choose_combinations(&mut assigned, vec![full]);
 
     let configurations = search.configurations;
-    let (graph, sinks, cost) = search.best.take().ok_or_else(|| {
-        ModelError::UnsupportedInput("no configuration constructed".to_string())
-    })?;
+    let (graph, sinks, cost) = search
+        .best
+        .take()
+        .ok_or_else(|| ModelError::UnsupportedInput("no configuration constructed".to_string()))?;
     drop(search);
     Ok(OptimalPlan {
         graph,
@@ -171,11 +172,7 @@ struct SubPlan {
 
 impl Search<'_> {
     fn ctx(&self) -> PlanContext<'_> {
-        PlanContext::new(
-            std::slice::from_ref(self.query),
-            self.network,
-            self.table,
-        )
+        PlanContext::new(std::slice::from_ref(self.query), self.network, self.table)
     }
 
     /// Recursively assigns one combination to every used non-primitive
@@ -262,11 +259,7 @@ impl Search<'_> {
                 let pid = self.table.id_of(self.query.id(), e).expect("interned");
                 let mut g = MuseGraph::new();
                 let mut sinks = Vec::new();
-                for node in self
-                    .network
-                    .producers(self.query.prim_type(prim))
-                    .iter()
-                {
+                for node in self.network.producers(self.query.prim_type(prim)).iter() {
                     let v = Vertex::new(pid, node);
                     g.add_vertex(v);
                     sinks.push(v);
@@ -322,7 +315,11 @@ impl Search<'_> {
     }
 
     /// Evaluates a complete configuration.
-    fn finish(&mut self, assigned: &HashMap<PrimSet, Combination>, plans: &HashMap<PrimSet, SubPlan>) {
+    fn finish(
+        &mut self,
+        assigned: &HashMap<PrimSet, Combination>,
+        plans: &HashMap<PrimSet, SubPlan>,
+    ) {
         let _ = assigned;
         let full = self.query.prims();
         let Some(plan) = plans.get(&full) else {

@@ -124,7 +124,11 @@ mod tests {
         };
         Query::build(
             QueryId(0),
-            &Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2))]),
+            &Pattern::seq([
+                Pattern::leaf(t(0)),
+                Pattern::leaf(t(1)),
+                Pattern::leaf(t(2)),
+            ]),
             preds,
             100,
         )
@@ -204,10 +208,7 @@ mod tests {
         let q = query(1.0);
         let combo = Combination::primitive(ps([0, 1, 2]));
         // Others of A: r(B)·2 + r(C)·1 = 21 < 25 → A partitions.
-        assert_eq!(
-            partitioning_input(&q, &combo, &net).unwrap(),
-            Some(ps([0]))
-        );
+        assert_eq!(partitioning_input(&q, &combo, &net).unwrap(), Some(ps([0])));
         // Raise B's rate so no predecessor dominates.
         let net2 = NetworkBuilder::new(3, 3)
             .node(NodeId(0), [t(0)])

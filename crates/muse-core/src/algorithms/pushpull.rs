@@ -97,11 +97,7 @@ impl PullPlan {
 /// the horizon the join itself would retain them for).
 pub fn annotate(graph: &MuseGraph, ctx: &PlanContext<'_>, config: &PushPullConfig) -> PullPlan {
     let covers = graph.covers(ctx);
-    let index: HashMap<Vertex, usize> = graph
-        .vertices()
-        .enumerate()
-        .map(|(i, v)| (v, i))
-        .collect();
+    let index: HashMap<Vertex, usize> = graph.vertices().enumerate().map(|(i, v)| (v, i)).collect();
     // Per-vertex outgoing volume V_v = r̂(p) · |𝔄(v)|.
     let volume: Vec<f64> = graph
         .vertices()
@@ -144,9 +140,10 @@ pub fn annotate(graph: &MuseGraph, ctx: &PlanContext<'_>, config: &PushPullConfi
             // once-per-node sharing rule: if the producer also feeds other
             // vertices at the same node, converting this edge alone saves
             // nothing — skip those.
-            let shares_stream = graph.successors(pred).iter().any(|s| {
-                *s != target && s.node == target.node
-            });
+            let shares_stream = graph
+                .successors(pred)
+                .iter()
+                .any(|s| *s != target && s.node == target.node);
             if shares_stream {
                 continue;
             }
@@ -214,7 +211,11 @@ mod tests {
     fn query() -> Query {
         Query::build(
             QueryId(0),
-            &Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2))]),
+            &Pattern::seq([
+                Pattern::leaf(t(0)),
+                Pattern::leaf(t(1)),
+                Pattern::leaf(t(2)),
+            ]),
             vec![],
             100,
         )
@@ -284,13 +285,7 @@ mod tests {
         let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
         let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
         let cheap = annotate(&plan.graph, &ctx, &PushPullConfig { request_cost: 0.0 });
-        let expensive = annotate(
-            &plan.graph,
-            &ctx,
-            &PushPullConfig {
-                request_cost: 1e9,
-            },
-        );
+        let expensive = annotate(&plan.graph, &ctx, &PushPullConfig { request_cost: 1e9 });
         assert!(cheap.savings() >= expensive.savings());
         assert!(expensive.pulled.is_empty());
     }
@@ -327,7 +322,11 @@ mod tests {
             let net = random_net(seed);
             let q = Query::build(
                 QueryId(0),
-                &Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2))]),
+                &Pattern::seq([
+                    Pattern::leaf(t(0)),
+                    Pattern::leaf(t(1)),
+                    Pattern::leaf(t(2)),
+                ]),
                 vec![],
                 100,
             )

@@ -60,9 +60,7 @@ impl EventTypeBinding {
     /// `self` appears in `other`). Sub-bags of a query's bindings are
     /// bindings of its projections (§4.2).
     pub fn is_sub_bag_of(&self, other: &EventTypeBinding) -> bool {
-        self.0
-            .iter()
-            .all(|(p, n)| other.node_of(*p) == Some(*n))
+        self.0.iter().all(|(p, n)| other.node_of(*p) == Some(*n))
     }
 
     /// Restricts the binding to the given primitive operators.
@@ -213,11 +211,9 @@ impl Cover {
     /// Returns `true` if the cover contains the binding (restricted to the
     /// cover's primitives, each tuple's node must be admissible).
     pub fn contains(&self, binding: &EventTypeBinding) -> bool {
-        self.per_prim.iter().all(|(p, nodes)| {
-            binding
-                .node_of(*p)
-                .is_some_and(|n| nodes.contains(n))
-        })
+        self.per_prim
+            .iter()
+            .all(|(p, nodes)| binding.node_of(*p).is_some_and(|n| nodes.contains(n)))
     }
 
     /// Returns `true` if every binding of `self` is also in `other`
@@ -358,7 +354,11 @@ mod tests {
 
     #[test]
     fn negated_prims_excluded_from_bindings() {
-        let p = Pattern::nseq(Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2)));
+        let p = Pattern::nseq(
+            Pattern::leaf(t(0)),
+            Pattern::leaf(t(1)),
+            Pattern::leaf(t(2)),
+        );
         let q = Query::build(QueryId(0), &p, vec![], 10).unwrap();
         let net = fig2_network();
         // Positive prims 0 and 2: C×F = 2×2 = 4 bindings (L=prim 1 negated).

@@ -265,8 +265,7 @@ mod tests {
         // but NOT {01}{02}{12} (redundant) and NOT any containing the target.
         let available = vec![ps([0, 1]), ps([0, 2]), ps([1, 2])];
         let combos = enumerate_combinations(ps([0, 1, 2]), &available);
-        let sets: HashSet<Vec<PrimSet>> =
-            combos.iter().map(|c| c.predecessors.clone()).collect();
+        let sets: HashSet<Vec<PrimSet>> = combos.iter().map(|c| c.predecessors.clone()).collect();
         assert!(sets.contains(&vec![ps([0]), ps([1]), ps([2])]));
         assert!(sets.contains(&{
             let mut v = vec![ps([0, 1]), ps([2])];

@@ -64,10 +64,7 @@ pub fn query_output_rate(query: &Query, network: &Network) -> f64 {
 /// upper bound used by the *beneficial projection* test (Def. 13 applied to
 /// the primitive combination, §6.1.1).
 pub fn primitive_rate_sum(prims: PrimSet, query: &Query, network: &Network) -> f64 {
-    prims
-        .iter()
-        .map(|p| network.rate(query.prim_type(p)))
-        .sum()
+    prims.iter().map(|p| network.rate(query.prim_type(p))).sum()
 }
 
 #[cfg(test)]
@@ -109,7 +106,11 @@ mod tests {
     fn and_rate_is_k_times_product() {
         let q = Query::build(
             QueryId(0),
-            &Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2))]),
+            &Pattern::and([
+                Pattern::leaf(t(0)),
+                Pattern::leaf(t(1)),
+                Pattern::leaf(t(2)),
+            ]),
             vec![],
             10,
         )
@@ -122,7 +123,11 @@ mod tests {
     fn nseq_rate_ignores_negated_child() {
         let q = Query::build(
             QueryId(0),
-            &Pattern::nseq(Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2))),
+            &Pattern::nseq(
+                Pattern::leaf(t(0)),
+                Pattern::leaf(t(1)),
+                Pattern::leaf(t(2)),
+            ),
             vec![],
             10,
         )
@@ -191,7 +196,11 @@ mod tests {
     fn primitive_rate_sum_over_prims() {
         let q = Query::build(
             QueryId(0),
-            &Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(3))]),
+            &Pattern::seq([
+                Pattern::leaf(t(0)),
+                Pattern::leaf(t(1)),
+                Pattern::leaf(t(3)),
+            ]),
             vec![],
             10,
         )

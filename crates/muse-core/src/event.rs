@@ -223,10 +223,7 @@ mod tests {
 
     #[test]
     fn payload_from_pairs_sorts() {
-        let p = Payload::from_pairs(vec![
-            (AttrId(5), Value::Int(1)),
-            (AttrId(2), Value::Int(2)),
-        ]);
+        let p = Payload::from_pairs(vec![(AttrId(5), Value::Int(1)), (AttrId(2), Value::Int(2))]);
         assert_eq!(p.get(AttrId(5)), Some(&Value::Int(1)));
         assert_eq!(p.get(AttrId(2)), Some(&Value::Int(2)));
     }
@@ -245,7 +242,10 @@ mod tests {
             Value::Str("a".into()).partial_cmp_value(&Value::Str("b".into())),
             Some(Ordering::Less)
         );
-        assert_eq!(Value::Str("a".into()).partial_cmp_value(&Value::Int(1)), None);
+        assert_eq!(
+            Value::Str("a".into()).partial_cmp_value(&Value::Int(1)),
+            None
+        );
     }
 
     #[test]

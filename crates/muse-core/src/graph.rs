@@ -97,11 +97,7 @@ fn mix64(key: &mut u64, v: u64) {
 
 /// [`MuseGraph::stream_key`] computed directly from an origin-set list
 /// (the allocation-free path used by cost evaluation).
-fn stream_key_from_origins(
-    proj: &Projection,
-    query: &Query,
-    origins: &[(u32, NodeSet)],
-) -> u64 {
+fn stream_key_from_origins(proj: &Projection, query: &Query, origins: &[(u32, NodeSet)]) -> u64 {
     let mut key = proj.stream_sig;
     for p in proj.positive_prims(query).iter() {
         mix64(&mut key, query.prim_type(p).0 as u64 + 1);
@@ -406,7 +402,11 @@ impl MuseGraph {
 
     /// All vertices hosting a given projection (its *placement* `V_p`).
     pub fn placement_of(&self, proj: ProjId) -> Vec<Vertex> {
-        self.verts.iter().filter(|v| v.proj == proj).copied().collect()
+        self.verts
+            .iter()
+            .filter(|v| v.proj == proj)
+            .copied()
+            .collect()
     }
 
     /// A topological order of vertex indices.
@@ -664,7 +664,9 @@ impl MuseGraph {
         for query in ctx.queries {
             for prim in query.prims().iter() {
                 let ty = query.prim_type(prim);
-                let Some(proj) = ctx.table.id_of(query.id(), crate::types::PrimSet::single(prim))
+                let Some(proj) = ctx
+                    .table
+                    .id_of(query.id(), crate::types::PrimSet::single(prim))
                 else {
                     return Err(format!(
                         "no primitive projection registered for {:?} of {:?}",
@@ -772,9 +774,7 @@ impl MuseGraph {
                             return true; // pure negation guard stream
                         }
                         let sub = b.restrict(positive);
-                        pred_idxs
-                            .iter()
-                            .any(|&pi| covers[pi].contains(&sub))
+                        pred_idxs.iter().any(|&pi| covers[pi].contains(&sub))
                     })
                 })
                 .collect();
@@ -1068,11 +1068,7 @@ mod tests {
     }
 
     fn ctx<'a>(f: &'a Fig2) -> PlanContext<'a> {
-        PlanContext::new(
-            std::slice::from_ref(&f.query),
-            &f.network,
-            &f.table,
-        )
+        PlanContext::new(std::slice::from_ref(&f.query), &f.network, &f.table)
     }
 
     #[test]
@@ -1087,10 +1083,7 @@ mod tests {
         assert!(sinks.contains(&Vertex::new(f.pq, n(0))));
         assert!(sinks.contains(&Vertex::new(f.pq, n(1))));
         assert_eq!(g.placement_of(f.p3).len(), 2);
-        assert_eq!(
-            g.predecessors(Vertex::new(f.pq, n(0))).len(),
-            2
-        );
+        assert_eq!(g.predecessors(Vertex::new(f.pq, n(0))).len(), 2);
         assert_eq!(g.successors(Vertex::new(f.p2, n(0))).len(), 2);
     }
 
@@ -1197,7 +1190,10 @@ mod tests {
             }
         }
         let err = g.check_well_formed(&c).unwrap_err();
-        assert!(err.contains("missing primitive vertex") || err.contains("cover"), "{err}");
+        assert!(
+            err.contains("missing primitive vertex") || err.contains("cover"),
+            "{err}"
+        );
     }
 
     #[test]

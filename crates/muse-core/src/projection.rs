@@ -137,8 +137,8 @@ pub fn project(query: &Query, keep: PrimSet) -> Result<Projection> {
     if !is_negation_closed(query, keep) {
         return Err(ModelError::NotNegationClosed);
     }
-    let root = project_node(query.root(), keep)
-        .expect("non-empty keep set must produce a non-empty tree");
+    let root =
+        project_node(query.root(), keep).expect("non-empty keep set must produce a non-empty tree");
     let predicates = query.predicates_within(keep);
     let selectivity = query.selectivity_within(keep);
     let stream_sig = {
@@ -448,7 +448,11 @@ mod tests {
     #[test]
     fn nseq_negation_closure() {
         // NSEQ(A, B, C): keeping B requires keeping A and C.
-        let p = Pattern::nseq(Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2)));
+        let p = Pattern::nseq(
+            Pattern::leaf(t(0)),
+            Pattern::leaf(t(1)),
+            Pattern::leaf(t(2)),
+        );
         let q = Query::build(QueryId(0), &p, vec![], 10).unwrap();
         assert!(is_negation_closed(&q, ps([0, 2]))); // B dropped: fine
         assert!(is_negation_closed(&q, ps([0, 1, 2]))); // all kept: fine
@@ -462,7 +466,11 @@ mod tests {
 
     #[test]
     fn nseq_degrades_to_seq_when_negation_dropped() {
-        let p = Pattern::nseq(Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2)));
+        let p = Pattern::nseq(
+            Pattern::leaf(t(0)),
+            Pattern::leaf(t(1)),
+            Pattern::leaf(t(2)),
+        );
         let q = Query::build(QueryId(0), &p, vec![], 10).unwrap();
         let proj = project(&q, ps([0, 2])).unwrap();
         assert_eq!(
@@ -506,7 +514,11 @@ mod tests {
 
     #[test]
     fn projection_positive_and_negated_prims() {
-        let p = Pattern::nseq(Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2)));
+        let p = Pattern::nseq(
+            Pattern::leaf(t(0)),
+            Pattern::leaf(t(1)),
+            Pattern::leaf(t(2)),
+        );
         let q = Query::build(QueryId(0), &p, vec![], 10).unwrap();
         let full = project(&q, q.prims()).unwrap();
         assert_eq!(full.positive_prims(&q), ps([0, 2]));
@@ -533,7 +545,11 @@ mod tests {
     fn signature_matches_across_queries_with_same_types() {
         // Two queries over the same types with identical structure have
         // projections with equal signatures.
-        let p = Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2))]);
+        let p = Pattern::seq([
+            Pattern::leaf(t(0)),
+            Pattern::leaf(t(1)),
+            Pattern::leaf(t(2)),
+        ]);
         let q1 = Query::build(QueryId(0), &p, vec![], 10).unwrap();
         let p2 = Pattern::seq([
             Pattern::leaf(t(0)),

@@ -293,10 +293,7 @@ impl Query {
 
     /// All event types referenced by the given primitive operators.
     pub fn types_of(&self, prims: PrimSet) -> TypeSet {
-        prims
-            .iter()
-            .map(|p| self.prim_type(p))
-            .collect()
+        prims.iter().map(|p| self.prim_type(p)).collect()
     }
 
     /// All event types referenced by the query.
@@ -488,7 +485,11 @@ mod tests {
     #[test]
     fn nseq_contexts_and_negated_prims() {
         // NSEQ(A, B, C): B is negated.
-        let p = Pattern::nseq(Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2)));
+        let p = Pattern::nseq(
+            Pattern::leaf(t(0)),
+            Pattern::leaf(t(1)),
+            Pattern::leaf(t(2)),
+        );
         let q = Query::build(QueryId(0), &p, vec![], 10).unwrap();
         assert_eq!(q.nseq_contexts().len(), 1);
         let ctx = q.nseq_contexts()[0];
@@ -505,7 +506,11 @@ mod tests {
     #[test]
     fn selectivities() {
         let a = AttrId(0);
-        let p = Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2))]);
+        let p = Pattern::seq([
+            Pattern::leaf(t(0)),
+            Pattern::leaf(t(1)),
+            Pattern::leaf(t(2)),
+        ]);
         let preds = vec![
             Predicate::binary((PrimId(0), a), CmpOp::Eq, (PrimId(1), a), 0.1),
             Predicate::binary((PrimId(1), a), CmpOp::Eq, (PrimId(2), a), 0.5),

@@ -151,10 +151,8 @@ impl OpNode {
                 // AND is commutative: sort child signatures for a canonical
                 // form. SEQ and NSEQ are order-sensitive.
                 if *kind == OpKind::And || *kind == OpKind::Or {
-                    let mut sigs: Vec<String> = children
-                        .iter()
-                        .map(|c| c.signature(prim_types))
-                        .collect();
+                    let mut sigs: Vec<String> =
+                        children.iter().map(|c| c.signature(prim_types)).collect();
                     sigs.sort();
                     out.push_str(&sigs.join(","));
                 } else {

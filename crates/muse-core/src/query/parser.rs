@@ -249,11 +249,16 @@ impl<'a> Lexer<'a> {
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let s = self.pos;
                 while self.pos < self.input.len()
-                    && (self.input[self.pos].is_ascii_alphanumeric() || self.input[self.pos] == b'_')
+                    && (self.input[self.pos].is_ascii_alphanumeric()
+                        || self.input[self.pos] == b'_')
                 {
                     self.pos += 1;
                 }
-                Token::Ident(std::str::from_utf8(&self.input[s..self.pos]).unwrap().to_string())
+                Token::Ident(
+                    std::str::from_utf8(&self.input[s..self.pos])
+                        .unwrap()
+                        .to_string(),
+                )
             }
             other => {
                 return Err(self.error(format!("unexpected character '{}'", other as char)));
@@ -406,17 +411,16 @@ impl<'a> Parser<'a> {
             // Event type, with optional alias.
             let ty = match self.catalog.event_type(&name) {
                 Some(ty) => ty,
-                None if self.options.auto_register_types => {
-                    self.catalog.add_event_type(&name)?
-                }
+                None if self.options.auto_register_types => self.catalog.add_event_type(&name)?,
                 None => {
                     return Err(self.error(format!("unknown event type '{name}'")));
                 }
             };
             let prim = PrimId(self.next_prim);
-            self.next_prim = self.next_prim.checked_add(1).ok_or_else(|| {
-                self.error("too many primitive operators")
-            })?;
+            self.next_prim = self
+                .next_prim
+                .checked_add(1)
+                .ok_or_else(|| self.error("too many primitive operators"))?;
             if let Some(Token::Ident(alias)) = self.peek() {
                 // An identifier directly after a type name is its alias,
                 // unless it's a clause keyword.
@@ -471,7 +475,10 @@ impl<'a> Parser<'a> {
         } else {
             self.options.default_selectivity
         };
-        Ok(Predicate { selectivity, ..pred })
+        Ok(Predicate {
+            selectivity,
+            ..pred
+        })
     }
 
     fn parse_ref(&mut self) -> Result<(PrimId, crate::types::AttrId)> {

@@ -266,7 +266,9 @@ bitset_common!(PrimSet, u64, PrimId, MAX_PRIMS, |i| PrimId(i as u8));
 /// A set of event types, as a 64-bit bitset.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct TypeSet(u64);
-bitset_common!(TypeSet, u64, EventTypeId, MAX_TYPES, |i| EventTypeId(i as u16));
+bitset_common!(TypeSet, u64, EventTypeId, MAX_TYPES, |i| EventTypeId(
+    i as u16
+));
 
 /// A set of network nodes, as a 128-bit bitset (networks of up to 128 nodes).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]

@@ -198,7 +198,10 @@ mod tests {
         }
         let w = Workload::parse(
             catalog,
-            ["PATTERN SEQ(A a, B b) WITHIN 10s", "PATTERN AND(B b, C c) WITHIN 5s"],
+            [
+                "PATTERN SEQ(A a, B b) WITHIN 10s",
+                "PATTERN AND(B b, C c) WITHIN 5s",
+            ],
             &ParserOptions::default(),
         )
         .unwrap();

@@ -98,10 +98,8 @@ impl Deployment {
     /// validate with [`MuseGraph::check_well_formed`] first).
     pub fn new(graph: &MuseGraph, ctx: &PlanContext<'_>) -> Self {
         // Deduplicated query list in id order.
-        let mut query_ids: Vec<QueryId> = graph
-            .vertices()
-            .map(|v| ctx.proj(v.proj).source)
-            .collect();
+        let mut query_ids: Vec<QueryId> =
+            graph.vertices().map(|v| ctx.proj(v.proj).source).collect();
         query_ids.sort();
         query_ids.dedup();
         let queries: Vec<Query> = query_ids
@@ -121,11 +119,8 @@ impl Deployment {
             .collect();
 
         let vertices: Vec<Vertex> = graph.vertices().collect();
-        let vertex_index: HashMap<Vertex, usize> = vertices
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (*v, i))
-            .collect();
+        let vertex_index: HashMap<Vertex, usize> =
+            vertices.iter().enumerate().map(|(i, v)| (*v, i)).collect();
 
         let mut tasks = Vec::with_capacity(vertices.len());
         let mut sources_by_origin: HashMap<(NodeId, EventTypeId), Vec<usize>> = HashMap::new();
@@ -142,10 +137,7 @@ impl Deployment {
                 );
                 let prim = proj.prims.iter().next().unwrap();
                 let ty = query.prim_type(prim);
-                sources_by_origin
-                    .entry((v.node, ty))
-                    .or_default()
-                    .push(i);
+                sources_by_origin.entry((v.node, ty)).or_default().push(i);
                 TaskKind::Source {
                     prim,
                     ty,
@@ -225,6 +217,19 @@ impl Deployment {
                 slack,
             )),
         }
+    }
+
+    /// A compact human-readable label for a task, used in telemetry series
+    /// and summary tables: `"S3@N0"` for sources, `"J5@N1"` for joins,
+    /// with a `!` suffix on sinks (e.g. `"J5@N1!"`).
+    pub fn task_label(&self, task: usize) -> String {
+        let spec = &self.tasks[task];
+        let kind = match spec.kind {
+            TaskKind::Source { .. } => 'S',
+            TaskKind::Join { .. } => 'J',
+        };
+        let sink = if spec.is_sink { "!" } else { "" };
+        format!("{kind}{task}@N{}{sink}", spec.node.index())
     }
 
     /// Task indices hosted at a node.
@@ -333,11 +338,7 @@ mod tests {
         let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
         let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
         let deployment = Deployment::new(&plan.graph, &ctx);
-        let remote_edges = plan
-            .graph
-            .edges()
-            .filter(|(a, b)| a.node != b.node)
-            .count();
+        let remote_edges = plan.graph.edges().filter(|(a, b)| a.node != b.node).count();
         assert_eq!(deployment.num_remote_routes(), remote_edges);
     }
 

@@ -28,10 +28,12 @@ pub mod deploy;
 pub mod matcher;
 pub mod metrics;
 pub mod sim;
+pub mod telemetry;
 pub mod threaded;
 
 pub use deploy::{Deployment, Route, TaskKind, TaskSpec};
 pub use matcher::{Evaluator, JoinTask, Match};
 pub use metrics::Metrics;
 pub use sim::{run_simulation, SimConfig, SimExecutor, SimReport};
+pub use telemetry::{RunTelemetry, TelemetrySpec};
 pub use threaded::{run_threaded, ThreadedConfig, ThreadedReport};

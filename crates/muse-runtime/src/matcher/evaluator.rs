@@ -64,6 +64,10 @@ pub struct Evaluator {
     /// Total partial matches ever created (a load proxy; §7.3 attributes
     /// latency/throughput to per-node partial-match state).
     partials_created: u64,
+    /// Largest number of simultaneously open partials observed at this
+    /// evaluator level (excluding sub-evaluators).
+    #[serde(default)]
+    peak_partials: usize,
 }
 
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -100,11 +104,7 @@ impl Evaluator {
             })
             .map(|ctx| Negation {
                 context: *ctx,
-                sub: Box::new(Evaluator::with_positive(
-                    query,
-                    ctx.negated,
-                    ctx.negated,
-                )),
+                sub: Box::new(Evaluator::with_positive(query, ctx.negated, ctx.negated)),
                 forbidden: MatchStore::new(),
             })
             .collect();
@@ -115,6 +115,7 @@ impl Evaluator {
             negations,
             evict_stride: default_stride(query.window()),
             partials_created: 0,
+            peak_partials: 0,
             query: query.clone(),
         }
     }
@@ -146,6 +147,18 @@ impl Evaluator {
                 .sum::<u64>()
     }
 
+    /// Peak number of simultaneously open partials, summed over this
+    /// evaluator and its sub-evaluators (each level tracks its own peak,
+    /// so the sum is an upper bound on the true concurrent peak).
+    pub fn peak_open_partials(&self) -> usize {
+        self.peak_partials
+            + self
+                .negations
+                .iter()
+                .map(|n| n.sub.peak_open_partials())
+                .sum::<usize>()
+    }
+
     /// Feeds one event (in global trace order) and returns the complete
     /// matches it triggers.
     pub fn on_event(&mut self, event: &Event) -> Vec<Match> {
@@ -157,7 +170,9 @@ impl Evaluator {
             for found in negation.sub.on_event(event) {
                 negation.forbidden.insert(found);
             }
-            negation.forbidden.advance_horizon(horizon, self.evict_stride);
+            negation
+                .forbidden
+                .advance_horizon(horizon, self.evict_stride);
         }
 
         let mut emitted = Vec::new();
@@ -211,6 +226,7 @@ impl Evaluator {
         self.partials_created += created.len() as u64;
         self.partials.insert_batch(created);
         self.partials.advance_horizon(horizon, self.evict_stride);
+        self.peak_partials = self.peak_partials.max(self.partials.len());
         emitted
     }
 
@@ -245,13 +261,7 @@ impl Evaluator {
             }
             let assigned_after = pm.prims().union(PrimSet::single(prim));
             if prims.is_subset(assigned_after) {
-                let ok = pred.evaluate(|p| {
-                    if p == prim {
-                        Some(event)
-                    } else {
-                        pm.get(p)
-                    }
-                });
+                let ok = pred.evaluate(|p| if p == prim { Some(event) } else { pm.get(p) });
                 if ok != Some(true) {
                     return false;
                 }
@@ -264,9 +274,10 @@ impl Evaluator {
     /// (live) forbidden matches.
     fn passes_negation(&self, m: &Match) -> bool {
         self.negations.iter().all(|n| {
-            n.forbidden.live().iter().all(|f| {
-                !nseq_violated(m, &f.m, n.context.first, n.context.last, &self.query)
-            })
+            n.forbidden
+                .live()
+                .iter()
+                .all(|f| !nseq_violated(m, &f.m, n.context.first, n.context.last, &self.query))
         })
     }
 }
@@ -364,11 +375,7 @@ mod tests {
         )
         .unwrap();
         let mut e = Evaluator::for_query(&q);
-        let trace = [
-            ev_key(0, 0, 1, 7),
-            ev_key(1, 0, 2, 8),
-            ev_key(2, 1, 3, 7),
-        ];
+        let trace = [ev_key(0, 0, 1, 7), ev_key(1, 0, 2, 8), ev_key(2, 1, 3, 7)];
         let matches = e.run(&trace);
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].fingerprint(), vec![0, 2]);

@@ -182,6 +182,12 @@ impl JoinTask {
         self.stats.emitted
     }
 
+    /// The newest event timestamp this task has seen across its inputs
+    /// (its local watermark; 0 before the first input).
+    pub fn last_seen(&self) -> Timestamp {
+        self.max_time
+    }
+
     /// The join's observability counters.
     pub fn stats(&self) -> &JoinStats {
         &self.stats
@@ -252,7 +258,11 @@ impl JoinTask {
                     if let Some(merged) = cand.m.merge(&stored.m) {
                         if is_valid_match(&merged, &self.query) {
                             self.stats.merge_successes += 1;
-                            next.push(Candidate { first, last, m: merged });
+                            next.push(Candidate {
+                                first,
+                                last,
+                                m: merged,
+                            });
                         }
                     }
                 }
@@ -283,9 +293,10 @@ impl JoinTask {
 
     fn passes_negation(&self, m: &Match) -> bool {
         self.negations.iter().all(|n| {
-            n.forbidden.live().iter().all(|f| {
-                !nseq_violated(m, &f.m, n.context.first, n.context.last, &self.query)
-            })
+            n.forbidden
+                .live()
+                .iter()
+                .all(|f| !nseq_violated(m, &f.m, n.context.first, n.context.last, &self.query))
         })
     }
 
@@ -586,13 +597,15 @@ mod tests {
         // With a huge stride the dead AB stays physically buffered but is
         // invisible to probes and to `buffered()`.
         let q = seq_abc();
-        let mut join = JoinTask::new(&q, q.prims(), &[ps([0, 1]), ps([2])])
-            .with_evict_stride(1_000_000);
+        let mut join =
+            JoinTask::new(&q, q.prims(), &[ps([0, 1]), ps([2])]).with_evict_stride(1_000_000);
         join.on_match(
             0,
             Match::new(vec![(PrimId(0), ev(0, 0, 1)), (PrimId(1), ev(1, 1, 2))]),
         );
-        assert!(join.on_match(1, Match::single(PrimId(2), ev(2, 2, 500))).is_empty());
+        assert!(join
+            .on_match(1, Match::single(PrimId(2), ev(2, 2, 500)))
+            .is_empty());
         assert_eq!(join.buffered(), 1);
         assert_eq!(join.physical_buffered(), 2);
         // An in-window AB joins with the live C; the dead AB stays dead.
@@ -607,8 +620,7 @@ mod tests {
     #[test]
     fn stride_drain_truncates_prefix() {
         let q = seq_abc();
-        let mut join =
-            JoinTask::new(&q, q.prims(), &[ps([0, 1]), ps([2])]).with_evict_stride(50);
+        let mut join = JoinTask::new(&q, q.prims(), &[ps([0, 1]), ps([2])]).with_evict_stride(50);
         join.on_match(
             0,
             Match::new(vec![(PrimId(0), ev(0, 0, 1)), (PrimId(1), ev(1, 1, 2))]),
@@ -714,8 +726,7 @@ mod tests {
         // β = {AB, BC} and also {AC}? Use {AB, BC, AC}: all three overlap;
         // the same final match must be emitted exactly once per trigger.
         let q = seq_abc();
-        let mut join =
-            JoinTask::new(&q, q.prims(), &[ps([0, 1]), ps([1, 2]), ps([0, 2])]);
+        let mut join = JoinTask::new(&q, q.prims(), &[ps([0, 1]), ps([1, 2]), ps([0, 2])]);
         join.on_match(
             0,
             Match::new(vec![(PrimId(0), ev(0, 0, 1)), (PrimId(1), ev(1, 1, 2))]),
@@ -740,12 +751,30 @@ mod tests {
         let mut indexed = JoinTask::with_slack(&q, q.prims(), &slots, 2.0);
         let mut naive = NaiveJoinTask::with_slack(&q, q.prims(), &slots, 2.0);
         let feed = [
-            (0, Match::new(vec![(PrimId(0), ev(0, 0, 5)), (PrimId(1), ev(1, 1, 8))])),
-            (1, Match::new(vec![(PrimId(1), ev(1, 1, 8)), (PrimId(2), ev(2, 2, 9))])),
-            (1, Match::new(vec![(PrimId(1), ev(3, 1, 2)), (PrimId(2), ev(4, 2, 4))])),
-            (0, Match::new(vec![(PrimId(0), ev(5, 0, 1)), (PrimId(1), ev(3, 1, 2))])),
-            (1, Match::new(vec![(PrimId(1), ev(1, 1, 8)), (PrimId(2), ev(6, 2, 300))])),
-            (0, Match::new(vec![(PrimId(0), ev(7, 0, 290)), (PrimId(1), ev(8, 1, 295))])),
+            (
+                0,
+                Match::new(vec![(PrimId(0), ev(0, 0, 5)), (PrimId(1), ev(1, 1, 8))]),
+            ),
+            (
+                1,
+                Match::new(vec![(PrimId(1), ev(1, 1, 8)), (PrimId(2), ev(2, 2, 9))]),
+            ),
+            (
+                1,
+                Match::new(vec![(PrimId(1), ev(3, 1, 2)), (PrimId(2), ev(4, 2, 4))]),
+            ),
+            (
+                0,
+                Match::new(vec![(PrimId(0), ev(5, 0, 1)), (PrimId(1), ev(3, 1, 2))]),
+            ),
+            (
+                1,
+                Match::new(vec![(PrimId(1), ev(1, 1, 8)), (PrimId(2), ev(6, 2, 300))]),
+            ),
+            (
+                0,
+                Match::new(vec![(PrimId(0), ev(7, 0, 290)), (PrimId(1), ev(8, 1, 295))]),
+            ),
         ];
         for (slot, m) in feed {
             let a: Vec<Vec<u64>> = indexed

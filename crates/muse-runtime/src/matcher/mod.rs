@@ -194,13 +194,7 @@ pub fn is_valid_match(m: &Match, query: &Query) -> bool {
 /// primitive sets: the forbidden pattern must lie strictly between the end
 /// of the first part and the start of the last part, and must satisfy the
 /// predicates connecting it to the positive assignment.
-pub fn nseq_violated(
-    m: &Match,
-    neg: &Match,
-    first: PrimSet,
-    last: PrimSet,
-    query: &Query,
-) -> bool {
+pub fn nseq_violated(m: &Match, neg: &Match, first: PrimSet, last: PrimSet, query: &Query) -> bool {
     let low = m
         .entries()
         .iter()
@@ -268,10 +262,7 @@ mod tests {
 
     #[test]
     fn match_accessors() {
-        let m = Match::new(vec![
-            (PrimId(1), ev(5, 1, 20)),
-            (PrimId(0), ev(3, 0, 10)),
-        ]);
+        let m = Match::new(vec![(PrimId(1), ev(5, 1, 20)), (PrimId(0), ev(3, 0, 10))]);
         assert_eq!(m.len(), 2);
         assert_eq!(m.prims().len(), 2);
         assert_eq!(m.get(PrimId(0)).unwrap().seq, 3);
@@ -330,15 +321,9 @@ mod tests {
         )
         .unwrap();
         // Same timestamp: trace order decided by seq.
-        let m = Match::new(vec![
-            (PrimId(0), ev(1, 0, 10)),
-            (PrimId(1), ev(2, 1, 10)),
-        ]);
+        let m = Match::new(vec![(PrimId(0), ev(1, 0, 10)), (PrimId(1), ev(2, 1, 10))]);
         assert!(is_valid_match(&m, &q));
-        let m = Match::new(vec![
-            (PrimId(0), ev(2, 0, 10)),
-            (PrimId(1), ev(1, 1, 10)),
-        ]);
+        let m = Match::new(vec![(PrimId(0), ev(2, 0, 10)), (PrimId(1), ev(1, 1, 10))]);
         assert!(!is_valid_match(&m, &q));
     }
 
@@ -384,10 +369,7 @@ mod tests {
         )
         .unwrap();
         let ctx = q.nseq_contexts()[0];
-        let m = Match::new(vec![
-            (PrimId(0), ev(1, 0, 10)),
-            (PrimId(2), ev(5, 2, 50)),
-        ]);
+        let m = Match::new(vec![(PrimId(0), ev(1, 0, 10)), (PrimId(2), ev(5, 2, 50))]);
         // B inside (10, 50): violates.
         let inside = Match::single(PrimId(1), ev(3, 1, 30));
         assert!(nseq_violated(&m, &inside, ctx.first, ctx.last, &q));

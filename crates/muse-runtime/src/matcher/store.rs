@@ -79,7 +79,7 @@ impl MatchStore {
         if self
             .entries
             .last()
-            .map_or(true, |e| e.first <= incoming[0].first)
+            .is_none_or(|e| e.first <= incoming[0].first)
         {
             self.entries.append(&mut incoming);
             return;
@@ -127,7 +127,12 @@ impl MatchStore {
     /// first timestamp lies in `[max(horizon, last − window), first + window]`.
     /// Anything outside would force the merged span beyond the window, so
     /// skipping it cannot change the join's output.
-    pub fn compatible(&self, first: Timestamp, last: Timestamp, window: Timestamp) -> &[StoredMatch] {
+    pub fn compatible(
+        &self,
+        first: Timestamp,
+        last: Timestamp,
+        window: Timestamp,
+    ) -> &[StoredMatch] {
         let lo = self.horizon.max(last.saturating_sub(window));
         let hi = first.saturating_add(window);
         let start = self.entries.partition_point(|e| e.first < lo);

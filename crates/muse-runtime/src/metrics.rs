@@ -8,6 +8,7 @@
 //! per-match latency.
 
 use muse_core::event::Timestamp;
+use muse_telemetry::LogHistogram;
 use serde::{Deserialize, Serialize};
 
 /// Per-join observability counters of the indexed join engine, aggregated
@@ -88,8 +89,15 @@ pub struct Metrics {
     /// Per-node count of processed inputs (events + matches).
     pub per_node_processed: Vec<u64>,
     /// Virtual-time latency per sink match: emission time minus the latest
-    /// constituent event's timestamp (ticks).
+    /// constituent event's timestamp (ticks). Kept exact for the paper's
+    /// Fig. 8 summaries; [`Metrics::latency_hist`] carries the same values
+    /// in fixed memory for telemetry export.
     pub latencies: Vec<Timestamp>,
+    /// Fixed-memory streaming histogram over the same latencies (populated
+    /// by [`Metrics::record_latency`]; bounded relative error instead of
+    /// the unbounded exact vector).
+    #[serde(default)]
+    pub latency_hist: LogHistogram,
     /// Join-engine counters aggregated over all join tasks.
     pub join: JoinStats,
 }
@@ -110,6 +118,13 @@ impl Metrics {
         }
     }
 
+    /// Records one sink-match latency into both the exact vector and the
+    /// streaming histogram.
+    pub fn record_latency(&mut self, latency: Timestamp) {
+        self.latencies.push(latency);
+        self.latency_hist.record(latency);
+    }
+
     /// Merges another metrics object into this one (for per-thread
     /// collection).
     pub fn merge(&mut self, other: &Metrics) {
@@ -126,6 +141,7 @@ impl Metrics {
             self.per_node_processed[i] += v;
         }
         self.latencies.extend_from_slice(&other.latencies);
+        self.latency_hist.merge(&other.latency_hist);
         self.join.merge(&other.join);
     }
 
@@ -151,15 +167,17 @@ impl Metrics {
     }
 
     /// Five-number latency summary `(min, p25, p50, p75, max)` as reported
-    /// in Fig. 8 of the paper.
+    /// in Fig. 8 of the paper. Sorts the latency vector once for all five
+    /// percentiles (the former implementation re-cloned and re-sorted it
+    /// per percentile).
     pub fn latency_summary(&self) -> Option<[Timestamp; 5]> {
-        Some([
-            self.latency_percentile(0.0)?,
-            self.latency_percentile(25.0)?,
-            self.latency_percentile(50.0)?,
-            self.latency_percentile(75.0)?,
-            self.latency_percentile(100.0)?,
-        ])
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let pick = |p: f64| sorted[((p / 100.0) * (sorted.len() - 1) as f64).round() as usize];
+        Some([pick(0.0), pick(25.0), pick(50.0), pick(75.0), pick(100.0)])
     }
 }
 
@@ -203,6 +221,24 @@ mod tests {
         assert_eq!(m.latency_percentile(50.0), Some(30));
         assert_eq!(m.latency_percentile(100.0), Some(50));
         assert_eq!(m.latency_summary(), Some([10, 20, 30, 40, 50]));
+    }
+
+    #[test]
+    fn record_latency_feeds_vec_and_histogram() {
+        let mut m = Metrics::new(1);
+        for l in [10u64, 30, 20, 40, 50] {
+            m.record_latency(l);
+        }
+        assert_eq!(m.latencies.len(), 5);
+        assert_eq!(m.latency_hist.count(), 5);
+        // p0/p100 of the histogram are exact; mid quantiles are within one
+        // bucket of the exact sorted percentiles.
+        let exact = m.latency_summary().unwrap();
+        assert_eq!(m.latency_hist.quantile(0.0), Some(exact[0]));
+        assert_eq!(m.latency_hist.quantile(1.0), Some(exact[4]));
+        let p50 = m.latency_hist.quantile(0.5).unwrap() as f64;
+        let bound = exact[2] as f64 * muse_telemetry::LogHistogram::max_relative_error() + 1.0;
+        assert!((p50 - exact[2] as f64).abs() <= bound);
     }
 
     #[test]

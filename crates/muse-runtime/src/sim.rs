@@ -17,6 +17,7 @@ use crate::codec::encoded_len;
 use crate::deploy::{Deployment, TaskKind};
 use crate::matcher::{JoinTask, Match};
 use crate::metrics::Metrics;
+use crate::telemetry::{ClockDomain, ExecTelemetry, RunTelemetry, TelemetrySpec};
 use muse_core::event::{Event, Timestamp};
 use muse_core::types::NodeId;
 use serde::{Deserialize, Serialize};
@@ -31,6 +32,11 @@ pub struct SimConfig {
     pub latency: Timestamp,
     /// Join store eviction slack (≥ 1.0).
     pub slack: f64,
+    /// Telemetry collection (registry, per-task series, trace); `None`
+    /// disables it entirely. Telemetry is observational — it is not part
+    /// of checkpointed state and restarts fresh on restore.
+    #[serde(default)]
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl Default for SimConfig {
@@ -38,6 +44,7 @@ impl Default for SimConfig {
         Self {
             latency: 0,
             slack: 1.0,
+            telemetry: None,
         }
     }
 }
@@ -115,6 +122,8 @@ pub struct SimReport {
     pub matches: Vec<Vec<Match>>,
     /// Collected metrics.
     pub metrics: Metrics,
+    /// Collected telemetry, when [`SimConfig::telemetry`] was set.
+    pub telemetry: Option<RunTelemetry>,
 }
 
 /// A resumable discrete-event executor.
@@ -130,6 +139,8 @@ pub struct SimExecutor<'a> {
     /// identical matches of semantically identical tasks are shipped to a
     /// node once and multiplexed (cross-query stream reuse at runtime).
     sent: std::collections::HashSet<(u64, NodeId, NodeId, u64)>,
+    /// Telemetry collection state (when enabled by the config).
+    telemetry: Option<ExecTelemetry>,
 }
 
 impl<'a> SimExecutor<'a> {
@@ -147,6 +158,9 @@ impl<'a> SimExecutor<'a> {
             .collect();
         let matches = vec![Vec::new(); deployment.queries.len()];
         let metrics = Metrics::new(deployment.num_nodes);
+        let telemetry = config.telemetry.as_ref().map(|spec| {
+            ExecTelemetry::new(ClockDomain::VirtualTicks, spec, deployment.tasks.len())
+        });
         Self {
             deployment,
             config,
@@ -156,6 +170,7 @@ impl<'a> SimExecutor<'a> {
             metrics,
             matches,
             sent: Default::default(),
+            telemetry,
         }
     }
 
@@ -163,24 +178,64 @@ impl<'a> SimExecutor<'a> {
     /// non-decreasing across successive calls).
     pub fn process_trace(&mut self, events: &[Event]) {
         for event in events {
+            self.maybe_sample(event.time);
             self.inject(event);
             self.drain();
         }
     }
 
+    /// Emits one series sample per join task when the cadence has elapsed
+    /// at virtual time `now`.
+    fn maybe_sample(&mut self, now: Timestamp) {
+        if self
+            .telemetry
+            .as_ref()
+            .is_some_and(|tel| tel.sample_due(now))
+        {
+            self.sample(now);
+        }
+    }
+
+    /// Emits one series sample per join task unconditionally.
+    fn sample(&mut self, now: Timestamp) {
+        let Some(tel) = &mut self.telemetry else {
+            return;
+        };
+        let queue_depth = self.heap.len() as u64;
+        for (i, state) in self.states.iter().enumerate() {
+            let TaskState::Join(join) = state else {
+                continue;
+            };
+            let stats = join.stats();
+            tel.record_task_sample(
+                now,
+                i,
+                self.deployment.tasks[i].node.index(),
+                self.deployment.task_label(i),
+                queue_depth,
+                join.buffered() as u64,
+                now.saturating_sub(join.last_seen()),
+                [stats.inputs, stats.probes, stats.evicted, stats.emitted],
+            );
+        }
+        tel.end_sample(now);
+    }
+
     /// Injects one event into the source tasks at its origin.
     fn inject(&mut self, event: &Event) {
-        let sources: Vec<usize> = self
-            .deployment
-            .sources_for(event.origin, event.ty)
-            .to_vec();
+        let sources: Vec<usize> = self.deployment.sources_for(event.origin, event.ty).to_vec();
         if sources.is_empty() {
             return;
         }
         self.metrics.events_injected += 1;
         self.metrics.record_processed(event.origin.index());
+        if let Some(tel) = &mut self.telemetry {
+            tel.on_inject(event.time, event.origin.index(), sources[0], event);
+        }
         for task in sources {
-            let TaskKind::Source { prim, predicates, .. } = &self.deployment.tasks[task].kind
+            let TaskKind::Source {
+                prim, predicates, ..
+            } = &self.deployment.tasks[task].kind
             else {
                 unreachable!("sources_for returns source tasks");
             };
@@ -225,6 +280,9 @@ impl<'a> SimExecutor<'a> {
                     if self.sent.insert((sig, own_node, n, mhash)) {
                         self.metrics.messages_sent += 1;
                         self.metrics.bytes_sent += bytes;
+                        if let Some(tel) = &mut self.telemetry {
+                            tel.on_ship(time, own_node.index(), n.index(), task, bytes);
+                        }
                     }
                 }
             }
@@ -233,6 +291,9 @@ impl<'a> SimExecutor<'a> {
                     time + self.config.latency
                 } else {
                     self.metrics.local_deliveries += 1;
+                    if let Some(tel) = &mut self.telemetry {
+                        tel.on_local();
+                    }
                     time
                 };
                 debug_assert!(
@@ -258,6 +319,9 @@ impl<'a> SimExecutor<'a> {
             let spec = &self.deployment.tasks[item.target];
             let node = spec.node.index();
             self.metrics.record_processed(node);
+            if let Some(tel) = &mut self.telemetry {
+                tel.on_delivery(item.target);
+            }
             let outs = match &mut self.states[item.target] {
                 TaskState::Join(join) => join.on_match(item.slot, item.m),
                 TaskState::Source => unreachable!("deliveries only target joins"),
@@ -269,10 +333,29 @@ impl<'a> SimExecutor<'a> {
                 let query_idx = spec.query_idx;
                 for m in &outs {
                     self.metrics.sink_matches += 1;
-                    self.metrics
-                        .latencies
-                        .push(item.time.saturating_sub(m.last_time()));
+                    let latency = item.time.saturating_sub(m.last_time());
+                    self.metrics.record_latency(latency);
+                    if let Some(tel) = &mut self.telemetry {
+                        tel.on_sink(
+                            item.time,
+                            node,
+                            item.target,
+                            m.len(),
+                            m.last_time(),
+                            latency,
+                        );
+                    }
                     self.matches[query_idx].push(m.clone());
+                }
+            } else if let Some(tel) = &mut self.telemetry {
+                for m in &outs {
+                    tel.on_merge(
+                        item.time,
+                        node,
+                        item.target,
+                        m.len(),
+                        m.last_time().saturating_sub(m.first_time()),
+                    );
                 }
             }
             self.route(item.target, outs, item.time, item.trigger);
@@ -305,9 +388,14 @@ impl<'a> SimExecutor<'a> {
         }
     }
 
-    /// Rebuilds an executor from a previously extracted state.
+    /// Rebuilds an executor from a previously extracted state. Telemetry
+    /// is observational and not checkpointed: collection restarts fresh
+    /// when the config enables it.
     pub fn from_state(deployment: &'a Deployment, config: SimConfig, state: SimState) -> Self {
         let heap = state.pending.into_iter().map(HeapEntry).collect();
+        let telemetry = config.telemetry.as_ref().map(|spec| {
+            ExecTelemetry::new(ClockDomain::VirtualTicks, spec, deployment.tasks.len())
+        });
         Self {
             deployment,
             config,
@@ -317,6 +405,7 @@ impl<'a> SimExecutor<'a> {
             metrics: state.metrics,
             matches: state.matches,
             sent: state.sent.into_iter().collect(),
+            telemetry,
         }
     }
 
@@ -324,14 +413,37 @@ impl<'a> SimExecutor<'a> {
     /// counters into the metrics.
     pub fn finish(mut self) -> SimReport {
         self.drain();
+        // Final series sample at the global watermark before folding.
+        let now = self
+            .states
+            .iter()
+            .filter_map(|s| match s {
+                TaskState::Join(j) => Some(j.last_seen()),
+                TaskState::Source => None,
+            })
+            .max()
+            .unwrap_or(0);
+        self.sample(now);
         for state in &self.states {
             if let TaskState::Join(join) = state {
                 self.metrics.join.merge(join.stats());
             }
         }
+        let telemetry = self.telemetry.take().map(|tel| {
+            let tasks = crate::telemetry::task_summaries(
+                self.deployment,
+                0..self.deployment.tasks.len(),
+                |i| match &self.states[i] {
+                    TaskState::Join(join) => Some(join),
+                    TaskState::Source => None,
+                },
+            );
+            tel.finish(&self.metrics, tasks)
+        });
         SimReport {
             matches: self.matches,
             metrics: self.metrics,
+            telemetry,
         }
     }
 }
@@ -392,11 +504,7 @@ fn match_hash(m: &Match) -> u64 {
 /// assert_eq!(report.matches[0].len(), 1);
 /// assert!(report.metrics.messages_sent >= 1); // something crossed the network
 /// ```
-pub fn run_simulation(
-    deployment: &Deployment,
-    events: &[Event],
-    config: &SimConfig,
-) -> SimReport {
+pub fn run_simulation(deployment: &Deployment, events: &[Event], config: &SimConfig) -> SimReport {
     let mut executor = SimExecutor::new(deployment, config.clone());
     executor.process_trace(events);
     executor.finish()
@@ -558,7 +666,11 @@ mod tests {
             .build();
         let q = Query::build(
             QueryId(0),
-            &Pattern::seq([Pattern::leaf(t(1)), Pattern::leaf(t(0)), Pattern::leaf(t(2))]),
+            &Pattern::seq([
+                Pattern::leaf(t(1)),
+                Pattern::leaf(t(0)),
+                Pattern::leaf(t(2)),
+            ]),
             vec![],
             5_000,
         )
@@ -577,7 +689,11 @@ mod tests {
         let net = fig1_network();
         let q = Query::build(
             QueryId(0),
-            &Pattern::nseq(Pattern::leaf(t(2)), Pattern::leaf(t(0)), Pattern::leaf(t(1))),
+            &Pattern::nseq(
+                Pattern::leaf(t(2)),
+                Pattern::leaf(t(0)),
+                Pattern::leaf(t(1)),
+            ),
             vec![],
             5_000,
         )
@@ -624,10 +740,7 @@ mod tests {
         let q = robots_query(None);
         let events = trace(&net, 17, 0);
         let report = deploy_and_run(&q, &net, &events);
-        assert_eq!(
-            report.metrics.latencies.len(),
-            report.matches[0].len()
-        );
+        assert_eq!(report.metrics.latencies.len(), report.matches[0].len());
         // Zero latency network: emission happens at the closing event time.
         assert!(report.metrics.latencies.iter().all(|&l| l == 0));
     }
@@ -646,6 +759,7 @@ mod tests {
             &SimConfig {
                 latency: 10,
                 slack: 2.0,
+                telemetry: None,
             },
         );
         if !report.metrics.latencies.is_empty() {

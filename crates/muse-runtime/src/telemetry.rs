@@ -1,0 +1,247 @@
+//! Executor-side telemetry collection.
+//!
+//! Thin bridge between the executors and the `muse-telemetry` crate: owns
+//! the per-run (simulator) or per-node-shard (threaded executor)
+//! registry/series/trace containers, pre-registered metric handles for
+//! allocation-free hot-path updates, and the per-task cumulative state
+//! behind the sampled series deltas. Join-engine counters are folded from
+//! [`crate::metrics::JoinStats`] at the end of a run — they are already
+//! accumulated allocation-free inside [`crate::matcher::JoinTask`].
+//!
+//! Telemetry is observational: it is not part of checkpointed executor
+//! state and resets on restore.
+
+use crate::deploy::{Deployment, TaskKind};
+use crate::matcher::JoinTask;
+use crate::metrics::Metrics;
+use muse_core::event::Event;
+pub use muse_telemetry::{
+    names, ClockDomain, GaugeKind, RunTelemetry, TaskSummary, TelemetrySpec, TraceRecord,
+};
+use muse_telemetry::{CounterId, HistId, SeriesRecord};
+
+/// Per-run (or per-shard) collection state with hot-path metric handles.
+pub(crate) struct ExecTelemetry {
+    run: RunTelemetry,
+    cadence: u64,
+    next_sample: u64,
+    c_events: CounterId,
+    c_msgs: CounterId,
+    c_bytes: CounterId,
+    c_local: CounterId,
+    c_sink: CounterId,
+    h_latency: HistId,
+    /// Cumulative `[inputs, probes, evicted, emitted]` per task at the
+    /// previous sample, for per-interval deltas.
+    prev: Vec<[u64; 4]>,
+    /// Deliveries consumed per task since the previous sample (the
+    /// threaded executor's queue-depth proxy).
+    drained: Vec<u64>,
+}
+
+impl ExecTelemetry {
+    pub fn new(clock: ClockDomain, spec: &TelemetrySpec, num_tasks: usize) -> Self {
+        let mut run = RunTelemetry::new(clock, spec);
+        let r = &mut run.registry;
+        let c_events = r.counter(names::EVENTS_INJECTED);
+        let c_msgs = r.counter(names::MESSAGES_SENT);
+        let c_bytes = r.counter(names::BYTES_SENT);
+        let c_local = r.counter(names::LOCAL_DELIVERIES);
+        let c_sink = r.counter(names::SINK_MATCHES);
+        let h_latency = r.hist(names::LATENCY_SINK);
+        let cadence = match clock {
+            ClockDomain::VirtualTicks => spec.series_cadence_ticks,
+            ClockDomain::WallNanos => spec.series_cadence_ns,
+        }
+        .max(1);
+        Self {
+            run,
+            cadence,
+            next_sample: 0,
+            c_events,
+            c_msgs,
+            c_bytes,
+            c_local,
+            c_sink,
+            h_latency,
+            prev: vec![[0; 4]; num_tasks],
+            drained: vec![0; num_tasks],
+        }
+    }
+
+    /// One event accepted by the source tasks at its origin.
+    pub fn on_inject(&mut self, t: u64, node: usize, task: usize, event: &Event) {
+        self.run.registry.inc(self.c_events, 1);
+        self.run.trace.push(TraceRecord::EventInjected {
+            t,
+            node,
+            task,
+            event_type: event.ty.0 as u32,
+            seq: event.seq,
+        });
+    }
+
+    /// One match counted as crossing the network to a remote node.
+    pub fn on_ship(&mut self, t: u64, from: usize, to: usize, task: usize, bytes: u64) {
+        self.run.registry.inc(self.c_msgs, 1);
+        self.run.registry.inc(self.c_bytes, bytes);
+        self.run.trace.push(TraceRecord::MessageShipped {
+            t,
+            from,
+            to,
+            task,
+            bytes,
+        });
+    }
+
+    /// One node-local (zero network cost) delivery.
+    pub fn on_local(&mut self) {
+        self.run.registry.inc(self.c_local, 1);
+    }
+
+    /// One delivery consumed by a task (feeds the queue-depth series in
+    /// the threaded executor).
+    pub fn on_delivery(&mut self, task: usize) {
+        if task < self.drained.len() {
+            self.drained[task] += 1;
+        }
+    }
+
+    /// A join produced a (non-sink) merged match.
+    pub fn on_merge(&mut self, t: u64, node: usize, task: usize, size: usize, span: u64) {
+        self.run.trace.push(TraceRecord::MatchMerged {
+            t,
+            node,
+            task,
+            size,
+            span,
+        });
+    }
+
+    /// A complete match emitted at a sink.
+    pub fn on_sink(
+        &mut self,
+        t: u64,
+        node: usize,
+        task: usize,
+        size: usize,
+        last_time: u64,
+        latency: u64,
+    ) {
+        self.run.registry.inc(self.c_sink, 1);
+        self.run.registry.observe(self.h_latency, latency);
+        self.run.trace.push(TraceRecord::SinkMatch {
+            t,
+            node,
+            task,
+            size,
+            last_time,
+        });
+    }
+
+    /// Whether the series cadence has elapsed at `now`.
+    pub fn sample_due(&self, now: u64) -> bool {
+        now >= self.next_sample
+    }
+
+    /// Deliveries consumed by `task` since its last sample.
+    pub fn drained_since(&self, task: usize) -> u64 {
+        self.drained.get(task).copied().unwrap_or(0)
+    }
+
+    /// Emits one task's series record, converting cumulative totals
+    /// `[inputs, probes, evicted, emitted]` into per-interval deltas.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_task_sample(
+        &mut self,
+        now: u64,
+        task: usize,
+        node: usize,
+        label: String,
+        queue_depth: u64,
+        live_matches: u64,
+        watermark_lag: u64,
+        totals: [u64; 4],
+    ) {
+        let prev = self.prev.get(task).copied().unwrap_or([0; 4]);
+        self.run.series.push(SeriesRecord {
+            t: now,
+            task,
+            node,
+            label,
+            queue_depth,
+            live_matches,
+            watermark_lag,
+            inputs: totals[0].saturating_sub(prev[0]),
+            probes: totals[1].saturating_sub(prev[1]),
+            evictions: totals[2].saturating_sub(prev[2]),
+            emitted: totals[3].saturating_sub(prev[3]),
+        });
+        if task < self.prev.len() {
+            self.prev[task] = totals;
+            self.drained[task] = 0;
+        }
+    }
+
+    /// Closes a sampling round, scheduling the next one.
+    pub fn end_sample(&mut self, now: u64) {
+        self.next_sample = now.saturating_add(self.cadence);
+    }
+
+    /// Folds the run-wide join counters (already aggregated in `metrics`)
+    /// into the registry, attaches the per-task summaries, and returns the
+    /// completed telemetry.
+    pub fn finish(mut self, metrics: &Metrics, tasks: Vec<TaskSummary>) -> RunTelemetry {
+        let r = &mut self.run.registry;
+        for (name, v) in [
+            (names::JOIN_INPUTS, metrics.join.inputs),
+            (names::JOIN_PROBES, metrics.join.probes),
+            (names::JOIN_GUARD_REJECTS, metrics.join.guard_rejects),
+            (names::JOIN_MERGE_ATTEMPTS, metrics.join.merge_attempts),
+            (names::JOIN_MERGE_SUCCESSES, metrics.join.merge_successes),
+            (names::JOIN_EMITTED, metrics.join.emitted),
+            (names::JOIN_EVICTED, metrics.join.evicted),
+        ] {
+            let id = r.counter(name);
+            r.inc(id, v);
+        }
+        let g = r.gauge(names::JOIN_PEAK_LIVE, GaugeKind::Max);
+        r.gauge_peak(g, metrics.join.peak_buffered);
+        self.run.tasks = tasks;
+        self.run
+    }
+}
+
+/// Builds end-of-run [`TaskSummary`] rows for the given task indices;
+/// `join_of` resolves a task index to its live join state. Source tasks
+/// (no join state) carry no counters and are skipped, keeping the summary
+/// table to the rows that actually measure something.
+pub(crate) fn task_summaries<'j>(
+    deployment: &Deployment,
+    indices: impl Iterator<Item = usize>,
+    join_of: impl Fn(usize) -> Option<&'j JoinTask>,
+) -> Vec<TaskSummary> {
+    indices
+        .filter_map(|i| {
+            let join = join_of(i)?;
+            let spec = &deployment.tasks[i];
+            let kind = match spec.kind {
+                TaskKind::Source { .. } => "source",
+                TaskKind::Join { .. } if spec.is_sink => "sink",
+                TaskKind::Join { .. } => "join",
+            };
+            let s = join.stats();
+            Some(TaskSummary {
+                task: i,
+                node: spec.node.index(),
+                label: deployment.task_label(i),
+                kind: kind.to_string(),
+                inputs: s.inputs,
+                probes: s.probes,
+                emitted: s.emitted,
+                evictions: s.evicted,
+                peak_live: s.peak_buffered,
+            })
+        })
+        .collect()
+}

@@ -16,6 +16,7 @@ use crate::codec::encoded_len;
 use crate::deploy::{Deployment, TaskKind};
 use crate::matcher::{JoinTask, Match};
 use crate::metrics::Metrics;
+use crate::telemetry::{names, ClockDomain, ExecTelemetry, GaugeKind, RunTelemetry, TelemetrySpec};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use muse_core::event::{Event, Timestamp};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,6 +32,9 @@ pub struct ThreadedConfig {
     /// Virtual-time chunk length; defaults to the workload's largest
     /// window.
     pub chunk_ticks: Option<Timestamp>,
+    /// Telemetry collection; each node thread keeps a private shard
+    /// (registry, series, trace) that is merged when the threads join.
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl Default for ThreadedConfig {
@@ -38,6 +42,7 @@ impl Default for ThreadedConfig {
         Self {
             slack: 4.0,
             chunk_ticks: None,
+            telemetry: None,
         }
     }
 }
@@ -57,6 +62,8 @@ pub struct ThreadedReport {
     /// Wall-clock latency per sink match, in nanoseconds: emission minus
     /// injection of the match's newest constituent event.
     pub wall_latencies_ns: Vec<u64>,
+    /// Shard-merged telemetry, when [`ThreadedConfig::telemetry`] was set.
+    pub telemetry: Option<RunTelemetry>,
 }
 
 impl ThreadedReport {
@@ -178,23 +185,42 @@ pub fn run_threaded(
                     chunk,
                     num_chunks,
                     rounds_per_chunk,
-                    config.slack,
+                    config,
                 )
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("node thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread"))
+            .collect()
     });
 
     let wall_time = start.elapsed();
     let mut metrics = Metrics::new(num_nodes);
     let mut matches = vec![Vec::new(); deployment.queries.len()];
     let mut wall_latencies_ns = Vec::new();
+    let mut telemetry = config
+        .telemetry
+        .as_ref()
+        .map(|spec| RunTelemetry::new(ClockDomain::WallNanos, spec));
     for part in report_parts {
         metrics.merge(&part.metrics);
         for (q, ms) in part.matches.into_iter().enumerate() {
             matches[q].extend(ms);
         }
         wall_latencies_ns.extend(part.wall_latencies_ns);
+        if let (Some(merged), Some(shard)) = (&mut telemetry, part.telemetry) {
+            merged.registry.merge(&shard.registry);
+            merged.series.absorb(shard.series);
+            merged.trace.absorb(shard.trace);
+            merged.tasks.extend(shard.tasks);
+        }
+    }
+    if let Some(merged) = &mut telemetry {
+        merged.series.sort_by_time();
+        merged.tasks.sort_by_key(|s| s.task);
+        let g = merged.registry.gauge(names::RUN_WALL_NS, GaugeKind::Max);
+        merged.registry.gauge_peak(g, wall_time.as_nanos() as u64);
     }
     let events_per_sec = if wall_time.as_secs_f64() > 0.0 {
         events.len() as f64 / wall_time.as_secs_f64()
@@ -207,6 +233,7 @@ pub fn run_threaded(
         wall_time,
         events_per_sec,
         wall_latencies_ns,
+        telemetry,
     }
 }
 
@@ -214,6 +241,7 @@ struct NodeOutcome {
     metrics: Metrics,
     matches: Vec<Vec<Match>>,
     wall_latencies_ns: Vec<u64>,
+    telemetry: Option<RunTelemetry>,
 }
 
 struct NodeRunner<'a> {
@@ -228,6 +256,11 @@ struct NodeRunner<'a> {
     wall_latencies_ns: Vec<u64>,
     /// Sender-side transmission multiplexing (see the simulator's `sent`).
     sent: std::collections::HashSet<(u64, usize, u64)>,
+    /// This node's private telemetry shard.
+    telemetry: Option<ExecTelemetry>,
+    /// Newest event timestamp seen by any local join (the node-local
+    /// watermark behind the series' lag column).
+    max_seen: Timestamp,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -243,17 +276,21 @@ fn run_node(
     chunk: Timestamp,
     num_chunks: u64,
     rounds_per_chunk: usize,
-    slack: f64,
+    config: ThreadedConfig,
 ) -> NodeOutcome {
     let joins: Vec<Option<JoinTask>> = (0..deployment.tasks.len())
         .map(|i| {
             if deployment.tasks[i].node.index() == node {
-                deployment.make_join(i, slack)
+                deployment.make_join(i, config.slack)
             } else {
                 None
             }
         })
         .collect();
+    let telemetry = config
+        .telemetry
+        .as_ref()
+        .map(|spec| ExecTelemetry::new(ClockDomain::WallNanos, spec, deployment.tasks.len()));
     let mut runner = NodeRunner {
         deployment,
         node,
@@ -265,6 +302,8 @@ fn run_node(
         matches: vec![Vec::new(); deployment.queries.len()],
         wall_latencies_ns: Vec::new(),
         sent: Default::default(),
+        telemetry,
+        max_seen: 0,
     };
 
     let mut next = 0usize;
@@ -273,6 +312,7 @@ fn run_node(
         while next < local_events.len() && local_events[next].time < bound {
             runner.drain(&receiver);
             runner.inject(&local_events[next]);
+            runner.maybe_sample();
             next += 1;
         }
         // Quiescence: one barrier-synchronized drain round per possible
@@ -280,6 +320,7 @@ fn run_node(
         for _ in 0..rounds_per_chunk {
             barrier.wait();
             runner.drain(&receiver);
+            runner.maybe_sample();
         }
         barrier.wait();
     }
@@ -287,10 +328,21 @@ fn run_node(
     for join in runner.joins.iter().flatten() {
         runner.metrics.join.merge(join.stats());
     }
+    // Final sample at shutdown, then seal this node's shard with its local
+    // task summaries.
+    runner.sample(runner.start.elapsed().as_nanos() as u64);
+    let telemetry = runner.telemetry.take().map(|tel| {
+        let local =
+            (0..deployment.tasks.len()).filter(|&i| deployment.tasks[i].node.index() == node);
+        let tasks =
+            crate::telemetry::task_summaries(deployment, local, |i| runner.joins[i].as_ref());
+        tel.finish(&runner.metrics, tasks)
+    });
     NodeOutcome {
         metrics: runner.metrics,
         matches: runner.matches,
         wall_latencies_ns: runner.wall_latencies_ns,
+        telemetry,
     }
 }
 
@@ -301,24 +353,62 @@ impl NodeRunner<'_> {
         }
     }
 
+    /// Samples the series shard when the wall-clock cadence has elapsed.
+    fn maybe_sample(&mut self) {
+        let now = self.start.elapsed().as_nanos() as u64;
+        if self
+            .telemetry
+            .as_ref()
+            .is_some_and(|tel| tel.sample_due(now))
+        {
+            self.sample(now);
+        }
+    }
+
+    /// Emits one series record per local join task. Queue depth is the
+    /// number of deliveries the task consumed since the previous sample
+    /// (crossbeam receivers expose no length), and watermark lag is
+    /// measured against this node's newest-seen event timestamp.
+    fn sample(&mut self, now: u64) {
+        let Some(tel) = self.telemetry.as_mut() else {
+            return;
+        };
+        for (i, join) in self.joins.iter().enumerate() {
+            let Some(join) = join else { continue };
+            let stats = join.stats();
+            let queue_depth = tel.drained_since(i);
+            tel.record_task_sample(
+                now,
+                i,
+                self.node,
+                self.deployment.task_label(i),
+                queue_depth,
+                join.buffered() as u64,
+                self.max_seen.saturating_sub(join.last_seen()),
+                [stats.inputs, stats.probes, stats.evicted, stats.emitted],
+            );
+        }
+        tel.end_sample(now);
+    }
+
     fn inject(&mut self, event: &Event) {
-        let sources: Vec<usize> = self
-            .deployment
-            .sources_for(event.origin, event.ty)
-            .to_vec();
+        let sources: Vec<usize> = self.deployment.sources_for(event.origin, event.ty).to_vec();
         if sources.is_empty() {
             return;
         }
         self.metrics.events_injected += 1;
         self.metrics.record_processed(self.node);
+        let now = self.start.elapsed().as_nanos() as u64;
         if (event.seq as usize) < self.inject_ns.len() {
-            self.inject_ns[event.seq as usize].store(
-                self.start.elapsed().as_nanos() as u64,
-                Ordering::Release,
-            );
+            self.inject_ns[event.seq as usize].store(now, Ordering::Release);
+        }
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.on_inject(now, self.node, sources[0], event);
         }
         for task in sources {
-            let TaskKind::Source { prim, predicates, .. } = &self.deployment.tasks[task].kind
+            let TaskKind::Source {
+                prim, predicates, ..
+            } = &self.deployment.tasks[task].kind
             else {
                 unreachable!("sources_for returns source tasks");
             };
@@ -335,6 +425,10 @@ impl NodeRunner<'_> {
 
     fn handle(&mut self, task: usize, slot: usize, m: Match) {
         self.metrics.record_processed(self.node);
+        self.max_seen = self.max_seen.max(m.last_time());
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.on_delivery(task);
+        }
         let outs = self.joins[task]
             .as_mut()
             .expect("deliveries target local joins")
@@ -358,8 +452,20 @@ impl NodeRunner<'_> {
                     .get(newest.seq as usize)
                     .map(|a| a.load(Ordering::Acquire))
                     .unwrap_or(0);
-                self.wall_latencies_ns.push(now.saturating_sub(injected));
+                let latency = now.saturating_sub(injected);
+                self.wall_latencies_ns.push(latency);
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.on_sink(now, self.node, task, m.len(), m.last_time(), latency);
+                }
                 self.matches[spec.query_idx].push(m.clone());
+            }
+        } else if self.telemetry.is_some() {
+            let now = self.start.elapsed().as_nanos() as u64;
+            for m in &outs {
+                let span = m.last_time().saturating_sub(m.first_time());
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.on_merge(now, self.node, task, m.len(), span);
+                }
             }
         }
         self.route(task, outs);
@@ -386,6 +492,10 @@ impl NodeRunner<'_> {
                     if self.sent.insert((sig, n, mhash)) {
                         self.metrics.messages_sent += 1;
                         self.metrics.bytes_sent += bytes;
+                        if let Some(tel) = self.telemetry.as_mut() {
+                            let now = self.start.elapsed().as_nanos() as u64;
+                            tel.on_ship(now, self.node, n, task, bytes);
+                        }
                     }
                 }
             }
@@ -403,6 +513,9 @@ impl NodeRunner<'_> {
                         .expect("receiver alive during execution");
                 } else {
                     self.metrics.local_deliveries += 1;
+                    if let Some(tel) = self.telemetry.as_mut() {
+                        tel.on_local();
+                    }
                     self.handle(r.target, r.slot, m.clone());
                 }
             }
@@ -485,10 +598,74 @@ mod tests {
         // Same network transmissions.
         assert_eq!(threaded.metrics.messages_sent, sim.metrics.messages_sent);
         assert!(threaded.events_per_sec > 0.0);
-        assert_eq!(
-            threaded.wall_latencies_ns.len(),
-            threaded.matches[0].len()
+        assert_eq!(threaded.wall_latencies_ns.len(), threaded.matches[0].len());
+    }
+
+    #[test]
+    fn telemetry_counters_agree_across_executors() {
+        let net = network();
+        let q = query();
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+        let deployment = Deployment::new(&plan.graph, &ctx);
+        let events = muse_sim::traces::generate_traces(
+            &net,
+            &muse_sim::traces::TraceConfig {
+                duration: 40.0,
+                ticks_per_unit: 100.0,
+                rate_scale: 0.05,
+                key_domain: 0,
+                seed: 23,
+            },
         );
+        let sim = run_simulation(
+            &deployment,
+            &events,
+            &SimConfig {
+                telemetry: Some(TelemetrySpec::default()),
+                ..SimConfig::default()
+            },
+        );
+        let threaded = run_threaded(
+            &deployment,
+            &events,
+            &ThreadedConfig {
+                telemetry: Some(TelemetrySpec::default()),
+                ..ThreadedConfig::default()
+            },
+        );
+        // The executors must agree on the run's aggregate metrics …
+        assert_eq!(threaded.metrics.sink_matches, sim.metrics.sink_matches);
+        assert_eq!(threaded.metrics.messages_sent, sim.metrics.messages_sent);
+        assert_eq!(threaded.metrics.join.emitted, sim.metrics.join.emitted);
+        assert!(
+            sim.metrics.sink_matches > 0,
+            "workload must produce matches"
+        );
+        // … and their telemetry registries must carry the same counters.
+        let s = sim.telemetry.expect("sim telemetry");
+        let t = threaded.telemetry.expect("threaded telemetry");
+        for name in [
+            names::EVENTS_INJECTED,
+            names::MESSAGES_SENT,
+            names::BYTES_SENT,
+            names::SINK_MATCHES,
+            names::JOIN_INPUTS,
+            names::JOIN_EMITTED,
+        ] {
+            assert_eq!(
+                s.registry.counter_value(name),
+                t.registry.counter_value(name),
+                "counter {name} diverges between executors"
+            );
+        }
+        // Task summaries cover the same join tasks (threaded shards each
+        // contribute their local slice; merged and sorted by task id).
+        let s_tasks: Vec<usize> = s.tasks.iter().map(|x| x.task).collect();
+        let t_tasks: Vec<usize> = t.tasks.iter().map(|x| x.task).collect();
+        assert_eq!(s_tasks, t_tasks);
+        assert!(!s.series.is_empty(), "sim series sampled");
+        assert!(!s.trace.is_empty(), "sim trace recorded");
     }
 
     #[test]
@@ -499,6 +676,7 @@ mod tests {
             wall_time: Duration::from_millis(1),
             events_per_sec: 0.0,
             wall_latencies_ns: vec![50, 10, 30, 20, 40],
+            telemetry: None,
         };
         assert_eq!(report.latency_summary_ns(), Some([10, 20, 30, 40, 50]));
         let empty = ThreadedReport {

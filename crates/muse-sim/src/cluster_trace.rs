@@ -138,15 +138,15 @@ pub fn generate_cluster_trace(config: &ClusterTraceConfig) -> ClusterTrace {
     for job in 0..config.jobs {
         let job_id = job as i64;
         // Job arrival spread over the horizon, leaving room for life-cycles.
-        let horizon = config.duration_ms.saturating_sub((config.mean_dwell_ms * 10.0) as u64);
+        let horizon = config
+            .duration_ms
+            .saturating_sub((config.mean_dwell_ms * 10.0) as u64);
         let arrival = rng.gen_range(0..horizon.max(1));
         let tasks = rng.gen_range(1..=config.tasks_per_job * 2 - 1);
         for _ in 0..tasks {
             let uid = next_uid;
             next_uid += 1;
-            simulate_task(
-                config, &mut rng, &mut raw, arrival, job_id, uid,
-            );
+            simulate_task(config, &mut rng, &mut raw, arrival, job_id, uid);
         }
     }
     raw.retain(|(t, ..)| *t < config.duration_ms);
@@ -308,13 +308,8 @@ mod tests {
             jobs: 500,
             ..Default::default()
         });
-        let count = |ty: LifecycleType| {
-            trace
-                .events
-                .iter()
-                .filter(|e| e.ty == ty.type_id())
-                .count()
-        };
+        let count =
+            |ty: LifecycleType| trace.events.iter().filter(|e| e.ty == ty.type_id()).count();
         // Schedules are the most frequent; updates are rare.
         assert!(count(LifecycleType::Schedule) > count(LifecycleType::UpdateR));
         assert!(count(LifecycleType::Finish) > count(LifecycleType::Lost));

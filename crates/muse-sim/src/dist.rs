@@ -108,9 +108,7 @@ mod tests {
         // s = 2.0: almost all samples are tiny (rates nearly equivalent).
         let z = Zipf::new(1_000_000, 2.0);
         let mut rng = StdRng::seed_from_u64(3);
-        let small = (0..10_000)
-            .filter(|_| z.sample(&mut rng) <= 10)
-            .count();
+        let small = (0..10_000).filter(|_| z.sample(&mut rng) <= 10).count();
         // P(X ≤ 10) = H₂(10)/ζ(2) ≈ 0.942 for s = 2.
         assert!(small > 9_200, "{small} of 10000 ≤ 10");
     }
@@ -120,10 +118,7 @@ mod tests {
         // s = 1.1 over 10⁶: large values do occur.
         let z = Zipf::new(1_000_000, 1.1);
         let mut rng = StdRng::seed_from_u64(4);
-        let big = (0..20_000)
-            .map(|_| z.sample(&mut rng))
-            .max()
-            .unwrap();
+        let big = (0..20_000).map(|_| z.sample(&mut rng)).max().unwrap();
         assert!(big > 10_000, "max sample {big}");
     }
 

@@ -281,7 +281,11 @@ mod tests {
     fn large_config_shape() {
         let w = generate_workload(&WorkloadConfig::large());
         assert_eq!(w.len(), 15);
-        let avg: f64 = w.queries().iter().map(|q| q.num_prims() as f64).sum::<f64>()
+        let avg: f64 = w
+            .queries()
+            .iter()
+            .map(|q| q.num_prims() as f64)
+            .sum::<f64>()
             / w.len() as f64;
         assert!((avg - 8.0).abs() < 1.0, "avg prims {avg}");
     }

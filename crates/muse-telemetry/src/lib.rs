@@ -1,0 +1,243 @@
+//! # muse-telemetry
+//!
+//! Observability substrate for the MuSE runtime, shared by the
+//! discrete-event simulator and the thread-per-node executor:
+//!
+//! * [`registry`] — allocation-free named counters, gauges, and
+//!   log-bucketed streaming histograms with shard-and-merge semantics.
+//! * [`hist`] — the fixed-memory [`LogHistogram`] itself (HDR-style
+//!   bucketing, bounded relative error, mergeable across shards).
+//! * [`series`] — bounded per-task time series (queue depth, watermark
+//!   lag, live partial matches, per-interval join activity).
+//! * [`trace`] — a bounded ring of structured lineage records with JSONL
+//!   export.
+//!
+//! Executors accept an optional [`TelemetrySpec`] and, when present,
+//! attach a [`RunTelemetry`] to their reports; the bench harness writes
+//! those out as `telemetry.json` + `series.jsonl` (+ `trace.jsonl`).
+
+pub mod hist;
+pub mod registry;
+pub mod series;
+pub mod trace;
+
+pub use hist::{HistSnapshot, LogHistogram};
+pub use registry::{CounterId, GaugeId, GaugeKind, HistId, Registry, Snapshot};
+pub use series::{ClockDomain, SeriesBuffer, SeriesRecord};
+pub use trace::{TraceRecord, TraceRing};
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for telemetry collection during a run. Deserializes
+/// leniently: omitted fields take their [`Default`] values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(from = "TelemetrySpecRepr")]
+pub struct TelemetrySpec {
+    /// Series sampling cadence in virtual ticks (simulator executor).
+    pub series_cadence_ticks: u64,
+    /// Series sampling cadence in wall-clock nanoseconds (threaded
+    /// executor).
+    pub series_cadence_ns: u64,
+    /// Maximum buffered series records per run (oldest dropped first).
+    pub series_capacity: usize,
+    /// Maximum buffered trace records per run (0 disables tracing).
+    pub trace_capacity: usize,
+}
+
+/// Wire-side shape of [`TelemetrySpec`] with every field optional.
+#[derive(Deserialize)]
+struct TelemetrySpecRepr {
+    #[serde(default)]
+    series_cadence_ticks: Option<u64>,
+    #[serde(default)]
+    series_cadence_ns: Option<u64>,
+    #[serde(default)]
+    series_capacity: Option<usize>,
+    #[serde(default)]
+    trace_capacity: Option<usize>,
+}
+
+impl From<TelemetrySpecRepr> for TelemetrySpec {
+    fn from(r: TelemetrySpecRepr) -> Self {
+        Self {
+            series_cadence_ticks: r.series_cadence_ticks.unwrap_or_else(default_cadence_ticks),
+            series_cadence_ns: r.series_cadence_ns.unwrap_or_else(default_cadence_ns),
+            series_capacity: r.series_capacity.unwrap_or_else(default_series_capacity),
+            trace_capacity: r.trace_capacity.unwrap_or_else(default_trace_capacity),
+        }
+    }
+}
+
+fn default_cadence_ticks() -> u64 {
+    1000
+}
+
+fn default_cadence_ns() -> u64 {
+    1_000_000
+}
+
+fn default_series_capacity() -> usize {
+    65_536
+}
+
+fn default_trace_capacity() -> usize {
+    4096
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        Self {
+            series_cadence_ticks: default_cadence_ticks(),
+            series_cadence_ns: default_cadence_ns(),
+            series_capacity: default_series_capacity(),
+            trace_capacity: default_trace_capacity(),
+        }
+    }
+}
+
+/// End-of-run per-task totals, for the harness summary table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSummary {
+    /// Task index within the deployment.
+    pub task: usize,
+    /// Node hosting the task.
+    pub node: usize,
+    /// Human-readable task label.
+    pub label: String,
+    /// `"source"`, `"join"`, or `"sink"`.
+    pub kind: String,
+    /// Partial matches received over the whole run.
+    pub inputs: u64,
+    /// Store probes over the whole run.
+    pub probes: u64,
+    /// Matches emitted over the whole run.
+    pub emitted: u64,
+    /// Window evictions over the whole run.
+    pub evictions: u64,
+    /// Peak concurrently-buffered partial matches observed.
+    pub peak_live: u64,
+}
+
+/// Everything telemetry collected over one executor run.
+#[derive(Debug, Clone, Default)]
+pub struct RunTelemetry {
+    /// Interpretation of every timestamp in `series` and `trace`.
+    pub clock: Option<ClockDomain>,
+    /// Final merged metrics registry.
+    pub registry: Registry,
+    /// Per-task time series.
+    pub series: SeriesBuffer,
+    /// Lineage trace ring.
+    pub trace: TraceRing,
+    /// End-of-run per-task totals.
+    pub tasks: Vec<TaskSummary>,
+}
+
+impl RunTelemetry {
+    /// Creates an empty container sized per `spec`.
+    pub fn new(clock: ClockDomain, spec: &TelemetrySpec) -> Self {
+        Self {
+            clock: Some(clock),
+            registry: Registry::new(),
+            series: SeriesBuffer::new(spec.series_capacity),
+            trace: TraceRing::new(spec.trace_capacity),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Renders the per-task summary as a plain-text table.
+    pub fn task_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<5} {:<5} {:<26} {:<7} {:>10} {:>10} {:>9} {:>9} {:>9}\n",
+            "task", "node", "label", "kind", "inputs", "probes", "emitted", "evicted", "peak-live"
+        ));
+        for t in &self.tasks {
+            out.push_str(&format!(
+                "{:<5} {:<5} {:<26} {:<7} {:>10} {:>10} {:>9} {:>9} {:>9}\n",
+                t.task,
+                t.node,
+                t.label,
+                t.kind,
+                t.inputs,
+                t.probes,
+                t.emitted,
+                t.evictions,
+                t.peak_live
+            ));
+        }
+        out
+    }
+}
+
+/// Canonical metric names used across both executors, so registry
+/// snapshots from the simulator and the threaded executor line up
+/// name-for-name.
+pub mod names {
+    /// Primitive events injected at source tasks.
+    pub const EVENTS_INJECTED: &str = "events_injected";
+    /// Partial matches shipped between distinct nodes.
+    pub const MESSAGES_SENT: &str = "messages_sent";
+    /// Wire bytes for those messages.
+    pub const BYTES_SENT: &str = "bytes_sent";
+    /// Partial matches delivered node-locally (no network hop).
+    pub const LOCAL_DELIVERIES: &str = "local_deliveries";
+    /// Complete matches arriving at sink tasks.
+    pub const SINK_MATCHES: &str = "sink_matches";
+    /// Join: partial matches received.
+    pub const JOIN_INPUTS: &str = "join.inputs";
+    /// Join: store probes performed.
+    pub const JOIN_PROBES: &str = "join.probes";
+    /// Join: merges rejected by negation guards.
+    pub const JOIN_GUARD_REJECTS: &str = "join.guard_rejects";
+    /// Join: merge attempts after window/predicate filtering.
+    pub const JOIN_MERGE_ATTEMPTS: &str = "join.merge_attempts";
+    /// Join: successful merges.
+    pub const JOIN_MERGE_SUCCESSES: &str = "join.merge_successes";
+    /// Join: matches emitted downstream.
+    pub const JOIN_EMITTED: &str = "join.emitted";
+    /// Join: partial matches evicted by window expiry.
+    pub const JOIN_EVICTED: &str = "join.evicted";
+    /// Peak concurrently-buffered partial matches across all joins.
+    pub const JOIN_PEAK_LIVE: &str = "join.peak_live_matches";
+    /// Sink-side match latency histogram (event-time lag in the
+    /// simulator, wall nanoseconds in the threaded executor).
+    pub const LATENCY_SINK: &str = "latency.sink";
+    /// Run wall time in nanoseconds.
+    pub const RUN_WALL_NS: &str = "run.wall_ns";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_defaults_fill_missing_fields() {
+        let spec: TelemetrySpec = serde_json::from_str("{\"series_cadence_ticks\": 50}").unwrap();
+        assert_eq!(spec.series_cadence_ticks, 50);
+        assert_eq!(spec.series_capacity, default_series_capacity());
+        assert_eq!(spec.trace_capacity, default_trace_capacity());
+        let spec: TelemetrySpec = serde_json::from_str("{}").unwrap();
+        assert_eq!(spec, TelemetrySpec::default());
+    }
+
+    #[test]
+    fn task_table_renders_every_task() {
+        let mut rt = RunTelemetry::new(ClockDomain::VirtualTicks, &TelemetrySpec::default());
+        rt.tasks.push(TaskSummary {
+            task: 0,
+            node: 1,
+            label: "J0@N1".into(),
+            kind: "join".into(),
+            inputs: 10,
+            probes: 20,
+            emitted: 5,
+            evictions: 2,
+            peak_live: 7,
+        });
+        let table = rt.task_table();
+        assert!(table.contains("J0@N1"));
+        assert!(table.contains("peak-live"));
+        assert_eq!(table.lines().count(), 2);
+    }
+}

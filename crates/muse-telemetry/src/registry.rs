@@ -1,0 +1,332 @@
+//! Allocation-free metrics registry: named counters, gauges, and
+//! histograms.
+//!
+//! Registration (name → dense index) happens once at setup; the hot path
+//! then updates plain `u64` slots through copyable handles — no hashing, no
+//! allocation, no atomics. Concurrency follows the shard-and-merge model:
+//! each worker thread owns a private `Registry` and the shards are
+//! [`Registry::merge`]d on drain (counter/histogram merging is associative
+//! and commutative; gauges merge per their declared [`GaugeKind`]).
+
+use crate::hist::{HistSnapshot, LogHistogram};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
+
+/// How a gauge combines across shards (and repeated snapshots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GaugeKind {
+    /// Peak semantics: merged value is the maximum (e.g. peak live
+    /// matches).
+    Max,
+    /// Additive semantics: merged value is the sum (e.g. resident bytes
+    /// per shard).
+    Sum,
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(usize),
+    Gauge(usize),
+    Hist(usize),
+}
+
+/// A single-writer metrics registry (shard).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    index: HashMap<String, Slot>,
+    counter_names: Vec<String>,
+    counters: Vec<u64>,
+    gauge_names: Vec<String>,
+    gauges: Vec<(u64, GaugeKind)>,
+    hist_names: Vec<String>,
+    hists: Vec<LogHistogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or looks up) a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        match self.index.get(name) {
+            Some(Slot::Counter(i)) => CounterId(*i),
+            Some(_) => panic!("telemetry name '{name}' already used by a non-counter"),
+            None => {
+                let i = self.counters.len();
+                self.counters.push(0);
+                self.counter_names.push(name.to_string());
+                self.index.insert(name.to_string(), Slot::Counter(i));
+                CounterId(i)
+            }
+        }
+    }
+
+    /// Registers (or looks up) a gauge with the given merge semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind or
+    /// with a different [`GaugeKind`].
+    pub fn gauge(&mut self, name: &str, kind: GaugeKind) -> GaugeId {
+        match self.index.get(name) {
+            Some(Slot::Gauge(i)) => {
+                assert_eq!(
+                    self.gauges[*i].1, kind,
+                    "telemetry gauge '{name}' re-registered with a different kind"
+                );
+                GaugeId(*i)
+            }
+            Some(_) => panic!("telemetry name '{name}' already used by a non-gauge"),
+            None => {
+                let i = self.gauges.len();
+                self.gauges.push((0, kind));
+                self.gauge_names.push(name.to_string());
+                self.index.insert(name.to_string(), Slot::Gauge(i));
+                GaugeId(i)
+            }
+        }
+    }
+
+    /// Registers (or looks up) a histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn hist(&mut self, name: &str) -> HistId {
+        match self.index.get(name) {
+            Some(Slot::Hist(i)) => HistId(*i),
+            Some(_) => panic!("telemetry name '{name}' already used by a non-histogram"),
+            None => {
+                let i = self.hists.len();
+                self.hists.push(LogHistogram::new());
+                self.hist_names.push(name.to_string());
+                self.index.insert(name.to_string(), Slot::Hist(i));
+                HistId(i)
+            }
+        }
+    }
+
+    /// Increments a counter.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0] += n;
+    }
+
+    /// Sets a gauge to a value.
+    #[inline]
+    pub fn gauge_set(&mut self, id: GaugeId, v: u64) {
+        self.gauges[id.0].0 = v;
+    }
+
+    /// Raises a gauge to at least `v` (peak tracking).
+    #[inline]
+    pub fn gauge_peak(&mut self, id: GaugeId, v: u64) {
+        let g = &mut self.gauges[id.0].0;
+        *g = (*g).max(v);
+    }
+
+    /// Records a value into a histogram.
+    #[inline]
+    pub fn observe(&mut self, id: HistId, v: u64) {
+        self.hists[id.0].record(v);
+    }
+
+    /// Reads a counter by name.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.index.get(name)? {
+            Slot::Counter(i) => Some(self.counters[*i]),
+            _ => None,
+        }
+    }
+
+    /// Reads a gauge by name.
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        match self.index.get(name)? {
+            Slot::Gauge(i) => Some(self.gauges[*i].0),
+            _ => None,
+        }
+    }
+
+    /// Reads a histogram by name.
+    pub fn hist_value(&self, name: &str) -> Option<&LogHistogram> {
+        match self.index.get(name)? {
+            Slot::Hist(i) => Some(&self.hists[*i]),
+            _ => None,
+        }
+    }
+
+    /// Merges another shard into this one by metric name: counters and
+    /// histograms accumulate; gauges combine per their [`GaugeKind`].
+    /// Metrics unknown to `self` are registered on the fly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is registered with conflicting kinds.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, &v) in other.counter_names.iter().zip(&other.counters) {
+            let id = self.counter(name);
+            self.inc(id, v);
+        }
+        for (name, &(v, kind)) in other.gauge_names.iter().zip(&other.gauges) {
+            let id = self.gauge(name, kind);
+            match kind {
+                GaugeKind::Max => self.gauge_peak(id, v),
+                GaugeKind::Sum => self.gauges[id.0].0 += v,
+            }
+        }
+        for (name, h) in other.hist_names.iter().zip(&other.hists) {
+            let id = self.hist(name);
+            self.hists[id.0].merge(h);
+        }
+    }
+
+    /// A serializable snapshot of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counter_names
+                .iter()
+                .cloned()
+                .zip(self.counters.iter().copied())
+                .collect(),
+            gauges: self
+                .gauge_names
+                .iter()
+                .cloned()
+                .zip(self.gauges.iter().map(|&(v, _)| v))
+                .collect(),
+            hists: self
+                .hist_names
+                .iter()
+                .cloned()
+                .zip(self.hists.iter().map(|h| HistSnapshot::from(h.clone())))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time registry contents (the `telemetry.json` payload).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub hists: BTreeMap<String, HistSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let mut r = Registry::new();
+        let c = r.counter("events");
+        let g = r.gauge("peak", GaugeKind::Max);
+        let h = r.hist("lat");
+        r.inc(c, 3);
+        r.inc(c, 2);
+        r.gauge_peak(g, 7);
+        r.gauge_peak(g, 4);
+        r.observe(h, 10);
+        assert_eq!(r.counter_value("events"), Some(5));
+        assert_eq!(r.gauge_value("peak"), Some(7));
+        assert_eq!(r.hist_value("lat").unwrap().count(), 1);
+        // Re-registration returns the same handle.
+        assert_eq!(r.counter("events"), c);
+    }
+
+    #[test]
+    fn merge_combines_by_name_and_kind() {
+        let mut a = Registry::new();
+        let ca = a.counter("n");
+        let ga = a.gauge("peak", GaugeKind::Max);
+        let sa = a.gauge("bytes", GaugeKind::Sum);
+        a.inc(ca, 10);
+        a.gauge_set(ga, 5);
+        a.gauge_set(sa, 100);
+
+        let mut b = Registry::new();
+        // Different registration order must not matter: merge is by name.
+        let gb = b.gauge("peak", GaugeKind::Max);
+        let cb = b.counter("n");
+        let sb = b.gauge("bytes", GaugeKind::Sum);
+        let hb = b.hist("lat");
+        b.inc(cb, 7);
+        b.gauge_set(gb, 9);
+        b.gauge_set(sb, 50);
+        b.observe(hb, 3);
+
+        a.merge(&b);
+        assert_eq!(a.counter_value("n"), Some(17));
+        assert_eq!(a.gauge_value("peak"), Some(9));
+        assert_eq!(a.gauge_value("bytes"), Some(150));
+        assert_eq!(a.hist_value("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let shard = |seed: u64| {
+            let mut r = Registry::new();
+            let c = r.counter("n");
+            let g = r.gauge("peak", GaugeKind::Max);
+            let h = r.hist("lat");
+            r.inc(c, seed);
+            r.gauge_set(g, seed * 3 % 17);
+            r.observe(h, seed * 31);
+            r
+        };
+        let (a, b, c) = (shard(1), shard(2), shard(3));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.snapshot(), right.snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-counter")]
+    fn kind_conflict_panics() {
+        let mut r = Registry::new();
+        r.gauge("x", GaugeKind::Max);
+        r.counter("x");
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let mut r = Registry::new();
+        let c = r.counter("events");
+        r.inc(c, 2);
+        let h = r.hist("lat");
+        r.observe(h, 99);
+        let snap = r.snapshot();
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counters["events"], 2);
+        assert_eq!(back.hists["lat"].count, 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! Structured trace records for match-lineage reconstruction.
+//!
+//! Every significant lifecycle step of an event/partial match gets one
+//! [`TraceRecord`] in a bounded [`TraceRing`]: injection at a source task,
+//! a successful merge inside a join, a message shipped between nodes, and a
+//! final emission at a sink. Exported as JSONL, the ring lets a match at a
+//! sink be traced back through every node that contributed to it.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One step in a match's lineage. `t` is always in the run's clock domain
+/// (virtual ticks in the simulator, wall nanoseconds in the threaded
+/// executor).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceRecord {
+    /// A primitive event entered the system at a source task.
+    EventInjected {
+        /// Injection timestamp.
+        t: u64,
+        /// Node the event originated at.
+        node: usize,
+        /// Source task that accepted it.
+        task: usize,
+        /// Event type id.
+        event_type: u32,
+        /// Global sequence number of the event (the lineage key: sink
+        /// matches list their constituent events by this id).
+        seq: u64,
+    },
+    /// Two partial matches merged successfully inside a join task.
+    MatchMerged {
+        /// Merge timestamp.
+        t: u64,
+        /// Node hosting the join.
+        node: usize,
+        /// Join task index.
+        task: usize,
+        /// Number of primitive events in the merged match.
+        size: usize,
+        /// Event-time span (`last - first`) of the merged match.
+        span: u64,
+    },
+    /// A partial match crossed the network between two nodes.
+    MessageShipped {
+        /// Ship timestamp.
+        t: u64,
+        /// Sending node.
+        from: usize,
+        /// Receiving node.
+        to: usize,
+        /// Sending task index (one record per remote target node; the
+        /// executors ship a match to a node once and multiplex it).
+        task: usize,
+        /// Wire size in bytes.
+        bytes: u64,
+    },
+    /// A complete match was emitted at a sink task.
+    SinkMatch {
+        /// Emission timestamp.
+        t: u64,
+        /// Sink node.
+        node: usize,
+        /// Sink task index.
+        task: usize,
+        /// Number of primitive events in the match.
+        size: usize,
+        /// Timestamp of the newest constituent event.
+        last_time: u64,
+    },
+}
+
+impl TraceRecord {
+    /// The record's timestamp, whatever its kind.
+    pub fn t(&self) -> u64 {
+        match self {
+            TraceRecord::EventInjected { t, .. }
+            | TraceRecord::MatchMerged { t, .. }
+            | TraceRecord::MessageShipped { t, .. }
+            | TraceRecord::SinkMatch { t, .. } => *t,
+        }
+    }
+}
+
+/// Bounded ring of trace records (oldest evicted first).
+#[derive(Debug, Clone, Default)]
+pub struct TraceRing {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` records (0 disables
+    /// tracing entirely).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            records: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest if full.
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(rec);
+    }
+
+    /// Records currently held, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted (or rejected) due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Moves all records from `other` into this ring, then re-sorts by
+    /// timestamp so shard-merged traces read in time order.
+    pub fn absorb(&mut self, other: TraceRing) {
+        self.dropped += other.dropped;
+        for rec in other.records {
+            self.push(rec);
+        }
+        self.records.make_contiguous().sort_by_key(|r| r.t());
+    }
+
+    /// Serializes every held record as JSONL into `out`.
+    pub fn write_jsonl<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
+        for rec in &self.records {
+            let line = serde_json::to_string(rec)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            out.write_all(line.as_bytes())?;
+            out.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_bounds_and_drops() {
+        let mut ring = TraceRing::new(2);
+        for t in 0..4 {
+            ring.push(TraceRecord::EventInjected {
+                t,
+                node: 0,
+                task: 0,
+                event_type: 1,
+                seq: t,
+            });
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 2);
+        let ts: Vec<u64> = ring.records().map(|r| r.t()).collect();
+        assert_eq!(ts, vec![2, 3]);
+    }
+
+    #[test]
+    fn records_roundtrip_as_jsonl() {
+        let mut ring = TraceRing::new(8);
+        ring.push(TraceRecord::MessageShipped {
+            t: 5,
+            from: 0,
+            to: 1,
+            task: 3,
+            bytes: 24,
+        });
+        ring.push(TraceRecord::SinkMatch {
+            t: 9,
+            node: 1,
+            task: 3,
+            size: 3,
+            last_time: 9,
+        });
+        let mut out = Vec::new();
+        ring.write_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let back: Vec<TraceRecord> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].t(), 9);
+        assert!(matches!(
+            back[0],
+            TraceRecord::MessageShipped { bytes: 24, .. }
+        ));
+    }
+
+    #[test]
+    fn absorb_sorts_by_time() {
+        let mut a = TraceRing::new(8);
+        a.push(TraceRecord::SinkMatch {
+            t: 10,
+            node: 0,
+            task: 0,
+            size: 1,
+            last_time: 10,
+        });
+        let mut b = TraceRing::new(8);
+        b.push(TraceRecord::SinkMatch {
+            t: 4,
+            node: 1,
+            task: 1,
+            size: 1,
+            last_time: 4,
+        });
+        a.absorb(b);
+        let ts: Vec<u64> = a.records().map(|r| r.t()).collect();
+        assert_eq!(ts, vec![4, 10]);
+    }
+}

@@ -100,8 +100,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>24} | {:>10} | {:>10}",
         "bytes sent", ms.metrics.bytes_sent, op.metrics.bytes_sent
     );
-    println!("{:>24} | {:>10} | {:>10}", "matches", ms_matches, op_matches);
-    let busiest = |m: &muse_runtime::Metrics| m.per_node_processed.iter().copied().max().unwrap_or(0);
+    println!(
+        "{:>24} | {:>10} | {:>10}",
+        "matches", ms_matches, op_matches
+    );
+    let busiest =
+        |m: &muse_runtime::Metrics| m.per_node_processed.iter().copied().max().unwrap_or(0);
     println!(
         "{:>24} | {:>10} | {:>10}",
         "busiest-node load",

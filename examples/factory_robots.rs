@@ -62,8 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Fig. 1's three strategies --------------------------------------
     let central = centralized_cost(std::slice::from_ref(&query), &network);
-    let (node, naive) =
-        muse_core::algorithms::baselines::naive_single_node_cost(std::slice::from_ref(&query), &network);
+    let (node, naive) = muse_core::algorithms::baselines::naive_single_node_cost(
+        std::slice::from_ref(&query),
+        &network,
+    );
     let oop = optimal_operator_placement(&query, &network);
     let plan = amuse(&query, &network, &AMuseConfig::default())?;
     println!("\ncosts (rate of events crossing the network):");
@@ -80,7 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- The MuSE graph itself, as Graphviz DOT -------------------------
     let ctx = PlanContext::new(std::slice::from_ref(&query), &network, &plan.table);
-    plan.graph.check_correct(&ctx, 100_000).expect("correct plan");
+    plan.graph
+        .check_correct(&ctx, 100_000)
+        .expect("correct plan");
     println!("\nGraphviz DOT (pipe into `dot -Tsvg`):\n");
     println!("{}", plan.graph.to_dot(&ctx, &catalog));
     Ok(())

@@ -30,18 +30,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // q0 = SEQ(A, B, C), q1 = SEQ(A, B, D); both constrain A.key = B.key.
     let shared_pred = |sel: f64| {
-        Predicate::binary((PrimId(0), AttrId(0)), CmpOp::Eq, (PrimId(1), AttrId(0)), sel)
+        Predicate::binary(
+            (PrimId(0), AttrId(0)),
+            CmpOp::Eq,
+            (PrimId(1), AttrId(0)),
+            sel,
+        )
     };
     let workload = Workload::from_patterns(
         catalog,
         [
             (
-                Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(2))]),
+                Pattern::seq([
+                    Pattern::leaf(t(0)),
+                    Pattern::leaf(t(1)),
+                    Pattern::leaf(t(2)),
+                ]),
                 vec![shared_pred(0.01)],
                 1_000,
             ),
             (
-                Pattern::seq([Pattern::leaf(t(0)), Pattern::leaf(t(1)), Pattern::leaf(t(3))]),
+                Pattern::seq([
+                    Pattern::leaf(t(0)),
+                    Pattern::leaf(t(1)),
+                    Pattern::leaf(t(3)),
+                ]),
                 vec![shared_pred(0.01)],
                 1_000,
             ),
@@ -54,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|q| amuse(q, &network, &AMuseConfig::default()).map(|p| p.cost))
         .collect::<Result<_, _>>()?;
-    println!("isolated costs:  q0 = {:.2}, q1 = {:.2}", isolated[0], isolated[1]);
+    println!(
+        "isolated costs:  q0 = {:.2}, q1 = {:.2}",
+        isolated[0], isolated[1]
+    );
     println!("isolated total:  {:.2}", isolated.iter().sum::<f64>());
 
     // … and jointly, with reuse of already-established streams.

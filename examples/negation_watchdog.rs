@@ -58,7 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let plan = amuse(&query, &network, &AMuseConfig::default())?;
     let ctx = PlanContext::new(std::slice::from_ref(&query), &network, &plan.table);
-    plan.graph.check_correct(&ctx, 1_000_000).expect("correct plan");
+    plan.graph
+        .check_correct(&ctx, 1_000_000)
+        .expect("correct plan");
     println!(
         "\nplan: cost {:.1} (centralized {:.1}), {} vertices",
         plan.cost,

@@ -74,7 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
     let ctx = PlanContext::new(std::slice::from_ref(&query), &network, &plan.table);
-    plan.graph.check_correct(&ctx, 1_000_000).expect("plan is correct");
+    plan.graph
+        .check_correct(&ctx, 1_000_000)
+        .expect("plan is correct");
     let deployment = Deployment::new(&plan.graph, &ctx);
     let report = run_simulation(&deployment, &events, &SimConfig::default());
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Tier-1 CI gate: release build, full workspace test suite, and a smoke run
-# of the matcher join bench (emits BENCH_matcher.json at the repo root).
-# Exits nonzero on the first failure.
+# Tier-1 CI gate: release build, workspace test suite, lint gates, and a
+# smoke run of the matcher join bench (emits BENCH_matcher.json at the repo
+# root plus telemetry exports under out/). Exits nonzero on the first
+# failure.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -9,13 +10,16 @@ cd "$(dirname "$0")/.."
 echo "== tier-1: cargo build --release =="
 cargo build --release
 
-echo "== tier-1: cargo test -q =="
-cargo test -q
-
-echo "== workspace tests =="
+echo "== tier-1: cargo test --workspace -q =="
 cargo test --workspace -q
 
-echo "== smoke: matcher join bench =="
-cargo run -p muse-bench --release --bin harness -- matcher --quick --out .
+echo "== lint: cargo fmt --check =="
+cargo fmt --check
+
+echo "== lint: cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace -- -D warnings
+
+echo "== smoke: matcher join bench (with telemetry) =="
+cargo run -p muse-bench --release --bin harness -- matcher --quick --out . --telemetry out
 
 echo "ci.sh: all checks passed"

@@ -60,7 +60,10 @@ fn plans_are_correct_and_ordered_across_seeds() {
             star.total_cost
         );
         assert!(plan.total_cost <= central * 1.001, "seed {seed}");
-        assert!(oop <= central * 1.5, "seed {seed}: oop {oop} central {central}");
+        assert!(
+            oop <= central * 1.5,
+            "seed {seed}: oop {oop} central {central}"
+        );
         // Per-query graphs are correct MuSE graphs.
         for (i, g) in plan.graphs.iter().enumerate() {
             let q = &workload.queries()[i..=i];
@@ -155,7 +158,11 @@ fn oop_and_amuse_agree_on_matches() {
     let mut table = ProjectionTable::new();
     let graph = placement_to_graph(query, &placement, &network, &mut table).unwrap();
     let ctx = PlanContext::new(std::slice::from_ref(query), &network, &table);
-    let op = run_simulation(&Deployment::new(&graph, &ctx), &events, &SimConfig::default());
+    let op = run_simulation(
+        &Deployment::new(&graph, &ctx),
+        &events,
+        &SimConfig::default(),
+    );
 
     let ms_set: BTreeSet<Vec<u64>> = ms.matches[0].iter().map(|m| m.fingerprint()).collect();
     let op_set: BTreeSet<Vec<u64>> = op.matches[0].iter().map(|m| m.fingerprint()).collect();
@@ -232,8 +239,10 @@ fn workload_threaded_equals_simulator() {
     );
     for i in 0..workload.len() {
         let a: BTreeSet<Vec<u64>> = sim.matches[i].iter().map(|m| m.fingerprint()).collect();
-        let b: BTreeSet<Vec<u64>> =
-            threaded.matches[i].iter().map(|m| m.fingerprint()).collect();
+        let b: BTreeSet<Vec<u64>> = threaded.matches[i]
+            .iter()
+            .map(|m| m.fingerprint())
+            .collect();
         assert_eq!(a, b, "query {i}");
     }
     assert_eq!(sim.metrics.messages_sent, threaded.metrics.messages_sent);

@@ -93,9 +93,7 @@ fn example3_event_type_bindings() {
         (PrimId(1), n(1)), // L at node 2
         (PrimId(2), n(0)), // F at node 1
     ];
-    assert!(bindings
-        .iter()
-        .any(|b| b.tuples() == target.as_slice()));
+    assert!(bindings.iter().any(|b| b.tuples() == target.as_slice()));
 }
 
 /// Examples 4/5: the projections of q1 for {C,F}, {L,F}, {C,L}.
@@ -218,8 +216,18 @@ fn cost_model_rates() {
 fn fig1c_amuse_beats_strategies() {
     let net = fig1_network();
     let preds = vec![
-        Predicate::binary((PrimId(0), AttrId(0)), CmpOp::Eq, (PrimId(1), AttrId(0)), 0.01),
-        Predicate::binary((PrimId(0), AttrId(0)), CmpOp::Eq, (PrimId(2), AttrId(0)), 0.01),
+        Predicate::binary(
+            (PrimId(0), AttrId(0)),
+            CmpOp::Eq,
+            (PrimId(1), AttrId(0)),
+            0.01,
+        ),
+        Predicate::binary(
+            (PrimId(0), AttrId(0)),
+            CmpOp::Eq,
+            (PrimId(2), AttrId(0)),
+            0.01,
+        ),
     ];
     let q = Query::build(
         QueryId(0),

@@ -65,7 +65,11 @@ fn fingerprints(ms: &[muse_runtime::Match]) -> BTreeSet<Vec<u64>> {
 fn recovery_at_any_boundary_is_lossless() {
     let inst = instance(5);
     let plan = amuse(&inst.query, &inst.network, &AMuseConfig::default()).unwrap();
-    let ctx = PlanContext::new(std::slice::from_ref(&inst.query), &inst.network, &plan.table);
+    let ctx = PlanContext::new(
+        std::slice::from_ref(&inst.query),
+        &inst.network,
+        &plan.table,
+    );
     let deployment = Deployment::new(&plan.graph, &ctx);
     let baseline = run_simulation(&deployment, &inst.events, &SimConfig::default());
 
@@ -95,7 +99,11 @@ fn recovery_at_any_boundary_is_lossless() {
 fn repeated_crashes_compose() {
     let inst = instance(9);
     let plan = amuse(&inst.query, &inst.network, &AMuseConfig::default()).unwrap();
-    let ctx = PlanContext::new(std::slice::from_ref(&inst.query), &inst.network, &plan.table);
+    let ctx = PlanContext::new(
+        std::slice::from_ref(&inst.query),
+        &inst.network,
+        &plan.table,
+    );
     let deployment = Deployment::new(&plan.graph, &ctx);
     let baseline = run_simulation(&deployment, &inst.events, &SimConfig::default());
 
@@ -125,7 +133,11 @@ fn repeated_crashes_compose() {
 fn older_snapshot_replay_converges() {
     let inst = instance(13);
     let plan = amuse(&inst.query, &inst.network, &AMuseConfig::default()).unwrap();
-    let ctx = PlanContext::new(std::slice::from_ref(&inst.query), &inst.network, &plan.table);
+    let ctx = PlanContext::new(
+        std::slice::from_ref(&inst.query),
+        &inst.network,
+        &plan.table,
+    );
     let deployment = Deployment::new(&plan.graph, &ctx);
     let baseline = run_simulation(&deployment, &inst.events, &SimConfig::default());
 
@@ -152,7 +164,11 @@ fn older_snapshot_replay_converges() {
 fn snapshot_portable_across_deployments() {
     let inst = instance(21);
     let plan = amuse(&inst.query, &inst.network, &AMuseConfig::default()).unwrap();
-    let ctx = PlanContext::new(std::slice::from_ref(&inst.query), &inst.network, &plan.table);
+    let ctx = PlanContext::new(
+        std::slice::from_ref(&inst.query),
+        &inst.network,
+        &plan.table,
+    );
     let deployment_a = Deployment::new(&plan.graph, &ctx);
     let deployment_b = Deployment::new(&plan.graph, &ctx);
 

@@ -208,9 +208,7 @@ mod tests {
                 ran
             })
         });
-        group.bench_with_input(BenchmarkId::new("p", 3), &3usize, |b, &n| {
-            b.iter(|| n * 2)
-        });
+        group.bench_with_input(BenchmarkId::new("p", 3), &3usize, |b, &n| b.iter(|| n * 2));
         group.finish();
         assert!(ran >= 1);
     }

@@ -42,7 +42,9 @@ impl TestRng {
             h = (h ^ b as u64).wrapping_mul(0x100000001b3);
         }
         TestRng {
-            inner: rand::rngs::StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+            inner: rand::rngs::StdRng::seed_from_u64(
+                h ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            ),
         }
     }
 
@@ -264,8 +266,8 @@ macro_rules! prop_assert_eq {
 /// Everything a test file needs, as in `use proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, proptest, Any, Arbitrary, Just, ProptestConfig,
-        Strategy, TestRng,
+        any, prop_assert, prop_assert_eq, proptest, Any, Arbitrary, Just, ProptestConfig, Strategy,
+        TestRng,
     };
 }
 

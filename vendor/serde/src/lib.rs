@@ -58,7 +58,7 @@ impl Number {
         match self {
             Number::I(v) => u64::try_from(v).ok(),
             Number::U(v) => Some(v),
-            Number::F(v) if v.fract() == 0.0 && v >= 0.0 && v < 1.9e19 => Some(v as u64),
+            Number::F(v) if v.fract() == 0.0 && (0.0..1.9e19).contains(&v) => Some(v as u64),
             Number::F(_) => None,
         }
     }

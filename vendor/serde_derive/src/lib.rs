@@ -228,9 +228,9 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     for chunk in split_top_level(stream.into_iter().collect()) {
         let mut i = 0;
         let serde_attrs = collect_attrs(&chunk, &mut i);
-        let default = serde_attrs.iter().any(|a| {
-            matches!(a.first(), Some(TokenTree::Ident(id)) if id.to_string() == "default")
-        });
+        let default = serde_attrs.iter().any(
+            |a| matches!(a.first(), Some(TokenTree::Ident(id)) if id.to_string() == "default"),
+        );
         skip_visibility(&chunk, &mut i);
         let name = expect_ident(&chunk, &mut i)?;
         fields.push(Field { name, default });
@@ -324,9 +324,7 @@ fn gen_serialize(item: &Item) -> String {
                         VariantKind::Named(fields) => {
                             let binds: Vec<String> =
                                 fields.iter().map(|f| f.name.clone()).collect();
-                            let mut inner = String::from(
-                                "let mut fm = ::serde::Map::new();\n",
-                            );
+                            let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
                             for f in fields {
                                 inner.push_str(&format!(
                                     "fm.insert(::std::string::String::from(\"{0}\"), \
@@ -387,9 +385,9 @@ fn gen_deserialize(item: &Item) -> String {
     } else {
         match &item.kind {
             Kind::Unit => format!("::std::result::Result::Ok({name})"),
-            Kind::Tuple(1) => format!(
-                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
-            ),
+            Kind::Tuple(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            }
             Kind::Tuple(n) => {
                 let elems: Vec<String> = (0..*n)
                     .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
@@ -435,9 +433,7 @@ fn gen_deserialize(item: &Item) -> String {
                         }
                         VariantKind::Tuple(n) => {
                             let elems: Vec<String> = (0..*n)
-                                .map(|i| {
-                                    format!("::serde::Deserialize::from_value(&arr[{i}])?")
-                                })
+                                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
                                 .collect();
                             obj_arms.push_str(&format!(
                                 "\"{vn}\" => {{\n\
