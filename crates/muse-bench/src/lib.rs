@@ -17,8 +17,10 @@
 //! Run with `cargo run -p muse-bench --release --bin harness -- all`.
 //! Criterion micro/ablation benches live under `benches/`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod experiments;
 pub mod matcher_stress;

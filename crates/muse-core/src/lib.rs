@@ -60,8 +60,10 @@
 //! assert!(plan.cost() < centralized);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod algorithms;
 pub mod binding;

@@ -30,6 +30,21 @@ use crate::event::{Timestamp, Value};
 use crate::query::{CmpOp, Pattern, Predicate, Query};
 use crate::types::{PrimId, QueryId};
 use std::collections::HashMap;
+use std::ops::Range;
+
+/// Byte spans (into the original query text) of the elements of a parsed
+/// query, so diagnostics can point back into the source. Produced by
+/// [`parse_query_with_spans`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuerySpans {
+    /// Span of each primitive operator's `PATTERN` leaf (event type name
+    /// plus alias, when given), in [`PrimId`] order.
+    pub leaves: Vec<Range<usize>>,
+    /// Span of each `WHERE` predicate, parallel to [`Query::predicates`].
+    pub predicates: Vec<Range<usize>>,
+    /// Span of the `WITHIN` clause, when present.
+    pub window: Option<Range<usize>>,
+}
 
 /// Options controlling parsing behaviour.
 #[derive(Debug, Clone)]
@@ -90,6 +105,21 @@ pub fn parse_query(
     p.parse(id)
 }
 
+/// Like [`parse_query`], additionally returning the byte spans of the
+/// query's pattern leaves, predicates, and window clause, for diagnostics
+/// that reference the source text (see the `muse-verify` crate).
+pub fn parse_query_with_spans(
+    input: &str,
+    id: QueryId,
+    catalog: &mut Catalog,
+    options: &ParserOptions,
+) -> Result<(Query, QuerySpans)> {
+    let mut p = Parser::new(input, catalog, options);
+    let query = p.parse(id)?;
+    let spans = std::mem::take(&mut p.spans);
+    Ok((query, spans))
+}
+
 #[derive(Debug, Clone, PartialEq)]
 enum Token {
     Ident(String),
@@ -135,7 +165,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn next(&mut self) -> Result<Option<(usize, Token)>> {
+    fn next(&mut self) -> Result<Option<(usize, usize, Token)>> {
         self.skip_ws();
         if self.pos >= self.input.len() {
             return Ok(None);
@@ -264,12 +294,12 @@ impl<'a> Lexer<'a> {
                 return Err(self.error(format!("unexpected character '{}'", other as char)));
             }
         };
-        Ok(Some((start, tok)))
+        Ok(Some((start, self.pos, tok)))
     }
 }
 
 struct Parser<'a> {
-    tokens: Vec<(usize, Token)>,
+    tokens: Vec<(usize, usize, Token)>,
     idx: usize,
     input_len: usize,
     catalog: &'a mut Catalog,
@@ -277,6 +307,10 @@ struct Parser<'a> {
     /// alias → prim id, filled while parsing the pattern.
     aliases: HashMap<String, PrimId>,
     next_prim: u8,
+    /// Lexer error, surfaced by `parse()` before any token is consumed.
+    lex_error: Option<ModelError>,
+    /// Source spans of the parsed elements.
+    spans: QuerySpans,
 }
 
 impl<'a> Parser<'a> {
@@ -289,6 +323,8 @@ impl<'a> Parser<'a> {
             options,
             aliases: HashMap::new(),
             next_prim: 0,
+            lex_error: None,
+            spans: QuerySpans::default(),
         }
         .lex(input)
     }
@@ -299,8 +335,9 @@ impl<'a> Parser<'a> {
             match lexer.next() {
                 Ok(Some(t)) => self.tokens.push(t),
                 Ok(None) => break,
-                Err(_) => {
-                    // Defer the error: re-lex in parse() for a proper Result.
+                Err(e) => {
+                    // Defer the error: parse() surfaces it as its Result.
+                    self.lex_error = Some(e);
                     break;
                 }
             }
@@ -311,8 +348,17 @@ impl<'a> Parser<'a> {
     fn offset(&self) -> usize {
         self.tokens
             .get(self.idx)
-            .map(|(o, _)| *o)
+            .map(|(o, _, _)| *o)
             .unwrap_or(self.input_len)
+    }
+
+    /// End offset of the most recently consumed token.
+    fn last_end(&self) -> usize {
+        self.idx
+            .checked_sub(1)
+            .and_then(|i| self.tokens.get(i))
+            .map(|(_, e, _)| *e)
+            .unwrap_or(0)
     }
 
     fn error(&self, message: impl Into<String>) -> ModelError {
@@ -323,11 +369,11 @@ impl<'a> Parser<'a> {
     }
 
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.idx).map(|(_, t)| t)
+        self.tokens.get(self.idx).map(|(_, _, t)| t)
     }
 
     fn advance(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.idx).map(|(_, t)| t.clone());
+        let t = self.tokens.get(self.idx).map(|(_, _, t)| t.clone());
         if t.is_some() {
             self.idx += 1;
         }
@@ -349,13 +395,20 @@ impl<'a> Parser<'a> {
     }
 
     fn parse(&mut self, id: QueryId) -> Result<Query> {
+        // A lexer error means the token stream is truncated; report it
+        // rather than a misleading syntax error at the cut-off point.
+        if let Some(e) = self.lex_error.take() {
+            return Err(e);
+        }
         self.expect_ident("PATTERN")?;
         let pattern = self.parse_pattern()?;
         let mut predicates = Vec::new();
         if matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("WHERE")) {
             self.advance();
             loop {
+                let start = self.offset();
                 predicates.push(self.parse_predicate()?);
+                self.spans.predicates.push(start..self.last_end());
                 if matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("AND")) {
                     self.advance();
                 } else {
@@ -365,8 +418,10 @@ impl<'a> Parser<'a> {
         }
         let mut window = self.options.default_window;
         if matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("WITHIN")) {
+            let start = self.offset();
             self.advance();
             window = self.parse_duration()?;
+            self.spans.window = Some(start..self.last_end());
         }
         if self.peek().is_some() {
             return Err(self.error("trailing input after query"));
@@ -375,6 +430,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_pattern(&mut self) -> Result<Pattern> {
+        let start_off = self.offset();
         let name = match self.advance() {
             Some(Token::Ident(s)) => s,
             _ => return Err(self.error("expected operator or event type name")),
@@ -427,12 +483,19 @@ impl<'a> Parser<'a> {
                 let up = alias.to_ascii_uppercase();
                 if up != "WHERE" && up != "WITHIN" && up != "AND" {
                     let alias = alias.clone();
+                    let alias_offset = self.offset();
                     self.advance();
                     if self.aliases.insert(alias.clone(), prim).is_some() {
-                        return Err(self.error(format!("duplicate alias '{alias}'")));
+                        return Err(ModelError::Parse {
+                            offset: alias_offset,
+                            message: format!(
+                                "duplicate alias '{alias}' shadows an earlier binding"
+                            ),
+                        });
                     }
                 }
             }
+            self.spans.leaves.push(start_off..self.last_end());
             Ok(Pattern::Leaf(ty))
         }
     }
@@ -749,6 +812,52 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("duplicate alias"));
+    }
+
+    #[test]
+    fn duplicate_alias_error_points_at_alias_token() {
+        let mut cat = catalog();
+        let input = "PATTERN SEQ(Fail f, Kill f)";
+        let err = parse_query(input, QueryId(0), &mut cat, &ParserOptions::default()).unwrap_err();
+        match err {
+            ModelError::Parse { offset, .. } => {
+                // The span must cover the second `f`, not the closing paren.
+                assert_eq!(&input[offset..offset + 1], "f");
+                assert_eq!(offset, input.rfind('f').unwrap());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lexer_error_is_surfaced() {
+        let mut cat = catalog();
+        let err = parse_query(
+            "PATTERN SEQ(Fail f, Kill k) #",
+            QueryId(0),
+            &mut cat,
+            &ParserOptions::default(),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("unexpected character"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn spans_cover_leaves_predicates_and_window() {
+        let mut cat = catalog();
+        let input = "PATTERN SEQ(Fail f, Kill k) WHERE f.uID = k.uID WITHIN 5s";
+        let (q, spans) =
+            parse_query_with_spans(input, QueryId(0), &mut cat, &ParserOptions::default()).unwrap();
+        assert_eq!(q.num_prims(), 2);
+        assert_eq!(spans.leaves.len(), 2);
+        assert_eq!(&input[spans.leaves[0].clone()], "Fail f");
+        assert_eq!(&input[spans.leaves[1].clone()], "Kill k");
+        assert_eq!(spans.predicates.len(), 1);
+        assert_eq!(&input[spans.predicates[0].clone()], "f.uID = k.uID");
+        assert_eq!(&input[spans.window.clone().unwrap()], "WITHIN 5s");
     }
 
     #[test]

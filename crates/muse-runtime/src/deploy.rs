@@ -89,14 +89,45 @@ pub struct Deployment {
 }
 
 impl Deployment {
+    /// Builds a deployment from a MuSE graph, verifying it first.
+    ///
+    /// Runs the fail-fast `muse-verify` profile (structural and
+    /// deployment-level checks, no enumerative completeness) and refuses
+    /// the plan when any `Error`-severity diagnostic is found.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full diagnostic [`muse_verify::Report`] when the plan
+    /// has errors; warnings and lints do not block deployment.
+    pub fn verified(
+        graph: &MuseGraph,
+        ctx: &PlanContext<'_>,
+    ) -> Result<Self, Box<muse_verify::Report>> {
+        let report = muse_verify::verify_for_deploy(graph, ctx);
+        if report.has_errors() {
+            return Err(Box::new(report));
+        }
+        Ok(Self::build(graph, ctx))
+    }
+
     /// Builds a deployment from a MuSE graph.
     ///
     /// # Panics
     ///
-    /// Panics if a source vertex hosts a composite projection or a
-    /// composite vertex has no predecessors (i.e. the graph is malformed;
-    /// validate with [`MuseGraph::check_well_formed`] first).
+    /// Panics if the graph fails static verification (see
+    /// [`Deployment::verified`] for the non-panicking form).
     pub fn new(graph: &MuseGraph, ctx: &PlanContext<'_>) -> Self {
+        match Self::verified(graph, ctx) {
+            Ok(d) => d,
+            Err(report) => panic!(
+                "refusing to deploy an invalid MuSE graph:\n{}",
+                report.render_pretty(None)
+            ),
+        }
+    }
+
+    /// Translates a verified graph into tasks and routes.
+    fn build(graph: &MuseGraph, ctx: &PlanContext<'_>) -> Self {
         // Deduplicated query list in id order.
         let mut query_ids: Vec<QueryId> =
             graph.vertices().map(|v| ctx.proj(v.proj).source).collect();

@@ -19,8 +19,10 @@
 //! resiliency; [`codec`] is the compact wire format used for transmission
 //! byte accounting and snapshots.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod checkpoint;
 pub mod codec;

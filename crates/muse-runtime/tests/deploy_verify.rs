@@ -1,0 +1,107 @@
+//! The deploy gate: `Deployment::verified` refuses plans with
+//! `Error`-severity diagnostics, and `Deployment::new` panics on them.
+
+use muse_core::graph::{MuseGraph, PlanContext, Vertex};
+use muse_core::prelude::*;
+use muse_runtime::deploy::Deployment;
+
+fn example() -> (Vec<Query>, Network, ProjectionTable, MuseGraph) {
+    let mut catalog = Catalog::new();
+    let c = catalog.add_event_type("C").unwrap();
+    let l = catalog.add_event_type("L").unwrap();
+    let f = catalog.add_event_type("F").unwrap();
+    let network = NetworkBuilder::new(3, 3)
+        .node(NodeId(0), [c, f])
+        .node(NodeId(1), [c, l])
+        .node(NodeId(2), [l])
+        .rate(c, 100.0)
+        .rate(l, 100.0)
+        .rate(f, 1.0)
+        .build();
+    let pattern = Pattern::seq([
+        Pattern::and([Pattern::leaf(c), Pattern::leaf(l)]),
+        Pattern::leaf(f),
+    ]);
+    let query = Query::build(QueryId(0), &pattern, vec![], 1_000).unwrap();
+    let plan = amuse(&query, &network, &AMuseConfig::default()).unwrap();
+    (vec![query], network, plan.table, plan.graph)
+}
+
+/// Drops one primitive source vertex from the graph, breaking Def. 7(i).
+fn break_graph(graph: &MuseGraph) -> MuseGraph {
+    let victim = graph
+        .sources()
+        .into_iter()
+        .next()
+        .expect("graph has a source");
+    let mut broken = MuseGraph::new();
+    for v in graph.vertices().filter(|v| *v != victim) {
+        broken.add_vertex(v);
+    }
+    for (a, b) in graph.edges().filter(|(a, b)| *a != victim && *b != victim) {
+        broken.add_edge(a, b);
+    }
+    broken
+}
+
+#[test]
+fn verified_accepts_algorithm_graph() {
+    let (queries, network, table, graph) = example();
+    let ctx = PlanContext::new(&queries, &network, &table);
+    let deployment = Deployment::verified(&graph, &ctx).expect("amuse graph verifies");
+    assert_eq!(deployment.tasks.len(), graph.num_vertices());
+}
+
+#[test]
+fn verified_refuses_faulty_graph_with_report() {
+    let (queries, network, table, graph) = example();
+    let broken = break_graph(&graph);
+    let ctx = PlanContext::new(&queries, &network, &table);
+    let report = Deployment::verified(&broken, &ctx).expect_err("broken graph must be refused");
+    assert!(report.has_errors());
+    assert!(
+        report.has_code(muse_verify::Code::MissingPrimitiveVertex),
+        "{report}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "refusing to deploy")]
+fn new_panics_on_faulty_graph() {
+    let (queries, network, table, graph) = example();
+    let broken = break_graph(&graph);
+    let ctx = PlanContext::new(&queries, &network, &table);
+    let _ = Deployment::new(&broken, &ctx);
+}
+
+#[test]
+fn verified_refuses_cyclic_graph() {
+    let (queries, network, table, graph) = example();
+    let mut cyclic = graph.clone();
+    // Reverse an existing edge to close a 2-cycle.
+    let (a, b) = graph.edges().next().expect("graph has edges");
+    cyclic.add_edge(b, a);
+    let ctx = PlanContext::new(&queries, &network, &table);
+    let report = Deployment::verified(&cyclic, &ctx).expect_err("cyclic graph must be refused");
+    assert!(report.has_code(muse_verify::Code::GraphCycle), "{report}");
+}
+
+#[test]
+fn verified_refuses_primitive_at_non_producer() {
+    let (queries, network, table, graph) = example();
+    let mut bad = graph.clone();
+    // Node 2 generates only L; plant a C-primitive vertex there.
+    let c_proj = table
+        .id_of(
+            QueryId(0),
+            muse_core::types::PrimSet::single(muse_core::types::PrimId(0)),
+        )
+        .expect("primitive projection registered");
+    bad.add_vertex(Vertex::new(c_proj, NodeId(2)));
+    let ctx = PlanContext::new(&queries, &network, &table);
+    let report = Deployment::verified(&bad, &ctx).expect_err("misplaced primitive refused");
+    assert!(
+        report.has_code(muse_verify::Code::PrimitiveAtNonProducer),
+        "{report}"
+    );
+}

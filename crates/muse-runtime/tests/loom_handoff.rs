@@ -1,0 +1,121 @@
+//! Model-checked interleavings of the threaded executor's worker/watermark
+//! handoff (`threaded.rs`): producers stamp an inject clock, push work over
+//! a channel-like queue, and set a done flag; the consumer drains, observes
+//! the stamps, and advances a `fetch_max` watermark.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"` (the `loom` CI lane in
+//! `scripts/ci.sh`); the vendored `loom` explores every schedule of the
+//! model, so a pass means no interleaving loses an event or regresses the
+//! watermark.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use loom::sync::Mutex;
+use loom::thread;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The producer publishes each event's inject timestamp *before* pushing
+/// its sequence number and *before* raising `done`; under acquire loads the
+/// consumer must observe every stamp of every popped event, and draining
+/// after observing `done` must find all events.
+#[test]
+fn inject_clock_visible_at_sink() {
+    loom::model(|| {
+        const EVENTS: usize = 2;
+        let inject_ns: Arc<Vec<AtomicU64>> =
+            Arc::new((0..EVENTS).map(|_| AtomicU64::new(0)).collect());
+        let queue: Arc<Mutex<VecDeque<usize>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let done = Arc::new(AtomicBool::new(false));
+        let watermark = Arc::new(AtomicU64::new(0));
+
+        let producer = {
+            let (inject_ns, queue, done) = (inject_ns.clone(), queue.clone(), done.clone());
+            thread::spawn(move || {
+                for seq in 0..EVENTS {
+                    // Stamp, then publish: the store must happen-before the
+                    // push that makes `seq` visible.
+                    inject_ns[seq].store((seq as u64 + 1) * 100, Ordering::Release);
+                    queue.lock().unwrap().push_back(seq);
+                }
+                done.store(true, Ordering::Release);
+            })
+        };
+
+        let consumer = {
+            let (inject_ns, queue, done, watermark) = (
+                inject_ns.clone(),
+                queue.clone(),
+                done.clone(),
+                watermark.clone(),
+            );
+            thread::spawn(move || {
+                let mut seen = 0usize;
+                loop {
+                    let popped = queue.lock().unwrap().pop_front();
+                    if let Some(seq) = popped {
+                        let stamp = inject_ns[seq].load(Ordering::Acquire);
+                        assert_eq!(
+                            stamp,
+                            (seq as u64 + 1) * 100,
+                            "inject stamp of event {seq} not visible at the sink"
+                        );
+                        watermark.fetch_max(stamp, Ordering::AcqRel);
+                        seen += 1;
+                        continue;
+                    }
+                    if done.load(Ordering::Acquire) {
+                        // Re-drain after the done flag: events pushed before
+                        // `done` was raised must still be in the queue.
+                        if let Some(seq) = queue.lock().unwrap().pop_front() {
+                            let stamp = inject_ns[seq].load(Ordering::Acquire);
+                            watermark.fetch_max(stamp, Ordering::AcqRel);
+                            seen += 1;
+                            continue;
+                        }
+                        break;
+                    }
+                    thread::yield_now();
+                }
+                seen
+            })
+        };
+
+        producer.join().unwrap();
+        let seen = consumer.join().unwrap();
+        assert_eq!(seen, EVENTS, "consumer lost events");
+        assert_eq!(
+            watermark.load(Ordering::Acquire),
+            EVENTS as u64 * 100,
+            "watermark did not reach the last inject stamp"
+        );
+    });
+}
+
+/// Two workers racing `fetch_max` on the shared watermark: each worker's
+/// subsequent load must be at least its own contribution (monotonicity),
+/// and after both join the clock holds the global max.
+#[test]
+fn watermark_fetch_max_monotonic_across_workers() {
+    loom::model(|| {
+        let clock = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (1..=2u64)
+            .map(|w| {
+                let clock = clock.clone();
+                thread::spawn(move || {
+                    let mine = w * 10;
+                    clock.fetch_max(mine, Ordering::AcqRel);
+                    let observed = clock.load(Ordering::Acquire);
+                    assert!(
+                        observed >= mine,
+                        "worker {w} saw the watermark regress below its own advance"
+                    );
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(clock.load(Ordering::Acquire), 20);
+    });
+}

@@ -15,8 +15,10 @@
 //!   workload traces used in the paper's case study (§7.3): per-task
 //!   life-cycle state machines over 9 event types on a 20-node network.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod cluster_trace;
 pub mod dist;

@@ -16,6 +16,11 @@
 //! attach a [`RunTelemetry`] to their reports; the bench harness writes
 //! those out as `telemetry.json` + `series.jsonl` (+ `trace.jsonl`).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod hist;
 pub mod registry;
 pub mod series;

@@ -1,0 +1,200 @@
+//! Pass 3: deployment-level checks under `Γ = (N, f, r)` — input
+//! reachability at assigned nodes, cost-model consistency of the edge
+//! weights, and sink/orphan structure.
+
+use crate::diag::{Code, Diagnostic, Report};
+use crate::graph_checks::{try_topo_order, VerifyConfig};
+use muse_core::cost::projection_output_rate;
+use muse_core::graph::{MuseGraph, PlanContext};
+use muse_core::types::{NodeId, NodeSet, PrimId, QueryId};
+use std::collections::{HashMap, HashSet};
+
+/// Verifies deployment-level properties of an (already structurally sound)
+/// graph. Call after [`crate::verify_graph`] returned `true`; on a cyclic
+/// graph this function returns without checking anything.
+pub fn verify_deployment(
+    graph: &MuseGraph,
+    ctx: &PlanContext<'_>,
+    cfg: &VerifyConfig,
+    report: &mut Report,
+) {
+    let Some(order) = try_topo_order(graph) else {
+        return; // MG0201 already reported by the graph pass.
+    };
+    check_rates(graph, ctx, report);
+    check_reachability(graph, ctx, &order, report);
+    check_cost_model(graph, ctx, cfg, report);
+    check_sinks_and_orphans(graph, ctx, report);
+}
+
+/// MG0303: every projection placed by the graph must have a finite,
+/// non-negative output rate under the context's rate assignment.
+fn check_rates(graph: &MuseGraph, ctx: &PlanContext<'_>, report: &mut Report) {
+    let mut seen = HashSet::new();
+    for v in graph.vertices() {
+        if !seen.insert(v.proj) {
+            continue;
+        }
+        let rate = ctx.rate_of(v.proj);
+        if !rate.is_finite() || rate < 0.0 {
+            report.push(Diagnostic::new(
+                Code::NonFiniteRate,
+                format!(
+                    "projection {:?} has output rate {rate} under the deployment's \
+                     rate assignment; edge weights are meaningless",
+                    v.proj
+                ),
+            ));
+        }
+    }
+}
+
+/// MG0301: every positive input of every vertex's projection must actually
+/// receive events at the vertex's node. Unlike [`MuseGraph::covers`], the
+/// propagation gates source vertices on `f`: a primitive placed at a node
+/// that does not generate its type contributes nothing.
+fn check_reachability(
+    graph: &MuseGraph,
+    ctx: &PlanContext<'_>,
+    order: &[muse_core::graph::Vertex],
+    report: &mut Report,
+) {
+    type Origins = HashMap<(QueryId, PrimId), NodeSet>;
+    let mut origins: HashMap<muse_core::graph::Vertex, Origins> = HashMap::new();
+    for &v in order {
+        let proj = ctx.proj(v.proj);
+        let query = ctx.query_of(v.proj);
+        let preds = graph.predecessors(v);
+        let mut mine: Origins = HashMap::new();
+        if preds.is_empty() {
+            if proj.is_primitive() {
+                let prim = proj.prims.iter().next().expect("primitive is non-empty");
+                if ctx.network.generates(v.node, query.prim_type(prim)) {
+                    mine.insert((proj.source, prim), NodeSet::single(v.node));
+                }
+            }
+        } else {
+            for p in preds {
+                for (&key, &nodes) in origins.get(&p).into_iter().flatten() {
+                    let entry = mine.entry(key).or_insert_with(NodeSet::empty);
+                    *entry = entry.union(nodes);
+                }
+            }
+        }
+        for prim in proj.positive_prims(query).iter() {
+            let reached = mine
+                .get(&(proj.source, prim))
+                .map(|n| !n.is_empty())
+                .unwrap_or(false);
+            if !reached {
+                report.push(Diagnostic::new(
+                    Code::UnreachableInput,
+                    format!(
+                        "input {prim:?} of projection {:?} receives no events at \
+                         node {:?}: no generating source vertex reaches it",
+                        v.proj, v.node
+                    ),
+                ));
+            }
+        }
+        origins.insert(v, mine);
+    }
+}
+
+/// MG0302: the deployed edge weights must be recomputable from the §4.4
+/// output-rate model — `r̂(p) · |𝔄(v)| / |V_{v,n'}|` for network edges, 0
+/// for local ones — and, absent multi-query stream sharing, sum to `c(G)`.
+fn check_cost_model(
+    graph: &MuseGraph,
+    ctx: &PlanContext<'_>,
+    cfg: &VerifyConfig,
+    report: &mut Report,
+) {
+    let verts: Vec<_> = graph.vertices().collect();
+    let index: HashMap<_, usize> = verts.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+    let covers = graph.covers(ctx);
+    let weights = graph.edge_weights(ctx);
+
+    // Successor multiplicity per (sender, target node) for the sharing term.
+    let mut succs_at: HashMap<(usize, NodeId), f64> = HashMap::new();
+    for (from, to) in graph.edges() {
+        *succs_at.entry((index[&from], to.node)).or_insert(0.0) += 1.0;
+    }
+
+    let mut flagged = HashSet::new();
+    let mut total = 0.0;
+    for ((from, to), weight) in &weights {
+        total += weight;
+        let i = index[from];
+        let expected = if to.node == from.node {
+            0.0
+        } else {
+            let proj = ctx.proj(from.proj);
+            let query = ctx.query_of(from.proj);
+            let model_rate = projection_output_rate(proj, query, ctx.network);
+            model_rate * covers[i].count() / succs_at[&(i, to.node)]
+        };
+        if !close(*weight, expected, cfg.cost_tolerance) && flagged.insert(from.proj) {
+            report.push(Diagnostic::new(
+                Code::InconsistentCostModel,
+                format!(
+                    "edge ({:?}, {:?}) -> ({:?}, {:?}) weighs {weight:.6} but the \
+                     output-rate model gives {expected:.6}; the deployment's rates \
+                     diverge from r̂ = σ·rates(inputs)",
+                    from.proj, from.node, to.proj, to.node
+                ),
+            ));
+        }
+    }
+    if ctx.shared.is_none() {
+        let cost = graph.cost(ctx);
+        if !close(total, cost, cfg.cost_tolerance) {
+            report.push(Diagnostic::new(
+                Code::InconsistentCostModel,
+                format!(
+                    "edge weights sum to {total:.6} but c(G) = {cost:.6}; the cost \
+                     decomposition over edges is broken"
+                ),
+            ));
+        }
+    }
+}
+
+/// MG0304 / MG0305: every vertex output must flow somewhere, and every query
+/// must keep at least one sink hosting the full projection.
+fn check_sinks_and_orphans(graph: &MuseGraph, ctx: &PlanContext<'_>, report: &mut Report) {
+    for v in graph.vertices() {
+        let proj = ctx.proj(v.proj);
+        let query = ctx.query_of(v.proj);
+        if graph.successors(v).is_empty() && !proj.is_full_query(query) {
+            report.push(Diagnostic::new(
+                Code::OrphanVertex,
+                format!(
+                    "vertex ({:?}, {:?}) over {:?} has no successors and is not a \
+                     sink; its matches are computed and then dropped",
+                    v.proj, v.node, proj.prims
+                ),
+            ));
+        }
+    }
+    for query in ctx.queries {
+        let has_sink = graph.vertices().any(|v| {
+            let p = ctx.proj(v.proj);
+            p.source == query.id() && p.is_full_query(query)
+        });
+        if !has_sink {
+            report.push(Diagnostic::new(
+                Code::MissingSink,
+                format!(
+                    "{:?} has no vertex hosting the full query projection; its \
+                     matches are never assembled",
+                    query.id()
+                ),
+            ));
+        }
+    }
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}

@@ -1,0 +1,384 @@
+//! Structured diagnostics: severities, stable codes, source spans, and the
+//! [`Report`] container with JSON and pretty renderers.
+
+use std::fmt;
+
+/// How consequential a diagnostic is. Ordered `Lint < Warning < Error`, so
+/// `report.max_severity() >= Some(Severity::Error)` asks "must this plan be
+/// refused?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Style or limitation note; the plan is still deployable.
+    Lint,
+    /// Suspicious but not provably wrong; deployment proceeds.
+    Warning,
+    /// A correctness violation; executors must refuse the plan.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name, as used in renderers and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Lint => "lint",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+macro_rules! codes {
+    ($($(#[doc = $doc:literal])* $variant:ident = $code:literal, $sev:ident, $title:literal;)+) => {
+        /// Stable diagnostic codes. The `MGxxxx` identifiers never change
+        /// meaning across releases; retired codes are not reused. The first
+        /// digit groups by pass: `1` query lints, `2` graph checks, `3`
+        /// deployment checks.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum Code {
+            $($(#[doc = $doc])* #[doc = $title] $variant,)+
+        }
+
+        impl Code {
+            /// The stable `MGxxxx` identifier.
+            pub fn as_str(self) -> &'static str {
+                match self { $(Code::$variant => $code,)+ }
+            }
+
+            /// The severity this code is reported at.
+            pub fn severity(self) -> Severity {
+                match self { $(Code::$variant => Severity::$sev,)+ }
+            }
+
+            /// One-line description of what the code means.
+            pub fn title(self) -> &'static str {
+                match self { $(Code::$variant => $title,)+ }
+            }
+
+            /// Every registered code, in numeric order.
+            pub const ALL: &'static [Code] = &[$(Code::$variant,)+];
+        }
+    };
+}
+
+codes! {
+    ParseFailure = "MG0100", Error, "query text fails to parse";
+    UnsatisfiablePredicate = "MG0101", Error, "predicate can never hold";
+    ContradictoryPredicates = "MG0102", Error, "two predicates are mutually contradictory";
+    ZeroWindow = "MG0103", Error, "time window is zero";
+    UnboundedWindow = "MG0104", Lint, "query has no WITHIN clause";
+    DuplicateEventType = "MG0105", Warning, "event type bound by multiple primitive operators";
+    NseqScopeViolation = "MG0106", Error, "predicate on a negated operator escapes its NSEQ scope";
+    TrivialPredicate = "MG0107", Lint, "predicate always holds";
+    GraphCycle = "MG0201", Error, "MuSE graph contains a cycle";
+    MissingPrimitiveVertex = "MG0202", Error, "a (primitive, producing node) pair has no vertex";
+    CompositeSource = "MG0203", Error, "source vertex hosts a composite projection";
+    PrimitiveAtNonProducer = "MG0204", Error, "primitive vertex placed at a non-producing node";
+    CrossQueryEdge = "MG0205", Error, "edge connects vertices of different queries";
+    ImproperPredecessor = "MG0206", Error, "predecessor is not a proper sub-projection";
+    IncompleteCombination = "MG0207", Error, "predecessors do not jointly cover the projection";
+    RedundantCombination = "MG0208", Warning, "a predecessor projection is redundant (Def. 15)";
+    NegationNotClosed = "MG0209", Error, "projection violates negation-closure (Def. 9)";
+    IncompleteGraph = "MG0210", Error, "graph misses bindings required by completeness (Def. 8)";
+    CompletenessSkipped = "MG0211", Lint, "completeness not checked (binding space too large)";
+    UnreachableInput = "MG0301", Error, "projection input receives no events at its node";
+    InconsistentCostModel = "MG0302", Warning, "edge weights disagree with the output-rate model";
+    NonFiniteRate = "MG0303", Error, "projection output rate is not finite";
+    OrphanVertex = "MG0304", Warning, "non-sink vertex feeds no successor";
+    MissingSink = "MG0305", Error, "query has no sink vertex hosting the full projection";
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A byte range into the SASE query text a diagnostic refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the start of the region.
+    pub offset: usize,
+    /// Length of the region in bytes (0 for a point).
+    pub len: usize,
+}
+
+impl Span {
+    /// Span from a parser `Range<usize>`.
+    pub fn from_range(r: std::ops::Range<usize>) -> Self {
+        Span {
+            offset: r.start,
+            len: r.end.saturating_sub(r.start),
+        }
+    }
+
+    /// Point span at a byte offset.
+    pub fn point(offset: usize) -> Self {
+        Span { offset, len: 0 }
+    }
+}
+
+/// One finding: a code, its severity, a message, and an optional span into
+/// the query source.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Severity (defaults to [`Code::severity`]).
+    pub severity: Severity,
+    /// Human-readable explanation with concrete identifiers.
+    pub message: String,
+    /// Where in the SASE text the problem is, when known.
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at the code's default severity.
+    pub fn new(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)
+    }
+}
+
+/// An ordered collection of diagnostics produced by one verification run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// Appends all diagnostics of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+    }
+
+    /// Iterates over the diagnostics in report order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// `true` when no diagnostic of any severity was produced.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Alias for [`Report::is_empty`]: a fully clean verification.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// `true` when at least one `Error`-severity diagnostic is present —
+    /// the condition under which `muse-runtime` refuses to deploy.
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// `true` if any diagnostic carries `code`.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diags.iter().any(|d| d.code == code)
+    }
+
+    /// The worst severity present, or `None` for a clean report.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diags.iter().map(|d| d.severity).max()
+    }
+
+    /// Number of diagnostics at exactly `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == sev).count()
+    }
+
+    /// Sorts diagnostics: errors first, then by code, then by span offset.
+    pub fn sort(&mut self) {
+        self.diags.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.code.as_str().cmp(b.code.as_str()))
+                .then_with(|| a.span.map(|s| s.offset).cmp(&b.span.map(|s| s.offset)))
+        });
+    }
+
+    /// Renders the report as a JSON array of diagnostic objects:
+    /// `[{"code": "MG0102", "severity": "error", "message": "...",
+    /// "span": {"offset": 12, "len": 5}}, ...]`. The `span` field is `null`
+    /// when the diagnostic has no source location.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"code\":\"");
+            out.push_str(d.code.as_str());
+            out.push_str("\",\"severity\":\"");
+            out.push_str(d.severity.as_str());
+            out.push_str("\",\"message\":\"");
+            json_escape_into(&d.message, &mut out);
+            out.push_str("\",\"span\":");
+            match d.span {
+                Some(s) => {
+                    out.push_str(&format!("{{\"offset\":{},\"len\":{}}}", s.offset, s.len));
+                }
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+
+    /// Renders a human-readable report. When `source` is the SASE query
+    /// text, spanned diagnostics quote the offending line with a caret
+    /// underline.
+    pub fn render_pretty(&self, source: Option<&str>) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&format!("{d}\n"));
+            if let (Some(span), Some(src)) = (d.span, source) {
+                render_span(&mut out, src, span);
+            }
+        }
+        let (e, w, l) = (
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Lint),
+        );
+        out.push_str(&format!(
+            "{} diagnostic(s): {e} error(s), {w} warning(s), {l} lint(s)\n",
+            self.len()
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_pretty(None))
+    }
+}
+
+fn render_span(out: &mut String, src: &str, span: Span) {
+    let offset = span.offset.min(src.len());
+    let line_start = src[..offset].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let line_end = src[offset..]
+        .find('\n')
+        .map(|i| offset + i)
+        .unwrap_or(src.len());
+    let line = &src[line_start..line_end];
+    let col = offset - line_start;
+    let len = span.len.max(1).min(line.len().saturating_sub(col).max(1));
+    out.push_str(&format!("  | {line}\n"));
+    out.push_str(&format!("  | {}{}\n", " ".repeat(col), "^".repeat(len)));
+}
+
+fn json_escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let mut seen = std::collections::HashSet::new();
+        for &c in Code::ALL {
+            assert!(seen.insert(c.as_str()), "duplicate code {c}");
+            assert!(c.as_str().starts_with("MG"), "bad prefix for {c}");
+            assert_eq!(c.as_str().len(), 6, "bad length for {c}");
+            assert!(!c.title().is_empty());
+        }
+    }
+
+    #[test]
+    fn severity_ordering_drives_has_errors() {
+        assert!(Severity::Lint < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        let mut r = Report::new();
+        r.push(Diagnostic::new(Code::UnboundedWindow, "no window"));
+        assert!(!r.has_errors());
+        assert_eq!(r.max_severity(), Some(Severity::Lint));
+        r.push(Diagnostic::new(Code::ZeroWindow, "zero window"));
+        assert!(r.has_errors());
+        assert_eq!(r.max_severity(), Some(Severity::Error));
+    }
+
+    #[test]
+    fn json_escapes_and_spans() {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new(Code::ParseFailure, "bad \"quote\"\nline")
+                .with_span(Span { offset: 3, len: 4 }),
+        );
+        let json = r.to_json();
+        assert!(json.contains("\\\"quote\\\"\\nline"), "{json}");
+        assert!(json.contains("\"span\":{\"offset\":3,\"len\":4}"), "{json}");
+    }
+
+    #[test]
+    fn pretty_renders_caret_under_span() {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new(Code::ZeroWindow, "window is zero")
+                .with_span(Span { offset: 8, len: 6 }),
+        );
+        let text = r.render_pretty(Some("PATTERN WITHIN 0"));
+        assert!(text.contains("error[MG0103]"), "{text}");
+        assert!(text.contains("        ^^^^^^"), "{text}");
+    }
+
+    #[test]
+    fn sort_puts_errors_first() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(Code::UnboundedWindow, "lint"));
+        r.push(Diagnostic::new(Code::ZeroWindow, "error"));
+        r.sort();
+        assert_eq!(r.iter().next().unwrap().code, Code::ZeroWindow);
+    }
+}

@@ -1,0 +1,284 @@
+//! Pass 2: graph-level checks — acyclicity, cover well-formedness (Def. 7),
+//! combination correctness and redundancy (Defs. 5/6/15), negation-closure
+//! (Def. 9), and completeness against the binding space (Def. 8).
+
+use crate::diag::{Code, Diagnostic, Report};
+use muse_core::combination::Combination;
+use muse_core::graph::{MuseGraph, PlanContext, Vertex};
+use muse_core::projection::is_negation_closed;
+use muse_core::types::PrimSet;
+use std::collections::{HashMap, HashSet};
+
+/// Knobs for the graph- and deployment-level passes.
+#[derive(Debug, Clone)]
+pub struct VerifyConfig {
+    /// Run the (enumerative) completeness check of Def. 8. Exponential in
+    /// producers per type, so the deploy gate disables it.
+    pub check_completeness: bool,
+    /// Cap on enumerated bindings before completeness is skipped with
+    /// [`Code::CompletenessSkipped`].
+    pub binding_limit: usize,
+    /// Relative tolerance for the cost-model consistency check
+    /// ([`Code::InconsistentCostModel`]).
+    pub cost_tolerance: f64,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            check_completeness: true,
+            binding_limit: 4096,
+            cost_tolerance: 1e-6,
+        }
+    }
+}
+
+impl VerifyConfig {
+    /// The fast profile used by `muse-runtime::deploy`: structural and
+    /// deployment checks only, no binding enumeration.
+    pub fn for_deploy() -> Self {
+        VerifyConfig {
+            check_completeness: false,
+            ..VerifyConfig::default()
+        }
+    }
+}
+
+/// Kahn topological sort over the public graph API. Returns `None` when the
+/// graph is cyclic — unlike [`MuseGraph::topo_order`], which panics.
+pub(crate) fn try_topo_order(graph: &MuseGraph) -> Option<Vec<Vertex>> {
+    let verts: Vec<Vertex> = graph.vertices().collect();
+    let index: HashMap<Vertex, usize> = verts.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+    let mut in_deg = vec![0usize; verts.len()];
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); verts.len()];
+    for (from, to) in graph.edges() {
+        let (f, t) = (index[&from], index[&to]);
+        in_deg[t] += 1;
+        out[f].push(t);
+    }
+    let mut queue: Vec<usize> = (0..verts.len()).filter(|&i| in_deg[i] == 0).collect();
+    let mut order = Vec::with_capacity(verts.len());
+    let mut head = 0;
+    while head < queue.len() {
+        let i = queue[head];
+        head += 1;
+        order.push(verts[i]);
+        for &j in &out[i] {
+            in_deg[j] -= 1;
+            if in_deg[j] == 0 {
+                queue.push(j);
+            }
+        }
+    }
+    (order.len() == verts.len()).then_some(order)
+}
+
+/// Verifies the structure of a MuSE graph, pushing diagnostics into
+/// `report`. Returns `true` when the graph is acyclic and structurally
+/// sound — the precondition for the cover-based deployment checks (which
+/// would panic or produce nonsense on a malformed graph).
+pub fn verify_graph(
+    graph: &MuseGraph,
+    ctx: &PlanContext<'_>,
+    cfg: &VerifyConfig,
+    report: &mut Report,
+) -> bool {
+    let before = report.count(crate::diag::Severity::Error);
+
+    let acyclic = try_topo_order(graph).is_some();
+    if !acyclic {
+        report.push(Diagnostic::new(
+            Code::GraphCycle,
+            "the MuSE graph contains a cycle; evaluation order is undefined",
+        ));
+    }
+
+    check_primitive_placements(graph, ctx, report);
+    check_local_structure(graph, ctx, report);
+    check_negation_closure(graph, ctx, report);
+
+    let structure_ok = acyclic && report.count(crate::diag::Severity::Error) == before;
+    if cfg.check_completeness && structure_ok {
+        check_completeness(graph, ctx, cfg, report);
+    }
+    structure_ok
+}
+
+/// Def. 7(i): every `(primitive operator, producing node)` pair of every
+/// query must be a vertex of the graph.
+fn check_primitive_placements(graph: &MuseGraph, ctx: &PlanContext<'_>, report: &mut Report) {
+    for query in ctx.queries {
+        for prim in query.prims().iter() {
+            let ty = query.prim_type(prim);
+            let Some(proj) = ctx.table.id_of(query.id(), PrimSet::single(prim)) else {
+                report.push(Diagnostic::new(
+                    Code::MissingPrimitiveVertex,
+                    format!(
+                        "no primitive projection registered for operator {prim:?} of {:?}",
+                        query.id()
+                    ),
+                ));
+                continue;
+            };
+            for node in ctx.network.producers(ty).iter() {
+                if !graph.contains_vertex(Vertex::new(proj, node)) {
+                    report.push(Diagnostic::new(
+                        Code::MissingPrimitiveVertex,
+                        format!(
+                            "primitive operator {prim:?} of {:?} has no vertex at \
+                             producing node {node:?} (Def. 7 requires all producers)",
+                            query.id()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Def. 7(ii) plus Defs. 5/6/15: sources host generated primitives; each
+/// composite vertex's predecessors form a correct, non-redundant
+/// combination of proper sub-projections of the same query.
+fn check_local_structure(graph: &MuseGraph, ctx: &PlanContext<'_>, report: &mut Report) {
+    for v in graph.vertices() {
+        let proj = ctx.proj(v.proj);
+        let preds = graph.predecessors(v);
+        if preds.is_empty() {
+            if !proj.is_primitive() {
+                report.push(Diagnostic::new(
+                    Code::CompositeSource,
+                    format!(
+                        "vertex ({:?}, {:?}) hosts composite projection {:?} but has \
+                         no incoming edges to assemble it from",
+                        v.proj, v.node, proj.prims
+                    ),
+                ));
+                continue;
+            }
+            let prim = proj.prims.iter().next().expect("primitive is non-empty");
+            let ty = ctx.query_of(v.proj).prim_type(prim);
+            if !ctx.network.generates(v.node, ty) {
+                report.push(Diagnostic::new(
+                    Code::PrimitiveAtNonProducer,
+                    format!(
+                        "primitive operator {prim:?} is placed at {:?}, which does not \
+                         generate its event type {ty:?}",
+                        v.node
+                    ),
+                ));
+            }
+            continue;
+        }
+        let mut pred_sets: Vec<PrimSet> = Vec::new();
+        let mut local_ok = true;
+        for p in &preds {
+            let pp = ctx.proj(p.proj);
+            if pp.source != proj.source {
+                report.push(Diagnostic::new(
+                    Code::CrossQueryEdge,
+                    format!(
+                        "edge ({:?}, {:?}) -> ({:?}, {:?}) connects projections of \
+                         different queries ({:?} vs {:?})",
+                        p.proj, p.node, v.proj, v.node, pp.source, proj.source
+                    ),
+                ));
+                local_ok = false;
+                continue;
+            }
+            if !pp.prims.is_proper_subset(proj.prims) {
+                report.push(Diagnostic::new(
+                    Code::ImproperPredecessor,
+                    format!(
+                        "predecessor projection {:?} of vertex ({:?}, {:?}) is not a \
+                         proper subset of {:?}",
+                        pp.prims, v.proj, v.node, proj.prims
+                    ),
+                ));
+                local_ok = false;
+                continue;
+            }
+            if !pred_sets.contains(&pp.prims) {
+                pred_sets.push(pp.prims);
+            }
+        }
+        if !local_ok {
+            continue;
+        }
+        let combination = Combination::new(proj.prims, pred_sets);
+        if !combination.is_correct() {
+            let union = combination
+                .predecessors
+                .iter()
+                .fold(PrimSet::empty(), |acc, p| acc.union(*p));
+            report.push(Diagnostic::new(
+                Code::IncompleteCombination,
+                format!(
+                    "predecessors of vertex ({:?}, {:?}) cover {union:?} but the \
+                     projection needs {:?} (Defs. 5/6)",
+                    v.proj, v.node, proj.prims
+                ),
+            ));
+        } else if combination.is_redundant() {
+            report.push(Diagnostic::new(
+                Code::RedundantCombination,
+                format!(
+                    "the combination feeding vertex ({:?}, {:?}) is redundant: some \
+                     predecessor can be dropped without losing coverage (Def. 15)",
+                    v.proj, v.node
+                ),
+            ));
+        }
+    }
+}
+
+/// Def. 9: every projection used by the graph must be negation-closed for
+/// its query.
+fn check_negation_closure(graph: &MuseGraph, ctx: &PlanContext<'_>, report: &mut Report) {
+    let mut seen = HashSet::new();
+    for v in graph.vertices() {
+        if !seen.insert(v.proj) {
+            continue;
+        }
+        let proj = ctx.proj(v.proj);
+        let query = ctx.query_of(v.proj);
+        if !is_negation_closed(query, proj.prims) {
+            report.push(Diagnostic::new(
+                Code::NegationNotClosed,
+                format!(
+                    "projection {:?} over {:?} splits an NSEQ context of {:?}; its \
+                     matches cannot be interpreted without the negated operators \
+                     (Def. 9)",
+                    v.proj,
+                    proj.prims,
+                    query.id()
+                ),
+            ));
+        }
+    }
+}
+
+/// Def. 8: the sinks jointly cover every event-type binding of each query.
+/// Enumerative — only run on structurally sound, acyclic graphs.
+fn check_completeness(
+    graph: &MuseGraph,
+    ctx: &PlanContext<'_>,
+    cfg: &VerifyConfig,
+    report: &mut Report,
+) {
+    if let Err(msg) = graph.check_complete(ctx, cfg.binding_limit) {
+        if msg.contains("covered by no sink") {
+            report.push(Diagnostic::new(
+                Code::IncompleteGraph,
+                format!("completeness violated: {msg}"),
+            ));
+        } else {
+            report.push(Diagnostic::new(
+                Code::CompletenessSkipped,
+                format!(
+                    "completeness not decided within binding limit {}: {msg}",
+                    cfg.binding_limit
+                ),
+            ));
+        }
+    }
+}

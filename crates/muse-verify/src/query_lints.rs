@@ -1,0 +1,473 @@
+//! Pass 1: query-level lints on the parsed AST — unsatisfiable or
+//! contradictory predicates, zero/absent windows, duplicate event types,
+//! and NSEQ scoping violations.
+
+use crate::diag::{Code, Diagnostic, Report, Span};
+use muse_core::catalog::Catalog;
+use muse_core::error::ModelError;
+use muse_core::event::Value;
+use muse_core::query::parser::{parse_query_with_spans, ParserOptions, QuerySpans};
+use muse_core::query::{CmpOp, Predicate, PredicateExpr, Query};
+use muse_core::types::{AttrId, PrimId, QueryId};
+
+/// Parses `input` and lints the result, accumulating diagnostics into
+/// `report`. Parse failures become [`Code::ParseFailure`] with a span at the
+/// error offset; on success the query is returned for further verification.
+pub fn lint_query_text(
+    input: &str,
+    id: QueryId,
+    catalog: &mut Catalog,
+    options: &ParserOptions,
+    report: &mut Report,
+) -> Option<Query> {
+    match parse_query_with_spans(input, id, catalog, options) {
+        Ok((query, spans)) => {
+            lint_query(&query, Some(&spans), report);
+            Some(query)
+        }
+        Err(ModelError::Parse { offset, message }) => {
+            report
+                .push(Diagnostic::new(Code::ParseFailure, message).with_span(Span::point(offset)));
+            None
+        }
+        Err(other) => {
+            report.push(Diagnostic::new(Code::ParseFailure, other.to_string()));
+            None
+        }
+    }
+}
+
+/// Lints a parsed [`Query`]. When `spans` carries the parser's source map,
+/// diagnostics point into the original SASE text; without it they are
+/// span-free (hand-built queries).
+pub fn lint_query(query: &Query, spans: Option<&QuerySpans>, report: &mut Report) {
+    lint_window(query, spans, report);
+    lint_duplicate_types(query, spans, report);
+    lint_nseq_scoping(query, spans, report);
+    lint_predicates(query, spans, report);
+}
+
+fn pred_span(spans: Option<&QuerySpans>, index: usize) -> Option<Span> {
+    spans
+        .and_then(|s| s.predicates.get(index))
+        .map(|r| Span::from_range(r.clone()))
+}
+
+fn lint_window(query: &Query, spans: Option<&QuerySpans>, report: &mut Report) {
+    if query.window() == 0 {
+        let mut d = Diagnostic::new(
+            Code::ZeroWindow,
+            "time window is 0: no two events can ever co-occur within it",
+        );
+        if let Some(r) = spans.and_then(|s| s.window.clone()) {
+            d = d.with_span(Span::from_range(r));
+        }
+        report.push(d);
+    }
+    // Only flag a missing WITHIN when we know the text had none; hand-built
+    // queries always carry an explicit window value.
+    if let Some(s) = spans {
+        if s.window.is_none() {
+            report.push(Diagnostic::new(
+                Code::UnboundedWindow,
+                "query has no WITHIN clause; the parser default window applies",
+            ));
+        }
+    }
+}
+
+fn lint_duplicate_types(query: &Query, spans: Option<&QuerySpans>, report: &mut Report) {
+    let types = query.prim_types();
+    for (i, ty) in types.iter().enumerate() {
+        if let Some(j) = types[..i].iter().position(|t| t == ty) {
+            let mut d = Diagnostic::new(
+                Code::DuplicateEventType,
+                format!(
+                    "event type of primitive operators #{j} and #{i} is the same \
+                     ({ty:?}); aMuSE requires distinct types per operator"
+                ),
+            );
+            if let Some(r) = spans.and_then(|s| s.leaves.get(i)) {
+                d = d.with_span(Span::from_range(r.clone()));
+            }
+            report.push(d);
+        }
+    }
+}
+
+fn lint_nseq_scoping(query: &Query, spans: Option<&QuerySpans>, report: &mut Report) {
+    for (i, pred) in query.predicates().iter().enumerate() {
+        let prims = pred.prims();
+        for ctx in query.nseq_contexts() {
+            if prims.is_disjoint(ctx.negated) {
+                continue;
+            }
+            let scope = ctx.first.union(ctx.negated).union(ctx.last);
+            if !prims.is_subset(scope) {
+                let outside = prims.difference(scope);
+                let mut d = Diagnostic::new(
+                    Code::NseqScopeViolation,
+                    format!(
+                        "predicate #{i} relates a negated operator to {outside:?} outside \
+                         its NSEQ context; negation is only evaluated between the \
+                         context's first and last operators"
+                    ),
+                );
+                if let Some(s) = pred_span(spans, i) {
+                    d = d.with_span(s);
+                }
+                report.push(d);
+            }
+        }
+    }
+}
+
+/// Bitmask of `Ordering` outcomes (`x cmp bound`) an operator accepts:
+/// `L`ess, `E`qual, `G`reater.
+const L: u8 = 0b001;
+const E: u8 = 0b010;
+const G: u8 = 0b100;
+
+fn allowed(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => E,
+        CmpOp::Ne => L | G,
+        CmpOp::Lt => L,
+        CmpOp::Le => L | E,
+        CmpOp::Gt => G,
+        CmpOp::Ge => G | E,
+    }
+}
+
+/// Flips an operator across `a OP b ⇔ b flip(OP) a`.
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        Value::Str(_) => None,
+    }
+}
+
+fn lint_predicates(query: &Query, spans: Option<&QuerySpans>, report: &mut Report) {
+    let preds = query.predicates();
+    for (i, p) in preds.iter().enumerate() {
+        lint_single_predicate(i, p, spans, report);
+    }
+    for i in 0..preds.len() {
+        for j in (i + 1)..preds.len() {
+            if predicates_contradict(&preds[i], &preds[j]) {
+                let mut d = Diagnostic::new(
+                    Code::ContradictoryPredicates,
+                    format!(
+                        "predicates #{i} and #{j} can never hold together: \
+                         `{}` contradicts `{}`",
+                        render_pred(&preds[i]),
+                        render_pred(&preds[j]),
+                    ),
+                );
+                if let Some(s) = pred_span(spans, j).or_else(|| pred_span(spans, i)) {
+                    d = d.with_span(s);
+                }
+                report.push(d);
+            }
+        }
+    }
+}
+
+fn lint_single_predicate(
+    index: usize,
+    pred: &Predicate,
+    spans: Option<&QuerySpans>,
+    report: &mut Report,
+) {
+    let finding = match &pred.expr {
+        PredicateExpr::BinaryAttr {
+            left_prim,
+            left_attr,
+            op,
+            right_prim,
+            right_attr,
+        } if left_prim == right_prim && left_attr == right_attr => {
+            // `x.a OP x.a` compares an attribute with itself.
+            if allowed(*op) & E != 0 {
+                Some((Code::TrivialPredicate, "always holds"))
+            } else {
+                Some((Code::UnsatisfiablePredicate, "can never hold"))
+            }
+        }
+        PredicateExpr::UnaryConst {
+            value: Value::Float(f),
+            ..
+        } if f.is_nan() => Some((
+            Code::UnsatisfiablePredicate,
+            "compares against NaN, which is unordered",
+        )),
+        _ => None,
+    };
+    if let Some((code, why)) = finding {
+        let mut d = Diagnostic::new(
+            code,
+            format!("predicate #{index} `{}` {why}", render_pred(pred)),
+        );
+        if let Some(s) = pred_span(spans, index) {
+            d = d.with_span(s);
+        }
+        report.push(d);
+    }
+}
+
+/// Decides whether two predicates are jointly unsatisfiable. Handles unary
+/// pairs on the same `(prim, attr)` and binary pairs over the same attribute
+/// pair; anything else is conservatively satisfiable.
+fn predicates_contradict(a: &Predicate, b: &Predicate) -> bool {
+    match (&a.expr, &b.expr) {
+        (
+            PredicateExpr::UnaryConst {
+                prim: p1,
+                attr: a1,
+                op: op1,
+                value: v1,
+            },
+            PredicateExpr::UnaryConst {
+                prim: p2,
+                attr: a2,
+                op: op2,
+                value: v2,
+            },
+        ) if p1 == p2 && a1 == a2 => unary_pair_contradicts(*op1, v1, *op2, v2),
+        (
+            PredicateExpr::BinaryAttr {
+                left_prim: l1,
+                left_attr: la1,
+                op: op1,
+                right_prim: r1,
+                right_attr: ra1,
+            },
+            PredicateExpr::BinaryAttr {
+                left_prim: l2,
+                left_attr: la2,
+                op: op2,
+                right_prim: r2,
+                right_attr: ra2,
+            },
+        ) => {
+            // Normalize both to the same reference orientation.
+            let k1 = ((*l1, *la1), (*r1, *ra1));
+            if k1 == ((*l2, *la2), (*r2, *ra2)) {
+                allowed(*op1) & allowed(*op2) == 0
+            } else if k1 == ((*r2, *ra2), (*l2, *la2)) && (l1, la1) != (r1, ra1) {
+                allowed(*op1) & allowed(flip(*op2)) == 0
+            } else {
+                false
+            }
+        }
+        _ => false,
+    }
+}
+
+fn unary_pair_contradicts(op1: CmpOp, v1: &Value, op2: CmpOp, v2: &Value) -> bool {
+    if let Some(std::cmp::Ordering::Equal) = v1.partial_cmp_value(v2) {
+        // Same bound: satisfiable iff the accepted ordering sets overlap.
+        return allowed(op1) & allowed(op2) == 0;
+    }
+    match (as_f64(v1), as_f64(v2)) {
+        (Some(x1), Some(x2)) => {
+            // Different numeric bounds: 5-point sampling over ℝ is exact for
+            // a conjunction of two threshold predicates — only the relative
+            // position to the two bounds matters.
+            let (lo, hi) = (x1.min(x2), x1.max(x2));
+            let candidates = [lo - 1.0, x1, (lo + hi) / 2.0, x2, hi + 1.0];
+            !candidates
+                .iter()
+                .any(|x| op1.test(x.partial_cmp(&x1)) && op2.test(x.partial_cmp(&x2)))
+        }
+        _ => {
+            // Non-numeric bounds that differ: decidable when either side
+            // pins the value with equality.
+            match (op1, op2) {
+                (CmpOp::Eq, _) => !op2.test(v1.partial_cmp_value(v2)),
+                (_, CmpOp::Eq) => !op1.test(v2.partial_cmp_value(v1)),
+                _ => false,
+            }
+        }
+    }
+}
+
+fn render_pred(p: &Predicate) -> String {
+    fn attr(prim: PrimId, a: AttrId) -> String {
+        format!("p{}.a{}", prim.0, a.0)
+    }
+    match &p.expr {
+        PredicateExpr::UnaryConst {
+            prim,
+            attr: a,
+            op,
+            value,
+        } => format!("{} {} {value:?}", attr(*prim, *a), op.symbol()),
+        PredicateExpr::BinaryAttr {
+            left_prim,
+            left_attr,
+            op,
+            right_prim,
+            right_attr,
+        } => format!(
+            "{} {} {}",
+            attr(*left_prim, *left_attr),
+            op.symbol(),
+            attr(*right_prim, *right_attr)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_core::query::Pattern;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_event_type("Fail").unwrap();
+        c.add_event_type("Kill").unwrap();
+        c.add_attr("x").unwrap();
+        c
+    }
+
+    fn lint_text(input: &str) -> Report {
+        let mut report = Report::new();
+        let mut cat = catalog();
+        let opts = ParserOptions {
+            auto_register_types: true,
+            auto_register_attrs: true,
+            ..Default::default()
+        };
+        lint_query_text(input, QueryId(0), &mut cat, &opts, &mut report);
+        report
+    }
+
+    #[test]
+    fn clean_query_has_no_diagnostics() {
+        let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x = k.x WITHIN 1000");
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn parse_failure_reported_with_span() {
+        let r = lint_text("PATTERN SEQ(Fail f,");
+        assert!(r.has_code(Code::ParseFailure));
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn zero_window_is_error() {
+        let r = lint_text("PATTERN SEQ(Fail f, Kill k) WITHIN 0");
+        assert!(r.has_code(Code::ZeroWindow), "{r}");
+    }
+
+    #[test]
+    fn missing_within_is_lint() {
+        let r = lint_text("PATTERN SEQ(Fail f, Kill k)");
+        assert!(r.has_code(Code::UnboundedWindow), "{r}");
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn duplicate_type_is_warning() {
+        let r = lint_text("PATTERN SEQ(Fail a, Fail b) WITHIN 10");
+        assert!(r.has_code(Code::DuplicateEventType), "{r}");
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn self_comparison_trivial_and_unsat() {
+        let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x = f.x WITHIN 10");
+        assert!(r.has_code(Code::TrivialPredicate), "{r}");
+        let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x < f.x WITHIN 10");
+        assert!(r.has_code(Code::UnsatisfiablePredicate), "{r}");
+    }
+
+    #[test]
+    fn contradictory_equalities() {
+        let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x = 1 AND f.x = 2 WITHIN 10");
+        assert!(r.has_code(Code::ContradictoryPredicates), "{r}");
+    }
+
+    #[test]
+    fn contradictory_ranges() {
+        let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x < 1 AND f.x > 2 WITHIN 10");
+        assert!(r.has_code(Code::ContradictoryPredicates), "{r}");
+        // Satisfiable range stays clean.
+        let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x > 1 AND f.x < 2 WITHIN 10");
+        assert!(!r.has_code(Code::ContradictoryPredicates), "{r}");
+        // Touching bounds: x <= 1 AND x >= 1 is satisfiable at exactly 1.
+        let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x <= 1 AND f.x >= 1 WITHIN 10");
+        assert!(!r.has_code(Code::ContradictoryPredicates), "{r}");
+        // Strict versions are not.
+        let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x < 1 AND f.x > 1 WITHIN 10");
+        assert!(r.has_code(Code::ContradictoryPredicates), "{r}");
+    }
+
+    #[test]
+    fn contradictory_binary_orientations() {
+        let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x < k.x AND k.x < f.x WITHIN 10");
+        assert!(r.has_code(Code::ContradictoryPredicates), "{r}");
+        let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x = k.x AND f.x != k.x WITHIN 10");
+        assert!(r.has_code(Code::ContradictoryPredicates), "{r}");
+        let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x <= k.x AND k.x >= f.x WITHIN 10");
+        assert!(!r.has_code(Code::ContradictoryPredicates), "{r}");
+    }
+
+    #[test]
+    fn string_equality_contradiction() {
+        let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x = 'a' AND f.x = 'b' WITHIN 10");
+        assert!(r.has_code(Code::ContradictoryPredicates), "{r}");
+    }
+
+    #[test]
+    fn nseq_scope_violation_flagged() {
+        let mut report = Report::new();
+        let mut cat = Catalog::new();
+        let opts = ParserOptions {
+            auto_register_types: true,
+            auto_register_attrs: true,
+            ..Default::default()
+        };
+        let q = lint_query_text(
+            "PATTERN SEQ(NSEQ(A a, B b, C c), D d) WHERE b.x = d.x WITHIN 10",
+            QueryId(0),
+            &mut cat,
+            &opts,
+            &mut report,
+        );
+        assert!(q.is_some());
+        assert!(report.has_code(Code::NseqScopeViolation), "{report}");
+    }
+
+    #[test]
+    fn hand_built_query_lints_without_spans() {
+        let mut cat = Catalog::new();
+        let a = cat.add_event_type("A").unwrap();
+        let b = cat.add_event_type("B").unwrap();
+        let q = Query::build(
+            QueryId(0),
+            &Pattern::seq([Pattern::leaf(a), Pattern::leaf(b)]),
+            vec![],
+            0,
+        )
+        .unwrap();
+        let mut r = Report::new();
+        lint_query(&q, None, &mut r);
+        assert!(r.has_code(Code::ZeroWindow), "{r}");
+        assert!(!r.has_code(Code::UnboundedWindow), "{r}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Positive sweep: every graph produced by the construction algorithms —
+//! exhaustive `optimal`, `aMuSE`, `aMuSE*`, the multi-query extension, and
+//! the operator-placement baseline — verifies with **zero** diagnostics
+//! over randomly generated networks and workloads.
+
+use muse_core::algorithms::baselines::{optimal_operator_placement, placement_to_graph};
+use muse_core::algorithms::optimal::{optimal_muse_graph, OptimalConfig};
+use muse_core::graph::{MuseGraph, PlanContext};
+use muse_core::prelude::*;
+use muse_core::projection::ProjectionTable;
+use muse_sim::network_gen::{generate_network, NetworkConfig};
+use muse_sim::workload_gen::{generate_workload, WorkloadConfig};
+use muse_verify::{verify_plan, VerifyConfig};
+use proptest::prelude::*;
+
+fn assert_clean(
+    what: &str,
+    seed: u64,
+    queries: &[Query],
+    network: &Network,
+    table: &ProjectionTable,
+    graph: &MuseGraph,
+) {
+    let ctx = PlanContext::new(queries, network, table);
+    let cfg = VerifyConfig {
+        binding_limit: 200_000,
+        ..VerifyConfig::default()
+    };
+    let report = verify_plan(graph, &ctx, &cfg);
+    assert!(
+        report.is_clean(),
+        "{what} graph (seed {seed}) is not clean:\n{report}"
+    );
+}
+
+/// A small random scenario: a network of `nodes` nodes over `types` event
+/// types and a workload of related queries.
+fn scenario(seed: u64, nodes: usize, types: usize, queries: usize) -> (Network, Workload) {
+    let network = generate_network(&NetworkConfig {
+        nodes,
+        types,
+        event_node_ratio: 0.6,
+        rate_skew: 1.5,
+        max_rate: 10_000,
+        seed,
+    });
+    let workload = generate_workload(&WorkloadConfig {
+        queries,
+        prims_per_query: 3,
+        types,
+        selectivity_min: 0.05,
+        selectivity_max: 0.5,
+        share_fraction: 0.5,
+        window: 1_000,
+        seed: seed ^ 0x9e37_79b9,
+    });
+    (network, workload)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// aMuSE and aMuSE* plans verify clean, query by query.
+    #[test]
+    fn amuse_graphs_are_clean(seed in any::<u64>()) {
+        let (network, workload) = scenario(seed, 5, 6, 2);
+        for config in [AMuseConfig::default(), AMuseConfig::star()] {
+            for query in workload.queries() {
+                let Ok(plan) = amuse(query, &network, &config) else {
+                    continue; // type without producer under this network
+                };
+                let queries = std::slice::from_ref(query);
+                assert_clean("amuse", seed, queries, &network, &plan.table, &plan.graph);
+            }
+        }
+    }
+
+    /// The multi-query construction's merged graph verifies clean.
+    #[test]
+    fn workload_plans_are_clean(seed in any::<u64>()) {
+        let (network, workload) = scenario(seed, 5, 6, 3);
+        if workload.check_against(&network).is_err() {
+            return Ok(());
+        }
+        let plan = amuse_workload(&workload, &network, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(workload.queries(), &network, &plan.table);
+        let cfg = VerifyConfig { binding_limit: 200_000, ..VerifyConfig::default() };
+        let report = verify_plan(&plan.merged, &ctx, &cfg);
+        prop_assert!(report.is_clean(), "workload graph (seed {seed}):\n{report}");
+    }
+
+    /// The exhaustive optimal search stays within the same invariants.
+    #[test]
+    fn optimal_graphs_are_clean(seed in any::<u64>()) {
+        let (network, workload) = scenario(seed, 4, 4, 1);
+        let config = OptimalConfig::default();
+        for query in workload.queries() {
+            let Ok(plan) = optimal_muse_graph(query, &network, &config) else {
+                continue;
+            };
+            let queries = std::slice::from_ref(query);
+            assert_clean("optimal", seed, queries, &network, &plan.table, &plan.graph);
+        }
+    }
+
+    /// Classical single-sink operator placements, rewritten as MuSE graphs,
+    /// verify clean too — the baseline is a restriction, not an exception.
+    #[test]
+    fn placement_graphs_are_clean(seed in any::<u64>()) {
+        let (network, workload) = scenario(seed, 5, 6, 2);
+        for query in workload.queries() {
+            if network.check_producible(query.types()).is_err() {
+                continue;
+            }
+            let placement = optimal_operator_placement(query, &network);
+            let mut table = ProjectionTable::new();
+            let Ok(graph) = placement_to_graph(query, &placement, &network, &mut table) else {
+                continue;
+            };
+            let queries = std::slice::from_ref(query);
+            assert_clean("placement", seed, queries, &network, &table, &graph);
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Negative corpus: one seeded-faulty query, graph, or deployment per
+//! diagnostic code. Every case must be flagged with its expected `MGxxxx`
+//! code — this pins both the checks and the code registry.
+
+use muse_core::catalog::Catalog;
+use muse_core::graph::{MuseGraph, PlanContext, Vertex};
+use muse_core::prelude::*;
+use muse_core::query::parser::ParserOptions;
+use muse_core::types::{PrimId, PrimSet};
+use muse_verify::{
+    lint_query_text, verify_deployment, verify_graph, verify_plan, Code, Report, VerifyConfig,
+};
+
+// ---------------------------------------------------------------- helpers
+
+fn lint_text(input: &str) -> Report {
+    let mut report = Report::new();
+    let mut cat = Catalog::new();
+    let opts = ParserOptions {
+        auto_register_types: true,
+        auto_register_attrs: true,
+        ..Default::default()
+    };
+    lint_query_text(input, QueryId(0), &mut cat, &opts, &mut report);
+    report
+}
+
+/// The paper's running example: `SEQ(AND(C, L), F)` over three nodes.
+fn example() -> (Vec<Query>, Network, ProjectionTable, MuseGraph) {
+    let mut catalog = Catalog::new();
+    let c = catalog.add_event_type("C").unwrap();
+    let l = catalog.add_event_type("L").unwrap();
+    let f = catalog.add_event_type("F").unwrap();
+    let network = NetworkBuilder::new(3, 3)
+        .node(NodeId(0), [c, f])
+        .node(NodeId(1), [c, l])
+        .node(NodeId(2), [l])
+        .rate(c, 100.0)
+        .rate(l, 100.0)
+        .rate(f, 1.0)
+        .build();
+    let pattern = Pattern::seq([
+        Pattern::and([Pattern::leaf(c), Pattern::leaf(l)]),
+        Pattern::leaf(f),
+    ]);
+    let query = Query::build(QueryId(0), &pattern, vec![], 1_000).unwrap();
+    let plan = amuse(&query, &network, &AMuseConfig::default()).unwrap();
+    (vec![query], network, plan.table, plan.graph)
+}
+
+fn verify(
+    queries: &[Query],
+    network: &Network,
+    table: &ProjectionTable,
+    graph: &MuseGraph,
+) -> Report {
+    let ctx = PlanContext::new(queries, network, table);
+    verify_plan(graph, &ctx, &VerifyConfig::default())
+}
+
+/// Copies `graph` without vertex `victim` (and its edges).
+fn without_vertex(graph: &MuseGraph, victim: Vertex) -> MuseGraph {
+    let mut out = MuseGraph::new();
+    for v in graph.vertices().filter(|v| *v != victim) {
+        out.add_vertex(v);
+    }
+    for (a, b) in graph.edges().filter(|(a, b)| *a != victim && *b != victim) {
+        out.add_edge(a, b);
+    }
+    out
+}
+
+// ------------------------------------------------------- query-level cases
+
+#[test]
+fn mg0100_parse_failure() {
+    let r = lint_text("PATTERN SEQ(Fail f, Kill k) #");
+    assert!(r.has_code(Code::ParseFailure), "{r}");
+}
+
+#[test]
+fn mg0101_unsatisfiable_predicate() {
+    let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x < f.x WITHIN 10");
+    assert!(r.has_code(Code::UnsatisfiablePredicate), "{r}");
+}
+
+#[test]
+fn mg0102_contradictory_predicates() {
+    let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x = 1 AND f.x = 2 WITHIN 10");
+    assert!(r.has_code(Code::ContradictoryPredicates), "{r}");
+}
+
+#[test]
+fn mg0103_zero_window() {
+    let r = lint_text("PATTERN SEQ(Fail f, Kill k) WITHIN 0");
+    assert!(r.has_code(Code::ZeroWindow), "{r}");
+}
+
+#[test]
+fn mg0104_unbounded_window() {
+    let r = lint_text("PATTERN SEQ(Fail f, Kill k)");
+    assert!(r.has_code(Code::UnboundedWindow), "{r}");
+}
+
+#[test]
+fn mg0105_duplicate_event_type() {
+    let r = lint_text("PATTERN SEQ(Fail a, Fail b) WITHIN 10");
+    assert!(r.has_code(Code::DuplicateEventType), "{r}");
+}
+
+#[test]
+fn mg0106_nseq_scope_violation() {
+    let r = lint_text("PATTERN SEQ(NSEQ(A a, B b, C c), D d) WHERE b.x = d.x WITHIN 10");
+    assert!(r.has_code(Code::NseqScopeViolation), "{r}");
+}
+
+#[test]
+fn mg0107_trivial_predicate() {
+    let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x = f.x WITHIN 10");
+    assert!(r.has_code(Code::TrivialPredicate), "{r}");
+}
+
+// ------------------------------------------------------- graph-level cases
+
+#[test]
+fn mg0201_graph_cycle() {
+    let (queries, network, table, graph) = example();
+    let mut cyclic = graph.clone();
+    let (a, b) = graph.edges().next().expect("graph has edges");
+    cyclic.add_edge(b, a);
+    let r = verify(&queries, &network, &table, &cyclic);
+    assert!(r.has_code(Code::GraphCycle), "{r}");
+}
+
+#[test]
+fn mg0202_missing_primitive_vertex() {
+    let (queries, network, table, graph) = example();
+    let victim = graph.sources().into_iter().next().expect("has sources");
+    let broken = without_vertex(&graph, victim);
+    let r = verify(&queries, &network, &table, &broken);
+    assert!(r.has_code(Code::MissingPrimitiveVertex), "{r}");
+}
+
+#[test]
+fn mg0203_composite_source() {
+    let (queries, network, table, graph) = example();
+    // Strip every incoming edge of a sink, leaving a composite with no
+    // predecessors.
+    let sink = *graph
+        .sinks()
+        .iter()
+        .find(|v| !table.get(v.proj).is_primitive())
+        .expect("has composite sink");
+    let mut broken = MuseGraph::new();
+    for v in graph.vertices() {
+        broken.add_vertex(v);
+    }
+    for (a, b) in graph.edges().filter(|(_, b)| *b != sink) {
+        broken.add_edge(a, b);
+    }
+    let r = verify(&queries, &network, &table, &broken);
+    assert!(r.has_code(Code::CompositeSource), "{r}");
+}
+
+#[test]
+fn mg0204_primitive_at_non_producer() {
+    let (queries, network, table, graph) = example();
+    // Node 2 generates only L; plant the C primitive there.
+    let c_proj = table
+        .id_of(QueryId(0), PrimSet::single(PrimId(0)))
+        .expect("primitive projection registered");
+    let mut bad = graph.clone();
+    bad.add_vertex(Vertex::new(c_proj, NodeId(2)));
+    let r = verify(&queries, &network, &table, &bad);
+    assert!(r.has_code(Code::PrimitiveAtNonProducer), "{r}");
+}
+
+#[test]
+fn mg0205_cross_query_edge() {
+    // Two single-primitive-overlap queries, then an edge across them.
+    let mut catalog = Catalog::new();
+    let a = catalog.add_event_type("A").unwrap();
+    let b = catalog.add_event_type("B").unwrap();
+    let c = catalog.add_event_type("C").unwrap();
+    let network = NetworkBuilder::new(2, 3)
+        .node(NodeId(0), [a, b])
+        .node(NodeId(1), [c])
+        .rate(a, 10.0)
+        .rate(b, 10.0)
+        .rate(c, 10.0)
+        .build();
+    let q0 = Query::build(
+        QueryId(0),
+        &Pattern::seq([Pattern::leaf(a), Pattern::leaf(b)]),
+        vec![],
+        100,
+    )
+    .unwrap();
+    let q1 = Query::build(
+        QueryId(1),
+        &Pattern::seq([Pattern::leaf(b), Pattern::leaf(c)]),
+        vec![],
+        100,
+    )
+    .unwrap();
+    let workload = Workload::new(catalog, vec![q0, q1]).unwrap();
+    let plan = amuse_workload(&workload, &network, &AMuseConfig::default()).unwrap();
+    let mut bad = plan.merged.clone();
+    // Edge from a q0 source into a q1 composite vertex.
+    let ctx_table = &plan.table;
+    let from = bad
+        .sources()
+        .into_iter()
+        .find(|v| ctx_table.get(v.proj).source == QueryId(0))
+        .expect("q0 source");
+    let to = bad
+        .vertices()
+        .find(|v| ctx_table.get(v.proj).source == QueryId(1) && !bad.predecessors(*v).is_empty())
+        .expect("q1 composite");
+    bad.add_edge(from, to);
+    let ctx = PlanContext::new(workload.queries(), &network, &plan.table);
+    let r = verify_plan(&bad, &ctx, &VerifyConfig::default());
+    assert!(r.has_code(Code::CrossQueryEdge), "{r}");
+}
+
+#[test]
+fn mg0206_improper_predecessor() {
+    let (queries, network, table, graph) = example();
+    // Feed a sink's full-query projection back into a smaller vertex: the
+    // full prims are no proper subset of anything.
+    let sink = *graph
+        .sinks()
+        .iter()
+        .find(|v| !table.get(v.proj).is_primitive())
+        .expect("has composite sink");
+    let target = graph
+        .vertices()
+        .find(|v| !graph.predecessors(*v).is_empty() && *v != sink)
+        .expect("has non-source vertex besides the sink");
+    let mut bad = graph.clone();
+    bad.add_edge(sink, target);
+    let r = verify(&queries, &network, &table, &bad);
+    assert!(r.has_code(Code::ImproperPredecessor), "{r}");
+}
+
+#[test]
+fn mg0207_incomplete_combination() {
+    let (queries, network, table, graph) = example();
+    // Cut every edge delivering one predecessor projection to one composite
+    // vertex, leaving its combination short of the target.
+    let target = graph
+        .vertices()
+        .find(|v| !graph.predecessors(*v).is_empty())
+        .expect("has composite vertex");
+    let cut_proj = graph.predecessors(target)[0].proj;
+    let mut bad = MuseGraph::new();
+    for v in graph.vertices() {
+        bad.add_vertex(v);
+    }
+    for (a, b) in graph
+        .edges()
+        .filter(|(a, b)| !(*b == target && a.proj == cut_proj))
+    {
+        bad.add_edge(a, b);
+    }
+    let r = verify(&queries, &network, &table, &bad);
+    assert!(r.has_code(Code::IncompleteCombination), "{r}");
+}
+
+#[test]
+fn mg0208_redundant_combination() {
+    let (queries, network, mut table, _) = example();
+    // {C,L}, {L,F}, {F} -> {C,L,F}: {F} is covered by {L,F} (Def. 15).
+    let q = &queries[0];
+    let p_cl = table.project_into(q, PrimSet::from_bits(0b011)).unwrap();
+    let p_lf = table.project_into(q, PrimSet::from_bits(0b110)).unwrap();
+    let p_f = table.project_into(q, PrimSet::single(PrimId(2))).unwrap();
+    let p_full = table.project_into(q, q.prims()).unwrap();
+    let mut g = MuseGraph::new();
+    let (vcl, vlf, vf, vfull) = (
+        Vertex::new(p_cl, NodeId(0)),
+        Vertex::new(p_lf, NodeId(0)),
+        Vertex::new(p_f, NodeId(0)),
+        Vertex::new(p_full, NodeId(0)),
+    );
+    for v in [vcl, vlf, vf, vfull] {
+        g.add_vertex(v);
+    }
+    g.add_edge(vcl, vfull);
+    g.add_edge(vlf, vfull);
+    g.add_edge(vf, vfull);
+    let r = verify(&queries, &network, &table, &g);
+    assert!(r.has_code(Code::RedundantCombination), "{r}");
+}
+
+#[test]
+fn mg0209_negation_not_closed() {
+    // NSEQ(A, B, C): keeping {A, B} splits the context.
+    let mut catalog = Catalog::new();
+    let a = catalog.add_event_type("A").unwrap();
+    let b = catalog.add_event_type("B").unwrap();
+    let c = catalog.add_event_type("C").unwrap();
+    let network = NetworkBuilder::new(1, 3)
+        .node(NodeId(0), [a, b, c])
+        .rate(a, 1.0)
+        .rate(b, 1.0)
+        .rate(c, 1.0)
+        .build();
+    let pattern = Pattern::nseq(Pattern::leaf(a), Pattern::leaf(b), Pattern::leaf(c));
+    let query = Query::build(QueryId(0), &pattern, vec![], 100).unwrap();
+    let mut table = ProjectionTable::new();
+    let legit = table.project_into(&query, query.prims()).unwrap();
+    // `project` refuses non-closed prim sets, so forge one by hand.
+    let mut forged = table.get(legit).clone();
+    forged.prims = PrimSet::from_bits(0b011); // {A, B}: B is negated
+    let forged_id = table.insert(forged);
+    let mut g = MuseGraph::new();
+    g.add_vertex(Vertex::new(forged_id, NodeId(0)));
+    let queries = [query];
+    let ctx = PlanContext::new(&queries, &network, &table);
+    let mut r = Report::new();
+    verify_graph(&g, &ctx, &VerifyConfig::for_deploy(), &mut r);
+    assert!(r.has_code(Code::NegationNotClosed), "{r}");
+}
+
+#[test]
+fn mg0210_incomplete_graph_and_mg0305_missing_sink() {
+    let (queries, network, table, graph) = example();
+    // Remove every sink: structure stays well-formed but no vertex hosts
+    // the full query, so bindings are covered by no sink.
+    let mut broken = graph.clone();
+    for sink in graph.sinks() {
+        broken = without_vertex(&broken, sink);
+    }
+    let r = verify(&queries, &network, &table, &broken);
+    assert!(r.has_code(Code::IncompleteGraph), "{r}");
+    assert!(r.has_code(Code::MissingSink), "{r}");
+}
+
+#[test]
+fn mg0211_completeness_skipped_on_tiny_limit() {
+    let (queries, network, table, graph) = example();
+    let ctx = PlanContext::new(&queries, &network, &table);
+    let cfg = VerifyConfig {
+        binding_limit: 1,
+        ..VerifyConfig::default()
+    };
+    let r = verify_plan(&graph, &ctx, &cfg);
+    assert!(r.has_code(Code::CompletenessSkipped), "{r}");
+}
+
+// -------------------------------------------------- deployment-level cases
+
+#[test]
+fn mg0301_unreachable_input() {
+    let (queries, network, table, graph) = example();
+    // A C primitive at non-producing node 2: the deployment pass sees its
+    // input dry regardless of the structural MG0204.
+    let c_proj = table
+        .id_of(QueryId(0), PrimSet::single(PrimId(0)))
+        .expect("primitive projection registered");
+    let mut bad = graph.clone();
+    bad.add_vertex(Vertex::new(c_proj, NodeId(2)));
+    let ctx = PlanContext::new(&queries, &network, &table);
+    let mut r = Report::new();
+    verify_deployment(&bad, &ctx, &VerifyConfig::for_deploy(), &mut r);
+    assert!(r.has_code(Code::UnreachableInput), "{r}");
+}
+
+#[test]
+fn mg0302_inconsistent_cost_model() {
+    let (queries, network, table, graph) = example();
+    // Doubling every projection's rate detaches the deployed weights from
+    // r̂ = σ · rates(inputs).
+    let rates: Vec<f64> = (0..table.len() as u32)
+        .map(|i| {
+            let proj = table.get(muse_core::projection::ProjId(i));
+            let query = queries.iter().find(|q| q.id() == proj.source).unwrap();
+            2.0 * muse_core::cost::projection_output_rate(proj, query, &network)
+        })
+        .collect();
+    let ctx = PlanContext::new(&queries, &network, &table).with_rates(&rates);
+    let mut r = Report::new();
+    verify_deployment(&graph, &ctx, &VerifyConfig::for_deploy(), &mut r);
+    assert!(r.has_code(Code::InconsistentCostModel), "{r}");
+}
+
+#[test]
+fn mg0303_non_finite_rate() {
+    let (queries, network, table, graph) = example();
+    let rates = vec![f64::NAN; table.len()];
+    let ctx = PlanContext::new(&queries, &network, &table).with_rates(&rates);
+    let mut r = Report::new();
+    verify_deployment(&graph, &ctx, &VerifyConfig::for_deploy(), &mut r);
+    assert!(r.has_code(Code::NonFiniteRate), "{r}");
+}
+
+#[test]
+fn mg0304_orphan_vertex() {
+    let (queries, network, mut table, graph) = example();
+    // A well-formed {C, L} placement whose matches nothing consumes.
+    let q = &queries[0];
+    let p_cl = table.project_into(q, PrimSet::from_bits(0b011)).unwrap();
+    let orphan = Vertex::new(p_cl, NodeId(1));
+    let mut bad = graph.clone();
+    bad.add_vertex(orphan);
+    for src in graph.sources() {
+        let proj = table.get(src.proj);
+        if proj.prims.is_proper_subset(PrimSet::from_bits(0b011)) {
+            bad.add_edge(src, orphan);
+        }
+    }
+    let r = verify(&queries, &network, &table, &bad);
+    assert!(r.has_code(Code::OrphanVertex), "{r}");
+}
+
+/// Every code in the registry is exercised by this corpus (or the
+/// query-lint suite); keeps the corpus in lockstep with new codes.
+#[test]
+fn corpus_covers_all_error_codes() {
+    let covered = [
+        Code::ParseFailure,
+        Code::UnsatisfiablePredicate,
+        Code::ContradictoryPredicates,
+        Code::ZeroWindow,
+        Code::UnboundedWindow,
+        Code::DuplicateEventType,
+        Code::NseqScopeViolation,
+        Code::TrivialPredicate,
+        Code::GraphCycle,
+        Code::MissingPrimitiveVertex,
+        Code::CompositeSource,
+        Code::PrimitiveAtNonProducer,
+        Code::CrossQueryEdge,
+        Code::ImproperPredecessor,
+        Code::IncompleteCombination,
+        Code::RedundantCombination,
+        Code::NegationNotClosed,
+        Code::IncompleteGraph,
+        Code::CompletenessSkipped,
+        Code::UnreachableInput,
+        Code::InconsistentCostModel,
+        Code::NonFiniteRate,
+        Code::OrphanVertex,
+        Code::MissingSink,
+    ];
+    for &code in Code::ALL {
+        assert!(
+            covered.contains(&code),
+            "diagnostic {code} has no negative-corpus case"
+        );
+    }
+}

@@ -1,8 +1,14 @@
 #!/usr/bin/env sh
-# Tier-1 CI gate: release build, workspace test suite, lint gates, and a
-# smoke run of the matcher join bench (emits BENCH_matcher.json at the repo
-# root plus telemetry exports under out/). Exits nonzero on the first
+# Tier-1 CI gate: release build, workspace test suite, lint gates, static
+# verification of the example queries/plans, the loom concurrency lane, and
+# a smoke run of the matcher join bench (emits BENCH_matcher.json at the
+# repo root plus telemetry exports under out/). Exits nonzero on the first
 # failure.
+#
+# Opt-in slow lanes (need a nightly toolchain, skipped by default so the
+# tier-1 gate stays fast):
+#   MUSE_CI_TSAN=1  ./scripts/ci.sh   # ThreadSanitizer over muse-runtime
+#   MUSE_CI_MIRI=1  ./scripts/ci.sh   # Miri over muse-core
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,6 +24,37 @@ cargo fmt --check
 
 echo "== lint: cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
+
+echo "== verify: muse-verify over examples/queries =="
+cargo run -q -p muse-verify --release --bin muse-verify -- \
+    query examples/queries/*.sase
+cargo run -q -p muse-verify --release --bin muse-verify -- \
+    plan examples/queries/factory_robots.sase --network examples/queries/factory.net
+
+echo "== loom: model-checked worker/watermark handoff =="
+RUSTFLAGS="--cfg loom" cargo test --release -p muse-runtime --test loom_handoff -q
+
+if [ "${MUSE_CI_TSAN:-0}" = "1" ]; then
+    echo "== tsan: cargo +nightly test -Zsanitizer=thread (opt-in) =="
+    if rustc +nightly --version >/dev/null 2>&1; then
+        RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -p muse-runtime -q \
+            -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')"
+    else
+        echo "MUSE_CI_TSAN=1 but no nightly toolchain installed" >&2
+        exit 1
+    fi
+fi
+
+if [ "${MUSE_CI_MIRI:-0}" = "1" ]; then
+    echo "== miri: cargo +nightly miri test (opt-in) =="
+    if cargo +nightly miri --version >/dev/null 2>&1; then
+        cargo +nightly miri test -p muse-core -q
+    else
+        echo "MUSE_CI_MIRI=1 but no nightly miri installed" >&2
+        exit 1
+    fi
+fi
 
 echo "== smoke: matcher join bench (with telemetry) =="
 cargo run -p muse-bench --release --bin harness -- matcher --quick --out . --telemetry out

@@ -8,11 +8,18 @@
 //! runnable scenarios, and `crates/muse-bench` for the experiment harness
 //! regenerating every table and figure of the paper.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub use muse_core as core;
 pub use muse_runtime as runtime;
 pub use muse_sim as sim;
+pub use muse_verify as verify;
 
-/// Commonly used items across all three crates.
+/// Commonly used items across the crates.
 pub mod prelude {
     pub use muse_core::prelude::*;
+    pub use muse_verify::{verify_for_deploy, verify_plan, Report, Severity, VerifyConfig};
 }

@@ -1,0 +1,698 @@
+//! Offline stand-in for [`loom`](https://docs.rs/loom): permutation-based
+//! model checking of concurrent code, with the API subset the workspace
+//! needs. Like the other `vendor/` crates it is a from-scratch,
+//! std-backed implementation so the workspace builds without network
+//! access.
+//!
+//! # Supported API
+//!
+//! * [`model`] — run a closure under every explored thread schedule,
+//! * [`thread::spawn`], [`thread::JoinHandle`], [`thread::yield_now`],
+//! * [`sync::Arc`] (re-export of `std`), [`sync::Mutex`],
+//! * [`sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering}`].
+//!
+//! # How it differs from real loom
+//!
+//! Threads run as real OS threads but are *serialized* by a cooperative
+//! scheduler: exactly one thread runs at a time, and every atomic or lock
+//! operation is a scheduling point where the scheduler picks the next
+//! runnable thread. The schedule space is explored exhaustively by
+//! depth-first replay of decision prefixes, bounded by the
+//! `LOOM_MAX_ITER` environment variable (default 100 000 executions).
+//!
+//! Memory is sequentially consistent: `Ordering` arguments are accepted
+//! but not weakened. The checker therefore finds interleaving bugs (lost
+//! updates, publish-before-initialize races at the scheduling level,
+//! deadlocks — reported as a panic naming the schedule) but not bugs that
+//! require C11 weak-memory reordering, which real loom also models.
+//!
+//! `yield_now` marks the calling thread as *yielded*: it is rescheduled
+//! only after some other thread has taken a step (or when it is the only
+//! live thread). This keeps spin-wait loops' schedule spaces finite.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::{Arc as StdArc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Marker panic payload used to unwind secondary threads once an execution
+/// has failed; filtered out when reporting so the original panic wins.
+struct AbortToken;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Called `yield_now`; eligible only once another thread has run.
+    Yielded,
+    /// Waiting for the thread with the given id to finish.
+    JoinBlocked(usize),
+    /// Waiting for the lock with the given id to be released.
+    LockBlocked(usize),
+    /// Finished (normally or by panic).
+    Finished,
+}
+
+#[derive(Debug)]
+struct SchedState {
+    threads: Vec<TState>,
+    /// Thread id currently allowed to run (`usize::MAX`: none).
+    current: usize,
+    /// Threads not yet `Finished`.
+    live: usize,
+    /// Choice prefix replayed from the previous execution.
+    replay: Vec<usize>,
+    /// `(chosen index, candidate count)` per decision of this execution.
+    trace: Vec<(usize, usize)>,
+    decision: usize,
+    abort: bool,
+    failure: Option<String>,
+}
+
+struct Scheduler {
+    state: StdMutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    fn new(replay: Vec<usize>) -> Self {
+        Self {
+            state: StdMutex::new(SchedState {
+                threads: Vec::new(),
+                current: usize::MAX,
+                live: 0,
+                replay,
+                trace: Vec::new(),
+                decision: 0,
+                abort: false,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Locks the scheduler state, recovering from poisoning (a panicking
+    /// model thread must not wedge the whole exploration).
+    fn lock_state(&self) -> StdMutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        st.threads.push(TState::Runnable);
+        st.live += 1;
+        st.threads.len() - 1
+    }
+
+    /// Picks the next thread to run. Called with the state lock held.
+    fn schedule_next(&self, st: &mut SchedState) {
+        if st.live == 0 {
+            st.current = usize::MAX;
+            self.cv.notify_all();
+            return;
+        }
+        let mut cands: Vec<usize> = (0..st.threads.len())
+            .filter(|&i| st.threads[i] == TState::Runnable)
+            .collect();
+        if cands.is_empty() {
+            // Only yielded threads left: let them re-check their condition.
+            cands = (0..st.threads.len())
+                .filter(|&i| st.threads[i] == TState::Yielded)
+                .collect();
+        }
+        if cands.is_empty() {
+            if st.failure.is_none() {
+                let blocked: Vec<usize> = (0..st.threads.len())
+                    .filter(|&i| st.threads[i] != TState::Finished)
+                    .collect();
+                st.failure = Some(format!(
+                    "deadlock: every live thread is blocked (threads {blocked:?})"
+                ));
+            }
+            st.abort = true;
+            st.current = usize::MAX;
+            self.cv.notify_all();
+            return;
+        }
+        let mut choice = if st.decision < st.replay.len() {
+            st.replay[st.decision]
+        } else {
+            0
+        };
+        if choice >= cands.len() {
+            choice = cands.len() - 1;
+        }
+        st.trace.push((choice, cands.len()));
+        st.decision += 1;
+        // A step is being taken: yielded threads become runnable again.
+        for t in st.threads.iter_mut() {
+            if *t == TState::Yielded {
+                *t = TState::Runnable;
+            }
+        }
+        st.current = cands[choice];
+        self.cv.notify_all();
+    }
+
+    /// A scheduling point: parks the calling thread in `entry` state, lets
+    /// the scheduler pick the next thread, and returns once this thread is
+    /// scheduled again. Panics (with [`AbortToken`]) if the execution was
+    /// aborted.
+    fn yield_point(&self, me: usize, entry: TState) {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+        st.threads[me] = entry;
+        self.schedule_next(&mut st);
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(AbortToken);
+            }
+            if st.current == me {
+                break;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.threads[me] = TState::Runnable;
+    }
+
+    /// Initial park of a freshly spawned thread. Returns `false` if the
+    /// execution aborted before the thread ever ran.
+    fn wait_until_scheduled(&self, me: usize) -> bool {
+        let mut st = self.lock_state();
+        loop {
+            if st.abort {
+                return false;
+            }
+            if st.current == me {
+                st.threads[me] = TState::Runnable;
+                return true;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn finish_thread(&self, me: usize) {
+        let mut st = self.lock_state();
+        st.threads[me] = TState::Finished;
+        st.live -= 1;
+        for t in st.threads.iter_mut() {
+            if *t == TState::JoinBlocked(me) {
+                *t = TState::Runnable;
+            }
+        }
+        if !st.abort && (st.current == me || st.current == usize::MAX) {
+            self.schedule_next(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    fn is_finished(&self, id: usize) -> bool {
+        self.lock_state().threads[id] == TState::Finished
+    }
+
+    fn unblock_lock(&self, lock_id: usize) {
+        let mut st = self.lock_state();
+        for t in st.threads.iter_mut() {
+            if *t == TState::LockBlocked(lock_id) {
+                *t = TState::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    fn record_failure(&self, msg: String) {
+        let mut st = self.lock_state();
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Kicks off an execution by making the first scheduling decision.
+    fn start(&self) {
+        let mut st = self.lock_state();
+        self.schedule_next(&mut st);
+    }
+
+    fn wait_done(&self) {
+        let mut st = self.lock_state();
+        while st.live > 0 {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn outcome(&self) -> (Option<String>, Vec<(usize, usize)>) {
+        let st = self.lock_state();
+        (st.failure.clone(), st.trace.clone())
+    }
+}
+
+thread_local! {
+    /// The scheduler and thread id of the current OS thread, when it is a
+    /// model thread of an active execution.
+    static CURRENT: RefCell<Option<(StdArc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+fn handle() -> Option<(StdArc<Scheduler>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn is_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.downcast_ref::<AbortToken>().is_some()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+/// Spawns the root model thread of one execution.
+fn spawn_root<F: Fn() + Send + Sync + 'static>(
+    sched: &StdArc<Scheduler>,
+    f: StdArc<F>,
+) -> std::thread::JoinHandle<()> {
+    let id = sched.register_thread();
+    let s2 = StdArc::clone(sched);
+    std::thread::spawn(move || {
+        CURRENT.with(|c| *c.borrow_mut() = Some((StdArc::clone(&s2), id)));
+        if s2.wait_until_scheduled(id) {
+            if let Err(e) = catch_unwind(AssertUnwindSafe(|| f())) {
+                if !is_abort(e.as_ref()) {
+                    s2.record_failure(panic_message(e.as_ref()));
+                }
+            }
+        }
+        s2.finish_thread(id);
+    })
+}
+
+/// Explores the thread schedules of `f`: the closure is executed repeatedly,
+/// once per schedule, until the decision tree is exhausted (or the
+/// `LOOM_MAX_ITER` execution bound — default 100 000 — is hit, in which
+/// case a note is printed and exploration stops).
+///
+/// # Panics
+///
+/// Panics if any execution panics (assertion failures inside the model) or
+/// deadlocks, reporting the failing schedule as a choice sequence.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = StdArc::new(f);
+    let max_iter: usize = std::env::var("LOOM_MAX_ITER")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let mut replay: Vec<usize> = Vec::new();
+    let mut iters = 0usize;
+    loop {
+        iters += 1;
+        let sched = StdArc::new(Scheduler::new(std::mem::take(&mut replay)));
+        let root = spawn_root(&sched, StdArc::clone(&f));
+        sched.start();
+        sched.wait_done();
+        let _ = root.join();
+        let (failure, trace) = sched.outcome();
+        if let Some(msg) = failure {
+            let schedule: Vec<usize> = trace.iter().map(|(c, _)| *c).collect();
+            panic!("loom model failed on execution {iters}\nschedule: {schedule:?}\n{msg}");
+        }
+        // Depth-first backtrack: deepest decision with an unexplored branch.
+        let next = trace
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, (c, n))| c + 1 < *n)
+            .map(|(i, (c, _))| {
+                let mut r: Vec<usize> = trace[..i].iter().map(|(c, _)| *c).collect();
+                r.push(c + 1);
+                r
+            });
+        match next {
+            Some(r) if iters < max_iter => replay = r,
+            Some(_) => {
+                eprintln!(
+                    "loom: stopping exploration after {iters} executions (LOOM_MAX_ITER bound)"
+                );
+                break;
+            }
+            None => break,
+        }
+    }
+}
+
+pub mod thread {
+    //! Model-checked threads: [`spawn`], [`JoinHandle`], [`yield_now`].
+
+    use super::*;
+
+    /// Handle to a model thread, returned by [`spawn`].
+    pub struct JoinHandle<T> {
+        id: usize,
+        result: StdArc<StdMutex<Option<std::thread::Result<T>>>>,
+        os: std::thread::JoinHandle<()>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits (yielding to the scheduler) until the thread finishes and
+        /// returns its result; `Err` if the thread panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            let (sched, me) = handle().expect("loom::thread::JoinHandle::join outside model");
+            sched.yield_point(me, TState::Runnable);
+            while !sched.is_finished(self.id) {
+                sched.yield_point(me, TState::JoinBlocked(self.id));
+            }
+            let _ = self.os.join();
+            self.result
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("joined thread stored a result")
+        }
+    }
+
+    /// Spawns a new model thread; must be called from inside [`super::model`].
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (sched, me) = handle().expect("loom::thread::spawn requires loom::model");
+        let id = sched.register_thread();
+        let result: StdArc<StdMutex<Option<std::thread::Result<T>>>> =
+            StdArc::new(StdMutex::new(None));
+        let r2 = StdArc::clone(&result);
+        let s2 = StdArc::clone(&sched);
+        let os = std::thread::spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((StdArc::clone(&s2), id)));
+            if s2.wait_until_scheduled(id) {
+                match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => {
+                        *r2.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v));
+                    }
+                    Err(e) => {
+                        if !is_abort(e.as_ref()) {
+                            s2.record_failure(panic_message(e.as_ref()));
+                        }
+                        *r2.lock().unwrap_or_else(|e| e.into_inner()) = Some(Err(e));
+                    }
+                }
+            }
+            s2.finish_thread(id);
+        });
+        // Spawning is itself a scheduling point: the child may run first.
+        sched.yield_point(me, TState::Runnable);
+        JoinHandle { id, result, os }
+    }
+
+    /// Hints that the thread cannot progress: it is rescheduled only after
+    /// another thread has taken a step, keeping spin loops finite.
+    pub fn yield_now() {
+        if let Some((sched, me)) = handle() {
+            sched.yield_point(me, TState::Yielded);
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+pub mod sync {
+    //! Model-checked synchronization primitives.
+
+    use super::*;
+    use std::sync::atomic::AtomicBool as StdAtomicBool;
+
+    pub use std::sync::Arc;
+
+    static NEXT_LOCK_ID: StdAtomicUsize = StdAtomicUsize::new(0);
+
+    /// A mutex whose `lock` is a scheduling point; contention parks the
+    /// thread until the holder releases.
+    pub struct Mutex<T> {
+        id: usize,
+        flag: StdAtomicBool,
+        inner: StdMutex<T>,
+    }
+
+    /// Guard returned by [`Mutex::lock`].
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        inner: Option<StdMutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex.
+        pub fn new(value: T) -> Self {
+            Self {
+                id: NEXT_LOCK_ID.fetch_add(1, StdOrdering::Relaxed),
+                flag: StdAtomicBool::new(false),
+                inner: StdMutex::new(value),
+            }
+        }
+
+        /// Acquires the mutex. Never returns `Err`: poisoning is not
+        /// modeled (a panicking model thread aborts the whole execution).
+        pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+            if let Some((sched, me)) = handle() {
+                sched.yield_point(me, TState::Runnable);
+                while self.flag.swap(true, StdOrdering::SeqCst) {
+                    sched.yield_point(me, TState::LockBlocked(self.id));
+                }
+            } else {
+                self.flag.store(true, StdOrdering::SeqCst);
+            }
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            Ok(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+            })
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard live")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard live")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            self.inner = None;
+            self.lock.flag.store(false, StdOrdering::SeqCst);
+            if let Some((sched, _)) = handle() {
+                sched.unblock_lock(self.lock.id);
+            }
+        }
+    }
+
+    pub mod atomic {
+        //! Atomics whose every operation is a scheduling point.
+
+        use super::super::{handle, TState};
+
+        pub use std::sync::atomic::Ordering;
+
+        fn yield_here() {
+            if let Some((sched, me)) = handle() {
+                sched.yield_point(me, TState::Runnable);
+            }
+        }
+
+        macro_rules! atomic_wrapper {
+            ($(#[$meta:meta])* $name:ident, $std:ty, $val:ty) => {
+                $(#[$meta])*
+                #[derive(Debug, Default)]
+                pub struct $name(pub(crate) $std);
+
+                impl $name {
+                    /// Creates a new atomic with the given initial value.
+                    pub const fn new(v: $val) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// Atomic load (scheduling point).
+                    pub fn load(&self, order: Ordering) -> $val {
+                        yield_here();
+                        self.0.load(order)
+                    }
+
+                    /// Atomic store (scheduling point).
+                    pub fn store(&self, v: $val, order: Ordering) {
+                        yield_here();
+                        self.0.store(v, order)
+                    }
+
+                    /// Atomic swap (scheduling point).
+                    pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                        yield_here();
+                        self.0.swap(v, order)
+                    }
+
+                    /// Atomic compare-exchange (scheduling point).
+                    pub fn compare_exchange(
+                        &self,
+                        current: $val,
+                        new: $val,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$val, $val> {
+                        yield_here();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        atomic_wrapper!(
+            /// Model-checked `AtomicBool`.
+            AtomicBool,
+            std::sync::atomic::AtomicBool,
+            bool
+        );
+        atomic_wrapper!(
+            /// Model-checked `AtomicU64`.
+            AtomicU64,
+            std::sync::atomic::AtomicU64,
+            u64
+        );
+        atomic_wrapper!(
+            /// Model-checked `AtomicUsize`.
+            AtomicUsize,
+            std::sync::atomic::AtomicUsize,
+            usize
+        );
+
+        macro_rules! atomic_arith {
+            ($name:ident, $val:ty) => {
+                impl $name {
+                    /// Atomic add, returning the previous value
+                    /// (scheduling point).
+                    pub fn fetch_add(&self, v: $val, order: Ordering) -> $val {
+                        yield_here();
+                        self.0.fetch_add(v, order)
+                    }
+
+                    /// Atomic max, returning the previous value
+                    /// (scheduling point).
+                    pub fn fetch_max(&self, v: $val, order: Ordering) -> $val {
+                        yield_here();
+                        self.0.fetch_max(v, order)
+                    }
+                }
+            };
+        }
+
+        atomic_arith!(AtomicU64, u64);
+        atomic_arith!(AtomicUsize, usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+    use super::thread;
+    use std::collections::HashSet;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn explores_lost_update_interleaving() {
+        // Two threads perform a non-atomic read-modify-write; exploration
+        // must find both the serialized outcome (2) and the lost update (1).
+        let outcomes = std::sync::Arc::new(StdMutex::new(HashSet::new()));
+        let o2 = outcomes.clone();
+        super::model(move || {
+            let c = Arc::new(AtomicUsize::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || {
+                        let v = c.load(Ordering::SeqCst);
+                        c.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            o2.lock().unwrap().insert(c.load(Ordering::SeqCst));
+        });
+        let seen = outcomes.lock().unwrap();
+        assert!(
+            seen.contains(&2),
+            "serialized outcome not explored: {seen:?}"
+        );
+        assert!(seen.contains(&1), "lost update not explored: {seen:?}");
+    }
+
+    #[test]
+    fn mutex_preserves_mutual_exclusion() {
+        super::model(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    thread::spawn(move || {
+                        let mut g = m.lock().unwrap();
+                        let v = *g;
+                        *g = v + 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn yielding_spin_loop_terminates() {
+        super::model(|| {
+            let done = Arc::new(AtomicBool::new(false));
+            let d2 = Arc::clone(&done);
+            let h = thread::spawn(move || d2.store(true, Ordering::SeqCst));
+            while !done.load(Ordering::SeqCst) {
+                thread::yield_now();
+            }
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn detects_lock_order_deadlock() {
+        super::model(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let h = thread::spawn(move || {
+                let _ga = a2.lock().unwrap();
+                let _gb = b2.lock().unwrap();
+            });
+            {
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+            }
+            h.join().unwrap();
+        });
+    }
+}
