@@ -7,13 +7,14 @@
 //!
 //! Experiments: fig5a fig5b fig5c fig5d fig6a fig6b fig7a fig7b fig7c fig7d
 //! table3 fig8. Results are printed as text tables and, with `--out`,
-//! written as JSON for downstream plotting. Two extra experiments are run
-//! only when named explicitly: `ablation` (design-choice ablations) and
+//! written as JSON for downstream plotting. Three extra experiments are
+//! run only when named explicitly: `ablation` (design-choice ablations),
 //! `matcher` (indexed vs. naive join engine; written as
-//! `BENCH_matcher.json`).
+//! `BENCH_matcher.json`), and `executor` (batched vs. naive inter-node
+//! transport on the threaded executor; written as `BENCH_executor.json`).
 //!
 //! With `--telemetry DIR`, the executing experiments (`table3`, `fig8`,
-//! `matcher`) additionally collect run telemetry — registry snapshots,
+//! `matcher`, `executor`) additionally collect run telemetry — registry snapshots,
 //! per-task series, lineage traces — written as `DIR/telemetry.json`,
 //! `DIR/series.jsonl`, and `DIR/trace.jsonl`, with a per-task summary
 //! table printed per run and the experiment wall time sourced from the
@@ -73,7 +74,11 @@ fn main() -> ExitCode {
                 ));
             }
             "all" => ids.extend(all_experiments().iter().map(|s| s.to_string())),
-            id if all_experiments().contains(&id) || id == "ablation" || id == "matcher" => {
+            id if all_experiments().contains(&id)
+                || id == "ablation"
+                || id == "matcher"
+                || id == "executor" =>
+            {
                 ids.push(id.to_string())
             }
             other => die(&format!("unknown argument '{other}'")),
@@ -108,6 +113,9 @@ fn main() -> ExitCode {
                 if !run.tasks.is_empty() {
                     println!("-- {label} --\n{}", run.task_table());
                 }
+                if let Some(transport) = run.transport_summary() {
+                    println!("-- {label} transport --\n{transport}");
+                }
             }
             eprintln!("{id} finished: {}\n", collector.summary_line());
             all_checks_pass &= collector.checks_pass();
@@ -118,11 +126,12 @@ fn main() -> ExitCode {
             eprintln!("{id} finished in {elapsed:.1?}\n");
         }
         if let Some(dir) = &out_dir {
-            // The matcher join bench is a named deliverable, not a paper figure.
-            let file = if id == "matcher" {
-                "BENCH_matcher.json".to_string()
-            } else {
-                format!("{id}.json")
+            // The matcher and executor benches are named deliverables, not
+            // paper figures.
+            let file = match id.as_str() {
+                "matcher" => "BENCH_matcher.json".to_string(),
+                "executor" => "BENCH_executor.json".to_string(),
+                _ => format!("{id}.json"),
             };
             let path = dir.join(file);
             let json = serde_json::to_string_pretty(&output).expect("serialize result");

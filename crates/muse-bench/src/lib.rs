@@ -27,6 +27,7 @@ pub mod matcher_stress;
 pub mod runner;
 pub mod stats;
 pub mod telemetry;
+pub mod transport_stress;
 
 pub use experiments::{all_experiments, run_experiment, ExperimentOutput};
 pub use runner::{evaluate_workload, StrategyCosts, SweepSettings};

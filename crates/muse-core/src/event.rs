@@ -11,6 +11,7 @@ use crate::types::{AttrId, EventTypeId, NodeId};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// Logical time, in abstract time units (the paper's `e.time ∈ ℕ`).
 pub type Timestamp = u64;
@@ -61,51 +62,81 @@ impl From<&str> for Value {
 /// attribute id.
 ///
 /// Payloads are tiny (the cluster-trace events carry two ids), so a sorted
-/// vector beats a hash map in both space and lookup time.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
-pub struct Payload(Vec<(AttrId, Value)>);
+/// vector beats a hash map in both space and lookup time. The pair list is
+/// reference-counted: cloning an event — which the executors do once per
+/// route on the send path — bumps a refcount instead of copying attribute
+/// values, and mutation after sharing falls back to copy-on-write.
+#[derive(Debug, Clone, Default)]
+pub struct Payload(Option<Arc<Vec<(AttrId, Value)>>>);
 
 impl Payload {
-    /// Creates an empty payload.
+    /// Creates an empty payload (no allocation).
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Creates a payload from `(attribute, value)` pairs.
     pub fn from_pairs(mut pairs: Vec<(AttrId, Value)>) -> Self {
+        if pairs.is_empty() {
+            return Self(None);
+        }
         pairs.sort_by_key(|(a, _)| *a);
-        Self(pairs)
+        Self(Some(Arc::new(pairs)))
     }
 
-    /// Sets an attribute value, replacing any previous value.
+    fn pairs(&self) -> &[(AttrId, Value)] {
+        self.0.as_deref().map_or(&[], Vec::as_slice)
+    }
+
+    /// Sets an attribute value, replacing any previous value (copying the
+    /// pair list first if it is shared with another event).
     pub fn set(&mut self, attr: AttrId, value: Value) {
-        match self.0.binary_search_by_key(&attr, |(a, _)| *a) {
-            Ok(i) => self.0[i].1 = value,
-            Err(i) => self.0.insert(i, (attr, value)),
+        let pairs = Arc::make_mut(self.0.get_or_insert_with(Default::default));
+        match pairs.binary_search_by_key(&attr, |(a, _)| *a) {
+            Ok(i) => pairs[i].1 = value,
+            Err(i) => pairs.insert(i, (attr, value)),
         }
     }
 
     /// Returns the value of an attribute, if present.
     pub fn get(&self, attr: AttrId) -> Option<&Value> {
-        self.0
+        self.pairs()
             .binary_search_by_key(&attr, |(a, _)| *a)
             .ok()
-            .map(|i| &self.0[i].1)
+            .map(|i| &self.pairs()[i].1)
     }
 
     /// Number of attributes in the payload.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.pairs().len()
     }
 
     /// Returns `true` if the payload carries no attribute.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.pairs().is_empty()
     }
 
     /// Iterates over `(attribute, value)` pairs in attribute order.
     pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Value)> {
-        self.0.iter().map(|(a, v)| (*a, v))
+        self.pairs().iter().map(|(a, v)| (*a, v))
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.pairs() == other.pairs()
+    }
+}
+
+impl Serialize for Payload {
+    fn to_value(&self) -> serde::Value {
+        self.pairs().to_value()
+    }
+}
+
+impl Deserialize for Payload {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Vec::<(AttrId, Value)>::from_value(v).map(Payload::from_pairs)
     }
 }
 

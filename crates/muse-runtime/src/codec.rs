@@ -92,9 +92,34 @@ pub fn decode_event(buf: &mut impl Buf) -> Event {
     Event::with_payload(seq, ty, time, origin, payload)
 }
 
+/// Encoded size of one event in bytes, computed arithmetically (no buffer
+/// is written). Kept in lockstep with [`encode_event`]; the equality is
+/// asserted by the codec property suite.
+pub fn encoded_event_len(e: &Event) -> usize {
+    // seq + ty + time + origin + attr count.
+    let mut len = 8 + 2 + 8 + 2 + 1;
+    for (_, value) in e.payload.iter() {
+        // attr id + value tag.
+        len += 1 + 1;
+        len += match value {
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Str(s) => 4 + s.len(),
+        };
+    }
+    len
+}
+
 /// Encoded size of a match in bytes (what a network transmission costs).
+/// Computed arithmetically so the executors' send paths can account bytes
+/// without encoding (and allocating) the full wire buffer per match.
 pub fn encoded_len(m: &Match) -> usize {
-    encode_match(m).len()
+    // Entry count prefix, then one prim id byte per entry plus its event.
+    2 + m
+        .entries()
+        .iter()
+        .map(|(_, e)| 1 + encoded_event_len(e))
+        .sum::<usize>()
 }
 
 #[cfg(test)]
@@ -140,5 +165,19 @@ mod tests {
         let small = Match::single(PrimId(0), Event::new(1, EventTypeId(0), 1, NodeId(0)));
         let big = Match::single(PrimId(0), sample_event());
         assert!(encoded_len(&big) > encoded_len(&small));
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        for m in [
+            Match::new(vec![]),
+            Match::single(PrimId(0), Event::new(1, EventTypeId(0), 1, NodeId(0))),
+            Match::new(vec![
+                (PrimId(0), sample_event()),
+                (PrimId(2), Event::new(5, EventTypeId(1), 10, NodeId(0))),
+            ]),
+        ] {
+            assert_eq!(encoded_len(&m), encode_match(&m).len());
+        }
     }
 }

@@ -71,6 +71,20 @@ pub struct Route {
     pub remote: bool,
 }
 
+/// A task's routes split into local and remote destinations, precomputed at
+/// deployment build time so the executors' hot send paths iterate plain
+/// slices instead of filtering (and cloning) the route list per emission.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Fanout {
+    /// Node-local destinations as `(target task, slot)`.
+    pub local: Vec<(usize, usize)>,
+    /// Network destinations as `(destination node, target task, slot)`.
+    pub remote: Vec<(usize, usize, usize)>,
+    /// Distinct destination nodes of the remote routes, sorted — the
+    /// once-per-node shipping set of the §4.4 cost model.
+    pub remote_nodes: Vec<usize>,
+}
+
 /// A runnable deployment of a MuSE graph.
 #[derive(Debug, Clone)]
 pub struct Deployment {
@@ -82,6 +96,8 @@ pub struct Deployment {
     pub tasks: Vec<TaskSpec>,
     /// Outgoing routes per task.
     pub routes: Vec<Vec<Route>>,
+    /// Per-task local/remote fanout (derived from `routes`).
+    pub fanouts: Vec<Fanout>,
     /// Source task indices by `(origin node, event type)`.
     sources_by_origin: HashMap<(NodeId, EventTypeId), Vec<usize>>,
     /// Sink task indices per query (parallel to `queries`).
@@ -217,12 +233,31 @@ impl Deployment {
         for r in &mut routes {
             r.sort_by_key(|r| (r.target, r.slot));
         }
+        let fanouts = routes
+            .iter()
+            .map(|rs| {
+                let mut f = Fanout::default();
+                for r in rs {
+                    if r.remote {
+                        f.remote
+                            .push((tasks[r.target].node.index(), r.target, r.slot));
+                        f.remote_nodes.push(tasks[r.target].node.index());
+                    } else {
+                        f.local.push((r.target, r.slot));
+                    }
+                }
+                f.remote_nodes.sort_unstable();
+                f.remote_nodes.dedup();
+                f
+            })
+            .collect();
 
         Self {
             queries,
             num_nodes: ctx.network.num_nodes(),
             tasks,
             routes,
+            fanouts,
             sources_by_origin,
             sink_tasks,
         }

@@ -72,6 +72,17 @@ pub struct JoinTask {
     slack: f64,
     /// Minimum horizon progress between physical prefix drains.
     evict_stride: Timestamp,
+    /// When set, candidate matches of negation-guarded contexts are held in
+    /// `deferred` instead of being emitted from [`JoinTask::on_match`], and
+    /// the final absence check runs in [`JoinTask::release_deferred`] once
+    /// the caller knows every in-flight guard has arrived (the threaded
+    /// executor's chunk-quiescence boundary). Joins without negations are
+    /// unaffected.
+    #[serde(default)]
+    defer_negation: bool,
+    /// Candidates awaiting their deferred absence check.
+    #[serde(default)]
+    deferred: Vec<Match>,
     /// Observability counters.
     stats: JoinStats,
 }
@@ -143,6 +154,8 @@ impl JoinTask {
             max_time: 0,
             slack,
             evict_stride: default_stride(query.window()),
+            defer_negation: false,
+            deferred: Vec::new(),
             stats: JoinStats::default(),
         }
     }
@@ -159,6 +172,50 @@ impl JoinTask {
     /// The target projection's primitives.
     pub fn target(&self) -> PrimSet {
         self.target
+    }
+
+    /// Whether any `NSEQ` absence check runs at this join.
+    pub fn has_negations(&self) -> bool {
+        !self.negations.is_empty()
+    }
+
+    /// Enables (or disables) deferred negation: candidate matches of
+    /// negation-guarded contexts are buffered instead of emitted, and the
+    /// absence check runs when [`JoinTask::release_deferred`] is called.
+    ///
+    /// Needed by executors with real network latency, where a forbidden
+    /// guard event can physically arrive *after* the positive candidate it
+    /// must suppress; deferring the check to a quiescence boundary restores
+    /// the arrive-before-candidate property the zero-latency simulator gets
+    /// from causal delivery order. No-op for joins without negations.
+    pub fn set_defer_negation(&mut self, on: bool) {
+        self.defer_negation = on;
+    }
+
+    /// Runs the absence check over the deferred candidates and returns the
+    /// survivors, in deferral order. Counts them as emitted.
+    ///
+    /// The caller must guarantee that every guard event that could fall
+    /// strictly inside a deferred candidate's context interval has been fed
+    /// to this join (chunk quiescence in the threaded executor: any such
+    /// guard is older than the candidate's newest event and therefore
+    /// belongs to an already-drained chunk).
+    pub fn release_deferred(&mut self) -> Vec<Match> {
+        if self.deferred.is_empty() {
+            return Vec::new();
+        }
+        let pending = std::mem::take(&mut self.deferred);
+        let released: Vec<Match> = pending
+            .into_iter()
+            .filter(|m| self.passes_negation(m))
+            .collect();
+        self.stats.emitted += released.len() as u64;
+        released
+    }
+
+    /// Candidates currently awaiting their deferred absence check.
+    pub fn deferred_len(&self) -> usize {
+        self.deferred.len()
     }
 
     /// The input slots.
@@ -220,6 +277,24 @@ impl JoinTask {
 
         let window = self.query.window();
         let (m_first, m_last) = (m.first_time(), m.last_time());
+
+        // Fast path for the common no-join case: the merge across slots is
+        // a conjunction, so if any other positive slot has nothing
+        // compatible buffered the trigger cannot complete — store the
+        // partial without allocating the candidate scaffolding below.
+        let doomed = self.slots.iter().enumerate().any(|(i, spec)| {
+            i != slot
+                && !spec.negated
+                && self.stores[i]
+                    .compatible(m_first, m_last, window)
+                    .is_empty()
+        });
+        if doomed {
+            self.stores[slot].insert(m);
+            self.evict();
+            self.stats.peak_buffered = self.stats.peak_buffered.max(self.buffered() as u64);
+            return Vec::new();
+        }
 
         // Visit the other positive slots smallest-compatible-slice-first:
         // a thin slot shrinks the candidate set before wide slots multiply
@@ -285,7 +360,14 @@ impl JoinTask {
         emitted.dedup_by(|a, b| a.fingerprint() == b.fingerprint());
 
         self.stores[slot].insert(m);
-        self.stats.emitted += emitted.len() as u64;
+        if self.defer_negation && !self.negations.is_empty() {
+            // Hold candidates for the quiescence-time absence check; the
+            // filter above already removed everything rejectable by the
+            // guards seen so far (the guard set only grows until release).
+            self.deferred.append(&mut emitted);
+        } else {
+            self.stats.emitted += emitted.len() as u64;
+        }
         self.evict();
         self.stats.peak_buffered = self.stats.peak_buffered.max(self.buffered() as u64);
         emitted

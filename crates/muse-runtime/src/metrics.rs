@@ -72,6 +72,55 @@ impl JoinStats {
     }
 }
 
+/// Observability counters of the threaded executor's batched transport
+/// (zero in the simulator, which has no physical channels). Backpressure is
+/// observable, not silent: blocked sends, queue depth, and the realized
+/// batch-size distribution are first-class metrics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Frames pushed onto inter-node channels.
+    pub frames_sent: u64,
+    /// Messages (matches) carried inside those frames.
+    pub messages_framed: u64,
+    /// `try_send` attempts rejected because the destination channel was at
+    /// capacity (each rejection steals from the sender's own inbox before
+    /// retrying, so blocked sends convert into useful work).
+    pub blocked_sends: u64,
+    /// Frame buffers newly allocated because the recycling pool was empty.
+    pub pool_allocs: u64,
+    /// Frame buffers reused from the recycling return path.
+    pub pool_reuses: u64,
+    /// Largest number of frames observed in flight to any single node.
+    pub peak_queue_depth: u64,
+    /// Distribution of realized batch sizes (messages per frame).
+    pub batch_hist: LogHistogram,
+}
+
+impl TransportStats {
+    /// Accumulates another shard's counters (peak is a maximum, the
+    /// histogram merges, the rest are sums).
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.frames_sent += other.frames_sent;
+        self.messages_framed += other.messages_framed;
+        self.blocked_sends += other.blocked_sends;
+        self.pool_allocs += other.pool_allocs;
+        self.pool_reuses += other.pool_reuses;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.batch_hist.merge(&other.batch_hist);
+    }
+
+    /// Fraction of frame buffers served from the recycling pool rather
+    /// than freshly allocated (1.0 when no frame was ever sent).
+    pub fn pool_reuse_ratio(&self) -> f64 {
+        let total = self.pool_allocs + self.pool_reuses;
+        if total == 0 {
+            1.0
+        } else {
+            self.pool_reuses as f64 / total as f64
+        }
+    }
+}
+
 /// Counters collected during an execution.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
@@ -100,6 +149,9 @@ pub struct Metrics {
     pub latency_hist: LogHistogram,
     /// Join-engine counters aggregated over all join tasks.
     pub join: JoinStats,
+    /// Batched-transport counters (threaded executor only).
+    #[serde(default)]
+    pub transport: TransportStats,
 }
 
 impl Metrics {
@@ -143,6 +195,7 @@ impl Metrics {
         self.latencies.extend_from_slice(&other.latencies);
         self.latency_hist.merge(&other.latency_hist);
         self.join.merge(&other.join);
+        self.transport.merge(&other.transport);
     }
 
     /// The transmission ratio of this run against a centralized run in

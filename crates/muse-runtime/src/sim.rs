@@ -138,7 +138,7 @@ pub struct SimExecutor<'a> {
     /// Already-transmitted streams `(stream sig, from, to, match hash)`:
     /// identical matches of semantically identical tasks are shipped to a
     /// node once and multiplexed (cross-query stream reuse at runtime).
-    sent: std::collections::HashSet<(u64, NodeId, NodeId, u64)>,
+    sent: std::collections::HashSet<(u64, NodeId, NodeId, u64), MuxBuildHasher>,
     /// Telemetry collection state (when enabled by the config).
     telemetry: Option<ExecTelemetry>,
 }
@@ -223,7 +223,8 @@ impl<'a> SimExecutor<'a> {
 
     /// Injects one event into the source tasks at its origin.
     fn inject(&mut self, event: &Event) {
-        let sources: Vec<usize> = self.deployment.sources_for(event.origin, event.ty).to_vec();
+        let deployment = self.deployment;
+        let sources = deployment.sources_for(event.origin, event.ty);
         if sources.is_empty() {
             return;
         }
@@ -232,14 +233,14 @@ impl<'a> SimExecutor<'a> {
         if let Some(tel) = &mut self.telemetry {
             tel.on_inject(event.time, event.origin.index(), sources[0], event);
         }
-        for task in sources {
+        for &task in sources {
             let TaskKind::Source {
                 prim, predicates, ..
-            } = &self.deployment.tasks[task].kind
+            } = &deployment.tasks[task].kind
             else {
                 unreachable!("sources_for returns source tasks");
             };
-            let query = &self.deployment.queries[self.deployment.tasks[task].query_idx];
+            let query = &deployment.queries[deployment.tasks[task].query_idx];
             let passes = predicates.iter().all(|&pi| {
                 query.predicates()[pi].evaluate(|p| (p == *prim).then_some(event)) == Some(true)
             });
@@ -253,30 +254,33 @@ impl<'a> SimExecutor<'a> {
 
     /// Routes emitted matches of a task: schedules deliveries, counting
     /// network messages once per (match, remote target node).
+    ///
+    /// The destination sets come from the deployment's precomputed
+    /// [`crate::deploy::Fanout`] (shared with the threaded executor's
+    /// transport), so no per-emission route-table clone or per-match
+    /// destination vector is built.
     fn route(&mut self, task: usize, outs: Vec<Match>, time: Timestamp, trigger: u64) {
         if outs.is_empty() {
             return;
         }
-        let routes = self.deployment.routes[task].clone();
+        // Copy the deployment reference out of `self` so route/fanout
+        // borrows don't conflict with the metric and heap updates below.
+        let deployment = self.deployment;
+        let routes = &deployment.routes[task];
         if routes.is_empty() {
             return;
         }
-        let own_node = self.deployment.tasks[task].node;
+        let fanout = &deployment.fanouts[task];
+        let own_node = deployment.tasks[task].node;
         for m in outs {
             // Count each remote node once (§4.4: matches are shipped to a
             // node once and shared by its placements).
-            let mut remote_nodes: Vec<NodeId> = routes
-                .iter()
-                .filter(|r| r.remote)
-                .map(|r| self.deployment.tasks[r.target].node)
-                .collect();
-            remote_nodes.sort();
-            remote_nodes.dedup();
-            if !remote_nodes.is_empty() {
+            if !fanout.remote_nodes.is_empty() {
                 let bytes = encoded_len(&m) as u64;
-                let sig = self.deployment.tasks[task].stream_sig;
+                let sig = deployment.tasks[task].stream_sig;
                 let mhash = match_hash(&m);
-                for &n in &remote_nodes {
+                for &n in &fanout.remote_nodes {
+                    let n = NodeId(n as u16);
                     if self.sent.insert((sig, own_node, n, mhash)) {
                         self.metrics.messages_sent += 1;
                         self.metrics.bytes_sent += bytes;
@@ -286,7 +290,7 @@ impl<'a> SimExecutor<'a> {
                     }
                 }
             }
-            for r in &routes {
+            for r in routes {
                 let delivery_time = if r.remote {
                     time + self.config.latency
                 } else {
@@ -297,7 +301,7 @@ impl<'a> SimExecutor<'a> {
                     time
                 };
                 debug_assert!(
-                    r.remote || self.deployment.tasks[r.target].node == own_node,
+                    r.remote || deployment.tasks[r.target].node == own_node,
                     "local route must stay on the node"
                 );
                 self.next_sub += 1;
@@ -454,17 +458,68 @@ pub(crate) fn match_hash_for_mux(m: &Match) -> u64 {
     match_hash(m)
 }
 
+/// The hasher for the transmission-multiplexing `sent` sets.
+///
+/// The set keys are stream signatures and [`match_hash_for_mux`] values —
+/// both already well mixed — so SipHash's keyed preimage resistance buys
+/// nothing here while its per-insert cost shows up in the executor send
+/// path (the set grows with every unique transmission). One multiply-and-
+/// rotate round per word keeps the tuple components from cancelling and
+/// costs a few cycles.
+#[derive(Default)]
+pub(crate) struct MuxHasher(u64);
+
+impl std::hash::Hasher for MuxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(26);
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(v as u64)
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64)
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64)
+    }
+}
+
+/// `HashSet` state for [`MuxHasher`]-keyed multiplexing sets.
+pub(crate) type MuxBuildHasher = std::hash::BuildHasherDefault<MuxHasher>;
+
 fn match_hash(m: &Match) -> u64 {
     // Only the constituent events identify the physical payload: primitive
     // operator ids are receiver-side interpretation and differ across
-    // queries for semantically identical streams.
-    let mut seqs: Vec<u64> = m.entries().iter().map(|(_, e)| e.seq).collect();
-    seqs.sort_unstable();
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for s in seqs {
-        h = (h ^ s).wrapping_mul(0x0000_0100_0000_01B3);
+    // queries for semantically identical streams. Each seq is finalized
+    // through splitmix64 and combined with a commutative add, so the hash
+    // is independent of entry order without sorting (and allocating) a
+    // scratch vector on the send path.
+    let mut acc: u64 = 0;
+    for (_, e) in m.entries() {
+        let mut x = e.seq.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        acc = acc.wrapping_add(x ^ (x >> 31));
     }
-    h
+    acc
 }
 
 /// Runs a deployment over a complete global trace.

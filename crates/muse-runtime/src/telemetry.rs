@@ -207,6 +207,25 @@ impl ExecTelemetry {
         }
         let g = r.gauge(names::JOIN_PEAK_LIVE, GaugeKind::Max);
         r.gauge_peak(g, metrics.join.peak_buffered);
+        // Transport counters exist only where a transport ran (threaded
+        // executor shards that actually shipped frames).
+        let t = &metrics.transport;
+        if t.frames_sent > 0 {
+            for (name, v) in [
+                (names::TRANSPORT_FRAMES, t.frames_sent),
+                (names::TRANSPORT_MESSAGES_FRAMED, t.messages_framed),
+                (names::TRANSPORT_BLOCKED_SENDS, t.blocked_sends),
+                (names::TRANSPORT_POOL_ALLOCS, t.pool_allocs),
+                (names::TRANSPORT_POOL_REUSES, t.pool_reuses),
+            ] {
+                let id = r.counter(name);
+                r.inc(id, v);
+            }
+            let g = r.gauge(names::TRANSPORT_QUEUE_PEAK, GaugeKind::Max);
+            r.gauge_peak(g, t.peak_queue_depth);
+            let h = r.hist(names::TRANSPORT_BATCH_SIZE);
+            r.observe_hist(h, &t.batch_hist);
+        }
         self.run.tasks = tasks;
         self.run
     }

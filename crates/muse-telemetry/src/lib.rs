@@ -173,6 +173,46 @@ impl RunTelemetry {
         }
         out
     }
+
+    /// Renders the inter-node transport counters as a one-paragraph
+    /// summary, or `None` when the run shipped no frames (the simulator,
+    /// or a plan without network edges).
+    pub fn transport_summary(&self) -> Option<String> {
+        let frames = self.registry.counter_value(names::TRANSPORT_FRAMES)?;
+        if frames == 0 {
+            return None;
+        }
+        let counter = |name| self.registry.counter_value(name).unwrap_or(0);
+        let messages = counter(names::TRANSPORT_MESSAGES_FRAMED);
+        let blocked = counter(names::TRANSPORT_BLOCKED_SENDS);
+        let allocs = counter(names::TRANSPORT_POOL_ALLOCS);
+        let reuses = counter(names::TRANSPORT_POOL_REUSES);
+        let peak = self
+            .registry
+            .gauge_value(names::TRANSPORT_QUEUE_PEAK)
+            .unwrap_or(0);
+        let mean_batch = messages as f64 / frames as f64;
+        let reuse_pct = if allocs + reuses > 0 {
+            100.0 * reuses as f64 / (allocs + reuses) as f64
+        } else {
+            100.0
+        };
+        let mut out = format!(
+            "frames {frames}  messages {messages}  mean-batch {mean_batch:.1}  \
+             blocked-sends {blocked}  queue-peak {peak}  pool-reuse {reuse_pct:.1}% \
+             ({reuses} reused / {allocs} fresh)\n"
+        );
+        if let Some([min, p25, p50, p75, max]) = self
+            .registry
+            .hist_value(names::TRANSPORT_BATCH_SIZE)
+            .and_then(|h| h.summary())
+        {
+            out.push_str(&format!(
+                "batch-size min {min}  p25 {p25}  p50 {p50}  p75 {p75}  max {max}\n"
+            ));
+        }
+        Some(out)
+    }
 }
 
 /// Canonical metric names used across both executors, so registry
@@ -210,6 +250,20 @@ pub mod names {
     pub const LATENCY_SINK: &str = "latency.sink";
     /// Run wall time in nanoseconds.
     pub const RUN_WALL_NS: &str = "run.wall_ns";
+    /// Transport: frames pushed onto inter-node channels.
+    pub const TRANSPORT_FRAMES: &str = "transport.frames_sent";
+    /// Transport: messages carried inside those frames.
+    pub const TRANSPORT_MESSAGES_FRAMED: &str = "transport.messages_framed";
+    /// Transport: `try_send` attempts rejected by a full channel.
+    pub const TRANSPORT_BLOCKED_SENDS: &str = "transport.blocked_sends";
+    /// Transport: frame buffers freshly allocated (pool empty).
+    pub const TRANSPORT_POOL_ALLOCS: &str = "transport.pool_allocs";
+    /// Transport: frame buffers recycled from the return path.
+    pub const TRANSPORT_POOL_REUSES: &str = "transport.pool_reuses";
+    /// Transport: peak frames in flight to any single node.
+    pub const TRANSPORT_QUEUE_PEAK: &str = "transport.queue_peak";
+    /// Transport: realized batch sizes (messages per frame).
+    pub const TRANSPORT_BATCH_SIZE: &str = "transport.batch_size";
 }
 
 #[cfg(test)]

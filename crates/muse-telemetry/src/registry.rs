@@ -149,6 +149,13 @@ impl Registry {
         self.hists[id.0].record(v);
     }
 
+    /// Merges an externally accumulated histogram into a registered one
+    /// (for folding hot-path histograms — e.g. the transport's batch-size
+    /// distribution — into the registry at end of run).
+    pub fn observe_hist(&mut self, id: HistId, h: &LogHistogram) {
+        self.hists[id.0].merge(h);
+    }
+
     /// Reads a counter by name.
     pub fn counter_value(&self, name: &str) -> Option<u64> {
         match self.index.get(name)? {

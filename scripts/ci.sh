@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Tier-1 CI gate: release build, workspace test suite, lint gates, static
 # verification of the example queries/plans, the loom concurrency lane, and
-# a smoke run of the matcher join bench (emits BENCH_matcher.json at the
-# repo root plus telemetry exports under out/). Exits nonzero on the first
-# failure.
+# smoke runs of the matcher join bench and the executor transport bench
+# (emitting BENCH_matcher.json and BENCH_executor.json at the repo root
+# plus telemetry exports under out/). The executor smoke additionally
+# gates on the batched and naive transports producing identical match
+# sets. Exits nonzero on the first failure.
 #
 # Opt-in slow lanes (need a nightly toolchain, skipped by default so the
 # tier-1 gate stays fast):
@@ -58,5 +60,12 @@ fi
 
 echo "== smoke: matcher join bench (with telemetry) =="
 cargo run -p muse-bench --release --bin harness -- matcher --quick --out . --telemetry out
+
+echo "== smoke: executor transport bench (with telemetry) =="
+cargo run -p muse-bench --release --bin harness -- executor --quick --out . --telemetry out
+grep -q '"fingerprints_equal": true' BENCH_executor.json || {
+    echo "ci.sh: executor smoke: batched and naive transports diverged" >&2
+    exit 1
+}
 
 echo "ci.sh: all checks passed"

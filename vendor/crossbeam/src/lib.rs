@@ -1,21 +1,104 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used here,
-//! and only in SPSC/MPSC mode (receivers are never cloned), so
-//! `std::sync::mpsc` is a faithful substitute.
+//! Only `crossbeam::channel::{unbounded, bounded, Sender, Receiver}` is
+//! used here, and only in SPSC/MPSC mode (receivers are never cloned), so
+//! `std::sync::mpsc` is a faithful substitute. Like the real crossbeam,
+//! `unbounded` and `bounded` return the *same* `Sender`/`Receiver` types;
+//! the bounded flavor wraps `std::sync::mpsc::sync_channel` and reports
+//! capacity exhaustion through [`Sender::try_send`].
 
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+    use std::sync::mpsc;
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
+
+    /// The sending half of a channel (unbounded or bounded).
+    pub struct Sender<T>(Flavor<T>);
+
+    enum Flavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Flavor::Unbounded(s) => Flavor::Unbounded(s.clone()),
+                Flavor::Bounded(s) => Flavor::Bounded(s.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message when the receiving half has disconnected.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Flavor::Unbounded(s) => s.send(t),
+                Flavor::Bounded(s) => s.send(t),
+            }
+        }
+
+        /// Attempts to send without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when a bounded channel is at capacity,
+        /// [`TrySendError::Disconnected`] when the receiver is gone; both
+        /// hand the message back.
+        pub fn try_send(&self, t: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Flavor::Unbounded(s) => s
+                    .send(t)
+                    .map_err(|SendError(v)| TrySendError::Disconnected(v)),
+                Flavor::Bounded(s) => s.try_send(t),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Attempts to receive without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when no message is waiting,
+        /// [`TryRecvError::Disconnected`] when all senders are gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Receives a message, blocking until one arrives.
+        ///
+        /// # Errors
+        ///
+        /// Fails when all senders have disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+    }
 
     /// Creates an unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::channel()
+        let (s, r) = mpsc::channel();
+        (Sender(Flavor::Unbounded(s)), Receiver(r))
+    }
+
+    /// Creates a bounded MPSC channel holding at most `cap` messages
+    /// (`cap` is clamped to ≥ 1; rendezvous channels are not needed here).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::sync_channel(cap.max(1));
+        (Sender(Flavor::Bounded(s)), Receiver(r))
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{unbounded, TryRecvError};
+    use super::channel::{bounded, unbounded, TryRecvError, TrySendError};
 
     #[test]
     fn send_recv_across_threads() {
@@ -28,5 +111,27 @@ mod tests {
         h.join().unwrap();
         assert_eq!(rx.try_recv().unwrap() + rx.try_recv().unwrap(), 42);
         assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+    }
+
+    #[test]
+    fn bounded_reports_full_and_hands_message_back() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1u32).unwrap();
+        tx.try_send(2u32).unwrap();
+        match tx.try_send(3u32) {
+            Err(TrySendError::Full(v)) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        tx.try_send(3u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn bounded_disconnect_detected() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(matches!(tx.try_send(7), Err(TrySendError::Disconnected(7))));
     }
 }
