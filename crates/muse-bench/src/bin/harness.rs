@@ -7,11 +7,13 @@
 //!
 //! Experiments: fig5a fig5b fig5c fig5d fig6a fig6b fig7a fig7b fig7c fig7d
 //! table3 fig8. Results are printed as text tables and, with `--out`,
-//! written as JSON for downstream plotting. Three extra experiments are
+//! written as JSON for downstream plotting. Four extra experiments are
 //! run only when named explicitly: `ablation` (design-choice ablations),
 //! `matcher` (indexed vs. naive join engine; written as
-//! `BENCH_matcher.json`), and `executor` (batched vs. naive inter-node
-//! transport on the threaded executor; written as `BENCH_executor.json`).
+//! `BENCH_matcher.json`), `executor` (batched vs. naive inter-node
+//! transport on the threaded executor; written as `BENCH_executor.json`),
+//! and `faults` (crash recovery on the threaded executor; written as
+//! `BENCH_faults.json`).
 //!
 //! With `--telemetry DIR`, the executing experiments (`table3`, `fig8`,
 //! `matcher`, `executor`) additionally collect run telemetry — registry snapshots,
@@ -77,7 +79,8 @@ fn main() -> ExitCode {
             id if all_experiments().contains(&id)
                 || id == "ablation"
                 || id == "matcher"
-                || id == "executor" =>
+                || id == "executor"
+                || id == "faults" =>
             {
                 ids.push(id.to_string())
             }
@@ -131,6 +134,7 @@ fn main() -> ExitCode {
             let file = match id.as_str() {
                 "matcher" => "BENCH_matcher.json".to_string(),
                 "executor" => "BENCH_executor.json".to_string(),
+                "faults" => "BENCH_faults.json".to_string(),
                 _ => format!("{id}.json"),
             };
             let path = dir.join(file);

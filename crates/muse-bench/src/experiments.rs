@@ -84,6 +84,37 @@ pub enum ExperimentOutput {
         /// Whether both transports produced identical per-query match sets.
         fingerprints_equal: bool,
     },
+    /// Threaded-executor crash recovery (§7.3 Ambrosia): uninterrupted
+    /// baseline vs. chunk-boundary checkpointing vs. an injected node
+    /// crash with restore-and-replay recovery (written as
+    /// `BENCH_faults.json`; not a paper artifact).
+    FaultBench {
+        /// Experiment id ("faults").
+        id: String,
+        /// Workload executed ("relay": the transport-bound relay topology).
+        scenario: String,
+        /// Events injected per run.
+        events: u64,
+        /// Node whose crash is injected (a join-hosting center node).
+        crash_node: usize,
+        /// Injection index at that node where the crash fires.
+        crash_at: u64,
+        /// Simulated downtime before the node restarts, in milliseconds.
+        restart_delay_ms: f64,
+        /// Uninterrupted run, no resilience machinery.
+        baseline: FaultRunRow,
+        /// Chunk-boundary checkpointing on, no crash.
+        checkpointed: FaultRunRow,
+        /// Checkpointing plus the injected crash and recovery.
+        crashed: FaultRunRow,
+        /// Checkpointed wall time over baseline wall time.
+        checkpoint_overhead: f64,
+        /// Crashed-run wall time over baseline wall time.
+        recovery_overhead: f64,
+        /// Whether all three runs produced identical per-query match sets
+        /// (the losslessness gate CI checks).
+        fingerprints_equal: bool,
+    },
     /// Matcher join-engine throughput: indexed vs. naive reference
     /// (written as `BENCH_matcher.json`; not a paper artifact).
     MatcherBench {
@@ -131,6 +162,33 @@ pub struct TransportRunRow {
     pub pool_reuse_ratio: f64,
     /// Peak frames in flight to any single node.
     pub peak_queue_depth: u64,
+}
+
+/// One resilience mode's measurements in the faults bench.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultRunRow {
+    /// Mode name ("baseline", "checkpointed", or "crashed").
+    pub mode: String,
+    /// Injected events per wall-clock second (best of reps).
+    pub events_per_sec: f64,
+    /// Wall-clock time of the best rep, milliseconds.
+    pub wall_ms: f64,
+    /// Complete matches produced.
+    pub matches: u64,
+    /// Node crashes taken (0 except in the crashed mode).
+    pub crashes: u64,
+    /// Chunk-boundary snapshots written across all nodes.
+    pub snapshots_taken: u64,
+    /// Cumulative encoded snapshot bytes.
+    pub snapshot_bytes: u64,
+    /// Messages re-delivered to the restarted node from peer replay logs.
+    pub replayed_messages: u64,
+    /// Duplicate replay deliveries suppressed by receivers.
+    pub suppressed_sends: u64,
+    /// Sender retry rounds against the downed node (bounded backoff).
+    pub send_retries: u64,
+    /// Wall milliseconds from crash to fully restored state.
+    pub recovery_ms: f64,
 }
 
 /// One engine's measurements in the matcher bench.
@@ -238,6 +296,7 @@ pub fn run_experiment_telemetry(
         "ablation" => ablation(id, settings),
         "matcher" => matcher_bench(id, settings, tel),
         "executor" => executor_bench(id, settings, tel),
+        "faults" => faults_bench(id, settings, tel),
         other => panic!("unknown experiment '{other}'; see `all_experiments()`"),
     }
 }
@@ -776,6 +835,7 @@ fn executor_bench_sized(
             slack: SLACK,
             chunk_ticks: Some(CHUNK_TICKS),
             telemetry: Some(tel.spec()),
+            ..ThreadedConfig::default()
         };
         let mut report = run_threaded(&ms, &trace_events, &config);
         if let Some(run) = report.telemetry.take() {
@@ -792,6 +852,143 @@ fn executor_bench_sized(
         batched,
         naive,
         speedup,
+        fingerprints_equal,
+    }
+}
+
+/// The `faults` experiment (`BENCH_faults.json`): crash-recovery cost on
+/// the threaded executor over the transport-bound relay workload. Three
+/// modes run on the same trace: an uninterrupted baseline, chunk-boundary
+/// checkpointing without a crash (the steady-state Ambrosia tax), and
+/// checkpointing plus an injected crash of a join-hosting center node with
+/// restore-and-replay recovery. The per-query match sets of all three must
+/// be identical — the losslessness gate `scripts/ci.sh` checks.
+fn faults_bench(
+    id: &str,
+    settings: &SweepSettings,
+    tel: Option<&mut TelemetryCollector>,
+) -> ExperimentOutput {
+    use crate::transport_stress::{stress_deployment, stress_network, stress_trace, WINDOW};
+    use muse_runtime::matcher::Match;
+    use muse_runtime::threaded::FaultPlan;
+    use std::collections::BTreeSet;
+    use std::time::Duration;
+
+    // Same chunk/slack regime as the executor bench (see there for why the
+    // relay workload needs the enlarged chunk and covering slack).
+    const CHUNK_TICKS: muse_core::event::Timestamp = 10 * WINDOW;
+    const SLACK: f64 = 12.0;
+    let duration = if settings.reps <= 2 { 40.0 } else { 120.0 };
+    let scenario = "relay";
+    let network = stress_network();
+    let deployment = stress_deployment(&network);
+    let trace_events = stress_trace(&network, duration, settings.seed);
+    let reps = settings.reps.max(1);
+
+    // Crash center node 0 — it hosts join state fed by every edge node, so
+    // recovery must rebuild window stores from the snapshot AND re-collect
+    // a chunk of peer traffic from the replay logs. The crash fires halfway
+    // through the node's own injections; the restart delay models a
+    // supervisor respawning the process.
+    let crash_node = 0usize;
+    let local = trace_events
+        .iter()
+        .filter(|e| e.origin.index() == crash_node)
+        .count() as u64;
+    let crash_at = local / 2;
+    let restart_delay = Duration::from_millis(1);
+    let base_config = ThreadedConfig {
+        slack: SLACK,
+        chunk_ticks: Some(CHUNK_TICKS),
+        ..ThreadedConfig::default()
+    };
+
+    let measure = |config: &ThreadedConfig, name: &str| -> (FaultRunRow, Vec<BTreeSet<Vec<u64>>>) {
+        let _ = run_threaded(&deployment, &trace_events, config);
+        let mut best: Option<muse_runtime::threaded::ThreadedReport> = None;
+        for _ in 0..reps {
+            let report = run_threaded(&deployment, &trace_events, config);
+            if best.as_ref().is_none_or(|b| report.wall_time < b.wall_time) {
+                best = Some(report);
+            }
+        }
+        let report = best.expect("reps >= 1");
+        let fps: Vec<BTreeSet<Vec<u64>>> = report
+            .matches
+            .iter()
+            .map(|q| q.iter().map(Match::fingerprint).collect())
+            .collect();
+        let rec = &report.metrics.recovery;
+        let row = FaultRunRow {
+            mode: name.to_string(),
+            events_per_sec: report.events_per_sec,
+            wall_ms: report.wall_time.as_secs_f64() * 1e3,
+            matches: report.metrics.sink_matches,
+            crashes: rec.crashes,
+            snapshots_taken: rec.snapshots_taken,
+            snapshot_bytes: rec.snapshot_bytes,
+            replayed_messages: rec.replayed_messages,
+            suppressed_sends: rec.suppressed_sends,
+            send_retries: rec.send_retries,
+            recovery_ms: rec.recovery_ns as f64 / 1e6,
+        };
+        (row, fps)
+    };
+
+    let (baseline, base_fps) = measure(&base_config, "baseline");
+    let (checkpointed, ckpt_fps) = measure(
+        &ThreadedConfig {
+            checkpoint: true,
+            ..base_config.clone()
+        },
+        "checkpointed",
+    );
+    let crash_config = ThreadedConfig {
+        checkpoint: true,
+        fault: Some(FaultPlan {
+            node: crash_node,
+            crash_at,
+            restart_delay,
+        }),
+        ..base_config.clone()
+    };
+    let (crashed, crash_fps) = measure(&crash_config, "crashed");
+    let fingerprints_equal = base_fps == ckpt_fps && base_fps == crash_fps;
+    let ratio = |row: &FaultRunRow| {
+        if baseline.wall_ms > 0.0 {
+            row.wall_ms / baseline.wall_ms
+        } else {
+            0.0
+        }
+    };
+    let checkpoint_overhead = ratio(&checkpointed);
+    let recovery_overhead = ratio(&crashed);
+
+    // One instrumented crashed run so the recovery counters land in the
+    // telemetry registry (sampling overhead keeps it out of the timing).
+    if let Some(tel) = tel {
+        let config = ThreadedConfig {
+            telemetry: Some(tel.spec()),
+            ..crash_config
+        };
+        let mut report = run_threaded(&deployment, &trace_events, &config);
+        if let Some(run) = report.telemetry.take() {
+            tel.record_run(&format!("{id}/crashed"), run);
+        }
+    }
+
+    ExperimentOutput::FaultBench {
+        id: id.to_string(),
+        scenario: scenario.to_string(),
+        events: trace_events.len() as u64,
+        crash_node,
+        crash_at,
+        restart_delay_ms: restart_delay.as_secs_f64() * 1e3,
+        baseline,
+        checkpointed,
+        crashed,
+        checkpoint_overhead,
+        recovery_overhead,
         fingerprints_equal,
     }
 }
@@ -989,6 +1186,7 @@ impl ExperimentOutput {
             | ExperimentOutput::CaseStudyTable { id, .. }
             | ExperimentOutput::CaseStudyRuns { id, .. }
             | ExperimentOutput::ExecutorBench { id, .. }
+            | ExperimentOutput::FaultBench { id, .. }
             | ExperimentOutput::MatcherBench { id, .. } => id,
         }
     }
@@ -1133,6 +1331,63 @@ impl ExperimentOutput {
                 let _ = writeln!(
                     out,
                     "speedup: {speedup:.2}x, match sets identical: {fingerprints_equal}"
+                );
+            }
+            ExperimentOutput::FaultBench {
+                id,
+                scenario,
+                events,
+                crash_node,
+                crash_at,
+                restart_delay_ms,
+                baseline,
+                checkpointed,
+                crashed,
+                checkpoint_overhead,
+                recovery_overhead,
+                fingerprints_equal,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "== {id}: crash recovery ({scenario}, {events} events, crash node \
+                     {crash_node} at injection {crash_at}, downtime {restart_delay_ms:.0} ms) =="
+                );
+                let _ = writeln!(
+                    out,
+                    "{:>12} | {:>12} | {:>10} | {:>8} | {:>6} | {:>10} | {:>10} | {:>9} | {:>10} | {:>8} | {:>8}",
+                    "mode",
+                    "events/s",
+                    "wall ms",
+                    "matches",
+                    "crash",
+                    "snapshots",
+                    "snap KiB",
+                    "replayed",
+                    "suppressed",
+                    "retries",
+                    "rec ms"
+                );
+                for r in [baseline, checkpointed, crashed] {
+                    let _ = writeln!(
+                        out,
+                        "{:>12} | {:>12.0} | {:>10.1} | {:>8} | {:>6} | {:>10} | {:>10.1} | {:>9} | {:>10} | {:>8} | {:>8.2}",
+                        r.mode,
+                        r.events_per_sec,
+                        r.wall_ms,
+                        r.matches,
+                        r.crashes,
+                        r.snapshots_taken,
+                        r.snapshot_bytes as f64 / 1024.0,
+                        r.replayed_messages,
+                        r.suppressed_sends,
+                        r.send_retries,
+                        r.recovery_ms
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "checkpoint overhead: {checkpoint_overhead:.2}x, recovery overhead: \
+                     {recovery_overhead:.2}x, match sets identical: {fingerprints_equal}"
                 );
             }
             ExperimentOutput::MatcherBench {

@@ -1,9 +1,16 @@
 //! Compact binary wire format for events and matches.
 //!
-//! Used (a) to account transmitted bytes realistically in the executors and
-//! (b) as the match payload of the threaded executor's channel messages.
-//! The format is length-prefixed and self-describing enough for roundtrips;
-//! it is not a versioned storage format.
+//! Used (a) to account transmitted bytes realistically in the executors,
+//! (b) as the match payload of the threaded executor's channel messages,
+//! and (c) as the body encoding of [`crate::checkpoint`] snapshots. The
+//! format is length-prefixed and self-describing enough for roundtrips;
+//! it is not versioned itself — snapshots wrap it in a versioned,
+//! plan-fingerprinted envelope (see `checkpoint`).
+//!
+//! The in-run decoders ([`decode_event`], [`decode_match`]) panic on
+//! malformed input, which is fine for channel payloads this process just
+//! encoded; the checked `try_*` variants exist for the snapshot reader,
+//! where the input is untrusted bytes from disk.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use muse_core::event::{Event, Payload, Value};
@@ -37,6 +44,89 @@ pub fn decode_match(mut buf: impl Buf) -> Match {
         entries.push((prim, event));
     }
     Match::new(entries)
+}
+
+/// Checked variant of [`decode_match`] for untrusted input (snapshot
+/// bytes): returns `None` on truncation or a malformed value instead of
+/// panicking. Consumes from the front of `buf` exactly as far as the
+/// match extends on success.
+pub fn try_decode_match(buf: &mut &[u8]) -> Option<Match> {
+    let n = try_get_u16(buf)? as usize;
+    let mut entries = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        let prim = PrimId(try_get_u8(buf)?);
+        let event = try_decode_event(buf)?;
+        entries.push((prim, event));
+    }
+    Some(Match::new(entries))
+}
+
+/// Checked variant of [`decode_event`] for untrusted input; see
+/// [`try_decode_match`].
+pub fn try_decode_event(buf: &mut &[u8]) -> Option<Event> {
+    let seq = try_get_u64(buf)?;
+    let ty = EventTypeId(try_get_u16(buf)?);
+    let time = try_get_u64(buf)?;
+    let origin = NodeId(try_get_u16(buf)?);
+    let n_attrs = try_get_u8(buf)? as usize;
+    let mut payload = Payload::new();
+    for _ in 0..n_attrs {
+        let attr = AttrId(try_get_u8(buf)?);
+        let value = match try_get_u8(buf)? {
+            0 => Value::Int(try_get_u64(buf)? as i64),
+            1 => Value::Float(f64::from_bits(try_get_u64(buf)?)),
+            2 => {
+                let len = try_get_u32(buf)? as usize;
+                if buf.len() < len {
+                    return None;
+                }
+                let (head, rest) = buf.split_at(len);
+                let s = String::from_utf8(head.to_vec()).ok()?;
+                *buf = rest;
+                Value::Str(s)
+            }
+            _ => return None,
+        };
+        payload.set(attr, value);
+    }
+    Some(Event::with_payload(seq, ty, time, origin, payload))
+}
+
+/// Reads a big-endian `u8` from the front of the slice, if present.
+pub fn try_get_u8(buf: &mut &[u8]) -> Option<u8> {
+    let (head, rest) = buf.split_first()?;
+    *buf = rest;
+    Some(*head)
+}
+
+/// Reads a big-endian `u16` from the front of the slice, if present.
+pub fn try_get_u16(buf: &mut &[u8]) -> Option<u16> {
+    if buf.len() < 2 {
+        return None;
+    }
+    let (head, rest) = buf.split_at(2);
+    *buf = rest;
+    Some(u16::from_be_bytes(head.try_into().unwrap()))
+}
+
+/// Reads a big-endian `u32` from the front of the slice, if present.
+pub fn try_get_u32(buf: &mut &[u8]) -> Option<u32> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let (head, rest) = buf.split_at(4);
+    *buf = rest;
+    Some(u32::from_be_bytes(head.try_into().unwrap()))
+}
+
+/// Reads a big-endian `u64` from the front of the slice, if present.
+pub fn try_get_u64(buf: &mut &[u8]) -> Option<u64> {
+    if buf.len() < 8 {
+        return None;
+    }
+    let (head, rest) = buf.split_at(8);
+    *buf = rest;
+    Some(u64::from_be_bytes(head.try_into().unwrap()))
 }
 
 /// Encodes an event into the buffer.
@@ -165,6 +255,30 @@ mod tests {
         let small = Match::single(PrimId(0), Event::new(1, EventTypeId(0), 1, NodeId(0)));
         let big = Match::single(PrimId(0), sample_event());
         assert!(encoded_len(&big) > encoded_len(&small));
+    }
+
+    #[test]
+    fn try_decode_roundtrips_and_rejects_truncation() {
+        let m = Match::new(vec![
+            (PrimId(0), sample_event()),
+            (PrimId(2), Event::new(5, EventTypeId(1), 10, NodeId(0))),
+        ]);
+        let encoded = encode_match(&m).chunk().to_vec();
+        let mut slice: &[u8] = &encoded;
+        assert_eq!(try_decode_match(&mut slice), Some(m));
+        assert!(slice.is_empty(), "decode must consume the exact encoding");
+        // Every strict prefix is rejected, never panics.
+        for cut in 0..encoded.len() {
+            let mut short: &[u8] = &encoded[..cut];
+            assert_eq!(try_decode_match(&mut short), None, "prefix len {cut}");
+        }
+        // A bad value tag is rejected.
+        let mut bad = encoded.clone();
+        // First attr's tag byte: 2 (count) + 1 (prim) + 21 (event header) + 1 (attr id).
+        let tag_pos = 2 + 1 + 21 + 1;
+        bad[tag_pos] = 9;
+        let mut slice: &[u8] = &bad;
+        assert_eq!(try_decode_match(&mut slice), None);
     }
 
     #[test]

@@ -308,6 +308,69 @@ impl Deployment {
             .collect()
     }
 
+    /// A structural fingerprint of the deployment plan, embedded in
+    /// snapshot headers so [`crate::checkpoint::restore`] can reject state
+    /// produced under a different plan
+    /// ([`crate::checkpoint::CheckpointError::PlanMismatch`]).
+    ///
+    /// Two deployments built from the same MuSE graph over the same
+    /// network and workload fingerprint identically (the hash covers only
+    /// plan structure: node count, per-task placement/stream identity/
+    /// kind, routes, and query windows — no runtime state), so snapshots
+    /// are portable across separately constructed but equal deployments.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a canonical field walk, with a rotate to spread
+        // adjacent small integers across the word.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h = (h ^ v).wrapping_mul(0x0000_0100_0000_01b3).rotate_left(23);
+        };
+        mix(self.num_nodes as u64);
+        mix(self.queries.len() as u64);
+        for q in &self.queries {
+            mix(q.id().0 as u64);
+            mix(q.window());
+            mix(q.prims().bits());
+        }
+        mix(self.tasks.len() as u64);
+        for t in &self.tasks {
+            mix(t.stream_sig);
+            mix(t.node.index() as u64);
+            mix(t.query_idx as u64);
+            mix(t.prims.bits());
+            mix(t.is_sink as u64);
+            match &t.kind {
+                TaskKind::Source {
+                    prim,
+                    ty,
+                    predicates,
+                } => {
+                    mix(0);
+                    mix(prim.0 as u64);
+                    mix(ty.0 as u64);
+                    for p in predicates {
+                        mix(*p as u64);
+                    }
+                }
+                TaskKind::Join { slots } => {
+                    mix(1);
+                    for s in slots {
+                        mix(s.bits());
+                    }
+                }
+            }
+        }
+        for rs in &self.routes {
+            mix(rs.len() as u64);
+            for r in rs {
+                mix(r.target as u64);
+                mix(r.slot as u64);
+                mix(r.remote as u64);
+            }
+        }
+        h
+    }
+
     /// Number of network edges in the deployment.
     pub fn num_remote_routes(&self) -> usize {
         self.routes
@@ -406,6 +469,33 @@ mod tests {
         let deployment = Deployment::new(&plan.graph, &ctx);
         let remote_edges = plan.graph.edges().filter(|(a, b)| a.node != b.node).count();
         assert_eq!(deployment.num_remote_routes(), remote_edges);
+    }
+
+    #[test]
+    fn fingerprint_stable_across_rebuilds_and_sensitive_to_plan() {
+        let net = fig1_network();
+        let q = robots_query();
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+        let a = Deployment::new(&plan.graph, &ctx);
+        let b = Deployment::new(&plan.graph, &ctx);
+        // Same plan, separately built deployment: same fingerprint.
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // A different window is a different plan.
+        let q2 = Query::build(
+            QueryId(0),
+            &Pattern::seq([
+                Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+                Pattern::leaf(t(2)),
+            ]),
+            vec![],
+            2000,
+        )
+        .unwrap();
+        let plan2 = amuse(&q2, &net, &AMuseConfig::default()).unwrap();
+        let ctx2 = PlanContext::new(std::slice::from_ref(&q2), &net, &plan2.table);
+        let c = Deployment::new(&plan2.graph, &ctx2);
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! a projection whose inputs are all local.
 
 use super::join::default_stride;
-use super::store::MatchStore;
+use super::store::{MatchStore, StoreState};
 use super::{is_valid_match, nseq_violated, Match};
 use muse_core::event::Event;
 use muse_core::query::{NSeqContext, OrderRel, Query};
@@ -75,6 +75,25 @@ struct Negation {
     context: NSeqContext,
     sub: Box<Evaluator>,
     forbidden: MatchStore,
+}
+
+/// The checkpointable dynamic state of an [`Evaluator`]: open partials,
+/// load counters, and — recursively — each negation's sub-evaluator state
+/// and forbidden-match store. The static structure (query, primitive
+/// sets, eviction stride, the negation list itself) is *not* captured: a
+/// restore target is rebuilt from the deployment plan first, and the
+/// state is grafted onto it after a structural check.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EvalState {
+    /// Open partial matches.
+    pub partials: StoreState,
+    /// Total partials ever created at this level.
+    pub partials_created: u64,
+    /// Peak simultaneously-open partials at this level.
+    pub peak_partials: u64,
+    /// Per-negation `(sub-evaluator state, forbidden store state)`, in the
+    /// evaluator's negation order.
+    pub negations: Vec<(EvalState, StoreState)>,
 }
 
 impl Evaluator {
@@ -157,6 +176,38 @@ impl Evaluator {
                 .iter()
                 .map(|n| n.sub.peak_open_partials())
                 .sum::<usize>()
+    }
+
+    /// Captures the evaluator's dynamic state for a checkpoint.
+    pub fn save_state(&self) -> EvalState {
+        EvalState {
+            partials: self.partials.save_state(),
+            partials_created: self.partials_created,
+            peak_partials: self.peak_partials as u64,
+            negations: self
+                .negations
+                .iter()
+                .map(|n| (n.sub.save_state(), n.forbidden.save_state()))
+                .collect(),
+        }
+    }
+
+    /// Grafts a saved dynamic state onto this (freshly rebuilt)
+    /// evaluator. Fails when the state's negation structure does not match
+    /// the evaluator's — the symptom of restoring against a different
+    /// query than the one that produced the snapshot.
+    pub fn restore_state(&mut self, state: EvalState) -> Result<(), &'static str> {
+        if state.negations.len() != self.negations.len() {
+            return Err("evaluator negation count differs from snapshot");
+        }
+        self.partials = MatchStore::restore_state(state.partials);
+        self.partials_created = state.partials_created;
+        self.peak_partials = state.peak_partials as usize;
+        for (neg, (sub, forbidden)) in self.negations.iter_mut().zip(state.negations) {
+            neg.sub.restore_state(sub)?;
+            neg.forbidden = MatchStore::restore_state(forbidden);
+        }
+        Ok(())
     }
 
     /// Feeds one event (in global trace order) and returns the complete
@@ -484,6 +535,61 @@ mod tests {
         e.run(&trace);
         assert_eq!(e.open_partials(), 5);
         assert_eq!(e.partials_created(), 5);
+    }
+
+    #[test]
+    fn save_restore_mid_stream_resumes_identically() {
+        // NSEQ exercises the recursive negation state (sub-evaluator +
+        // forbidden store) alongside the open-partial store.
+        let q = Query::build(
+            QueryId(0),
+            &Pattern::nseq(
+                Pattern::leaf(EventTypeId(0)),
+                Pattern::leaf(EventTypeId(1)),
+                Pattern::leaf(EventTypeId(2)),
+            ),
+            vec![],
+            100,
+        )
+        .unwrap();
+        let trace: Vec<Event> = (0..30).map(|i| ev(i, (i % 3) as u16, i * 4)).collect();
+        let full: Vec<Vec<u64>> = Evaluator::for_query(&q)
+            .run(&trace)
+            .iter()
+            .map(Match::fingerprint)
+            .collect();
+        for split in [1usize, 7, 15, 29] {
+            let mut first = Evaluator::for_query(&q);
+            let mut out: Vec<Vec<u64>> = first
+                .run(&trace[..split])
+                .iter()
+                .map(Match::fingerprint)
+                .collect();
+            let saved = first.save_state();
+            drop(first);
+            let mut resumed = Evaluator::for_query(&q);
+            resumed.restore_state(saved).unwrap();
+            out.extend(resumed.run(&trace[split..]).iter().map(Match::fingerprint));
+            assert_eq!(out, full, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_structure() {
+        let with_neg = Query::build(
+            QueryId(0),
+            &Pattern::nseq(
+                Pattern::leaf(EventTypeId(0)),
+                Pattern::leaf(EventTypeId(1)),
+                Pattern::leaf(EventTypeId(2)),
+            ),
+            vec![],
+            100,
+        )
+        .unwrap();
+        let saved = Evaluator::for_query(&with_neg).save_state();
+        let mut plain = Evaluator::for_query(&seq_ab(100));
+        assert!(plain.restore_state(saved).is_err());
     }
 
     #[test]

@@ -32,7 +32,8 @@
 //! strategy ([`NaiveJoinTask`]), which is kept as the reference
 //! implementation for equivalence tests and benchmarks.
 
-use super::store::MatchStore;
+use super::evaluator::EvalState;
+use super::store::{MatchStore, StoreState};
 use super::{is_valid_match, nseq_violated, Evaluator, Match};
 use crate::metrics::JoinStats;
 use muse_core::event::Timestamp;
@@ -92,6 +93,27 @@ struct NegationCheck {
     context: NSeqContext,
     evaluator: Evaluator,
     forbidden: MatchStore,
+}
+
+/// The checkpointable dynamic state of a [`JoinTask`]: per-slot match
+/// buffers, per-negation evaluator/forbidden state, the local watermark,
+/// deferred candidates, and the task's counters. Static structure (query,
+/// slot specs, slack, stride, defer flag) is rebuilt from the deployment
+/// plan on restore and validated structurally against this state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinState {
+    /// Buffered matches per slot, parallel to the task's slot list
+    /// (negated slots carry an empty store — their state lives in
+    /// `negations`).
+    pub stores: Vec<StoreState>,
+    /// Per-negation `(sub-evaluator state, forbidden store state)`.
+    pub negations: Vec<(EvalState, StoreState)>,
+    /// Largest timestamp seen on any input.
+    pub max_time: Timestamp,
+    /// Candidates awaiting their deferred absence check.
+    pub deferred: Vec<Match>,
+    /// Observability counters.
+    pub stats: JoinStats,
 }
 
 /// A join candidate being assembled across slots, with its cached span.
@@ -380,6 +402,47 @@ impl JoinTask {
                 .iter()
                 .all(|f| !nseq_violated(m, &f.m, n.context.first, n.context.last, &self.query))
         })
+    }
+
+    /// Captures the join's dynamic state for a checkpoint.
+    pub fn save_state(&self) -> JoinState {
+        JoinState {
+            stores: self.stores.iter().map(MatchStore::save_state).collect(),
+            negations: self
+                .negations
+                .iter()
+                .map(|n| (n.evaluator.save_state(), n.forbidden.save_state()))
+                .collect(),
+            max_time: self.max_time,
+            deferred: self.deferred.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Grafts a saved dynamic state onto this (freshly rebuilt) join
+    /// task. Fails when the state's slot or negation structure does not
+    /// match the task's — the symptom of restoring against a different
+    /// plan than the one that produced the snapshot.
+    pub fn restore_state(&mut self, state: JoinState) -> Result<(), &'static str> {
+        if state.stores.len() != self.stores.len() {
+            return Err("join slot count differs from snapshot");
+        }
+        if state.negations.len() != self.negations.len() {
+            return Err("join negation count differs from snapshot");
+        }
+        self.stores = state
+            .stores
+            .into_iter()
+            .map(MatchStore::restore_state)
+            .collect();
+        for (neg, (eval, forbidden)) in self.negations.iter_mut().zip(state.negations) {
+            neg.evaluator.restore_state(eval)?;
+            neg.forbidden = MatchStore::restore_state(forbidden);
+        }
+        self.max_time = state.max_time;
+        self.deferred = state.deferred;
+        self.stats = state.stats;
+        Ok(())
     }
 
     /// Advances the eviction watermark to `max_time − slack × window`.

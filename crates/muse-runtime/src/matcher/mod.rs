@@ -16,9 +16,9 @@ use muse_core::types::PrimSet;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
-pub use evaluator::Evaluator;
-pub use join::{JoinTask, NaiveJoinTask, SlotSpec};
-pub use store::{MatchStore, StoredMatch};
+pub use evaluator::{EvalState, Evaluator};
+pub use join::{JoinState, JoinTask, NaiveJoinTask, SlotSpec};
+pub use store::{MatchStore, StoreState, StoredMatch};
 
 /// A (partial) match: events assigned to primitive operators, sorted by
 /// primitive id. Prim ids are those of the *source query*, so matches of

@@ -32,6 +32,24 @@ pub struct StoredMatch {
     pub m: Match,
 }
 
+/// The checkpointable dynamic state of a [`MatchStore`]: the buffered
+/// matches in physical entry order (live and not-yet-drained dead alike)
+/// plus the eviction bookkeeping. The cached `first`/`last` spans are
+/// *not* part of the state — they are recomputed from each match on
+/// restore, so a snapshot can never desynchronize them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreState {
+    /// Buffered matches in entry order (sorted by first timestamp, ties in
+    /// insertion order).
+    pub matches: Vec<Match>,
+    /// Logical eviction watermark.
+    pub horizon: Timestamp,
+    /// Horizon value at the last physical drain.
+    pub drained_at: Timestamp,
+    /// Dead entries physically dropped so far.
+    pub evicted: u64,
+}
+
 /// An indexed buffer of matches ordered by [`Match::first_time`], with
 /// watermark-based eviction.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -177,6 +195,38 @@ impl MatchStore {
     pub fn evicted(&self) -> u64 {
         self.evicted
     }
+
+    /// Captures the store's dynamic state for a checkpoint.
+    pub fn save_state(&self) -> StoreState {
+        StoreState {
+            matches: self.entries.iter().map(|e| e.m.clone()).collect(),
+            horizon: self.horizon,
+            drained_at: self.drained_at,
+            evicted: self.evicted,
+        }
+    }
+
+    /// Rebuilds a store from a saved state. The matches must be in the
+    /// order [`MatchStore::save_state`] exported them (already sorted by
+    /// first timestamp with insertion-order ties), so no re-sort happens
+    /// and tie order — which determines probe order — survives the
+    /// round trip exactly.
+    pub fn restore_state(state: StoreState) -> Self {
+        Self {
+            entries: state
+                .matches
+                .into_iter()
+                .map(|m| StoredMatch {
+                    first: m.first_time(),
+                    last: m.last_time(),
+                    m,
+                })
+                .collect(),
+            horizon: state.horizon,
+            drained_at: state.drained_at,
+            evicted: state.evicted,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +312,31 @@ mod tests {
         s.advance_horizon(50, 1);
         assert_eq!(s.horizon(), 150);
         assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn save_restore_roundtrip_preserves_everything() {
+        let mut s = MatchStore::new();
+        for (seq, t) in [(5, 1), (0, 30), (1, 10), (2, 20), (3, 10), (4, 90)] {
+            s.insert(m(seq, t));
+        }
+        // Leave the store mid-lifecycle: one physical drain on record
+        // (t=1 dropped), then a logical-only advance that hides the t=10
+        // entries without draining them.
+        s.advance_horizon(5, 1);
+        s.advance_horizon(12, 1_000);
+        assert_eq!(s.evicted(), 1);
+        assert_eq!(s.physical_len(), 5);
+        let restored = MatchStore::restore_state(s.save_state());
+        assert_eq!(restored, s);
+        // Insertion-order ties survive (seq 1 before seq 3 at t=10), and
+        // the hidden-but-buffered dead prefix is included.
+        let all: Vec<u64> = restored
+            .entries
+            .iter()
+            .map(|e| e.m.fingerprint()[0])
+            .collect();
+        assert_eq!(all, vec![1, 3, 2, 0, 4]);
     }
 
     #[test]

@@ -11,6 +11,24 @@ use muse_core::event::Timestamp;
 use muse_telemetry::LogHistogram;
 use serde::{Deserialize, Serialize};
 
+/// Exact nearest-rank percentile over an already-sorted slice:
+/// `rank = round(q · (n − 1))` for `q ∈ [0, 1]`.
+///
+/// This is the single definition of "percentile" in the codebase — the
+/// virtual-time summaries here, the wall-clock summaries in
+/// [`crate::threaded::ThreadedReport`], and the
+/// [`LogHistogram::quantile`] estimates the telemetry harness gates
+/// against all use this same rule, so their results are comparable
+/// rank-for-rank. Returns `None` on an empty slice.
+pub fn percentile_nearest_rank(sorted: &[u64], q: f64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    Some(sorted[rank.min(sorted.len() - 1)])
+}
+
 /// Per-join observability counters of the indexed join engine, aggregated
 /// over all join tasks of a run. Probe counts versus merge attempts expose
 /// how much work the window slicing saves; merge attempts versus merge
@@ -121,6 +139,52 @@ impl TransportStats {
     }
 }
 
+/// Crash-recovery counters of the threaded executor's fault-injection
+/// layer (all zero in fault-free runs and in the simulator). These are
+/// *not* part of checkpointed state: a crash must not roll back the record
+/// of its own recovery, so the executor accumulates them outside the
+/// restored metrics object and folds them in after quiescence.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Injected node crashes taken.
+    pub crashes: u64,
+    /// Per-node boundary snapshots written (chunk starts + end of run).
+    pub snapshots_taken: u64,
+    /// Cumulative encoded bytes of those snapshots.
+    pub snapshot_bytes: u64,
+    /// Messages re-delivered to a restarted node from peer replay logs.
+    pub replayed_messages: u64,
+    /// Duplicate physical sends suppressed during replay because the
+    /// restarted node's flushed-send log showed the message had already
+    /// crossed the network before the crash.
+    pub suppressed_sends: u64,
+    /// Bounded-timeout retry rounds taken by senders while a peer was
+    /// unresponsive (each round sleeps one backoff interval).
+    pub send_retries: u64,
+    /// Total nanoseconds slept across those backoff intervals.
+    pub backoff_ns: u64,
+    /// Distribution of individual backoff sleeps (nanoseconds).
+    pub backoff_hist: LogHistogram,
+    /// Wall nanoseconds from crash to fully restored state (summed over
+    /// crashes).
+    pub recovery_ns: u64,
+}
+
+impl RecoveryStats {
+    /// Accumulates another shard's counters (sums; the histogram merges).
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.crashes += other.crashes;
+        self.snapshots_taken += other.snapshots_taken;
+        self.snapshot_bytes += other.snapshot_bytes;
+        self.replayed_messages += other.replayed_messages;
+        self.suppressed_sends += other.suppressed_sends;
+        self.send_retries += other.send_retries;
+        self.backoff_ns += other.backoff_ns;
+        self.backoff_hist.merge(&other.backoff_hist);
+        self.recovery_ns += other.recovery_ns;
+    }
+}
+
 /// Counters collected during an execution.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
@@ -147,11 +211,22 @@ pub struct Metrics {
     /// the unbounded exact vector).
     #[serde(default)]
     pub latency_hist: LogHistogram,
+    /// Latency samples that could not be attributed to an injection
+    /// timestamp and were dropped instead of being recorded as a bogus
+    /// value — e.g. a sink match in a resumed run whose constituent events
+    /// were injected before the restored snapshot. Loss of accounting is
+    /// visible, never silent: `sink_matches` always equals recorded
+    /// latency samples plus this counter.
+    #[serde(default)]
+    pub latency_samples_dropped: u64,
     /// Join-engine counters aggregated over all join tasks.
     pub join: JoinStats,
     /// Batched-transport counters (threaded executor only).
     #[serde(default)]
     pub transport: TransportStats,
+    /// Crash-recovery counters (threaded executor fault layer only).
+    #[serde(default)]
+    pub recovery: RecoveryStats,
 }
 
 impl Metrics {
@@ -194,8 +269,10 @@ impl Metrics {
         }
         self.latencies.extend_from_slice(&other.latencies);
         self.latency_hist.merge(&other.latency_hist);
+        self.latency_samples_dropped += other.latency_samples_dropped;
         self.join.merge(&other.join);
         self.transport.merge(&other.transport);
+        self.recovery.merge(&other.recovery);
     }
 
     /// The transmission ratio of this run against a centralized run in
@@ -210,27 +287,25 @@ impl Metrics {
     /// Latency percentile in ticks (p ∈ [0, 100]); `None` when no match was
     /// produced.
     pub fn latency_percentile(&self, p: f64) -> Option<Timestamp> {
-        if self.latencies.is_empty() {
-            return None;
-        }
         let mut sorted = self.latencies.clone();
         sorted.sort_unstable();
-        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-        Some(sorted[rank.min(sorted.len() - 1)])
+        percentile_nearest_rank(&sorted, p / 100.0)
     }
 
     /// Five-number latency summary `(min, p25, p50, p75, max)` as reported
     /// in Fig. 8 of the paper. Sorts the latency vector once for all five
-    /// percentiles (the former implementation re-cloned and re-sorted it
-    /// per percentile).
+    /// percentiles, each picked by the shared
+    /// [`percentile_nearest_rank`] rule.
     pub fn latency_summary(&self) -> Option<[Timestamp; 5]> {
-        if self.latencies.is_empty() {
-            return None;
-        }
         let mut sorted = self.latencies.clone();
         sorted.sort_unstable();
-        let pick = |p: f64| sorted[((p / 100.0) * (sorted.len() - 1) as f64).round() as usize];
-        Some([pick(0.0), pick(25.0), pick(50.0), pick(75.0), pick(100.0)])
+        Some([
+            percentile_nearest_rank(&sorted, 0.0)?,
+            percentile_nearest_rank(&sorted, 0.25)?,
+            percentile_nearest_rank(&sorted, 0.5)?,
+            percentile_nearest_rank(&sorted, 0.75)?,
+            percentile_nearest_rank(&sorted, 1.0)?,
+        ])
     }
 }
 
@@ -292,6 +367,37 @@ mod tests {
         let p50 = m.latency_hist.quantile(0.5).unwrap() as f64;
         let bound = exact[2] as f64 * muse_telemetry::LogHistogram::max_relative_error() + 1.0;
         assert!((p50 - exact[2] as f64).abs() <= bound);
+    }
+
+    #[test]
+    fn nearest_rank_helper_matches_definition() {
+        assert_eq!(percentile_nearest_rank(&[], 0.5), None);
+        let sorted = [10u64, 20, 30, 40, 50];
+        // rank = round(q·(n−1)): q=0.5 → rank 2, q=0.3 → rank 1.2 → 1.
+        assert_eq!(percentile_nearest_rank(&sorted, 0.0), Some(10));
+        assert_eq!(percentile_nearest_rank(&sorted, 0.3), Some(20));
+        assert_eq!(percentile_nearest_rank(&sorted, 0.5), Some(30));
+        assert_eq!(percentile_nearest_rank(&sorted, 1.0), Some(50));
+        // Out-of-range quantiles clamp rather than panic.
+        assert_eq!(percentile_nearest_rank(&sorted, 2.0), Some(50));
+        assert_eq!(percentile_nearest_rank(&sorted, -1.0), Some(10));
+    }
+
+    #[test]
+    fn recovery_and_drop_counters_merge() {
+        let mut a = Metrics::new(1);
+        a.latency_samples_dropped = 2;
+        a.recovery.crashes = 1;
+        a.recovery.backoff_hist.record(100);
+        let mut b = Metrics::new(1);
+        b.latency_samples_dropped = 3;
+        b.recovery.replayed_messages = 7;
+        b.recovery.backoff_hist.record(200);
+        a.merge(&b);
+        assert_eq!(a.latency_samples_dropped, 5);
+        assert_eq!(a.recovery.crashes, 1);
+        assert_eq!(a.recovery.replayed_messages, 7);
+        assert_eq!(a.recovery.backoff_hist.count(), 2);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! network (once per target node, matching the cost model's shipping rule
 //! of §4.4) and the encoded bytes.
 
+use crate::checkpoint::{CheckpointError, PendingDelivery, Snapshot};
 use crate::codec::encoded_len;
 use crate::deploy::{Deployment, TaskKind};
 use crate::matcher::{JoinTask, Match};
@@ -411,6 +412,129 @@ impl<'a> SimExecutor<'a> {
             sent: state.sent.into_iter().collect(),
             telemetry,
         }
+    }
+
+    /// Captures the executor's state as a portable [`Snapshot`] — the
+    /// schema shared with the threaded executor (see [`crate::checkpoint`]).
+    pub fn to_snapshot(&self) -> Snapshot {
+        let tasks = self
+            .states
+            .iter()
+            .map(|s| match s {
+                TaskState::Source => None,
+                TaskState::Join(join) => Some(join.save_state()),
+            })
+            .collect();
+        let mut pending: Vec<PendingDelivery> = self
+            .heap
+            .iter()
+            .map(|e| PendingDelivery {
+                time: e.0.time,
+                trigger: e.0.trigger,
+                sub: e.0.sub,
+                target: e.0.target,
+                slot: e.0.slot,
+                m: e.0.m.clone(),
+            })
+            .collect();
+        pending.sort_by_key(|p| (p.time, p.trigger, p.sub));
+        let mut sent: Vec<(u64, u16, u16, u64)> = self
+            .sent
+            .iter()
+            .map(|&(sig, from, to, mhash)| (sig, from.0, to.0, mhash))
+            .collect();
+        sent.sort_unstable();
+        Snapshot {
+            plan: self.deployment.fingerprint(),
+            tasks,
+            pending,
+            next_sub: self.next_sub,
+            metrics: self.metrics.clone(),
+            matches: self.matches.clone(),
+            wall_latencies_ns: Vec::new(),
+            sent,
+            cursors: Vec::new(),
+        }
+    }
+
+    /// Rebuilds an executor from a decoded [`Snapshot`] (which may have
+    /// been produced by either executor). Join tasks are re-instantiated
+    /// from the deployment plan and the snapshot's dynamic state is
+    /// grafted on; wall-clock latencies and event cursors, which only the
+    /// threaded executor interprets, are ignored. Telemetry restarts
+    /// fresh.
+    pub fn from_snapshot(
+        deployment: &'a Deployment,
+        config: SimConfig,
+        snap: Snapshot,
+    ) -> Result<Self, CheckpointError> {
+        if snap.tasks.len() != deployment.tasks.len() {
+            return Err(CheckpointError::Shape("task count differs from deployment"));
+        }
+        if snap.matches.len() != deployment.queries.len() {
+            return Err(CheckpointError::Shape(
+                "query count differs from deployment",
+            ));
+        }
+        let mut states = Vec::with_capacity(deployment.tasks.len());
+        for (i, saved) in snap.tasks.into_iter().enumerate() {
+            let mut join = match &deployment.tasks[i].kind {
+                TaskKind::Source { .. } => None,
+                TaskKind::Join { .. } => Some(
+                    deployment
+                        .make_join(i, config.slack)
+                        .ok_or(CheckpointError::Shape("join task failed to instantiate"))?,
+                ),
+            };
+            crate::checkpoint::restore_task(deployment, i, saved, &mut join, |j, state| {
+                j.restore_state(state)
+            })?;
+            states.push(match join {
+                None => TaskState::Source,
+                Some(j) => TaskState::Join(Box::new(j)),
+            });
+        }
+        for p in &snap.pending {
+            let is_join = matches!(states.get(p.target), Some(TaskState::Join(_)));
+            if !is_join {
+                return Err(CheckpointError::Shape(
+                    "pending delivery targets a non-join task",
+                ));
+            }
+        }
+        let heap = snap
+            .pending
+            .into_iter()
+            .map(|p| {
+                HeapEntry(QItem {
+                    time: p.time,
+                    trigger: p.trigger,
+                    sub: p.sub,
+                    target: p.target,
+                    slot: p.slot,
+                    m: p.m,
+                })
+            })
+            .collect();
+        let sent = snap
+            .sent
+            .into_iter()
+            .map(|(sig, from, to, mhash)| (sig, NodeId(from), NodeId(to), mhash))
+            .collect();
+        let telemetry = config.telemetry.as_ref().map(|spec| {
+            ExecTelemetry::new(ClockDomain::VirtualTicks, spec, deployment.tasks.len())
+        });
+        Ok(Self {
+            deployment,
+            config,
+            states,
+            heap,
+            next_sub: snap.next_sub,
+            metrics: snap.metrics,
+            matches: snap.matches,
+            sent,
+            telemetry,
+        })
     }
 
     /// Finishes the run and returns the report, folding per-join engine

@@ -226,6 +226,30 @@ impl ExecTelemetry {
             let h = r.hist(names::TRANSPORT_BATCH_SIZE);
             r.observe_hist(h, &t.batch_hist);
         }
+        if metrics.latency_samples_dropped > 0 {
+            let id = r.counter(names::LATENCY_SAMPLES_DROPPED);
+            r.inc(id, metrics.latency_samples_dropped);
+        }
+        // Recovery counters exist only where resilience machinery ran
+        // (checkpointing or fault injection enabled).
+        let rec = &metrics.recovery;
+        if rec.snapshots_taken > 0 || rec.crashes > 0 {
+            for (name, v) in [
+                (names::RECOVERY_CRASHES, rec.crashes),
+                (names::RECOVERY_SNAPSHOTS, rec.snapshots_taken),
+                (names::RECOVERY_SNAPSHOT_BYTES, rec.snapshot_bytes),
+                (names::RECOVERY_REPLAYED, rec.replayed_messages),
+                (names::RECOVERY_SUPPRESSED, rec.suppressed_sends),
+                (names::RECOVERY_SEND_RETRIES, rec.send_retries),
+                (names::RECOVERY_BACKOFF_NS, rec.backoff_ns),
+                (names::RECOVERY_NS, rec.recovery_ns),
+            ] {
+                let id = r.counter(name);
+                r.inc(id, v);
+            }
+            let h = r.hist(names::RECOVERY_BACKOFF_SLEEP);
+            r.observe_hist(h, &rec.backoff_hist);
+        }
         self.run.tasks = tasks;
         self.run
     }

@@ -41,17 +41,18 @@
 //! negation joins release level by level: each chunk runs one extra
 //! release-and-drain phase per level ([`negation_release_phases`]).
 
+use crate::checkpoint::{self, CheckpointError, Snapshot};
 use crate::codec::encoded_len;
 use crate::deploy::{Deployment, TaskKind};
 use crate::matcher::{JoinTask, Match};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, RecoveryStats};
 use crate::telemetry::{names, ClockDomain, ExecTelemetry, GaugeKind, RunTelemetry, TelemetrySpec};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use muse_core::event::{Event, Timestamp};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Inter-node transport flavor of the threaded executor.
@@ -82,6 +83,21 @@ impl Default for TransportMode {
     }
 }
 
+/// Deterministic fault-injection plan: crash one node mid-run and recover
+/// it from its last chunk-boundary checkpoint (the executor's stand-in
+/// for the paper's §7.3 Ambrosia resiliency setup).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The node to crash.
+    pub node: usize,
+    /// The crash fires just before the node injects its `crash_at`-th
+    /// local event (0-based count over the whole run). A count beyond the
+    /// node's share of the trace means the fault never fires.
+    pub crash_at: u64,
+    /// Simulated downtime between the crash and the start of recovery.
+    pub restart_delay: Duration,
+}
+
 /// Configuration of the threaded executor.
 #[derive(Debug, Clone)]
 pub struct ThreadedConfig {
@@ -98,6 +114,12 @@ pub struct ThreadedConfig {
     /// Telemetry collection; each node thread keeps a private shard
     /// (registry, series, trace) that is merged when the threads join.
     pub telemetry: Option<TelemetrySpec>,
+    /// Take a per-node state snapshot at every chunk boundary and assemble
+    /// the merged end-of-run state into [`ThreadedReport::final_snapshot`].
+    /// Forced on by a fault plan (recovery restores from these shards).
+    pub checkpoint: bool,
+    /// Crash-and-recover one node mid-run (see [`FaultPlan`]).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ThreadedConfig {
@@ -107,6 +129,8 @@ impl Default for ThreadedConfig {
             chunk_ticks: None,
             transport: TransportMode::default(),
             telemetry: None,
+            checkpoint: false,
+            fault: None,
         }
     }
 }
@@ -124,23 +148,31 @@ pub struct ThreadedReport {
     /// Injected events per wall-clock second.
     pub events_per_sec: f64,
     /// Wall-clock latency per sink match, in nanoseconds: emission minus
-    /// injection of the match's newest constituent event.
+    /// injection of the match's newest constituent event. Matches whose
+    /// newest event was injected in an earlier (resumed-from) run have no
+    /// injection record and are counted in
+    /// `metrics.latency_samples_dropped` instead of being recorded with a
+    /// bogus baseline.
     pub wall_latencies_ns: Vec<u64>,
     /// Shard-merged telemetry, when [`ThreadedConfig::telemetry`] was set.
     pub telemetry: Option<RunTelemetry>,
+    /// Encoded end-of-run state (all shards merged), when
+    /// [`ThreadedConfig::checkpoint`] was set. Restorable by either
+    /// executor via [`crate::checkpoint`].
+    pub final_snapshot: Option<Vec<u8>>,
 }
 
 impl ThreadedReport {
     /// Five-number summary of wall-clock latencies in nanoseconds
-    /// `(min, p25, p50, p75, max)`, as plotted in Fig. 8.
+    /// `(min, p25, p50, p75, max)`, as plotted in Fig. 8. Quantiles use
+    /// the shared nearest-rank rule
+    /// ([`crate::metrics::percentile_nearest_rank`]), so summaries agree
+    /// with `Metrics::latency_percentile` on identical samples.
     pub fn latency_summary_ns(&self) -> Option<[u64; 5]> {
-        if self.wall_latencies_ns.is_empty() {
-            return None;
-        }
         let mut sorted = self.wall_latencies_ns.clone();
         sorted.sort_unstable();
-        let pick = |p: f64| sorted[((p * (sorted.len() - 1) as f64).round()) as usize];
-        Some([pick(0.0), pick(0.25), pick(0.5), pick(0.75), pick(1.0)])
+        let pick = |q: f64| crate::metrics::percentile_nearest_rank(&sorted, q);
+        Some([pick(0.0)?, pick(0.25)?, pick(0.5)?, pick(0.75)?, pick(1.0)?])
     }
 }
 
@@ -273,11 +305,62 @@ fn negation_release_phases(deployment: &Deployment, slack: f64) -> usize {
     max_count
 }
 
+/// Crash-recovery coordination shared by the node threads in checkpoint
+/// or fault mode.
+struct ResilienceShared {
+    /// Last chunk-boundary snapshot of each node, encoded (the "durable
+    /// storage" a crashed node recovers from).
+    shards: Vec<Mutex<Vec<u8>>>,
+    /// `chunk index + 1` of the injected crash; 0 while no crash has
+    /// happened. Written by the crashing node before it reaches the
+    /// crash-coordination barrier, so every node reads a consistent value
+    /// right after it.
+    crashed_chunk: AtomicU64,
+}
+
 /// Runs a deployment with one thread per network node.
 pub fn run_threaded(
     deployment: &Deployment,
     events: &[Event],
     config: &ThreadedConfig,
+) -> ThreadedReport {
+    run_threaded_inner(deployment, events, config, None)
+}
+
+/// Resumes a threaded run from a snapshot (produced by either executor —
+/// a [`ThreadedReport::final_snapshot`] or a simulator checkpoint).
+///
+/// `events` is the remainder of the trace: the part the snapshotted run
+/// had not yet consumed. The snapshot must be quiescent (no in-flight
+/// deliveries — true of every snapshot the executors produce at event or
+/// chunk boundaries); otherwise [`CheckpointError::NotQuiescent`] is
+/// returned.
+pub fn run_threaded_resumed(
+    deployment: &Deployment,
+    events: &[Event],
+    config: &ThreadedConfig,
+    snapshot: &[u8],
+) -> Result<ThreadedReport, CheckpointError> {
+    let snap = checkpoint::decode_for(deployment, snapshot)?;
+    if !snap.pending.is_empty() {
+        return Err(CheckpointError::NotQuiescent);
+    }
+    // Validate the graft once up front so the node threads cannot fail:
+    // every join task must accept its saved state.
+    for (i, saved) in snap.tasks.iter().enumerate() {
+        let mut join = deployment.make_join(i, config.slack);
+        checkpoint::restore_task(deployment, i, saved.clone(), &mut join, |j, s| {
+            j.restore_state(s)
+        })?;
+    }
+    Ok(run_threaded_inner(deployment, events, config, Some(&snap)))
+}
+
+fn run_threaded_inner(
+    deployment: &Deployment,
+    events: &[Event],
+    config: &ThreadedConfig,
+    resume: Option<&Snapshot>,
 ) -> ThreadedReport {
     let num_nodes = deployment.num_nodes.max(1);
     let chunk = config
@@ -344,6 +427,13 @@ pub fn run_threaded(
     let max_seq = events.iter().map(|e| e.seq).max().unwrap_or(0) as usize;
     let inject_ns: Arc<Vec<AtomicU64>> =
         Arc::new((0..=max_seq).map(|_| AtomicU64::new(0)).collect());
+    let resilient = config.checkpoint || config.fault.is_some();
+    let shared: Option<Arc<ResilienceShared>> = resilient.then(|| {
+        Arc::new(ResilienceShared {
+            shards: (0..num_nodes).map(|_| Mutex::new(Vec::new())).collect(),
+            crashed_chunk: AtomicU64::new(0),
+        })
+    });
     let start = Instant::now();
 
     let report_parts: Vec<NodeOutcome> = std::thread::scope(|scope| {
@@ -361,6 +451,7 @@ pub fn run_threaded(
             let range = ranges[node].clone();
             let inject_ns = Arc::clone(&inject_ns);
             let config = config.clone();
+            let shared = shared.clone();
             let schedule = ChunkSchedule {
                 chunk,
                 num_chunks,
@@ -370,6 +461,7 @@ pub fn run_threaded(
             handles.push(scope.spawn(move || {
                 run_node(
                     deployment, node, events, range, channels, inject_ns, start, schedule, config,
+                    shared, resume,
                 )
             }));
         }
@@ -387,12 +479,16 @@ pub fn run_threaded(
         .telemetry
         .as_ref()
         .map(|spec| RunTelemetry::new(ClockDomain::WallNanos, spec));
+    let mut final_state = config.checkpoint.then(|| Snapshot::empty(deployment));
     for part in report_parts {
         metrics.merge(&part.metrics);
         for (q, ms) in part.matches.into_iter().enumerate() {
             matches[q].extend(ms);
         }
         wall_latencies_ns.extend(part.wall_latencies_ns);
+        if let (Some(merged), Some(shard)) = (&mut final_state, part.shard) {
+            merged.merge_shard(shard);
+        }
         if let (Some(merged), Some(shard)) = (&mut telemetry, part.telemetry) {
             merged.registry.merge(&shard.registry);
             merged.series.absorb(shard.series);
@@ -400,6 +496,7 @@ pub fn run_threaded(
             merged.tasks.extend(shard.tasks);
         }
     }
+    let final_snapshot = final_state.map(|state| checkpoint::encode(&state));
     if let Some(merged) = &mut telemetry {
         merged.series.sort_by_time();
         merged.tasks.sort_by_key(|s| s.task);
@@ -418,6 +515,7 @@ pub fn run_threaded(
         events_per_sec,
         wall_latencies_ns,
         telemetry,
+        final_snapshot,
     }
 }
 
@@ -426,6 +524,8 @@ struct NodeOutcome {
     matches: Vec<Vec<Match>>,
     wall_latencies_ns: Vec<u64>,
     telemetry: Option<RunTelemetry>,
+    /// End-of-run state shard (checkpoint mode).
+    shard: Option<Snapshot>,
 }
 
 /// The communication endpoints handed to one node thread.
@@ -474,7 +574,45 @@ struct NodeRunner<'a> {
     /// Newest event timestamp seen by any local join (the node-local
     /// watermark behind the series' lag column).
     max_seen: Timestamp,
+    /// Eviction slack (kept for rebuilding joins during crash recovery).
+    slack: f64,
+    /// Fault plan from the config, when fault injection is enabled.
+    fault: Option<FaultPlan>,
+    /// Shared shard storage and crash flag (checkpoint or fault mode).
+    shared: Option<Arc<ResilienceShared>>,
+    /// Crash-recovery counters, kept OUTSIDE `metrics` so the crashing
+    /// node's state rollback cannot erase the record of its own recovery;
+    /// folded into `metrics.recovery` when the thread finishes.
+    recovery: RecoveryStats,
+    /// Local events injected so far (drives [`FaultPlan::crash_at`]).
+    injected_local: u64,
+    /// Whether this run's planned crash has already fired (single-shot).
+    crashed: bool,
+    /// Fault mode, pre-crash: messages flushed to the planned-crash node
+    /// this chunk, replayed to it after the crash (the peers' side of the
+    /// Ambrosia-style logged-call replay).
+    send_log: Vec<(usize, usize, Match)>,
+    /// Fault mode, pre-crash: multiset of messages ingested from the
+    /// planned-crash node this chunk, keyed by `(target, slot, mux match
+    /// hash)` — the receive-side replay-dedup filter.
+    recv_log: HashMap<(usize, usize, u64), u32, crate::sim::MuxBuildHasher>,
+    /// Whether chunk logs are being recorded (fault mode, until the crash
+    /// has happened).
+    logs_active: bool,
+    /// Whether re-deliveries from the crashed node are being deduplicated
+    /// against `recv_log` (peers, from the crash to the chunk's end).
+    dedup_active: bool,
+    /// Wall-clock mark of the injected crash (downtime + recovery timer).
+    crash_started: Option<Instant>,
 }
+
+/// First backoff sleep of a blocked fault-mode send.
+const SEND_BACKOFF_START: Duration = Duration::from_micros(1);
+
+/// Backoff ceiling: a blocked fault-mode sender keeps retrying at this
+/// bounded cadence (doubling up to the cap) instead of parking
+/// indefinitely on a channel whose receiver may have crashed.
+const SEND_BACKOFF_CAP: Duration = Duration::from_micros(256);
 
 #[allow(clippy::too_many_arguments)]
 fn run_node(
@@ -487,8 +625,10 @@ fn run_node(
     start: Instant,
     schedule: ChunkSchedule,
     config: ThreadedConfig,
+    shared: Option<Arc<ResilienceShared>>,
+    resume: Option<&Snapshot>,
 ) -> NodeOutcome {
-    let joins: Vec<Option<JoinTask>> = (0..deployment.tasks.len())
+    let mut joins: Vec<Option<JoinTask>> = (0..deployment.tasks.len())
         .map(|i| {
             if deployment.tasks[i].node.index() == node {
                 let mut join = deployment.make_join(i, config.slack);
@@ -515,6 +655,42 @@ fn run_node(
         TransportMode::Naive => (1, true),
     };
     let num_nodes = deployment.num_nodes.max(1);
+    // Graft resumed state onto the freshly built local joins; node 0
+    // absorbs the snapshot's run-wide accumulators (metrics, matches,
+    // latencies) so the merged report continues the interrupted totals.
+    let mut metrics = Metrics::new(deployment.num_nodes);
+    let mut matches = vec![Vec::new(); deployment.queries.len()];
+    let mut wall_latencies_ns = Vec::new();
+    let mut sent: std::collections::HashSet<(u64, usize, u64), crate::sim::MuxBuildHasher> =
+        Default::default();
+    if let Some(snap) = resume {
+        for (i, join) in joins.iter_mut().enumerate() {
+            if deployment.tasks[i].node.index() != node {
+                continue;
+            }
+            checkpoint::restore_task(deployment, i, snap.tasks[i].clone(), join, |j, s| {
+                j.restore_state(s)
+            })
+            .expect("resume pre-validated by run_threaded_resumed");
+        }
+        sent.extend(snap.sent.iter().filter_map(|&(sig, from, to, mhash)| {
+            (from as usize == node).then_some((sig, to as usize, mhash))
+        }));
+        if node == 0 {
+            metrics = snap.metrics.clone();
+            matches = snap.matches.clone();
+            wall_latencies_ns = snap.wall_latencies_ns.clone();
+            // Re-establish `sink_matches == samples + dropped` over the
+            // absorbed history: matches the snapshot carries without a
+            // wall-latency sample (all of them, for simulator snapshots —
+            // the sim measures event-time lag, not wall time) count as
+            // dropped samples of this run.
+            metrics.latency_samples_dropped = metrics
+                .sink_matches
+                .saturating_sub(wall_latencies_ns.len() as u64);
+        }
+    }
+    let fault_mode = config.fault.is_some();
     let mut runner = NodeRunner {
         deployment,
         node,
@@ -527,25 +703,92 @@ fn run_node(
         naive,
         inject_ns,
         start,
-        metrics: Metrics::new(deployment.num_nodes),
-        matches: vec![Vec::new(); deployment.queries.len()],
-        wall_latencies_ns: Vec::new(),
-        sent: Default::default(),
+        metrics,
+        matches,
+        wall_latencies_ns,
+        sent,
         telemetry,
         max_seen: 0,
+        slack: config.slack,
+        fault: config.fault.clone(),
+        shared,
+        recovery: RecoveryStats::default(),
+        injected_local: 0,
+        crashed: false,
+        send_log: Vec::new(),
+        recv_log: Default::default(),
+        logs_active: false,
+        dedup_active: false,
+        crash_started: None,
     };
 
     let local_events = &events[range];
     let mut next = 0usize;
     for chunk_idx in 0..schedule.num_chunks {
         let bound = (chunk_idx + 1) * schedule.chunk;
+        if runner.shared.is_some() {
+            // Every chunk starts from quiescence: persist this node's
+            // shard (the durable state a crash rolls back to).
+            runner.save_shard(next);
+        }
+        if fault_mode {
+            runner.begin_chunk_logs(chunk_idx);
+        }
+        let mut crashed_here = false;
         while next < local_events.len() && local_events[next].time < bound {
+            if runner.crash_due() {
+                runner.crash(chunk_idx);
+                crashed_here = true;
+                break;
+            }
             runner.drain();
             runner.inject(&local_events[next]);
             runner.maybe_sample();
             next += 1;
         }
-        runner.flush_all();
+        if !crashed_here {
+            runner.flush_all();
+        }
+        if fault_mode {
+            // Crash coordination. Barrier A publishes the crash flag
+            // consistently; the crashed node then discards its inbox and
+            // restores its shard while peers hold their sends; barrier B
+            // orders the discard before the replay traffic.
+            runner.barrier_wait();
+            let crash_chunk = runner
+                .shared
+                .as_ref()
+                .map(|s| s.crashed_chunk.load(Ordering::Acquire))
+                .unwrap_or(0);
+            if crash_chunk == chunk_idx + 1 {
+                let fault_node = runner.fault.as_ref().map(|f| f.node).unwrap_or(usize::MAX);
+                if node == fault_node {
+                    next = runner.recover();
+                } else {
+                    runner.dedup_active = true;
+                }
+                runner.barrier_wait();
+                if node == fault_node {
+                    // Replay the rolled-back part of the chunk: re-inject
+                    // the local events from the restored cursor. Sends are
+                    // regenerated; peers dedup re-deliveries they already
+                    // processed against their receive logs.
+                    while next < local_events.len() && local_events[next].time < bound {
+                        runner.drain();
+                        runner.inject(&local_events[next]);
+                        next += 1;
+                    }
+                    if let Some(started) = runner.crash_started.take() {
+                        runner.recovery.recovery_ns += started.elapsed().as_nanos() as u64;
+                    }
+                } else {
+                    runner.resend_log();
+                }
+                runner.flush_all();
+            } else {
+                runner.barrier_wait();
+            }
+        }
         // Quiescence: one barrier-synchronized drain round per possible
         // network hop; then, per negation level, release the deferred
         // candidates and drain to quiescence again.
@@ -563,10 +806,19 @@ fn run_node(
             runner.barrier_wait();
         }
     }
-    // Fold this node's join-engine counters into its metrics share.
+    // End-of-run state shard, captured BEFORE the join-stats fold below:
+    // snapshots keep `metrics.join` unfolded (the engine counters live in
+    // the saved task states), so a resumed run folds them exactly once.
+    let shard = config.checkpoint.then(|| runner.build_shard(next));
+    // Fold this node's join-engine counters into its metrics share, and
+    // the recovery record kept outside the rolled-back metrics.
     for join in runner.joins.iter().flatten() {
         runner.metrics.join.merge(join.stats());
     }
+    runner
+        .metrics
+        .recovery
+        .merge(&std::mem::take(&mut runner.recovery));
     // Final sample at shutdown, then seal this node's shard with its local
     // task summaries.
     runner.sample(runner.start.elapsed().as_nanos() as u64);
@@ -582,10 +834,170 @@ fn run_node(
         matches: runner.matches,
         wall_latencies_ns: runner.wall_latencies_ns,
         telemetry,
+        shard,
     }
 }
 
 impl NodeRunner<'_> {
+    /// This node's state as a snapshot shard: local task states, local
+    /// sent-set entries, this node's metrics share, and its local event
+    /// cursor. Shards of all nodes merge into one whole-run [`Snapshot`].
+    fn build_shard(&self, cursor: usize) -> Snapshot {
+        let mut snap = Snapshot::empty(self.deployment);
+        for (i, join) in self.joins.iter().enumerate() {
+            if let Some(join) = join {
+                snap.tasks[i] = Some(join.save_state());
+            }
+        }
+        snap.metrics = self.metrics.clone();
+        snap.matches = self.matches.clone();
+        snap.wall_latencies_ns = self.wall_latencies_ns.clone();
+        snap.sent = self
+            .sent
+            .iter()
+            .map(|&(sig, to, mhash)| (sig, self.node as u16, to as u16, mhash))
+            .collect();
+        snap.sent.sort_unstable();
+        snap.cursors = vec![0; self.deployment.num_nodes.max(1)];
+        snap.cursors[self.node] = cursor as u64;
+        snap
+    }
+
+    /// Encodes this node's state and stores it as the chunk-boundary
+    /// shard — the durable state a crash rolls back to.
+    fn save_shard(&mut self, cursor: usize) {
+        let bytes = checkpoint::encode(&self.build_shard(cursor));
+        self.recovery.snapshots_taken += 1;
+        self.recovery.snapshot_bytes += bytes.len() as u64;
+        if let Some(shared) = &self.shared {
+            *shared.shards[self.node].lock().expect("shard lock") = bytes;
+        }
+    }
+
+    /// Resets the per-chunk replay logs (fault mode). Logging stops once
+    /// the planned crash has fired in an *earlier* chunk — no second
+    /// crash can need the logs. The current chunk still logs even when
+    /// the flag is already up: a node crashing at its very first
+    /// injection can publish the flag before its peers begin the chunk,
+    /// and their logs are exactly what the recovery will replay.
+    fn begin_chunk_logs(&mut self, chunk_idx: u64) {
+        self.send_log.clear();
+        self.recv_log.clear();
+        self.dedup_active = false;
+        self.logs_active = self.shared.as_ref().is_some_and(|s| {
+            let c = s.crashed_chunk.load(Ordering::Relaxed);
+            c == 0 || c == chunk_idx + 1
+        });
+    }
+
+    /// Whether the planned crash fires before the next injection.
+    fn crash_due(&self) -> bool {
+        !self.crashed
+            && self
+                .fault
+                .as_ref()
+                .is_some_and(|f| f.node == self.node && self.injected_local == f.crash_at)
+    }
+
+    /// Simulates the crash: publish the flag (peers read it consistently
+    /// after the next barrier), drop every piece of volatile state, and
+    /// sleep out the configured downtime. The inbox is discarded later in
+    /// [`Self::recover`]; until then barrier waits keep stealing from it
+    /// so peers blocked on this node's bounded channel stay live.
+    fn crash(&mut self, chunk_idx: u64) {
+        self.crashed = true;
+        self.crash_started = Some(Instant::now());
+        self.recovery.crashes += 1;
+        if let Some(shared) = &self.shared {
+            shared.crashed_chunk.store(chunk_idx + 1, Ordering::Release);
+        }
+        self.backlog.clear();
+        for buf in &mut self.out_bufs {
+            buf.clear();
+        }
+        let delay = self
+            .fault
+            .as_ref()
+            .map(|f| f.restart_delay)
+            .unwrap_or_default();
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+    }
+
+    /// Post-crash restoration: discard every in-flight frame addressed to
+    /// the old incarnation (peers replay their chunk logs afterwards),
+    /// decode the last shard, rebuild the local joins from the plan, and
+    /// graft the saved dynamic state. Returns the restored event cursor.
+    fn recover(&mut self) -> usize {
+        self.backlog.clear();
+        while let Ok(frame) = self.channels.inbox.try_recv() {
+            self.channels.depth[self.node].fetch_sub(1, Ordering::Relaxed);
+            let Frame { origin, mut msgs } = frame;
+            msgs.clear();
+            if !self.naive {
+                let _ = self.channels.ret_senders[origin].send(msgs);
+            }
+        }
+        let bytes = self.shared.as_ref().expect("fault mode has shards").shards[self.node]
+            .lock()
+            .expect("shard lock")
+            .clone();
+        let mut snap = checkpoint::decode(&bytes).expect("own shard decodes");
+        for i in 0..self.deployment.tasks.len() {
+            if self.deployment.tasks[i].node.index() != self.node {
+                continue;
+            }
+            let mut join = self.deployment.make_join(i, self.slack);
+            if let Some(j) = &mut join {
+                if j.has_negations() {
+                    j.set_defer_negation(true);
+                }
+            }
+            checkpoint::restore_task(
+                self.deployment,
+                i,
+                snap.tasks[i].take(),
+                &mut join,
+                |j, s| j.restore_state(s),
+            )
+            .expect("own shard matches the plan");
+            self.joins[i] = join;
+        }
+        self.metrics = snap.metrics;
+        self.matches = snap.matches;
+        self.wall_latencies_ns = snap.wall_latencies_ns;
+        self.sent.clear();
+        self.sent
+            .extend(snap.sent.iter().filter_map(|&(sig, from, to, mhash)| {
+                (from as usize == self.node).then_some((sig, to as usize, mhash))
+            }));
+        self.max_seen = self
+            .joins
+            .iter()
+            .flatten()
+            .map(|j| j.last_seen())
+            .max()
+            .unwrap_or(0);
+        snap.cursors.get(self.node).copied().unwrap_or(0) as usize
+    }
+
+    /// Replays every message this node flushed to the crashed node during
+    /// the chunk — the peers' half of the logged-call replay. Replayed
+    /// deliveries are not new network transmissions (the §4.4 message
+    /// metric counted them when first shipped), so they bypass the mux
+    /// accounting and are tallied separately.
+    fn resend_log(&mut self) {
+        let Some(dest) = self.fault.as_ref().map(|f| f.node) else {
+            return;
+        };
+        let log = std::mem::take(&mut self.send_log);
+        self.recovery.replayed_messages += log.len() as u64;
+        for (target, slot, m) in log {
+            self.enqueue(dest, NodeMsg { target, slot, m });
+        }
+    }
+
     /// Processes the backlog and every frame currently in the inbox.
     fn drain(&mut self) {
         loop {
@@ -615,9 +1027,38 @@ impl NodeRunner<'_> {
 
     /// Accepts a frame: decrements the in-flight gauge, queues its
     /// messages, and hands the emptied buffer back to the origin node.
+    ///
+    /// In fault mode, messages from the planned-crash node additionally
+    /// pass the replay-dedup filter: while the crash is being replayed,
+    /// any message this node already ingested earlier in the chunk is
+    /// dropped (the channel is FIFO per sender, so the pre-crash copy
+    /// always arrives before its replay).
     fn ingest(&mut self, mut frame: Frame) {
         self.channels.depth[self.node].fetch_sub(1, Ordering::Relaxed);
-        self.backlog.extend(frame.msgs.drain(..));
+        let filtered = (self.logs_active || self.dedup_active)
+            && self
+                .fault
+                .as_ref()
+                .is_some_and(|f| f.node == frame.origin && f.node != self.node);
+        if filtered {
+            for msg in frame.msgs.drain(..) {
+                let key = (msg.target, msg.slot, crate::sim::match_hash_for_mux(&msg.m));
+                if self.dedup_active {
+                    if let Some(count) = self.recv_log.get_mut(&key) {
+                        *count -= 1;
+                        if *count == 0 {
+                            self.recv_log.remove(&key);
+                        }
+                        self.recovery.suppressed_sends += 1;
+                        continue;
+                    }
+                }
+                *self.recv_log.entry(key).or_insert(0) += 1;
+                self.backlog.push_back(msg);
+            }
+        } else {
+            self.backlog.extend(frame.msgs.drain(..));
+        }
         if !self.naive {
             // The origin may already have shut its return receiver down at
             // the very end of the run; the buffer is then simply dropped.
@@ -681,8 +1122,21 @@ impl NodeRunner<'_> {
     }
 
     /// Pushes a frame onto `dest`'s channel, stealing from the own inbox
-    /// while the channel is full.
+    /// while the channel is full. In fault mode a failed steal backs off
+    /// with bounded exponential sleeps — a sender facing a crashed (hence
+    /// non-draining) peer retries at a capped cadence instead of spinning
+    /// or parking forever, and the waits are recorded in the recovery
+    /// stats.
     fn send_frame(&mut self, dest: usize, msgs: Vec<NodeMsg>) {
+        if self.logs_active
+            && self
+                .fault
+                .as_ref()
+                .is_some_and(|f| f.node == dest && f.node != self.node)
+        {
+            self.send_log
+                .extend(msgs.iter().map(|msg| (msg.target, msg.slot, msg.m.clone())));
+        }
         let t = &mut self.metrics.transport;
         t.frames_sent += 1;
         t.messages_framed += msgs.len() as u64;
@@ -695,6 +1149,7 @@ impl NodeRunner<'_> {
             origin: self.node,
             msgs,
         };
+        let mut backoff = SEND_BACKOFF_START;
         loop {
             match self.channels.senders[dest].try_send(frame) {
                 Ok(()) => return,
@@ -702,7 +1157,16 @@ impl NodeRunner<'_> {
                     self.metrics.transport.blocked_sends += 1;
                     frame = f;
                     if !self.steal() {
-                        std::thread::yield_now();
+                        if self.fault.is_some() {
+                            self.recovery.send_retries += 1;
+                            let ns = backoff.as_nanos() as u64;
+                            self.recovery.backoff_ns += ns;
+                            self.recovery.backoff_hist.record(ns);
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(SEND_BACKOFF_CAP);
+                        } else {
+                            std::thread::yield_now();
+                        }
                     }
                 }
                 Err(TrySendError::Disconnected(_)) => {
@@ -758,9 +1222,13 @@ impl NodeRunner<'_> {
         }
         self.metrics.events_injected += 1;
         self.metrics.record_processed(self.node);
+        self.injected_local += 1;
         let now = self.start.elapsed().as_nanos() as u64;
-        if (event.seq as usize) < self.inject_ns.len() {
-            self.inject_ns[event.seq as usize].store(now, Ordering::Release);
+        if let Some(slot) = self.inject_ns.get(event.seq as usize) {
+            // First write wins (0 means "never injected"), so a crash
+            // replay keeps the original mark and a recovered match's
+            // latency includes the downtime it survived.
+            let _ = slot.compare_exchange(0, now.max(1), Ordering::AcqRel, Ordering::Acquire);
         }
         if let Some(tel) = self.telemetry.as_mut() {
             tel.on_inject(now, self.node, sources[0], event);
@@ -831,10 +1299,20 @@ impl NodeRunner<'_> {
                     .get(newest.seq as usize)
                     .map(|a| a.load(Ordering::Acquire))
                     .unwrap_or(0);
-                let latency = now.saturating_sub(injected);
-                self.wall_latencies_ns.push(latency);
-                if let Some(tel) = self.telemetry.as_mut() {
-                    tel.on_sink(now, self.node, task, m.len(), m.last_time(), latency);
+                if injected == 0 {
+                    // No injection record for the newest constituent —
+                    // it entered in a resumed-from run (or its seq is
+                    // outside this run's table). A sample against a
+                    // zero baseline would be garbage; count the loss
+                    // instead of hiding it. Invariant:
+                    // `sink_matches == samples + latency_samples_dropped`.
+                    self.metrics.latency_samples_dropped += 1;
+                } else {
+                    let latency = now.saturating_sub(injected);
+                    self.wall_latencies_ns.push(latency);
+                    if let Some(tel) = self.telemetry.as_mut() {
+                        tel.on_sink(now, self.node, task, m.len(), m.last_time(), latency);
+                    }
                 }
                 self.matches[spec.query_idx].push(m.clone());
             }
@@ -1197,6 +1675,7 @@ mod tests {
             events_per_sec: 0.0,
             wall_latencies_ns: vec![50, 10, 30, 20, 40],
             telemetry: None,
+            final_snapshot: None,
         };
         assert_eq!(report.latency_summary_ns(), Some([10, 20, 30, 40, 50]));
         let empty = ThreadedReport {

@@ -264,6 +264,28 @@ pub mod names {
     pub const TRANSPORT_QUEUE_PEAK: &str = "transport.queue_peak";
     /// Transport: realized batch sizes (messages per frame).
     pub const TRANSPORT_BATCH_SIZE: &str = "transport.batch_size";
+    /// Sink matches whose latency sample had to be discarded because no
+    /// injection timestamp existed for the newest constituent (e.g. it
+    /// was injected before a resumed-from snapshot).
+    pub const LATENCY_SAMPLES_DROPPED: &str = "latency.samples_dropped";
+    /// Recovery: injected node crashes taken.
+    pub const RECOVERY_CRASHES: &str = "recovery.crashes";
+    /// Recovery: chunk-boundary snapshots written.
+    pub const RECOVERY_SNAPSHOTS: &str = "recovery.snapshots_taken";
+    /// Recovery: cumulative encoded snapshot bytes.
+    pub const RECOVERY_SNAPSHOT_BYTES: &str = "recovery.snapshot_bytes";
+    /// Recovery: messages re-delivered from peer replay logs.
+    pub const RECOVERY_REPLAYED: &str = "recovery.replayed_messages";
+    /// Recovery: duplicate replay deliveries suppressed by receivers.
+    pub const RECOVERY_SUPPRESSED: &str = "recovery.suppressed_sends";
+    /// Recovery: sender retry rounds against an unresponsive peer.
+    pub const RECOVERY_SEND_RETRIES: &str = "recovery.send_retries";
+    /// Recovery: total nanoseconds slept in sender backoff.
+    pub const RECOVERY_BACKOFF_NS: &str = "recovery.backoff_ns";
+    /// Recovery: wall nanoseconds from crash to restored state.
+    pub const RECOVERY_NS: &str = "recovery.recovery_ns";
+    /// Recovery: distribution of individual backoff sleeps (ns).
+    pub const RECOVERY_BACKOFF_SLEEP: &str = "recovery.backoff_sleep_ns";
 }
 
 #[cfg(test)]

@@ -1,11 +1,13 @@
 #!/usr/bin/env sh
 # Tier-1 CI gate: release build, workspace test suite, lint gates, static
 # verification of the example queries/plans, the loom concurrency lane, and
-# smoke runs of the matcher join bench and the executor transport bench
-# (emitting BENCH_matcher.json and BENCH_executor.json at the repo root
-# plus telemetry exports under out/). The executor smoke additionally
-# gates on the batched and naive transports producing identical match
-# sets. Exits nonzero on the first failure.
+# smoke runs of the matcher join bench, the executor transport bench, and
+# the fault-recovery bench (emitting BENCH_matcher.json,
+# BENCH_executor.json, and BENCH_faults.json at the repo root plus
+# telemetry exports under out/). The executor smoke additionally gates on
+# the batched and naive transports producing identical match sets; the
+# fault smoke gates on the crashed run reproducing the uninterrupted
+# run's match sets. Exits nonzero on the first failure.
 #
 # Opt-in slow lanes (need a nightly toolchain, skipped by default so the
 # tier-1 gate stays fast):
@@ -65,6 +67,13 @@ echo "== smoke: executor transport bench (with telemetry) =="
 cargo run -p muse-bench --release --bin harness -- executor --quick --out . --telemetry out
 grep -q '"fingerprints_equal": true' BENCH_executor.json || {
     echo "ci.sh: executor smoke: batched and naive transports diverged" >&2
+    exit 1
+}
+
+echo "== smoke: fault-recovery bench (with telemetry) =="
+cargo run -p muse-bench --release --bin harness -- faults --quick --out . --telemetry out
+grep -q '"fingerprints_equal": true' BENCH_faults.json || {
+    echo "ci.sh: fault smoke: crash recovery lost or duplicated matches" >&2
     exit 1
 }
 

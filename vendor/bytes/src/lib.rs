@@ -114,6 +114,11 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Extracts the underlying vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes {
