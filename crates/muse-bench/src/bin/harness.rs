@@ -80,7 +80,8 @@ fn main() -> ExitCode {
                 || id == "ablation"
                 || id == "matcher"
                 || id == "executor"
-                || id == "faults" =>
+                || id == "faults"
+                || id == "multiquery" =>
             {
                 ids.push(id.to_string())
             }
@@ -119,6 +120,9 @@ fn main() -> ExitCode {
                 if let Some(transport) = run.transport_summary() {
                     println!("-- {label} transport --\n{transport}");
                 }
+                if let Some(disc) = run.discrimination_summary() {
+                    println!("-- {label} discrimination --\n{disc}");
+                }
             }
             eprintln!("{id} finished: {}\n", collector.summary_line());
             all_checks_pass &= collector.checks_pass();
@@ -135,6 +139,7 @@ fn main() -> ExitCode {
                 "matcher" => "BENCH_matcher.json".to_string(),
                 "executor" => "BENCH_executor.json".to_string(),
                 "faults" => "BENCH_faults.json".to_string(),
+                "multiquery" => "BENCH_multiquery.json".to_string(),
                 _ => format!("{id}.json"),
             };
             let path = dir.join(file);

@@ -135,6 +135,24 @@ pub enum ExperimentOutput {
         /// Whether both engines emitted identical fingerprint streams.
         fingerprints_equal: bool,
     },
+    /// Shared multi-query evaluation at scale: throughput, per-event
+    /// candidate-set size, and resident partials as the number of
+    /// concurrent queries grows, with shared-plan execution gated on
+    /// fingerprint equality against independent per-query evaluation
+    /// (written as `BENCH_multiquery.json`; not a paper artifact).
+    MultiQueryBench {
+        /// Experiment id ("multiquery").
+        id: String,
+        /// Events injected per run (one trace shared by all sweep points).
+        events: u64,
+        /// Per-sweep-point measurements, in ascending query count.
+        points: Vec<MultiQueryRow>,
+        /// Whether shared and independent evaluation agreed at every point.
+        fingerprints_equal: bool,
+        /// Whether shared-mode wall time grew sublinearly in the query
+        /// count between the smallest and largest sweep points.
+        sublinear: bool,
+    },
 }
 
 /// One transport mode's measurements in the executor bench.
@@ -204,6 +222,46 @@ pub struct MatcherEngineRow {
     pub peak_open_partials: u64,
     /// Wall-clock time of the best rep, milliseconds.
     pub wall_ms: f64,
+}
+
+/// One sweep point of the multi-query bench.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiQueryRow {
+    /// Concurrent queries registered at this point.
+    pub queries: usize,
+    /// Distinct query structures the planner actually constructed (the
+    /// rest reused an earlier plan via structural memoization).
+    pub distinct_plans: usize,
+    /// Logical tasks (graph vertices) before sharing collapsed them.
+    pub logical_tasks: usize,
+    /// Physical tasks after shared-projection collapsing.
+    pub physical_tasks: usize,
+    /// Shared-plan events per wall-clock second (best of reps).
+    pub shared_events_per_sec: f64,
+    /// Shared-plan wall time of the best rep, milliseconds.
+    pub shared_wall_ms: f64,
+    /// Independent per-query-task events per wall-clock second.
+    pub independent_events_per_sec: f64,
+    /// Independent-evaluation wall time, milliseconds.
+    pub independent_wall_ms: f64,
+    /// Shared events/sec over independent events/sec.
+    pub speedup: f64,
+    /// Mean discrimination-index candidates per event, shared plan.
+    pub mean_candidates_shared: f64,
+    /// Mean discrimination-index candidates per event, independent plan.
+    pub mean_candidates_independent: f64,
+    /// Share of considered candidates rejected by the band filter before
+    /// any predicate evaluation (shared plan).
+    pub filtered_pct: f64,
+    /// Peak concurrently-buffered partial matches, shared plan.
+    pub peak_partials_shared: u64,
+    /// Peak concurrently-buffered partial matches, independent plan.
+    pub peak_partials_independent: u64,
+    /// Complete matches delivered across all logical sinks.
+    pub matches: u64,
+    /// Whether both evaluation modes produced identical per-query match
+    /// sets at this point.
+    pub fingerprints_equal: bool,
 }
 
 /// One Fig. 7d row.
@@ -297,6 +355,7 @@ pub fn run_experiment_telemetry(
         "matcher" => matcher_bench(id, settings, tel),
         "executor" => executor_bench(id, settings, tel),
         "faults" => faults_bench(id, settings, tel),
+        "multiquery" => multiquery_bench(id, settings, tel),
         other => panic!("unknown experiment '{other}'; see `all_experiments()`"),
     }
 }
@@ -1177,6 +1236,182 @@ fn matcher_bench_sized(
     }
 }
 
+/// The `multiquery` experiment (`BENCH_multiquery.json`): shared
+/// multi-query evaluation at scale. A family-structured workload is swept
+/// from 1k to 100k concurrent queries over a fixed trace; at each point
+/// the same merged plan runs twice on the simulator — once with
+/// shared-projection collapsing plus the event discrimination index
+/// (`Sharing::Shared`), once with one physical task per logical vertex
+/// (`Sharing::Independent`) — and the per-query match sets must be
+/// identical. Reported per point: events/sec for both modes, the mean
+/// per-event candidate-set size, the band-filter rejection ratio, and the
+/// peak of resident partial matches.
+fn multiquery_bench(
+    id: &str,
+    settings: &SweepSettings,
+    tel: Option<&mut TelemetryCollector>,
+) -> ExperimentOutput {
+    let (sweep, duration): (&[usize], f64) = if settings.reps <= 2 {
+        (&[200, 2_000], 120.0)
+    } else {
+        (&[1_000, 10_000, 100_000], 300.0)
+    };
+    multiquery_bench_sized(id, sweep, duration, settings, tel)
+}
+
+fn multiquery_bench_sized(
+    id: &str,
+    sweep: &[usize],
+    duration: f64,
+    settings: &SweepSettings,
+    mut tel: Option<&mut TelemetryCollector>,
+) -> ExperimentOutput {
+    use muse_core::network::NetworkBuilder;
+    use muse_core::types::{EventTypeId, NodeId};
+    use muse_runtime::deploy::Sharing;
+    use muse_runtime::matcher::Match;
+    use muse_runtime::sim::SimReport;
+    use muse_sim::traces::{generate_traces, TraceConfig};
+    use muse_sim::workload_gen::{generate_family_workload, FamilyWorkloadConfig};
+    use std::collections::BTreeSet;
+    use std::time::Instant;
+
+    // 4 nodes, 12 types, each type produced by exactly one node at a flat
+    // rate: the sweep varies the *workload*, so the event side stays fixed
+    // and every throughput delta is attributable to query count.
+    const TYPES: usize = 12;
+    let mut builder = NetworkBuilder::new(4, TYPES);
+    for node in 0..4u16 {
+        let owned: Vec<EventTypeId> = (0..3).map(|k| EventTypeId(node * 3 + k)).collect();
+        builder = builder.node(NodeId(node), owned.clone());
+        for t in owned {
+            builder = builder.rate(t, 2.0);
+        }
+    }
+    let network = builder.build();
+
+    let reps = settings.reps.max(1);
+    let trace = generate_traces(
+        &network,
+        &TraceConfig {
+            duration,
+            ticks_per_unit: 1_000.0,
+            rate_scale: 1.0,
+            key_domain: 8,
+            band_domain: 1_000,
+            seed: settings.seed,
+        },
+    );
+    let sim_config = SimConfig::default();
+
+    let mut points = Vec::with_capacity(sweep.len());
+    for (pi, &n) in sweep.iter().enumerate() {
+        let workload = generate_family_workload(&FamilyWorkloadConfig {
+            queries: n,
+            families: 25,
+            variants_per_family: 8,
+            prims_per_family: 3,
+            types: TYPES,
+            share_fraction: 0.3,
+            band_domain: 1_000,
+            window: 1_000,
+            seed: settings.seed,
+        });
+        let plan = amuse_workload(&workload, &network, &AMuseConfig::default())
+            .expect("family workload plans");
+        let distinct_plans = plan.graphs.len() - plan.reused_plans();
+        let ctx = PlanContext::new(workload.queries(), &network, &plan.table);
+        // `unchecked`: the fail-fast verifier walks every query and vertex,
+        // which at 100k generated queries costs more than the run itself;
+        // these plans come straight from the in-tree construction.
+        let shared = Deployment::unchecked(&plan.merged, &ctx, Sharing::Shared);
+        let independent = Deployment::unchecked(&plan.merged, &ctx, Sharing::Independent);
+
+        let fingerprints = |report: &SimReport| -> Vec<BTreeSet<Vec<u64>>> {
+            report
+                .matches
+                .iter()
+                .map(|q| q.iter().map(Match::fingerprint).collect())
+                .collect()
+        };
+
+        // Shared mode: one untimed warmup (faults the trace in), then
+        // best-of-reps. Independent mode runs once afterwards, with the
+        // trace already warm — any cache bias favors the baseline.
+        let _ = run_simulation(&shared, &trace, &sim_config);
+        let mut best: Option<(std::time::Duration, SimReport)> = None;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let report = run_simulation(&shared, &trace, &sim_config);
+            let wall = started.elapsed();
+            if best.as_ref().is_none_or(|(b, _)| wall < *b) {
+                best = Some((wall, report));
+            }
+        }
+        let (shared_wall, shared_report) = best.expect("reps >= 1");
+        let started = Instant::now();
+        let independent_report = run_simulation(&independent, &trace, &sim_config);
+        let independent_wall = started.elapsed();
+
+        let fingerprints_equal = fingerprints(&shared_report) == fingerprints(&independent_report);
+        let shared_wall_ms = shared_wall.as_secs_f64() * 1e3;
+        let independent_wall_ms = independent_wall.as_secs_f64() * 1e3;
+        let shared_eps = trace.len() as f64 / shared_wall.as_secs_f64();
+        let independent_eps = trace.len() as f64 / independent_wall.as_secs_f64();
+        let sd = &shared_report.metrics.discrimination;
+        let idd = &independent_report.metrics.discrimination;
+
+        // Instrumented shared pass on the smallest point only: telemetry
+        // sampling has overhead and one labeled run is enough for the
+        // harness summary tables.
+        if pi == 0 {
+            if let Some(tel) = tel.as_deref_mut() {
+                let config = SimConfig {
+                    telemetry: Some(tel.spec()),
+                    ..sim_config.clone()
+                };
+                let mut report = run_simulation(&shared, &trace, &config);
+                if let Some(run) = report.telemetry.take() {
+                    tel.record_run(&format!("{id}/q{n}/shared"), run);
+                }
+            }
+        }
+
+        points.push(MultiQueryRow {
+            queries: n,
+            distinct_plans,
+            logical_tasks: shared.logical_tasks,
+            physical_tasks: shared.tasks.len(),
+            shared_events_per_sec: shared_eps,
+            shared_wall_ms,
+            independent_events_per_sec: independent_eps,
+            independent_wall_ms,
+            speedup: shared_eps / independent_eps,
+            mean_candidates_shared: sd.mean_candidates(),
+            mean_candidates_independent: idd.mean_candidates(),
+            filtered_pct: 100.0 * sd.hit_ratio(),
+            peak_partials_shared: shared_report.metrics.join.peak_buffered,
+            peak_partials_independent: independent_report.metrics.join.peak_buffered,
+            matches: shared_report.metrics.sink_matches,
+            fingerprints_equal,
+        });
+    }
+
+    let fingerprints_equal = points.iter().all(|p| p.fingerprints_equal);
+    let first = points.first().expect("non-empty sweep");
+    let last = points.last().expect("non-empty sweep");
+    let sublinear =
+        last.shared_wall_ms / first.shared_wall_ms < last.queries as f64 / first.queries as f64;
+
+    ExperimentOutput::MultiQueryBench {
+        id: id.to_string(),
+        events: trace.len() as u64,
+        points,
+        fingerprints_equal,
+        sublinear,
+    }
+}
+
 impl ExperimentOutput {
     /// The experiment's id.
     pub fn id(&self) -> &str {
@@ -1187,7 +1422,8 @@ impl ExperimentOutput {
             | ExperimentOutput::CaseStudyRuns { id, .. }
             | ExperimentOutput::ExecutorBench { id, .. }
             | ExperimentOutput::FaultBench { id, .. }
-            | ExperimentOutput::MatcherBench { id, .. } => id,
+            | ExperimentOutput::MatcherBench { id, .. }
+            | ExperimentOutput::MultiQueryBench { id, .. } => id,
         }
     }
 
@@ -1426,6 +1662,56 @@ impl ExperimentOutput {
                     "speedup: {speedup:.2}x, emission streams identical: {fingerprints_equal}"
                 );
             }
+            ExperimentOutput::MultiQueryBench {
+                id,
+                events,
+                points,
+                fingerprints_equal,
+                sublinear,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "== {id}: shared multi-query evaluation ({events} events per run) =="
+                );
+                let _ = writeln!(
+                    out,
+                    "{:>8} | {:>8} | {:>8} {:>8} | {:>12} {:>12} | {:>8} | {:>10} {:>9} | {:>10} | {:>8} | {:>3}",
+                    "queries",
+                    "distinct",
+                    "logical",
+                    "physical",
+                    "shared e/s",
+                    "indep e/s",
+                    "speedup",
+                    "mean-cand",
+                    "filtered",
+                    "partials",
+                    "matches",
+                    "fp"
+                );
+                for p in points {
+                    let _ = writeln!(
+                        out,
+                        "{:>8} | {:>8} | {:>8} {:>8} | {:>12.0} {:>12.0} | {:>7.2}x | {:>10.1} {:>8.1}% | {:>10} | {:>8} | {:>3}",
+                        p.queries,
+                        p.distinct_plans,
+                        p.logical_tasks,
+                        p.physical_tasks,
+                        p.shared_events_per_sec,
+                        p.independent_events_per_sec,
+                        p.speedup,
+                        p.mean_candidates_shared,
+                        p.filtered_pct,
+                        p.peak_partials_shared,
+                        p.matches,
+                        if p.fingerprints_equal { "ok" } else { "DIV" }
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "all match sets identical: {fingerprints_equal}, sublinear scaling: {sublinear}"
+                );
+            }
         }
         out
     }
@@ -1507,6 +1793,48 @@ mod tests {
         assert!(
             run.transport_summary().is_some(),
             "instrumented run must carry transport telemetry"
+        );
+    }
+
+    #[test]
+    fn multiquery_bench_small_instance_agrees() {
+        let mut tel = TelemetryCollector::new();
+        let out = multiquery_bench_sized("multiquery", &[50, 500], 30.0, &quick(), Some(&mut tel));
+        match &out {
+            ExperimentOutput::MultiQueryBench {
+                points,
+                fingerprints_equal,
+                ..
+            } => {
+                assert!(*fingerprints_equal, "evaluation modes diverged");
+                assert_eq!(points.len(), 2);
+                for p in points {
+                    assert!(p.matches > 0, "workload must produce matches");
+                    // Sharing must collapse duplicate structures: 500
+                    // queries over 200 distinct structures cannot need
+                    // more physical than logical tasks, and the larger
+                    // point must show strictly fewer physical tasks than
+                    // logical ones.
+                    assert!(p.physical_tasks <= p.logical_tasks);
+                    assert!(p.mean_candidates_shared > 0.0);
+                }
+                assert!(
+                    points[1].physical_tasks < points[1].logical_tasks,
+                    "500 queries over 200 structures must share tasks"
+                );
+                // The shared plan never does worse than one-task-per-vertex.
+                assert!(points[1].speedup > 1.0, "speedup {}", points[1].speedup);
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+        assert_eq!(out.id(), "multiquery");
+        let text = out.render();
+        assert!(text.contains("sublinear"));
+        let (label, run) = tel.runs().next().expect("one instrumented run");
+        assert_eq!(label, "multiquery/q50/shared");
+        assert!(
+            run.discrimination_summary().is_some(),
+            "instrumented run must carry discrimination telemetry"
         );
     }
 

@@ -123,6 +123,7 @@ pub fn stress_trace(network: &Network, duration: f64, seed: u64) -> Vec<Event> {
             ticks_per_unit: 100.0,
             rate_scale: 1.0,
             key_domain: 64,
+            band_domain: 0,
             seed,
         },
     );

@@ -14,7 +14,11 @@ use crate::error::Result;
 use crate::graph::{MuseGraph, PlanContext, SharedTransmissions, Vertex};
 use crate::network::Network;
 use crate::projection::ProjectionTable;
+use crate::query::Query;
+use crate::types::QueryId;
 use crate::workload::Workload;
+use std::collections::HashMap;
+use std::fmt::Write as _;
 
 /// The result of planning a whole workload.
 #[derive(Debug, Clone)]
@@ -35,6 +39,13 @@ pub struct WorkloadPlan {
     pub total_cost: f64,
     /// Construction statistics per query.
     pub stats: Vec<ConstructionStats>,
+    /// Per query: the earlier query whose plan this one structurally
+    /// reuses (`None` for freshly constructed plans). A reused plan is the
+    /// representative's graph re-labeled onto this query's projections:
+    /// identical structure, identical streams, zero marginal cost. The
+    /// deployment layer collapses such structurally identical vertices
+    /// into shared physical tasks.
+    pub plan_reuse: Vec<Option<QueryId>>,
 }
 
 impl WorkloadPlan {
@@ -42,10 +53,88 @@ impl WorkloadPlan {
     pub fn cost(&self) -> f64 {
         self.total_cost
     }
+
+    /// Number of queries whose plan was structurally reused from an
+    /// earlier query rather than constructed.
+    pub fn reused_plans(&self) -> usize {
+        self.plan_reuse.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+/// Canonical structural key of a query: operator tree rendered over event
+/// types, the full predicate list, and the window. Equal keys imply
+/// identical type trees (hence identical left-to-right prim numbering) and
+/// identical predicates over those prims — the queries are
+/// indistinguishable to the planner, so one plan serves both.
+fn structural_key(query: &Query) -> String {
+    // Order-preserving: the canonical `signature` sorts AND/OR children, so
+    // equal canonical signatures do NOT imply equal prim numbering — and the
+    // relabeling below maps prim ids of the representative's plan directly
+    // onto the duplicate.
+    let mut s = query.root().tree_signature(query.prim_types());
+    for p in query.predicates() {
+        let _ = write!(s, ";{p:?}");
+    }
+    let _ = write!(s, ";w{}", query.window());
+    s
+}
+
+/// Re-labels a representative query's graph onto a structurally identical
+/// query: every vertex `(p, n)` becomes `(π(dup, prims(p)), n)`. Because
+/// the queries share their type tree and prim numbering, the projections
+/// exist and carry the same structure and predicates.
+fn relabel_plan(
+    graph: &MuseGraph,
+    sinks: &[Vertex],
+    table: &mut ProjectionTable,
+    dup: &Query,
+) -> Result<(MuseGraph, Vec<Vertex>)> {
+    // Collect prim sets first: `project_into` needs `&mut table` while the
+    // source graph's projections are read through the same table.
+    let verts: Vec<_> = graph
+        .vertices()
+        .map(|v| (table.get(v.proj).prims, v.node))
+        .collect();
+    let edges: Vec<_> = graph
+        .edges()
+        .map(|(a, b)| {
+            (
+                table.get(a.proj).prims,
+                a.node,
+                table.get(b.proj).prims,
+                b.node,
+            )
+        })
+        .collect();
+    let sink_keys: Vec<_> = sinks
+        .iter()
+        .map(|v| (table.get(v.proj).prims, v.node))
+        .collect();
+
+    let mut g = MuseGraph::new();
+    for (prims, node) in verts {
+        let proj = table.project_into(dup, prims)?;
+        g.add_vertex(Vertex::new(proj, node));
+    }
+    for (ap, an, bp, bn) in edges {
+        let a = Vertex::new(table.project_into(dup, ap)?, an);
+        let b = Vertex::new(table.project_into(dup, bp)?, bn);
+        g.add_edge(a, b);
+    }
+    let mut new_sinks = Vec::with_capacity(sink_keys.len());
+    for (prims, node) in sink_keys {
+        new_sinks.push(Vertex::new(table.project_into(dup, prims)?, node));
+    }
+    Ok((g, new_sinks))
 }
 
 /// Plans a workload with aMuSE, reusing projections and event streams
-/// already disseminated by earlier queries.
+/// already disseminated by earlier queries. Queries that are structurally
+/// identical to an earlier one (same type tree, predicates, and window)
+/// skip construction entirely: the earlier plan is re-labeled onto their
+/// projections at zero marginal cost, keeping planning time proportional
+/// to the number of *distinct* query structures rather than the workload
+/// size.
 pub fn amuse_workload(
     workload: &Workload,
     network: &Network,
@@ -53,12 +142,28 @@ pub fn amuse_workload(
 ) -> Result<WorkloadPlan> {
     let mut table = ProjectionTable::new();
     let mut shared = SharedTransmissions::new();
-    let mut graphs = Vec::with_capacity(workload.len());
-    let mut sinks = Vec::with_capacity(workload.len());
+    let mut graphs: Vec<MuseGraph> = Vec::with_capacity(workload.len());
+    let mut sinks: Vec<Vec<Vertex>> = Vec::with_capacity(workload.len());
     let mut per_query_cost = Vec::with_capacity(workload.len());
     let mut stats = Vec::with_capacity(workload.len());
+    let mut plan_reuse = Vec::with_capacity(workload.len());
+    let mut memo: HashMap<String, usize> = HashMap::new();
 
-    for query in workload.queries() {
+    for (qi, query) in workload.queries().iter().enumerate() {
+        let key = structural_key(query);
+        if let Some(&rep) = memo.get(&key) {
+            // Structural duplicate: re-label the representative's plan.
+            // Its streams are byte-identical and already established, so
+            // the marginal cost is zero and nothing new is absorbed.
+            let (graph, query_sinks) = relabel_plan(&graphs[rep], &sinks[rep], &mut table, query)?;
+            graphs.push(graph);
+            sinks.push(query_sinks);
+            per_query_cost.push(0.0);
+            stats.push(ConstructionStats::default());
+            plan_reuse.push(Some(workload.queries()[rep].id()));
+            continue;
+        }
+        memo.insert(key, qi);
         let (graph, query_sinks, cost, query_stats) = amuse_with_table(
             query,
             workload.queries(),
@@ -75,6 +180,7 @@ pub fn amuse_workload(
         sinks.push(query_sinks);
         per_query_cost.push(cost);
         stats.push(query_stats);
+        plan_reuse.push(None);
     }
 
     let mut merged = MuseGraph::new();
@@ -90,6 +196,7 @@ pub fn amuse_workload(
         per_query_cost,
         total_cost,
         stats,
+        plan_reuse,
     })
 }
 
@@ -216,6 +323,89 @@ mod tests {
         assert_eq!(plan.sinks.len(), 2);
         assert_eq!(plan.per_query_cost.len(), 2);
         assert!((plan.cost() - plan.per_query_cost.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_queries_reuse_plans_at_zero_cost() {
+        let catalog = Catalog::with_anonymous_types(4);
+        let pat = || {
+            Pattern::seq([
+                Pattern::leaf(t(0)),
+                Pattern::leaf(t(1)),
+                Pattern::leaf(t(2)),
+            ])
+        };
+        let w = Workload::from_patterns(
+            catalog,
+            [
+                (pat(), vec![pred(0, 1, 0.01)], 1000),
+                (pat(), vec![pred(0, 1, 0.01)], 1000),
+                // Same structure, different window: must NOT be reused.
+                (pat(), vec![pred(0, 1, 0.01)], 2000),
+            ],
+        )
+        .unwrap();
+        let net = network();
+        let plan = amuse_workload(&w, &net, &AMuseConfig::default()).unwrap();
+        assert_eq!(plan.plan_reuse[0], None);
+        assert_eq!(plan.plan_reuse[1], Some(w.queries()[0].id()));
+        assert_eq!(plan.plan_reuse[2], None);
+        assert_eq!(plan.reused_plans(), 1);
+        assert_eq!(plan.per_query_cost[1], 0.0);
+        // The relabeled plan is well-formed and complete for its own query.
+        let query = &w.queries()[1..=1];
+        let ctx = PlanContext::new(query, &net, &plan.table);
+        plan.graphs[1].check_well_formed(&ctx).unwrap();
+        plan.graphs[1].check_complete(&ctx, 100_000).unwrap();
+        // Structure mirrors the representative node-for-node.
+        assert_eq!(plan.graphs[1].num_vertices(), plan.graphs[0].num_vertices());
+    }
+
+    /// AND(t0,t2) and AND(t2,t0) canonicalize to the same signature, but
+    /// their prim numbering differs — reusing one plan for the other would
+    /// place the relabeled query's primitive vertices at the wrong producer
+    /// nodes. The memo key must keep them apart, and both resulting plans
+    /// must be correct for their own queries.
+    #[test]
+    fn reordered_and_children_are_not_structural_duplicates() {
+        let catalog = Catalog::with_anonymous_types(4);
+        let unary = |p: u8| {
+            Predicate::unary(
+                PrimId(p),
+                AttrId(1),
+                CmpOp::Ge,
+                crate::event::Value::Int(5),
+                0.5,
+            )
+        };
+        let w = Workload::from_patterns(
+            catalog,
+            [
+                (
+                    Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(2))]),
+                    vec![unary(0)],
+                    1000,
+                ),
+                (
+                    Pattern::and([Pattern::leaf(t(2)), Pattern::leaf(t(0))]),
+                    vec![unary(0)],
+                    1000,
+                ),
+            ],
+        )
+        .unwrap();
+        let a = &w.queries()[0];
+        let b = &w.queries()[1];
+        assert_eq!(a.signature(), b.signature());
+        let net = network();
+        let plan = amuse_workload(&w, &net, &AMuseConfig::default()).unwrap();
+        assert_eq!(plan.plan_reuse, vec![None, None]);
+        for (i, g) in plan.graphs.iter().enumerate() {
+            let query = &w.queries()[i..=i];
+            let ctx = PlanContext::new(query, &net, &plan.table);
+            g.check_well_formed(&ctx).unwrap();
+            g.check_complete(&ctx, 100_000).unwrap();
+        }
     }
 
     #[test]

@@ -101,7 +101,7 @@ fn stream_key_from_origins(proj: &Projection, query: &Query, origins: &[(u32, No
     let mut key = proj.stream_sig;
     for p in proj.positive_prims(query).iter() {
         mix64(&mut key, query.prim_type(p).0 as u64 + 1);
-        let k = ((proj.source.0 as u32) << 8) | p.0 as u32;
+        let k = (proj.source.0 << 8) | p.0 as u32;
         let bits = origins
             .binary_search_by_key(&k, |(ok, _)| *ok)
             .ok()
@@ -442,7 +442,7 @@ impl MuseGraph {
     fn origin_sets(&self, ctx: &PlanContext<'_>) -> Vec<Vec<(u32, NodeSet)>> {
         #[inline]
         fn key(query: QueryId, prim: PrimId) -> u32 {
-            ((query.0 as u32) << 8) | prim.0 as u32
+            (query.0 << 8) | prim.0 as u32
         }
         let n = self.verts.len();
         let mut origins: Vec<Vec<(u32, NodeSet)>> = vec![Vec::new(); n];
@@ -487,7 +487,7 @@ impl MuseGraph {
                     proj.positive_prims(query)
                         .iter()
                         .map(|p| {
-                            let key = ((proj.source.0 as u32) << 8) | p.0 as u32;
+                            let key = (proj.source.0 << 8) | p.0 as u32;
                             let nodes = origins[i]
                                 .binary_search_by_key(&key, |(k, _)| *k)
                                 .ok()
@@ -514,7 +514,7 @@ impl MuseGraph {
                 proj.positive_prims(query)
                     .iter()
                     .map(|p| {
-                        let key = ((proj.source.0 as u32) << 8) | p.0 as u32;
+                        let key = (proj.source.0 << 8) | p.0 as u32;
                         origins[i]
                             .binary_search_by_key(&key, |(k, _)| *k)
                             .ok()
@@ -582,7 +582,7 @@ impl MuseGraph {
             let query = ctx.query_of(v.proj);
             let mut count = 1.0;
             for p in proj.positive_prims(query).iter() {
-                let key = ((proj.source.0 as u32) << 8) | p.0 as u32;
+                let key = (proj.source.0 << 8) | p.0 as u32;
                 count *= origins[i]
                     .binary_search_by_key(&key, |(k, _)| *k)
                     .ok()

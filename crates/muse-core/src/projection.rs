@@ -144,7 +144,12 @@ pub fn project(query: &Query, keep: PrimSet) -> Result<Projection> {
     let stream_sig = {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        root.signature(query.prim_types()).hash(&mut h);
+        // Order-preserving signature: the retained predicates below are
+        // rendered over prim ids, which only mean the same thing in two
+        // projections if their trees agree in declaration order (the
+        // canonical signature sorts AND/OR children and would collapse
+        // AND(t0,t2) with AND(t2,t0), whose P0 are different types).
+        root.tree_signature(query.prim_types()).hash(&mut h);
         for &pi in &predicates {
             format!("{:?}", query.predicates()[pi]).hash(&mut h);
         }

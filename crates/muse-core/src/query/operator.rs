@@ -167,6 +167,41 @@ impl OpNode {
             }
         }
     }
+
+    /// An *order-preserving* structural signature of the subtree in terms of
+    /// event types. Unlike [`OpNode::signature`], commutative (`AND`/`OR`)
+    /// children are rendered in declaration order, so two subtrees with equal
+    /// tree signatures have identical left-to-right prim numbering. Use this
+    /// — never the canonical [`OpNode::signature`] — wherever equal keys must
+    /// imply that predicates over prim ids mean the same thing in both trees
+    /// (plan memoization, stream identity, duplicate-query lints):
+    /// `AND(t0,t2)` and `AND(t2,t0)` canonicalize to the same signature but
+    /// assign `P0` to different event types, so a unary predicate on `P0`
+    /// filters different streams.
+    pub fn tree_signature(&self, prim_types: &[EventTypeId]) -> String {
+        let mut s = String::new();
+        self.tree_signature_into(&mut s, prim_types);
+        s
+    }
+
+    fn tree_signature_into(&self, out: &mut String, prim_types: &[EventTypeId]) {
+        match self {
+            OpNode::Primitive(p) => {
+                let _ = write!(out, "t{}", prim_types[p.index()].0);
+            }
+            OpNode::Composite { kind, children } => {
+                out.push_str(kind.name());
+                out.push('(');
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    c.tree_signature_into(out, prim_types);
+                }
+                out.push(')');
+            }
+        }
+    }
 }
 
 /// An unresolved pattern, as written by a user or produced by the parser.
@@ -357,6 +392,26 @@ mod tests {
             children: vec![OpNode::Primitive(PrimId(1)), OpNode::Primitive(PrimId(0))],
         };
         assert_ne!(s.signature(&types), s_rev.signature(&types));
+    }
+
+    /// The order-preserving signature must distinguish reordered AND
+    /// children even though the canonical signature equates them: prim
+    /// numbering differs, so predicates over prim ids are not comparable.
+    #[test]
+    fn tree_signature_preserves_and_order() {
+        let types = [t(0), t(1)];
+        let a = OpNode::Composite {
+            kind: OpKind::And,
+            children: vec![OpNode::Primitive(PrimId(0)), OpNode::Primitive(PrimId(1))],
+        };
+        let b = OpNode::Composite {
+            kind: OpKind::And,
+            children: vec![OpNode::Primitive(PrimId(1)), OpNode::Primitive(PrimId(0))],
+        };
+        assert_eq!(a.signature(&types), b.signature(&types));
+        assert_ne!(a.tree_signature(&types), b.tree_signature(&types));
+        assert_eq!(a.tree_signature(&types), "AND(t0,t1)");
+        assert_eq!(b.tree_signature(&types), "AND(t1,t0)");
     }
 
     #[test]

@@ -21,8 +21,11 @@ pub struct EventTypeId(pub u16);
 pub struct NodeId(pub u16);
 
 /// Identifier of a query within a workload (`q_i ∈ Q`).
+///
+/// 32 bits wide so that workloads of 100k+ concurrent queries (the
+/// multi-tenancy regime of §6.2) are representable without wrapping.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct QueryId(pub u16);
+pub struct QueryId(pub u32);
 
 /// Index of a primitive operator within a single query, assigned in
 /// left-to-right leaf order of the operator tree.

@@ -50,7 +50,7 @@ impl Workload {
         let mut queries = Vec::new();
         for (pattern, predicates, window) in patterns {
             for alternative in pattern.split_disjunctions() {
-                let id = QueryId(queries.len() as u16);
+                let id = QueryId(queries.len() as u32);
                 queries.push(Query::build(id, &alternative, predicates.clone(), window)?);
             }
         }
@@ -65,7 +65,7 @@ impl Workload {
     ) -> Result<Self> {
         let mut queries = Vec::new();
         for src in sources {
-            let id = QueryId(queries.len() as u16);
+            let id = QueryId(queries.len() as u32);
             queries.push(parse_query(src.as_ref(), id, &mut catalog, options)?);
         }
         Ok(Self { catalog, queries })

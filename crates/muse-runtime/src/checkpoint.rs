@@ -637,6 +637,11 @@ fn put_metrics(buf: &mut BytesMut, m: &Metrics) {
         buf.put_u64(v);
     }
     put_hist(buf, &t.batch_hist);
+    let d = &m.discrimination;
+    for v in [d.events, d.candidates_considered, d.candidates_admitted] {
+        buf.put_u64(v);
+    }
+    put_hist(buf, &d.candidate_hist);
     // `m.recovery` is intentionally not encoded: recovery counters live
     // outside the rolled-back state (see `RecoveryStats`).
 }
@@ -663,6 +668,11 @@ fn get_metrics(buf: &mut &[u8]) -> Result<Metrics, CheckpointError> {
         *v = try_get_u64(buf).ok_or(CheckpointError::Malformed)?;
     }
     let batch_hist = get_hist(buf)?;
+    let mut dvals = [0u64; 3];
+    for v in &mut dvals {
+        *v = try_get_u64(buf).ok_or(CheckpointError::Malformed)?;
+    }
+    let candidate_hist = get_hist(buf)?;
     Ok(Metrics {
         events_injected: head[0],
         messages_sent: head[1],
@@ -684,6 +694,12 @@ fn get_metrics(buf: &mut &[u8]) -> Result<Metrics, CheckpointError> {
             batch_hist,
         },
         recovery: Default::default(),
+        discrimination: crate::metrics::DiscriminationStats {
+            events: dvals[0],
+            candidates_considered: dvals[1],
+            candidates_admitted: dvals[2],
+            candidate_hist,
+        },
     })
 }
 

@@ -12,10 +12,125 @@
 //! self-contained (no lifetimes into the planning structures).
 
 use crate::matcher::JoinTask;
+use muse_core::event::{Event, Timestamp, Value};
 use muse_core::graph::{MuseGraph, PlanContext, Vertex};
-use muse_core::query::Query;
-use muse_core::types::{EventTypeId, NodeId, PrimId, PrimSet, QueryId};
+use muse_core::query::{CmpOp, PredicateExpr, Query};
+use muse_core::types::{AttrId, EventTypeId, NodeId, PrimId, PrimSet, QueryId};
 use std::collections::HashMap;
+
+/// How logically identical graph vertices map to physical tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sharing {
+    /// One physical task per graph vertex: every query gets its own
+    /// pipeline even when vertices are structurally identical. This is the
+    /// reference mode the shared plan is gated against.
+    Independent,
+    /// Structurally identical vertices — same node, same output stream
+    /// identity ([`TaskSpec::stream_sig`]), same primitive set, and same
+    /// query window — collapse into one physical task feeding every
+    /// subscribed query's sinks through [`Deployment::sink_queries`]. The
+    /// runtime analogue of the planner's §6.2 stream reuse.
+    #[default]
+    Shared,
+}
+
+/// A conservative interval constraint on one numeric payload attribute,
+/// derived at deployment time from a source task's unary constant
+/// predicates. An event whose attribute value falls outside `[lo, hi]` (or
+/// that lacks the attribute, or carries a non-numeric value) cannot satisfy
+/// the originating predicates, so the discrimination index prunes the task
+/// from the event's candidate set without evaluating any predicate.
+///
+/// Bands are coarse by design: boundaries are closed even for strict
+/// comparisons, and `Ne`/string predicates contribute no band. Admission by
+/// the band is therefore necessary but not sufficient — the full predicate
+/// list still runs on admitted events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// The constrained attribute.
+    pub attr: AttrId,
+    /// Inclusive lower bound (`-inf` when unconstrained from below).
+    pub lo: f64,
+    /// Inclusive upper bound (`+inf` when unconstrained from above).
+    pub hi: f64,
+}
+
+/// One entry of the discrimination index: a source task plus the interval
+/// bands an event must satisfy to possibly pass the task's predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceCandidate {
+    /// Index of the source task.
+    pub task: usize,
+    /// Conjunctive interval bands (at most one per attribute).
+    pub bands: Vec<Band>,
+}
+
+impl SourceCandidate {
+    /// Returns `true` if the event passes every band — i.e. the task's
+    /// predicates *might* accept it. Allocation-free.
+    #[inline]
+    pub fn admits(&self, event: &Event) -> bool {
+        for b in &self.bands {
+            let v = match event.payload.get(b.attr) {
+                Some(Value::Int(i)) => *i as f64,
+                Some(Value::Float(f)) => *f,
+                // Missing or non-numeric attribute: the banded predicate
+                // compares against a numeric constant, which evaluates to
+                // false for such events (see `Predicate::evaluate`).
+                _ => return false,
+            };
+            if v < b.lo || v > b.hi {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Folds a source task's unary constant predicates into per-attribute
+/// interval bands. Non-numeric and `Ne` predicates contribute nothing (the
+/// band stays conservative); contradictory constraints yield an empty
+/// interval (`lo > hi`), which [`SourceCandidate::admits`] rejects.
+fn derive_bands(query: &Query, prim: PrimId, predicates: &[usize]) -> Vec<Band> {
+    let mut bands: Vec<Band> = Vec::new();
+    for &pi in predicates {
+        let PredicateExpr::UnaryConst {
+            prim: p,
+            attr,
+            op,
+            value,
+        } = &query.predicates()[pi].expr
+        else {
+            continue;
+        };
+        if *p != prim {
+            continue;
+        }
+        let v = match value {
+            Value::Int(i) => *i as f64,
+            Value::Float(f) => *f,
+            Value::Str(_) => continue,
+        };
+        let (lo, hi) = match op {
+            CmpOp::Eq => (v, v),
+            CmpOp::Lt | CmpOp::Le => (f64::NEG_INFINITY, v),
+            CmpOp::Gt | CmpOp::Ge => (v, f64::INFINITY),
+            CmpOp::Ne => continue,
+        };
+        match bands.iter_mut().find(|b| b.attr == *attr) {
+            Some(b) => {
+                b.lo = b.lo.max(lo);
+                b.hi = b.hi.min(hi);
+            }
+            None => bands.push(Band {
+                attr: *attr,
+                lo,
+                hi,
+            }),
+        }
+    }
+    bands
+}
 
 /// The role of a task.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,8 +215,23 @@ pub struct Deployment {
     pub fanouts: Vec<Fanout>,
     /// Source task indices by `(origin node, event type)`.
     sources_by_origin: HashMap<(NodeId, EventTypeId), Vec<usize>>,
+    /// Discrimination index: per `(origin node, event type)`, the candidate
+    /// source tasks with their predicate bands (parallel in task order to
+    /// `sources_by_origin`).
+    candidates_by_origin: HashMap<(NodeId, EventTypeId), Vec<SourceCandidate>>,
     /// Sink task indices per query (parallel to `queries`).
     pub sink_tasks: Vec<Vec<usize>>,
+    /// Per task: indices into `queries` of the queries for which this task
+    /// emits the full match stream (the shared-sink fanout table). Under
+    /// [`Sharing::Independent`] every sink task lists exactly its own
+    /// query; under [`Sharing::Shared`] one physical sink may feed many
+    /// logical queries.
+    pub sink_queries: Vec<Vec<usize>>,
+    /// The sharing mode the deployment was built with.
+    pub sharing: Sharing,
+    /// Number of graph vertices the tasks were derived from (`>= tasks.len()`;
+    /// the difference is the number of vertices collapsed by sharing).
+    pub logical_tasks: usize,
 }
 
 impl Deployment {
@@ -119,11 +249,25 @@ impl Deployment {
         graph: &MuseGraph,
         ctx: &PlanContext<'_>,
     ) -> Result<Self, Box<muse_verify::Report>> {
+        Self::verified_with(graph, ctx, Sharing::default())
+    }
+
+    /// [`Deployment::verified`] with an explicit sharing mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full diagnostic [`muse_verify::Report`] when the plan
+    /// has errors; warnings and lints do not block deployment.
+    pub fn verified_with(
+        graph: &MuseGraph,
+        ctx: &PlanContext<'_>,
+        sharing: Sharing,
+    ) -> Result<Self, Box<muse_verify::Report>> {
         let report = muse_verify::verify_for_deploy(graph, ctx);
         if report.has_errors() {
             return Err(Box::new(report));
         }
-        Ok(Self::build(graph, ctx))
+        Ok(Self::build(graph, ctx, sharing))
     }
 
     /// Builds a deployment from a MuSE graph.
@@ -133,7 +277,16 @@ impl Deployment {
     /// Panics if the graph fails static verification (see
     /// [`Deployment::verified`] for the non-panicking form).
     pub fn new(graph: &MuseGraph, ctx: &PlanContext<'_>) -> Self {
-        match Self::verified(graph, ctx) {
+        Self::new_with(graph, ctx, Sharing::default())
+    }
+
+    /// [`Deployment::new`] with an explicit sharing mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph fails static verification.
+    pub fn new_with(graph: &MuseGraph, ctx: &PlanContext<'_>, sharing: Sharing) -> Self {
+        match Self::verified_with(graph, ctx, sharing) {
             Ok(d) => d,
             Err(report) => panic!(
                 "refusing to deploy an invalid MuSE graph:\n{}",
@@ -142,8 +295,19 @@ impl Deployment {
         }
     }
 
+    /// Builds a deployment *without* running static verification.
+    ///
+    /// Verification walks every query, vertex, and edge and is meant for
+    /// hand-written or externally supplied plans; programmatically generated
+    /// workloads at the 100k-query scale pay a substantial startup cost for
+    /// checks their generator guarantees by construction. Use only on plans
+    /// produced by the in-tree construction algorithms.
+    pub fn unchecked(graph: &MuseGraph, ctx: &PlanContext<'_>, sharing: Sharing) -> Self {
+        Self::build(graph, ctx, sharing)
+    }
+
     /// Translates a verified graph into tasks and routes.
-    fn build(graph: &MuseGraph, ctx: &PlanContext<'_>) -> Self {
+    fn build(graph: &MuseGraph, ctx: &PlanContext<'_>, sharing: Sharing) -> Self {
         // Deduplicated query list in id order.
         let mut query_ids: Vec<QueryId> =
             graph.vertices().map(|v| ctx.proj(v.proj).source).collect();
@@ -166,16 +330,46 @@ impl Deployment {
             .collect();
 
         let vertices: Vec<Vertex> = graph.vertices().collect();
-        let vertex_index: HashMap<Vertex, usize> =
-            vertices.iter().enumerate().map(|(i, v)| (*v, i)).collect();
 
-        let mut tasks = Vec::with_capacity(vertices.len());
+        // In shared mode, structurally identical vertices — same node,
+        // same output stream identity, same primitive set, same window —
+        // collapse into one physical task. Equal stream signatures imply
+        // identical projected operator trees (hence identical left-to-right
+        // prim numbering) and identical retained predicates, so the first
+        // vertex's task evaluates the collapsed vertices' semantics exactly;
+        // the window must be keyed separately because it is not part of the
+        // stream signature.
+        let mut tasks: Vec<TaskSpec> = Vec::with_capacity(vertices.len());
+        let mut task_owner: Vec<Vertex> = Vec::with_capacity(vertices.len());
+        let mut sink_queries: Vec<Vec<usize>> = Vec::with_capacity(vertices.len());
+        let mut vertex_task: HashMap<Vertex, usize> = HashMap::with_capacity(vertices.len());
+        let mut shared_key: HashMap<(NodeId, u64, PrimSet, Timestamp), usize> = HashMap::new();
         let mut sources_by_origin: HashMap<(NodeId, EventTypeId), Vec<usize>> = HashMap::new();
         let mut sink_tasks = vec![Vec::new(); queries.len()];
-        for (i, v) in vertices.iter().enumerate() {
+        for v in &vertices {
             let proj = ctx.proj(v.proj);
             let query = ctx.query_of(v.proj);
             let query_idx = query_index[&proj.source];
+            let is_sink = proj.is_full_query(query);
+            if sharing == Sharing::Shared {
+                let key = (v.node, proj.stream_sig, proj.prims, query.window());
+                if let Some(&i) = shared_key.get(&key) {
+                    // Collapse onto the existing task.
+                    vertex_task.insert(*v, i);
+                    if is_sink {
+                        tasks[i].is_sink = true;
+                        if !sink_queries[i].contains(&query_idx) {
+                            sink_queries[i].push(query_idx);
+                        }
+                        if !sink_tasks[query_idx].contains(&i) {
+                            sink_tasks[query_idx].push(i);
+                        }
+                    }
+                    continue;
+                }
+                shared_key.insert(key, tasks.len());
+            }
+            let i = tasks.len();
             let preds = graph.predecessors(*v);
             let kind = if preds.is_empty() {
                 assert!(
@@ -197,10 +391,12 @@ impl Deployment {
                 slots.dedup();
                 TaskKind::Join { slots }
             };
-            let is_sink = proj.is_full_query(query);
             if is_sink {
                 sink_tasks[query_idx].push(i);
             }
+            sink_queries.push(if is_sink { vec![query_idx] } else { Vec::new() });
+            vertex_task.insert(*v, i);
+            task_owner.push(*v);
             tasks.push(TaskSpec {
                 vertex: *v,
                 stream_sig: proj.stream_sig,
@@ -214,8 +410,14 @@ impl Deployment {
 
         let mut routes = vec![Vec::new(); tasks.len()];
         for (from, to) in graph.edges() {
-            let fi = vertex_index[&from];
-            let ti = vertex_index[&to];
+            let fi = vertex_task[&from];
+            let ti = vertex_task[&to];
+            if task_owner[ti] != to {
+                // `to` collapsed into a task owned by another vertex: that
+                // task's own inputs already produce the full stream, so this
+                // edge would only deliver duplicate inputs. Drop it.
+                continue;
+            }
             let TaskKind::Join { slots } = &tasks[ti].kind else {
                 panic!("edge into a source task");
             };
@@ -232,6 +434,7 @@ impl Deployment {
         }
         for r in &mut routes {
             r.sort_by_key(|r| (r.target, r.slot));
+            r.dedup();
         }
         let fanouts = routes
             .iter()
@@ -252,15 +455,55 @@ impl Deployment {
             })
             .collect();
 
+        // Discrimination index: per (origin, type) candidate list with
+        // precomputed predicate bands, so the executors' inject paths test
+        // cheap interval containment before touching any predicate.
+        let candidates_by_origin = sources_by_origin
+            .iter()
+            .map(|(key, task_idxs)| {
+                let cands = task_idxs
+                    .iter()
+                    .map(|&i| {
+                        let TaskKind::Source {
+                            prim, predicates, ..
+                        } = &tasks[i].kind
+                        else {
+                            unreachable!("sources_by_origin holds source tasks");
+                        };
+                        SourceCandidate {
+                            task: i,
+                            bands: derive_bands(&queries[tasks[i].query_idx], *prim, predicates),
+                        }
+                    })
+                    .collect();
+                (*key, cands)
+            })
+            .collect();
+
         Self {
             queries,
             num_nodes: ctx.network.num_nodes(),
+            logical_tasks: vertices.len(),
             tasks,
             routes,
             fanouts,
             sources_by_origin,
+            candidates_by_origin,
             sink_tasks,
+            sink_queries,
+            sharing,
         }
+    }
+
+    /// The discrimination-index candidates for events of `ty` generated at
+    /// `node`: every source task registered for the pair, each with the
+    /// interval bands an event must pass to possibly satisfy the task's
+    /// predicates. Allocation-free lookup for the executors' inject paths.
+    pub fn candidates_for(&self, node: NodeId, ty: EventTypeId) -> &[SourceCandidate] {
+        self.candidates_by_origin
+            .get(&(node, ty))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The source tasks receiving events of `ty` generated at `node`.
@@ -366,6 +609,13 @@ impl Deployment {
                 mix(r.target as u64);
                 mix(r.slot as u64);
                 mix(r.remote as u64);
+            }
+        }
+        mix(matches!(self.sharing, Sharing::Shared) as u64);
+        for qs in &self.sink_queries {
+            mix(qs.len() as u64);
+            for q in qs {
+                mix(*q as u64);
             }
         }
         h

@@ -185,6 +185,63 @@ impl RecoveryStats {
     }
 }
 
+/// Discrimination-index counters of the executors' inject paths: how many
+/// source-task candidates each event was matched against, and how many
+/// survived the predicate-band pruning. The hit ratio (pruned fraction) is
+/// the index's effectiveness; the admitted-per-event histogram is the
+/// candidate-set-size distribution the multi-query bench reports.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DiscriminationStats {
+    /// Events that consulted the index (events with at least one candidate).
+    pub events: u64,
+    /// Candidate source tasks considered across all events (post type/origin
+    /// dispatch, pre band check).
+    pub candidates_considered: u64,
+    /// Candidates that passed their predicate bands and proceeded to full
+    /// predicate evaluation.
+    pub candidates_admitted: u64,
+    /// Distribution of admitted candidate-set sizes per event.
+    pub candidate_hist: LogHistogram,
+}
+
+impl DiscriminationStats {
+    /// Records one event's candidate-set sizes.
+    #[inline]
+    pub fn observe(&mut self, considered: u64, admitted: u64) {
+        self.events += 1;
+        self.candidates_considered += considered;
+        self.candidates_admitted += admitted;
+        self.candidate_hist.record(admitted);
+    }
+
+    /// Fraction of considered candidates pruned by the bands (0.0 when the
+    /// index was never consulted).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.candidates_considered == 0 {
+            0.0
+        } else {
+            1.0 - self.candidates_admitted as f64 / self.candidates_considered as f64
+        }
+    }
+
+    /// Mean admitted candidate-set size per event (0.0 without events).
+    pub fn mean_candidates(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.candidates_admitted as f64 / self.events as f64
+        }
+    }
+
+    /// Accumulates another shard's counters (sums; the histogram merges).
+    pub fn merge(&mut self, other: &DiscriminationStats) {
+        self.events += other.events;
+        self.candidates_considered += other.candidates_considered;
+        self.candidates_admitted += other.candidates_admitted;
+        self.candidate_hist.merge(&other.candidate_hist);
+    }
+}
+
 /// Counters collected during an execution.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
@@ -227,6 +284,9 @@ pub struct Metrics {
     /// Crash-recovery counters (threaded executor fault layer only).
     #[serde(default)]
     pub recovery: RecoveryStats,
+    /// Discrimination-index counters of the inject path.
+    #[serde(default)]
+    pub discrimination: DiscriminationStats,
 }
 
 impl Metrics {
@@ -273,6 +333,7 @@ impl Metrics {
         self.join.merge(&other.join);
         self.transport.merge(&other.transport);
         self.recovery.merge(&other.recovery);
+        self.discrimination.merge(&other.discrimination);
     }
 
     /// The transmission ratio of this run against a centralized run in

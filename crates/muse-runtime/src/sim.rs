@@ -222,24 +222,33 @@ impl<'a> SimExecutor<'a> {
         tel.end_sample(now);
     }
 
-    /// Injects one event into the source tasks at its origin.
+    /// Injects one event into the source tasks at its origin, consulting
+    /// the deployment's discrimination index first: candidate tasks whose
+    /// predicate bands reject the event are pruned without evaluating a
+    /// single predicate.
     fn inject(&mut self, event: &Event) {
         let deployment = self.deployment;
-        let sources = deployment.sources_for(event.origin, event.ty);
-        if sources.is_empty() {
+        let candidates = deployment.candidates_for(event.origin, event.ty);
+        if candidates.is_empty() {
             return;
         }
         self.metrics.events_injected += 1;
         self.metrics.record_processed(event.origin.index());
         if let Some(tel) = &mut self.telemetry {
-            tel.on_inject(event.time, event.origin.index(), sources[0], event);
+            tel.on_inject(event.time, event.origin.index(), candidates[0].task, event);
         }
-        for &task in sources {
+        let mut admitted = 0u64;
+        for cand in candidates {
+            if !cand.admits(event) {
+                continue;
+            }
+            admitted += 1;
+            let task = cand.task;
             let TaskKind::Source {
                 prim, predicates, ..
             } = &deployment.tasks[task].kind
             else {
-                unreachable!("sources_for returns source tasks");
+                unreachable!("candidates_for returns source tasks");
             };
             let query = &deployment.queries[deployment.tasks[task].query_idx];
             let passes = predicates.iter().all(|&pi| {
@@ -251,6 +260,9 @@ impl<'a> SimExecutor<'a> {
             let m = Match::single(*prim, event.clone());
             self.route(task, vec![m], event.time, event.seq);
         }
+        self.metrics
+            .discrimination
+            .observe(candidates.len() as u64, admitted);
     }
 
     /// Routes emitted matches of a task: schedules deliveries, counting
@@ -335,22 +347,28 @@ impl<'a> SimExecutor<'a> {
                 continue;
             }
             if spec.is_sink {
-                let query_idx = spec.query_idx;
+                // One physical sink may feed many logical queries (shared
+                // deployments): attribute each match to every subscriber so
+                // per-query match sets — and their fingerprints — are
+                // identical to independent evaluation.
+                let sink_queries = &self.deployment.sink_queries[item.target];
                 for m in &outs {
-                    self.metrics.sink_matches += 1;
                     let latency = item.time.saturating_sub(m.last_time());
-                    self.metrics.record_latency(latency);
-                    if let Some(tel) = &mut self.telemetry {
-                        tel.on_sink(
-                            item.time,
-                            node,
-                            item.target,
-                            m.len(),
-                            m.last_time(),
-                            latency,
-                        );
+                    for &query_idx in sink_queries {
+                        self.metrics.sink_matches += 1;
+                        self.metrics.record_latency(latency);
+                        if let Some(tel) = &mut self.telemetry {
+                            tel.on_sink(
+                                item.time,
+                                node,
+                                item.target,
+                                m.len(),
+                                m.last_time(),
+                                latency,
+                            );
+                        }
+                        self.matches[query_idx].push(m.clone());
                     }
-                    self.matches[query_idx].push(m.clone());
                 }
             } else if let Some(tel) = &mut self.telemetry {
                 for m in &outs {
@@ -761,6 +779,7 @@ mod tests {
                 ticks_per_unit: 100.0,
                 rate_scale: 0.05,
                 key_domain,
+                band_domain: 0,
                 seed,
             },
         )
@@ -800,6 +819,7 @@ mod tests {
                 ticks_per_unit: 100.0,
                 rate_scale: 0.15,
                 key_domain: 2, // equality selectivity 0.5
+                band_domain: 0,
                 seed: 7,
             },
         );

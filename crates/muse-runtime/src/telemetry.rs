@@ -230,6 +230,21 @@ impl ExecTelemetry {
             let id = r.counter(names::LATENCY_SAMPLES_DROPPED);
             r.inc(id, metrics.latency_samples_dropped);
         }
+        // Discrimination-index counters exist only where events flowed
+        // through the candidate lookup (any executor run with traffic).
+        let d = &metrics.discrimination;
+        if d.candidates_considered > 0 {
+            for (name, v) in [
+                (names::DISCRIMINATION_EVENTS, d.events),
+                (names::DISCRIMINATION_CANDIDATES, d.candidates_considered),
+                (names::DISCRIMINATION_ADMITTED, d.candidates_admitted),
+            ] {
+                let id = r.counter(name);
+                r.inc(id, v);
+            }
+            let h = r.hist(names::DISCRIMINATION_CANDIDATE_SET);
+            r.observe_hist(h, &d.candidate_hist);
+        }
         // Recovery counters exist only where resilience machinery ran
         // (checkpointing or fault injection enabled).
         let rec = &metrics.recovery;

@@ -1216,8 +1216,8 @@ impl NodeRunner<'_> {
 
     fn inject(&mut self, event: &Event) {
         let deployment = self.deployment;
-        let sources = deployment.sources_for(event.origin, event.ty);
-        if sources.is_empty() {
+        let candidates = deployment.candidates_for(event.origin, event.ty);
+        if candidates.is_empty() {
             return;
         }
         self.metrics.events_injected += 1;
@@ -1231,14 +1231,22 @@ impl NodeRunner<'_> {
             let _ = slot.compare_exchange(0, now.max(1), Ordering::AcqRel, Ordering::Acquire);
         }
         if let Some(tel) = self.telemetry.as_mut() {
-            tel.on_inject(now, self.node, sources[0], event);
+            tel.on_inject(now, self.node, candidates[0].task, event);
         }
-        for &task in sources {
+        let mut admitted = 0u64;
+        for cand in candidates {
+            // Discrimination index: skip candidates whose predicate bands
+            // already reject the event, before any predicate runs.
+            if !cand.admits(event) {
+                continue;
+            }
+            admitted += 1;
+            let task = cand.task;
             let TaskKind::Source {
                 prim, predicates, ..
             } = &deployment.tasks[task].kind
             else {
-                unreachable!("sources_for returns source tasks");
+                unreachable!("candidates_for returns source tasks");
             };
             let query = &deployment.queries[deployment.tasks[task].query_idx];
             let passes = predicates.iter().all(|&pi| {
@@ -1249,6 +1257,9 @@ impl NodeRunner<'_> {
                 self.route(task, vec![m]);
             }
         }
+        self.metrics
+            .discrimination
+            .observe(candidates.len() as u64, admitted);
     }
 
     fn handle(&mut self, task: usize, slot: usize, m: Match) {
@@ -1285,9 +1296,13 @@ impl NodeRunner<'_> {
         }
         let spec = &self.deployment.tasks[task];
         if spec.is_sink {
+            // One physical sink may feed many logical queries (shared
+            // deployments): attribute each match — and its latency
+            // bookkeeping — to every subscriber so per-query match sets
+            // are identical to independent evaluation.
+            let sink_queries = &self.deployment.sink_queries[task];
             let now = self.start.elapsed().as_nanos() as u64;
             for m in &outs {
-                self.metrics.sink_matches += 1;
                 let newest = m
                     .entries()
                     .iter()
@@ -1299,22 +1314,25 @@ impl NodeRunner<'_> {
                     .get(newest.seq as usize)
                     .map(|a| a.load(Ordering::Acquire))
                     .unwrap_or(0);
-                if injected == 0 {
-                    // No injection record for the newest constituent —
-                    // it entered in a resumed-from run (or its seq is
-                    // outside this run's table). A sample against a
-                    // zero baseline would be garbage; count the loss
-                    // instead of hiding it. Invariant:
-                    // `sink_matches == samples + latency_samples_dropped`.
-                    self.metrics.latency_samples_dropped += 1;
-                } else {
-                    let latency = now.saturating_sub(injected);
-                    self.wall_latencies_ns.push(latency);
-                    if let Some(tel) = self.telemetry.as_mut() {
-                        tel.on_sink(now, self.node, task, m.len(), m.last_time(), latency);
+                for &query_idx in sink_queries {
+                    self.metrics.sink_matches += 1;
+                    if injected == 0 {
+                        // No injection record for the newest constituent —
+                        // it entered in a resumed-from run (or its seq is
+                        // outside this run's table). A sample against a
+                        // zero baseline would be garbage; count the loss
+                        // instead of hiding it. Invariant:
+                        // `sink_matches == samples + latency_samples_dropped`.
+                        self.metrics.latency_samples_dropped += 1;
+                    } else {
+                        let latency = now.saturating_sub(injected);
+                        self.wall_latencies_ns.push(latency);
+                        if let Some(tel) = self.telemetry.as_mut() {
+                            tel.on_sink(now, self.node, task, m.len(), m.last_time(), latency);
+                        }
                     }
+                    self.matches[query_idx].push(m.clone());
                 }
-                self.matches[spec.query_idx].push(m.clone());
             }
         } else if self.telemetry.is_some() {
             let now = self.start.elapsed().as_nanos() as u64;
@@ -1504,6 +1522,7 @@ mod tests {
                 ticks_per_unit: 100.0,
                 rate_scale: 0.05,
                 key_domain: 0,
+                band_domain: 0,
                 seed: 23,
             },
         );

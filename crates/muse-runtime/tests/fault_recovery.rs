@@ -51,6 +51,7 @@ fn trace(network: &Network, seed: u64) -> Vec<Event> {
             ticks_per_unit: 100.0,
             rate_scale: 0.05,
             key_domain: 0,
+            band_domain: 0,
             seed,
         },
     )

@@ -18,6 +18,10 @@ use serde::{Deserialize, Serialize};
 /// The attribute id of the uniform key carried by synthetic events.
 pub const KEY_ATTR: AttrId = AttrId(0);
 
+/// The attribute id of the uniform band value (used by the multi-tenant
+/// family workloads, see `workload_gen::BAND_ATTR`).
+pub const BAND_ATTR: AttrId = AttrId(1);
+
 /// Configuration of the trace generator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TraceConfig {
@@ -29,6 +33,10 @@ pub struct TraceConfig {
     pub rate_scale: f64,
     /// Domain of the `key` attribute (0 = no payload).
     pub key_domain: u32,
+    /// Domain of the `band` attribute carried as `AttrId(1)` (0 = absent).
+    /// Family workload variants discriminate on this attribute.
+    #[serde(default)]
+    pub band_domain: u32,
     /// PRNG seed.
     pub seed: u64,
 }
@@ -40,6 +48,7 @@ impl Default for TraceConfig {
             ticks_per_unit: 1_000.0,
             rate_scale: 1.0,
             key_domain: 0,
+            band_domain: 0,
             seed: 0,
         }
     }
@@ -51,8 +60,8 @@ impl Default for TraceConfig {
 pub fn generate_traces(network: &Network, config: &TraceConfig) -> Vec<Event> {
     assert!(config.duration > 0.0 && config.ticks_per_unit > 0.0 && config.rate_scale > 0.0);
     let mut rng = StdRng::seed_from_u64(config.seed);
-    // (tick, node, type, key) tuples, then sorted and sequenced.
-    let mut raw: Vec<(Timestamp, u16, u16, u32)> = Vec::new();
+    // (tick, node, type, key, band) tuples, then sorted and sequenced.
+    let mut raw: Vec<(Timestamp, u16, u16, u32, u32)> = Vec::new();
     for node in network.nodes() {
         for ty in network.generated_types(node).iter() {
             let rate = network.rate(ty) * config.rate_scale;
@@ -71,18 +80,26 @@ pub fn generate_traces(network: &Network, config: &TraceConfig) -> Vec<Event> {
                 } else {
                     0
                 };
-                raw.push((tick, node.0, ty.0, key));
+                let band = if config.band_domain > 0 {
+                    rng.gen_range(0..config.band_domain)
+                } else {
+                    0
+                };
+                raw.push((tick, node.0, ty.0, key, band));
             }
         }
     }
-    // Deterministic global order: timestamp, then node, type, key.
+    // Deterministic global order: timestamp, then node, type, key, band.
     raw.sort_unstable();
     raw.into_iter()
         .enumerate()
-        .map(|(seq, (tick, node, ty, key))| {
+        .map(|(seq, (tick, node, ty, key, band))| {
             let mut payload = Payload::new();
             if config.key_domain > 0 {
                 payload.set(KEY_ATTR, Value::Int(key as i64));
+            }
+            if config.band_domain > 0 {
+                payload.set(BAND_ATTR, Value::Int(band as i64));
             }
             Event::with_payload(
                 seq as u64,
@@ -168,6 +185,23 @@ mod tests {
             match e.payload.get(KEY_ATTR) {
                 Some(Value::Int(k)) => assert!((0..10).contains(k)),
                 other => panic!("missing key: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bands_generated_in_domain() {
+        let cfg = TraceConfig {
+            key_domain: 10,
+            band_domain: 4,
+            duration: 20.0,
+            ..Default::default()
+        };
+        let events = generate_traces(&network(), &cfg);
+        for e in &events {
+            match e.payload.get(BAND_ATTR) {
+                Some(Value::Int(b)) => assert!((0..4).contains(b)),
+                other => panic!("missing band: {other:?}"),
             }
         }
     }

@@ -8,7 +8,7 @@
 //! (default `[0.01, 0.2]`).
 
 use muse_core::catalog::Catalog;
-use muse_core::event::Timestamp;
+use muse_core::event::{Timestamp, Value};
 use muse_core::query::{CmpOp, Pattern, Predicate};
 use muse_core::types::{AttrId, EventTypeId, PrimId};
 use muse_core::workload::Workload;
@@ -200,6 +200,134 @@ fn random_tree(types: &[EventTypeId], parent: Option<bool>, rng: &mut StdRng) ->
     }
 }
 
+/// Configuration of the multi-tenant *family* workload generator used by
+/// the 100k-query experiments.
+///
+/// Queries are drawn from a small set of structural **families** (type
+/// tree + pairwise predicates). Within a family, **variants** differ only
+/// in a pair of unary band predicates over [`BAND_ATTR`], partitioning the
+/// band value domain into disjoint slices. Query `j` belongs to family
+/// `j % families` with variant `(j / families) % variants_per_family`, so
+/// any workload larger than `families × variants_per_family` contains
+/// exact structural duplicates — the regime where shared-plan evaluation
+/// and the discrimination index pay off.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FamilyWorkloadConfig {
+    /// Total number of queries.
+    pub queries: usize,
+    /// Number of distinct structural families.
+    pub families: usize,
+    /// Number of predicate-band variants within each family.
+    pub variants_per_family: usize,
+    /// Primitive operators per family pattern.
+    pub prims_per_family: usize,
+    /// Size of the event type universe.
+    pub types: usize,
+    /// Fraction of a family's types reused from the previous family.
+    pub share_fraction: f64,
+    /// Domain of the banded attribute: values are `0..band_domain`.
+    pub band_domain: i64,
+    /// Time window of every query.
+    pub window: Timestamp,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+/// The payload attribute carrying the band value discriminated by query
+/// variants (the key attribute joined by pairwise predicates is
+/// `AttrId(0)`).
+pub const BAND_ATTR: AttrId = AttrId(1);
+
+impl Default for FamilyWorkloadConfig {
+    fn default() -> Self {
+        Self {
+            queries: 1_000,
+            families: 20,
+            variants_per_family: 10,
+            prims_per_family: 3,
+            types: 15,
+            share_fraction: 0.3,
+            band_domain: 1_000,
+            window: 1_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a family-structured multi-tenant workload (see
+/// [`FamilyWorkloadConfig`]).
+pub fn generate_family_workload(config: &FamilyWorkloadConfig) -> Workload {
+    assert!(config.queries > 0);
+    assert!(config.families > 0 && config.variants_per_family > 0);
+    assert!(config.prims_per_family >= 2);
+    assert!(config.types > config.prims_per_family);
+    assert!(config.band_domain >= config.variants_per_family as i64);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let matrix = SelectivityMatrix::generate(config.types, 0.01, 0.2, &mut rng);
+    let catalog = Catalog::with_anonymous_types(config.types);
+
+    // Draw each family's structure once.
+    let base = WorkloadConfig {
+        types: config.types,
+        share_fraction: config.share_fraction,
+        ..WorkloadConfig::default()
+    };
+    let mut family_patterns = Vec::with_capacity(config.families);
+    let mut previous_types: Vec<EventTypeId> = Vec::new();
+    for _ in 0..config.families {
+        let types = pick_types(config.prims_per_family, &base, &previous_types, &mut rng);
+        previous_types = types.clone();
+        let pattern = random_tree(&types, None, &mut rng);
+        let mut predicates = Vec::new();
+        for i in 0..types.len() {
+            for j in (i + 1)..types.len() {
+                predicates.push(Predicate::binary(
+                    (PrimId(i as u8), AttrId(0)),
+                    CmpOp::Eq,
+                    (PrimId(j as u8), AttrId(0)),
+                    matrix.get(types[i], types[j]),
+                ));
+            }
+        }
+        family_patterns.push((pattern, predicates));
+    }
+
+    // A variant constrains the first primitive's band attribute to one
+    // slice of the domain. Slices are disjoint, so distinct variants never
+    // admit the same event through their banded primitive.
+    let step = config.band_domain / config.variants_per_family as i64;
+    let sel = (1.0 / config.variants_per_family as f64).sqrt().max(1e-6);
+    let mut patterns = Vec::with_capacity(config.queries);
+    for j in 0..config.queries {
+        let family = j % config.families;
+        let variant = (j / config.families) % config.variants_per_family;
+        let (pattern, preds) = &family_patterns[family];
+        let lo = variant as i64 * step;
+        let hi = if variant + 1 == config.variants_per_family {
+            config.band_domain - 1
+        } else {
+            (variant as i64 + 1) * step - 1
+        };
+        let mut predicates = preds.clone();
+        predicates.push(Predicate::unary(
+            PrimId(0),
+            BAND_ATTR,
+            CmpOp::Ge,
+            Value::Int(lo),
+            sel,
+        ));
+        predicates.push(Predicate::unary(
+            PrimId(0),
+            BAND_ATTR,
+            CmpOp::Le,
+            Value::Int(hi),
+            sel,
+        ));
+        patterns.push((pattern.clone(), predicates, config.window));
+    }
+    Workload::from_patterns(catalog, patterns).expect("generated patterns are valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,8 +366,8 @@ mod tests {
         });
         // Consecutive queries share at least one event type.
         for i in 1..w.len() {
-            let a = w.query(QueryId((i - 1) as u16)).types();
-            let b = w.query(QueryId(i as u16)).types();
+            let a = w.query(QueryId((i - 1) as u32)).types();
+            let b = w.query(QueryId(i as u32)).types();
             assert!(!a.intersect(b).is_empty(), "queries {i} unrelated");
         }
     }
@@ -303,6 +431,84 @@ mod tests {
             }
         }
         assert_eq!(m.get(EventTypeId(3), EventTypeId(3)), 1.0);
+    }
+
+    #[test]
+    fn family_workload_shape_and_duplicates() {
+        let cfg = FamilyWorkloadConfig {
+            queries: 50,
+            families: 4,
+            variants_per_family: 3,
+            ..Default::default()
+        };
+        let w = generate_family_workload(&cfg);
+        assert_eq!(w.len(), 50);
+        // Query j and j + families*variants are exact duplicates.
+        let period = cfg.families * cfg.variants_per_family;
+        for j in 0..(50 - period) {
+            let a = &w.queries()[j];
+            let b = &w.queries()[j + period];
+            assert_eq!(a.signature(), b.signature());
+            assert_eq!(
+                format!("{:?}", a.predicates()),
+                format!("{:?}", b.predicates())
+            );
+        }
+        // Same family, different variant: same structure, different bands.
+        let a = &w.queries()[0];
+        let b = &w.queries()[cfg.families];
+        assert_eq!(
+            a.root().signature(a.prim_types()),
+            b.root().signature(b.prim_types())
+        );
+        assert_ne!(
+            format!("{:?}", a.predicates()),
+            format!("{:?}", b.predicates())
+        );
+    }
+
+    #[test]
+    fn family_workload_is_deterministic() {
+        let cfg = FamilyWorkloadConfig {
+            queries: 30,
+            ..Default::default()
+        };
+        let a = generate_family_workload(&cfg);
+        let b = generate_family_workload(&cfg);
+        for (qa, qb) in a.queries().iter().zip(b.queries()) {
+            assert_eq!(qa.signature(), qb.signature());
+            assert_eq!(
+                format!("{:?}", qa.predicates()),
+                format!("{:?}", qb.predicates())
+            );
+        }
+    }
+
+    #[test]
+    fn family_variants_partition_the_band_domain() {
+        let cfg = FamilyWorkloadConfig {
+            queries: 8,
+            families: 2,
+            variants_per_family: 4,
+            band_domain: 100,
+            ..Default::default()
+        };
+        let w = generate_family_workload(&cfg);
+        // Every query carries the two band predicates on prim 0.
+        for q in w.queries() {
+            let bands: Vec<_> = q
+                .predicates()
+                .iter()
+                .filter(|p| {
+                    matches!(
+                        p.expr,
+                        muse_core::query::PredicateExpr::UnaryConst { attr, .. }
+                            if attr == BAND_ATTR
+                    )
+                })
+                .collect();
+            assert_eq!(bands.len(), 2, "query {:?}", q.id());
+        }
     }
 
     #[test]

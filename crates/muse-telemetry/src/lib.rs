@@ -213,6 +213,37 @@ impl RunTelemetry {
         }
         Some(out)
     }
+
+    /// Renders the event-discrimination index counters as a one-line
+    /// summary, or `None` when the run injected no events through the
+    /// index (legacy deployments or empty traces).
+    pub fn discrimination_summary(&self) -> Option<String> {
+        let considered = self
+            .registry
+            .counter_value(names::DISCRIMINATION_CANDIDATES)?;
+        if considered == 0 {
+            return None;
+        }
+        let counter = |name| self.registry.counter_value(name).unwrap_or(0);
+        let events = counter(names::DISCRIMINATION_EVENTS);
+        let admitted = counter(names::DISCRIMINATION_ADMITTED);
+        let hit_ratio = 100.0 * (1.0 - admitted as f64 / considered as f64);
+        let mean = considered as f64 / events.max(1) as f64;
+        let mut out = format!(
+            "events {events}  candidates {considered}  admitted {admitted}  \
+             filtered {hit_ratio:.1}%  mean-candidates {mean:.2}\n"
+        );
+        if let Some([min, p25, p50, p75, max]) = self
+            .registry
+            .hist_value(names::DISCRIMINATION_CANDIDATE_SET)
+            .and_then(|h| h.summary())
+        {
+            out.push_str(&format!(
+                "candidate-set min {min}  p25 {p25}  p50 {p50}  p75 {p75}  max {max}\n"
+            ));
+        }
+        Some(out)
+    }
 }
 
 /// Canonical metric names used across both executors, so registry
@@ -286,6 +317,14 @@ pub mod names {
     pub const RECOVERY_NS: &str = "recovery.recovery_ns";
     /// Recovery: distribution of individual backoff sleeps (ns).
     pub const RECOVERY_BACKOFF_SLEEP: &str = "recovery.backoff_sleep_ns";
+    /// Discrimination index: events looked up.
+    pub const DISCRIMINATION_EVENTS: &str = "discrimination.events";
+    /// Discrimination index: source candidates considered across lookups.
+    pub const DISCRIMINATION_CANDIDATES: &str = "discrimination.candidates_considered";
+    /// Discrimination index: candidates admitted past the band filter.
+    pub const DISCRIMINATION_ADMITTED: &str = "discrimination.candidates_admitted";
+    /// Discrimination index: per-event candidate-set size distribution.
+    pub const DISCRIMINATION_CANDIDATE_SET: &str = "discrimination.candidate_set_size";
 }
 
 #[cfg(test)]

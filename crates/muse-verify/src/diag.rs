@@ -75,6 +75,8 @@ codes! {
     DuplicateEventType = "MG0105", Warning, "event type bound by multiple primitive operators";
     NseqScopeViolation = "MG0106", Error, "predicate on a negated operator escapes its NSEQ scope";
     TrivialPredicate = "MG0107", Lint, "predicate always holds";
+    DuplicateQuery = "MG0108", Lint, "query is an exact structural duplicate of an earlier query";
+    SubsumedQuery = "MG0109", Lint, "query is structurally subsumed by an earlier query";
     GraphCycle = "MG0201", Error, "MuSE graph contains a cycle";
     MissingPrimitiveVertex = "MG0202", Error, "a (primitive, producing node) pair has no vertex";
     CompositeSource = "MG0203", Error, "source vertex hosts a composite projection";

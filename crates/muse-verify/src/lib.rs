@@ -30,7 +30,7 @@ pub mod query_lints;
 pub use deploy_checks::verify_deployment;
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use graph_checks::{verify_graph, VerifyConfig};
-pub use query_lints::{lint_query, lint_query_text};
+pub use query_lints::{lint_query, lint_query_text, lint_workload};
 
 use muse_core::graph::{MuseGraph, PlanContext};
 
@@ -42,6 +42,7 @@ pub fn verify_plan(graph: &MuseGraph, ctx: &PlanContext<'_>, cfg: &VerifyConfig)
     for query in ctx.queries {
         lint_query(query, None, &mut report);
     }
+    lint_workload(ctx.queries, &mut report);
     let structure_ok = verify_graph(graph, ctx, cfg, &mut report);
     if structure_ok {
         verify_deployment(graph, ctx, cfg, &mut report);

@@ -304,6 +304,98 @@ fn unary_pair_contradicts(op1: CmpOp, v1: &Value, op2: CmpOp, v2: &Value) -> boo
     }
 }
 
+/// Cross-query lints over a whole workload: exact structural duplicates
+/// ([`Code::DuplicateQuery`]) and structural subsumption
+/// ([`Code::SubsumedQuery`]).
+///
+/// Two queries are *exact duplicates* when their type trees, windows, and
+/// predicate sets coincide — the shared-plan deployment evaluates them as
+/// one physical task, so duplicates are harmless but usually indicate a
+/// tenant registering the same query twice. A query is *subsumed* by
+/// another when both share the type tree and window and one's predicate
+/// set is a strict superset of the other's: every match of the stricter
+/// query is also produced by the looser one, so the stricter query could
+/// be answered by filtering the looser query's output stream.
+///
+/// Queries are grouped by type-tree signature and window, so unrelated
+/// queries are never compared; within a group, exact duplicates are found
+/// by hashing and subsumption by pairwise set inclusion against earlier
+/// group members.
+pub fn lint_workload(queries: &[Query], report: &mut Report) {
+    use std::collections::{BTreeSet, HashMap};
+    let mut exact: HashMap<String, QueryId> = HashMap::new();
+    let mut groups: HashMap<String, Vec<(QueryId, BTreeSet<String>)>> = HashMap::new();
+    for query in queries {
+        // Order-preserving signature: predicates are compared as strings
+        // over prim ids, and prim numbering only lines up between two
+        // queries whose trees agree in declaration order (the canonical
+        // `signature` sorts AND/OR children and would flag AND(t0,t2) as a
+        // duplicate of AND(t2,t0) even when a unary predicate on P0 means
+        // different things in the two).
+        let skeleton = format!(
+            "{};w{}",
+            query.root().tree_signature(query.prim_types()),
+            query.window()
+        );
+        let preds: BTreeSet<String> = query
+            .predicates()
+            .iter()
+            .map(|p| format!("{p:?}"))
+            .collect();
+        let mut full = skeleton.clone();
+        for p in &preds {
+            full.push(';');
+            full.push_str(p);
+        }
+        if let Some(&rep) = exact.get(&full) {
+            report.push(Diagnostic::new(
+                Code::DuplicateQuery,
+                format!(
+                    "query {:?} is an exact structural duplicate of query {rep:?} \
+                     (same pattern, window, and predicates); shared-plan deployment \
+                     evaluates them once",
+                    query.id()
+                ),
+            ));
+            groups
+                .entry(skeleton)
+                .or_default()
+                .push((query.id(), preds));
+            continue;
+        }
+        exact.insert(full, query.id());
+        let members = groups.entry(skeleton).or_default();
+        for (other, other_preds) in members.iter() {
+            if preds.is_superset(other_preds) {
+                report.push(Diagnostic::new(
+                    Code::SubsumedQuery,
+                    format!(
+                        "query {:?} is subsumed by query {other:?}: same pattern and \
+                         window with a superset of its predicates, so its matches are \
+                         a subset of {other:?}'s output stream",
+                        query.id()
+                    ),
+                ));
+                break;
+            }
+            if other_preds.is_superset(&preds) {
+                report.push(Diagnostic::new(
+                    Code::SubsumedQuery,
+                    format!(
+                        "query {other:?} is subsumed by query {:?}: same pattern and \
+                         window with a superset of its predicates, so its matches are \
+                         a subset of {:?}'s output stream",
+                        query.id(),
+                        query.id()
+                    ),
+                ));
+                break;
+            }
+        }
+        members.push((query.id(), preds));
+    }
+}
+
 fn render_pred(p: &Predicate) -> String {
     fn attr(prim: PrimId, a: AttrId) -> String {
         format!("p{}.a{}", prim.0, a.0)
@@ -469,5 +561,76 @@ mod tests {
         lint_query(&q, None, &mut r);
         assert!(r.has_code(Code::ZeroWindow), "{r}");
         assert!(!r.has_code(Code::UnboundedWindow), "{r}");
+    }
+
+    fn seq_query(id: u32, preds: Vec<Predicate>, window: u64) -> Query {
+        let mut cat = Catalog::new();
+        let a = cat.add_event_type("A").unwrap();
+        let b = cat.add_event_type("B").unwrap();
+        Query::build(
+            QueryId(id),
+            &Pattern::seq([Pattern::leaf(a), Pattern::leaf(b)]),
+            preds,
+            window,
+        )
+        .unwrap()
+    }
+
+    fn eq_pred() -> Predicate {
+        Predicate::binary(
+            (PrimId(0), AttrId(0)),
+            CmpOp::Eq,
+            (PrimId(1), AttrId(0)),
+            0.1,
+        )
+    }
+
+    fn band_pred() -> Predicate {
+        Predicate::unary(PrimId(0), AttrId(1), CmpOp::Ge, Value::Int(5), 0.5)
+    }
+
+    #[test]
+    fn exact_duplicate_queries_linted() {
+        let queries = vec![
+            seq_query(0, vec![eq_pred()], 100),
+            seq_query(1, vec![eq_pred()], 100),
+        ];
+        let mut r = Report::new();
+        lint_workload(&queries, &mut r);
+        assert!(r.has_code(Code::DuplicateQuery), "{r}");
+        assert!(!r.has_code(Code::SubsumedQuery), "{r}");
+    }
+
+    #[test]
+    fn subsumed_query_linted() {
+        // Query 1 carries a superset of query 0's predicates.
+        let queries = vec![
+            seq_query(0, vec![eq_pred()], 100),
+            seq_query(1, vec![eq_pred(), band_pred()], 100),
+        ];
+        let mut r = Report::new();
+        lint_workload(&queries, &mut r);
+        assert!(r.has_code(Code::SubsumedQuery), "{r}");
+        assert!(!r.has_code(Code::DuplicateQuery), "{r}");
+        // Subsumption is detected in either registration order.
+        let reversed = vec![
+            seq_query(0, vec![eq_pred(), band_pred()], 100),
+            seq_query(1, vec![eq_pred()], 100),
+        ];
+        let mut r = Report::new();
+        lint_workload(&reversed, &mut r);
+        assert!(r.has_code(Code::SubsumedQuery), "{r}");
+    }
+
+    #[test]
+    fn different_windows_are_not_duplicates() {
+        let queries = vec![
+            seq_query(0, vec![eq_pred()], 100),
+            seq_query(1, vec![eq_pred()], 200),
+        ];
+        let mut r = Report::new();
+        lint_workload(&queries, &mut r);
+        assert!(!r.has_code(Code::DuplicateQuery), "{r}");
+        assert!(!r.has_code(Code::SubsumedQuery), "{r}");
     }
 }

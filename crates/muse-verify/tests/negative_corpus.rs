@@ -8,7 +8,8 @@ use muse_core::prelude::*;
 use muse_core::query::parser::ParserOptions;
 use muse_core::types::{PrimId, PrimSet};
 use muse_verify::{
-    lint_query_text, verify_deployment, verify_graph, verify_plan, Code, Report, VerifyConfig,
+    lint_query_text, lint_workload, verify_deployment, verify_graph, verify_plan, Code, Report,
+    VerifyConfig,
 };
 
 // ---------------------------------------------------------------- helpers
@@ -414,6 +415,40 @@ fn mg0304_orphan_vertex() {
     assert!(r.has_code(Code::OrphanVertex), "{r}");
 }
 
+#[test]
+fn mg0108_duplicate_query() {
+    let mut catalog = Catalog::new();
+    let a = catalog.add_event_type("A").unwrap();
+    let b = catalog.add_event_type("B").unwrap();
+    let pattern = Pattern::seq([Pattern::leaf(a), Pattern::leaf(b)]);
+    let q0 = Query::build(QueryId(0), &pattern, vec![], 1_000).unwrap();
+    let q1 = Query::build(QueryId(1), &pattern, vec![], 1_000).unwrap();
+    let mut r = Report::new();
+    lint_workload(&[q0, q1], &mut r);
+    assert!(r.has_code(Code::DuplicateQuery), "{r}");
+}
+
+#[test]
+fn mg0109_subsumed_query() {
+    use muse_core::query::{CmpOp, Predicate};
+    use muse_core::types::AttrId;
+    let mut catalog = Catalog::new();
+    let a = catalog.add_event_type("A").unwrap();
+    let b = catalog.add_event_type("B").unwrap();
+    let pattern = Pattern::seq([Pattern::leaf(a), Pattern::leaf(b)]);
+    let pred = Predicate::binary(
+        (PrimId(0), AttrId(0)),
+        CmpOp::Eq,
+        (PrimId(1), AttrId(0)),
+        0.1,
+    );
+    let q0 = Query::build(QueryId(0), &pattern, vec![], 1_000).unwrap();
+    let q1 = Query::build(QueryId(1), &pattern, vec![pred], 1_000).unwrap();
+    let mut r = Report::new();
+    lint_workload(&[q0, q1], &mut r);
+    assert!(r.has_code(Code::SubsumedQuery), "{r}");
+}
+
 /// Every code in the registry is exercised by this corpus (or the
 /// query-lint suite); keeps the corpus in lockstep with new codes.
 #[test]
@@ -427,6 +462,8 @@ fn corpus_covers_all_error_codes() {
         Code::DuplicateEventType,
         Code::NseqScopeViolation,
         Code::TrivialPredicate,
+        Code::DuplicateQuery,
+        Code::SubsumedQuery,
         Code::GraphCycle,
         Code::MissingPrimitiveVertex,
         Code::CompositeSource,

@@ -75,6 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ticks_per_unit: 100.0,
             rate_scale: 0.02,
             key_domain: 0,
+            band_domain: 0,
             seed: 11,
         },
     );

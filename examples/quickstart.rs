@@ -70,6 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ticks_per_unit: 100.0,
             rate_scale: 0.05,
             key_domain: 10,
+            band_domain: 0,
             seed: 7,
         },
     );

@@ -1,13 +1,16 @@
 #!/usr/bin/env sh
 # Tier-1 CI gate: release build, workspace test suite, lint gates, static
 # verification of the example queries/plans, the loom concurrency lane, and
-# smoke runs of the matcher join bench, the executor transport bench, and
-# the fault-recovery bench (emitting BENCH_matcher.json,
-# BENCH_executor.json, and BENCH_faults.json at the repo root plus
-# telemetry exports under out/). The executor smoke additionally gates on
-# the batched and naive transports producing identical match sets; the
-# fault smoke gates on the crashed run reproducing the uninterrupted
-# run's match sets. Exits nonzero on the first failure.
+# smoke runs of the matcher join bench, the executor transport bench, the
+# fault-recovery bench, and the shared multi-query bench (emitting
+# BENCH_matcher.json, BENCH_executor.json, BENCH_faults.json, and
+# BENCH_multiquery.json at the repo root plus telemetry exports under
+# out/). The executor smoke additionally gates on the batched and naive
+# transports producing identical match sets; the fault smoke gates on the
+# crashed run reproducing the uninterrupted run's match sets; the
+# multiquery smoke gates on shared-plan evaluation reproducing independent
+# per-query evaluation and on sublinear wall-time growth in the query
+# count. Exits nonzero on the first failure.
 #
 # Opt-in slow lanes (need a nightly toolchain, skipped by default so the
 # tier-1 gate stays fast):
@@ -74,6 +77,24 @@ echo "== smoke: fault-recovery bench (with telemetry) =="
 cargo run -p muse-bench --release --bin harness -- faults --quick --out . --telemetry out
 grep -q '"fingerprints_equal": true' BENCH_faults.json || {
     echo "ci.sh: fault smoke: crash recovery lost or duplicated matches" >&2
+    exit 1
+}
+
+echo "== smoke: shared multi-query bench (with telemetry) =="
+cargo run -p muse-bench --release --bin harness -- multiquery --quick --out . --telemetry out
+# Every sweep point and the top-level summary carry a fingerprints_equal
+# flag; a single false means shared evaluation diverged from independent
+# per-query evaluation.
+if grep -q '"fingerprints_equal": false' BENCH_multiquery.json; then
+    echo "ci.sh: multiquery smoke: shared and independent evaluation diverged" >&2
+    exit 1
+fi
+grep -q '"fingerprints_equal": true' BENCH_multiquery.json || {
+    echo "ci.sh: multiquery smoke: no fingerprint gate found in output" >&2
+    exit 1
+}
+grep -q '"sublinear": true' BENCH_multiquery.json || {
+    echo "ci.sh: multiquery smoke: wall time grew superlinearly in query count" >&2
     exit 1
 }
 

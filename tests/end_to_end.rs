@@ -99,6 +99,7 @@ fn distributed_execution_matches_ground_truth() {
                 ticks_per_unit: 100.0,
                 rate_scale: 3.0 / 1_000.0,
                 key_domain: 2,
+                band_domain: 0,
                 seed,
             },
         );
@@ -142,6 +143,7 @@ fn oop_and_amuse_agree_on_matches() {
             ticks_per_unit: 100.0,
             rate_scale: 3.0 / 1_000.0,
             key_domain: 2,
+            band_domain: 0,
             seed: 7,
         },
     );
@@ -187,6 +189,7 @@ fn nseq_pipeline_end_to_end() {
             ticks_per_unit: 100.0,
             rate_scale: 3.0 / 1_000.0,
             key_domain: 0,
+            band_domain: 0,
             seed: 3,
         },
     );
@@ -225,6 +228,7 @@ fn workload_threaded_equals_simulator() {
             ticks_per_unit: 100.0,
             rate_scale: 3.0 / 1_000.0,
             key_domain: 2,
+            band_domain: 0,
             seed: 55,
         },
     );

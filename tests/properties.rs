@@ -184,7 +184,7 @@ proptest! {
             ticks_per_unit: 100.0,
             rate_scale: 0.2,
             key_domain: 0,
-            seed,
+            band_domain: 0,            seed,
         });
         let matches = Evaluator::for_query(&q).run(&events);
         for m in matches {
@@ -203,7 +203,7 @@ proptest! {
             ticks_per_unit: 100.0,
             rate_scale: 0.05,
             key_domain: 3,
-            seed,
+            band_domain: 0,            seed,
         });
         for (i, e) in events.iter().enumerate() {
             prop_assert_eq!(e.seq, i as u64);
@@ -222,7 +222,7 @@ proptest! {
             ticks_per_unit: 100.0,
             rate_scale: 0.05,
             key_domain: 10,
-            seed,
+            band_domain: 0,            seed,
         });
         let entries: Vec<(PrimId, muse_core::event::Event)> = events
             .iter()

@@ -45,6 +45,7 @@ fn instance(seed: u64) -> Instance {
             ticks_per_unit: 100.0,
             rate_scale: 5.0 / 500.0,
             key_domain: 2,
+            band_domain: 0,
             seed,
         },
     );
