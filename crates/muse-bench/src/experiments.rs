@@ -153,6 +153,66 @@ pub enum ExperimentOutput {
         /// count between the smallest and largest sweep points.
         sublinear: bool,
     },
+    /// Observability stack end-to-end (written as `BENCH_observe.json`;
+    /// not a paper artifact): provenance-tracing overhead on the threaded
+    /// relay workload, witness-closure replay and cost-model drift on the
+    /// calibrated `SEQ` workload, and the crash flight recorder.
+    ObserveBench {
+        /// Experiment id ("observe").
+        id: String,
+        /// Events injected per overhead run (relay trace length).
+        events: u64,
+        /// Provenance sampling divisor of the "sampled" overhead mode.
+        sample: u64,
+        /// Overhead modes, in order: off, disabled, sampled, full.
+        overhead: Vec<ObserveModeRow>,
+        /// Disabled-provenance telemetry stayed under 5% wall overhead.
+        disabled_ok: bool,
+        /// 1-in-`sample` provenance stayed under 15% wall overhead.
+        sampled_ok: bool,
+        /// Simulator and threaded executor produced identical per-query
+        /// match sets on the relay trace.
+        fingerprints_equal: bool,
+        /// Provenance records captured by the witness run (sample = 1).
+        provenance_records: u64,
+        /// Mean witness events per record.
+        mean_witness: f64,
+        /// Every record's witness set replayed to a byte-identical match.
+        witnesses_reproduce: bool,
+        /// Rate-weighted drift score on the stationary calibrated trace.
+        stationary_score: f64,
+        /// Stationary score stayed under 0.10.
+        stationary_ok: bool,
+        /// Rate-weighted drift score on the 3x rate-shifted trace.
+        shifted_score: f64,
+        /// Shifted score exceeded 0.5.
+        shifted_detected: bool,
+        /// Drift-monitored vertices in the calibrated deployment.
+        drift_vertices: usize,
+        /// Full per-vertex drift report for the stationary trace.
+        stationary_drift: muse_runtime::drift::CostDrift,
+        /// Full per-vertex drift report for the rate-shifted trace.
+        shifted_drift: muse_runtime::drift::CostDrift,
+        /// Flight records recovered from the injected crash's dump.
+        flight_records: u64,
+        /// Pretty-printed tail of the crashed node's flight timeline.
+        flight_timeline: String,
+    },
+}
+
+/// One telemetry mode's wall-clock measurement in the observe bench.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObserveModeRow {
+    /// Mode name ("off", "disabled", "sampled", or "full").
+    pub mode: String,
+    /// Wall-clock time of the best rep, milliseconds.
+    pub wall_ms: f64,
+    /// Wall time relative to the "off" mode (1.0 = no overhead).
+    pub overhead: f64,
+    /// Provenance records held at end of run.
+    pub provenance_records: u64,
+    /// Provenance records evicted by the ring bound.
+    pub provenance_dropped: u64,
 }
 
 /// One transport mode's measurements in the executor bench.
@@ -356,6 +416,7 @@ pub fn run_experiment_telemetry(
         "executor" => executor_bench(id, settings, tel),
         "faults" => faults_bench(id, settings, tel),
         "multiquery" => multiquery_bench(id, settings, tel),
+        "observe" => observe_bench(id, settings, tel),
         other => panic!("unknown experiment '{other}'; see `all_experiments()`"),
     }
 }
@@ -1218,6 +1279,10 @@ fn matcher_bench_sized(
             emitted: s.emitted,
             evictions: s.evicted,
             peak_live: s.peak_buffered,
+            considered: 0,
+            admitted: 0,
+            replayed: 0,
+            suppressed: 0,
         });
         let label = format!("{id}/indexed");
         tel.record_run(&label, run);
@@ -1412,6 +1477,258 @@ fn multiquery_bench_sized(
     }
 }
 
+/// The `observe` experiment (`BENCH_observe.json`): the observability
+/// stack end-to-end. Four phases:
+///
+/// 1. **Overhead** — the relay workload runs on the simulator with
+///    telemetry off, with telemetry attached but provenance disabled,
+///    with 1-in-64 provenance sampling, and with every sink match
+///    recorded; wall-time ratios against the off mode gate the
+///    zero-cost-when-disabled claim. A threaded run with sampling on is
+///    then checked for match parity against the untraced simulator.
+/// 2. **Witness closure** — the calibrated `SEQ` workload runs on the
+///    simulator with `provenance_sample = 1`; every record's witness set
+///    is replayed through a fresh simulation and must reproduce its match
+///    byte-identically (the same check `harness explain` exposes).
+/// 3. **Drift** — the §4.4 cost model is re-evaluated against observed
+///    per-vertex rates: near-zero on the stationary trace, above 0.5 when
+///    the trace is generated from a 3x rate-shifted network.
+/// 4. **Flight recorder** — a crash is injected into a checkpointed relay
+///    run; the crashed node's bounded flight ring must dump and decode.
+fn observe_bench(
+    id: &str,
+    settings: &SweepSettings,
+    tel: Option<&mut TelemetryCollector>,
+) -> ExperimentOutput {
+    let relay_duration = if settings.reps <= 2 { 40.0 } else { 120.0 };
+    let witness_duration = crate::observe::witness_duration(settings.reps <= 2);
+    observe_bench_sized(id, relay_duration, witness_duration, settings, tel)
+}
+
+fn observe_bench_sized(
+    id: &str,
+    relay_duration: f64,
+    witness_duration: f64,
+    settings: &SweepSettings,
+    mut tel: Option<&mut TelemetryCollector>,
+) -> ExperimentOutput {
+    use crate::observe::{
+        find_recorded_match, observe_deployment, observe_network, observe_trace, shifted_network,
+        witness_closure_holds, witness_spec, RATE_SCALE, TICKS_PER_UNIT,
+    };
+    use crate::transport_stress::{stress_deployment, stress_network, stress_trace, WINDOW};
+    use muse_runtime::drift::CostDrift;
+    use muse_runtime::flight::{decode_dump, render_timeline};
+    use muse_runtime::matcher::Match;
+    use muse_runtime::threaded::FaultPlan;
+    use muse_telemetry::TelemetrySpec;
+    use std::collections::BTreeSet;
+    use std::time::Duration;
+
+    // Same chunk/slack regime as the executor bench (see there).
+    const CHUNK_TICKS: muse_core::event::Timestamp = 10 * WINDOW;
+    const SLACK: f64 = 12.0;
+    const SAMPLE: u64 = 64;
+    let network = stress_network();
+    let deployment = stress_deployment(&network);
+    let trace_events = stress_trace(&network, relay_duration, settings.seed);
+    let reps = settings.reps.max(1);
+
+    // Phase 1: wall-time overhead of the provenance path, measured on the
+    // simulator. The telemetry spec under test IS the measured
+    // configuration here (unlike the other benches, which keep
+    // instrumentation out of the timed runs); the single-threaded
+    // simulator exercises every per-event hook the tracer adds
+    // (inject/candidate/emit/rate/sink-match) while keeping the timing
+    // deterministic — the threaded executor's barrier rounds make its
+    // wall time scheduler-bound on small hosts, which would gate CI on
+    // noise rather than on the tracer. Modes are measured round-robin and
+    // scored by their fastest rep, on a trace long enough that the 5%
+    // gate's headroom dwarfs timer jitter.
+    let overhead_events = stress_trace(&network, relay_duration.max(240.0), settings.seed);
+    let modes: [(&str, Option<TelemetrySpec>); 4] = [
+        ("off", None),
+        ("disabled", Some(TelemetrySpec::provenance_only(0))),
+        ("sampled", Some(TelemetrySpec::provenance_only(SAMPLE))),
+        ("full", Some(TelemetrySpec::provenance_only(1))),
+    ];
+    let measure_reps = reps.max(5);
+    let mut best_ms = [f64::MAX; 4];
+    let mut held_dropped = [(0u64, 0u64); 4];
+    for round in 0..=measure_reps {
+        for (i, (_, spec)) in modes.iter().enumerate() {
+            let config = SimConfig {
+                telemetry: spec.clone(),
+                ..SimConfig::default()
+            };
+            let started = std::time::Instant::now();
+            let report = run_simulation(&deployment, &overhead_events, &config);
+            let ms = started.elapsed().as_secs_f64() * 1e3;
+            // Round 0 is warmup for every mode alike.
+            if round > 0 && ms < best_ms[i] {
+                best_ms[i] = ms;
+            }
+            held_dropped[i] = report.telemetry.as_ref().map_or((0, 0), |t| {
+                (t.provenance.len() as u64, t.provenance.dropped())
+            });
+            std::hint::black_box(report);
+        }
+    }
+    let base = best_ms[0].max(f64::MIN_POSITIVE);
+    let mut rows: Vec<ObserveModeRow> = modes
+        .iter()
+        .zip(best_ms.iter().zip(held_dropped))
+        .map(|((name, _), (&ms, (held, dropped)))| ObserveModeRow {
+            mode: name.to_string(),
+            wall_ms: ms,
+            overhead: ms / base,
+            provenance_records: held,
+            provenance_dropped: dropped,
+        })
+        .collect();
+    let full = rows.pop().expect("4 modes");
+    let sampled = rows.pop().expect("4 modes");
+    let disabled = rows.pop().expect("4 modes");
+    let off = rows.pop().expect("4 modes");
+    let disabled_ok = disabled.overhead < 1.05;
+    let sampled_ok = sampled.overhead < 1.15;
+
+    // Executor parity on the relay trace: the simulator's untraced
+    // trace-ordered run and a threaded run with 1-in-64 provenance
+    // sampling must agree per query — the check that provenance hooks
+    // cannot perturb matching, which also keeps the threaded hot path
+    // covered now that the timed rows above come from the simulator.
+    let fingerprints = |matches: &[Vec<Match>]| -> Vec<BTreeSet<Vec<u64>>> {
+        matches
+            .iter()
+            .map(|q| q.iter().map(Match::fingerprint).collect())
+            .collect()
+    };
+    let threaded_config = ThreadedConfig {
+        slack: SLACK,
+        chunk_ticks: Some(CHUNK_TICKS),
+        telemetry: Some(TelemetrySpec::provenance_only(SAMPLE)),
+        ..ThreadedConfig::default()
+    };
+    let traced_report = run_threaded(&deployment, &trace_events, &threaded_config);
+    let sim_report = run_simulation(&deployment, &trace_events, &SimConfig::default());
+    let fingerprints_equal =
+        fingerprints(&sim_report.matches) == fingerprints(&traced_report.matches);
+
+    // Phase 2: witness closure on the calibrated workload.
+    let onet = observe_network();
+    let odeployment = observe_deployment(&onet);
+    let otrace = observe_trace(&onet, witness_duration, settings.seed);
+    let oconfig = SimConfig {
+        telemetry: Some(witness_spec()),
+        ..SimConfig::default()
+    };
+    let mut oreport = run_simulation(&odeployment, &otrace, &oconfig);
+    let orun = oreport.telemetry.take().expect("telemetry requested");
+    let provenance_records = orun.provenance.len() as u64;
+    let witness_total: usize = orun.provenance.records().map(|r| r.witness.len()).sum();
+    let mean_witness = witness_total as f64 / provenance_records.max(1) as f64;
+    let mut witnesses_reproduce = provenance_records > 0 && orun.provenance.dropped() == 0;
+    for rec in orun.provenance.records() {
+        witnesses_reproduce &= find_recorded_match(&oreport.matches, rec)
+            .is_some_and(|orig| witness_closure_holds(&odeployment, &otrace, rec, orig));
+    }
+
+    // Phase 3: cost-model drift — stationary rates from the witness run's
+    // estimators, shifted rates from a trace generated at 3x.
+    let duration_ticks = (witness_duration * TICKS_PER_UNIT) as u64;
+    let stationary = CostDrift::compute(
+        &odeployment,
+        &orun.rates,
+        TICKS_PER_UNIT,
+        RATE_SCALE,
+        duration_ticks,
+    );
+    let strace = observe_trace(&shifted_network(), witness_duration, settings.seed + 1);
+    let mut sreport = run_simulation(&odeployment, &strace, &oconfig);
+    let srun = sreport.telemetry.take().expect("telemetry requested");
+    let shifted = CostDrift::compute(
+        &odeployment,
+        &srun.rates,
+        TICKS_PER_UNIT,
+        RATE_SCALE,
+        duration_ticks,
+    );
+    let stationary_ok = stationary.score < 0.10;
+    let shifted_detected = shifted.score > 0.5;
+    if let Some(tel) = tel.as_deref_mut() {
+        tel.record_run(&format!("{id}/witness"), orun);
+    }
+
+    // Phase 4: flight recorder. A short checkpointed relay run with an
+    // injected crash; the crashed node publishes its flight ring, which
+    // must decode and carry the crash marker.
+    let ftrace = stress_trace(&network, relay_duration.min(20.0), settings.seed);
+    // Crash the first *edge* node: it injects ~100 events per time unit,
+    // so the halfway crash point exists even on short traces (the centers'
+    // rare anchors may not produce a single event before the run ends).
+    let crash_node = crate::transport_stress::CENTERS;
+    let local = ftrace
+        .iter()
+        .filter(|e| e.origin.index() == crash_node)
+        .count() as u64;
+    let fconfig = ThreadedConfig {
+        slack: SLACK,
+        chunk_ticks: Some(CHUNK_TICKS),
+        checkpoint: true,
+        fault: Some(FaultPlan {
+            node: crash_node,
+            crash_at: local / 2,
+            restart_delay: Duration::from_millis(1),
+        }),
+        telemetry: tel.as_deref().map(|t| t.spec()),
+        ..ThreadedConfig::default()
+    };
+    let mut freport = run_threaded(&deployment, &ftrace, &fconfig);
+    if let Some(tel) = tel {
+        if let Some(run) = freport.telemetry.take() {
+            tel.record_run(&format!("{id}/crashed"), run);
+        }
+    }
+    let dumps: Vec<muse_runtime::flight::FlightDump> = freport
+        .flight_dumps
+        .iter()
+        .filter_map(|d| decode_dump(d))
+        .collect();
+    let flight_records = dumps.iter().map(|d| d.records.len() as u64).sum();
+    let flight_timeline = dumps
+        .first()
+        .map(|d| {
+            let full = render_timeline(d);
+            let lines: Vec<&str> = full.lines().collect();
+            let tail = lines.len().saturating_sub(12);
+            lines[tail..].join("\n")
+        })
+        .unwrap_or_default();
+
+    ExperimentOutput::ObserveBench {
+        id: id.to_string(),
+        events: trace_events.len() as u64,
+        sample: SAMPLE,
+        overhead: vec![off, disabled, sampled, full],
+        disabled_ok,
+        sampled_ok,
+        fingerprints_equal,
+        provenance_records,
+        mean_witness,
+        witnesses_reproduce,
+        stationary_score: stationary.score,
+        stationary_ok,
+        shifted_score: shifted.score,
+        shifted_detected,
+        drift_vertices: stationary.per_vertex.len(),
+        stationary_drift: stationary,
+        shifted_drift: shifted,
+        flight_records,
+        flight_timeline,
+    }
+}
+
 impl ExperimentOutput {
     /// The experiment's id.
     pub fn id(&self) -> &str {
@@ -1423,7 +1740,8 @@ impl ExperimentOutput {
             | ExperimentOutput::ExecutorBench { id, .. }
             | ExperimentOutput::FaultBench { id, .. }
             | ExperimentOutput::MatcherBench { id, .. }
-            | ExperimentOutput::MultiQueryBench { id, .. } => id,
+            | ExperimentOutput::MultiQueryBench { id, .. }
+            | ExperimentOutput::ObserveBench { id, .. } => id,
         }
     }
 
@@ -1712,6 +2030,69 @@ impl ExperimentOutput {
                     "all match sets identical: {fingerprints_equal}, sublinear scaling: {sublinear}"
                 );
             }
+            ExperimentOutput::ObserveBench {
+                id,
+                events,
+                sample,
+                overhead,
+                disabled_ok,
+                sampled_ok,
+                fingerprints_equal,
+                provenance_records,
+                mean_witness,
+                witnesses_reproduce,
+                stationary_score,
+                stationary_ok,
+                shifted_score,
+                shifted_detected,
+                drift_vertices,
+                stationary_drift: _,
+                shifted_drift,
+                flight_records,
+                flight_timeline,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "== {id}: observability stack (relay, {events} events, sample 1-in-{sample}) =="
+                );
+                let _ = writeln!(
+                    out,
+                    "{:>10} | {:>10} | {:>8} | {:>12} | {:>8}",
+                    "provenance", "wall ms", "overhead", "records", "dropped"
+                );
+                for r in overhead {
+                    let _ = writeln!(
+                        out,
+                        "{:>10} | {:>10.1} | {:>7.2}x | {:>12} | {:>8}",
+                        r.mode, r.wall_ms, r.overhead, r.provenance_records, r.provenance_dropped
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "disabled <5%: {disabled_ok}, sampled <15%: {sampled_ok}, \
+                     sim/threaded match sets identical: {fingerprints_equal}"
+                );
+                let _ = writeln!(
+                    out,
+                    "witness closure: {provenance_records} records, mean witness \
+                     {mean_witness:.1} events, all reproduce byte-identically: \
+                     {witnesses_reproduce}"
+                );
+                let _ = writeln!(
+                    out,
+                    "cost-model drift over {drift_vertices} vertices: stationary \
+                     {stationary_score:.4} (ok: {stationary_ok}), shifted {shifted_score:.4} \
+                     (detected: {shifted_detected})"
+                );
+                let _ = writeln!(out, "worst shifted vertices:\n{}", shifted_drift.render(3));
+                let _ = writeln!(
+                    out,
+                    "flight recorder: {flight_records} records dumped at crash"
+                );
+                if !flight_timeline.is_empty() {
+                    let _ = writeln!(out, "{flight_timeline}");
+                }
+            }
         }
         out
     }
@@ -1835,6 +2216,54 @@ mod tests {
         assert!(
             run.discrimination_summary().is_some(),
             "instrumented run must carry discrimination telemetry"
+        );
+    }
+
+    #[test]
+    fn observe_bench_small_instance_holds() {
+        let mut tel = TelemetryCollector::new();
+        // Relay phase shortened to 10 units (wall-clock bound); the
+        // witness/drift phase needs ~60 units or Poisson noise alone
+        // pushes per-vertex drift past the stationary gate.
+        let out = observe_bench_sized("observe", 10.0, 60.0, &quick(), Some(&mut tel));
+        match &out {
+            ExperimentOutput::ObserveBench {
+                overhead,
+                fingerprints_equal,
+                provenance_records,
+                witnesses_reproduce,
+                stationary_ok,
+                shifted_detected,
+                flight_records,
+                ..
+            } => {
+                assert_eq!(overhead.len(), 4);
+                assert!(*fingerprints_equal, "sim and threaded diverged");
+                assert!(*provenance_records > 0, "witness run must record");
+                assert!(*witnesses_reproduce, "witness closure violated");
+                assert!(*stationary_ok, "stationary drift too high");
+                assert!(*shifted_detected, "3x shift not flagged");
+                assert!(*flight_records > 0, "crash must dump flight records");
+                // The "full" sampling mode records every sink match.
+                assert!(overhead[3].provenance_records > 0);
+                // Overhead gates are deliberately NOT asserted here: a
+                // 10-unit trace is wall-noise-dominated; the CI lane gates
+                // them on the real durations.
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+        let text = out.render();
+        assert!(text.contains("witness closure"));
+        assert!(
+            text.contains("CRASH"),
+            "timeline must show the crash:\n{text}"
+        );
+        let labels: Vec<&str> = tel.runs().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, vec!["observe/witness", "observe/crashed"]);
+        let (_, witness_run) = tel.runs().next().unwrap();
+        assert!(
+            witness_run.provenance_summary().is_some(),
+            "witness run must surface a provenance summary"
         );
     }
 

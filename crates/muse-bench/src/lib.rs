@@ -24,6 +24,7 @@
 
 pub mod experiments;
 pub mod matcher_stress;
+pub mod observe;
 pub mod runner;
 pub mod stats;
 pub mod telemetry;

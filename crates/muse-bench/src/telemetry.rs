@@ -4,13 +4,18 @@
 //! them per experiment in a [`TelemetryCollector`] (which also merges every
 //! run's registry into one experiment-level registry, the source of the
 //! end-of-experiment wall-time/peak-live summary line) and a
-//! [`TelemetryOutput`] writes three artifacts into the chosen directory:
+//! [`TelemetryOutput`] writes four artifacts into the chosen directory:
 //!
 //! * `telemetry.json` — per-experiment aggregated registry snapshots,
-//!   per-run registry/task sections, and histogram-vs-exact latency checks;
+//!   per-run registry/task/discrimination/recovery/provenance sections,
+//!   and histogram-vs-exact latency checks;
 //! * `series.jsonl` — every buffered per-task series sample, one JSON
 //!   object per line, tagged with its experiment and run;
-//! * `trace.jsonl` — the bounded lineage trace rings, tagged likewise.
+//! * `trace.jsonl` — the bounded lineage trace rings, tagged likewise;
+//! * `provenance.jsonl` — every retained [`ProvenanceRecord`], tagged
+//!   likewise (empty unless a run sampled provenance).
+//!
+//! [`ProvenanceRecord`]: muse_telemetry::ProvenanceRecord
 
 use muse_runtime::metrics::Metrics;
 use muse_runtime::telemetry::{names, RunTelemetry, TelemetrySpec};
@@ -164,6 +169,16 @@ impl TelemetryCollector {
                             ("dropped", run.trace.dropped().to_value()),
                         ]),
                     ),
+                    (
+                        "provenance",
+                        obj(vec![
+                            ("len", (run.provenance.len() as u64).to_value()),
+                            ("dropped", run.provenance.dropped().to_value()),
+                            ("summary", run.provenance_summary().to_value()),
+                        ]),
+                    ),
+                    ("discrimination", run.discrimination_summary().to_value()),
+                    ("recovery", run.recovery_summary().to_value()),
                 ])
             })
             .collect();
@@ -192,6 +207,7 @@ pub struct TelemetryOutput {
     experiments: Vec<Value>,
     series: String,
     trace: String,
+    provenance: String,
 }
 
 impl TelemetryOutput {
@@ -212,11 +228,17 @@ impl TelemetryOutput {
                 self.trace.push_str(&tagged_line(experiment, label, rec));
                 self.trace.push('\n');
             }
+            for rec in run.provenance.records() {
+                self.provenance
+                    .push_str(&tagged_line(experiment, label, rec));
+                self.provenance.push('\n');
+            }
         }
     }
 
-    /// Writes `telemetry.json`, `series.jsonl`, and `trace.jsonl` into
-    /// `dir` (created if missing). Returns the written paths.
+    /// Writes `telemetry.json`, `series.jsonl`, `trace.jsonl`, and
+    /// `provenance.jsonl` into `dir` (created if missing). Returns the
+    /// written paths.
     pub fn write(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
         std::fs::create_dir_all(dir)?;
         let doc = obj(vec![(
@@ -231,7 +253,9 @@ impl TelemetryOutput {
         std::fs::write(&series_path, &self.series)?;
         let trace_path = dir.join("trace.jsonl");
         std::fs::write(&trace_path, &self.trace)?;
-        Ok(vec![json_path, series_path, trace_path])
+        let prov_path = dir.join("provenance.jsonl");
+        std::fs::write(&prov_path, &self.provenance)?;
+        Ok(vec![json_path, series_path, trace_path, prov_path])
     }
 }
 

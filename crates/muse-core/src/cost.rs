@@ -67,6 +67,23 @@ pub fn primitive_rate_sum(prims: PrimSet, query: &Query, network: &Network) -> f
     prims.iter().map(|p| network.rate(query.prim_type(p))).sum()
 }
 
+/// Symmetric relative divergence between a modeled and an observed rate:
+/// `|observed − modeled| / max(modeled, observed)`, in `[0, 1]`.
+///
+/// This is the per-vertex score of the live drift monitor. Symmetry (the
+/// larger rate in the denominator) keeps over- and under-estimation
+/// comparable, and bounds the score so per-deployment aggregates are
+/// rate-weighted means rather than unbounded ratios. Two zero rates agree
+/// perfectly and score 0.
+pub fn relative_drift(modeled: f64, observed: f64) -> f64 {
+    let denom = modeled.max(observed);
+    if denom <= 0.0 {
+        0.0
+    } else {
+        (observed - modeled).abs() / denom
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,5 +224,17 @@ mod tests {
         .unwrap();
         let s = primitive_rate_sum(q.prims(), &q, &network());
         assert_eq!(s, 35.0);
+    }
+
+    #[test]
+    fn relative_drift_is_symmetric_and_bounded() {
+        assert_eq!(relative_drift(0.0, 0.0), 0.0);
+        assert_eq!(relative_drift(10.0, 10.0), 0.0);
+        // 3× shift in either direction scores the same 2/3.
+        assert!((relative_drift(1.0, 3.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((relative_drift(3.0, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+        // A vanished (or phantom) stream maxes out at 1.
+        assert_eq!(relative_drift(5.0, 0.0), 1.0);
+        assert_eq!(relative_drift(0.0, 5.0), 1.0);
     }
 }

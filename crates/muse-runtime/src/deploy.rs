@@ -171,6 +171,12 @@ pub struct TaskSpec {
     pub prims: PrimSet,
     /// `true` if the task hosts the full query (a sink).
     pub is_sink: bool,
+    /// The §4.4 modeled output rate `r̂(p) = σ(p) · r̂(root(p))` of the
+    /// hosted projection, in matches per network rate unit — the reference
+    /// the live cost-model drift monitor compares observed rates against.
+    /// Derived from the network and excluded from the deployment
+    /// fingerprint.
+    pub modeled_rate: f64,
     /// The task's role.
     pub kind: TaskKind,
 }
@@ -404,6 +410,7 @@ impl Deployment {
                 query_idx,
                 prims: proj.prims,
                 is_sink,
+                modeled_rate: muse_core::cost::projection_output_rate(proj, query, ctx.network),
                 kind,
             });
         }

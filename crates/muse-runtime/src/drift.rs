@@ -1,0 +1,233 @@
+//! Live cost-model drift monitor.
+//!
+//! The §4.4 cost model ([`muse_core::cost`]) predicts every MuSE-graph
+//! vertex's output rate from the network's event generation rates; the
+//! placement decisions in `muse-core::algorithms` are only as good as
+//! those predictions. This module closes the loop at runtime: the
+//! executors feed each task's emitted matches into per-task
+//! [`RateBank`] estimators (event-time windows, shard-mergeable), and
+//! [`CostDrift::compute`] re-evaluates the model against the observed
+//! rates, scoring modeled-vs-observed divergence per vertex and for the
+//! deployment as a whole.
+//!
+//! Unit conversion: modeled rates are *matches per network rate unit*
+//! (the unit [`muse_core::network::Network::rate`] is expressed in),
+//! while observed rates are *matches per virtual tick*. A trace generated
+//! by `muse-sim` with `rate_scale` and `ticks_per_unit` maps one rate
+//! unit to `ticks_per_unit / rate_scale` ticks, so
+//! `modeled_per_tick = modeled · rate_scale / ticks_per_unit`. The
+//! model's composite rules (`SEQ` product, `AND` k·product) implicitly
+//! price combinations over a one-time-unit horizon, so modeled and
+//! observed agree on stationary Poisson input when query windows span
+//! roughly `ticks_per_unit / rate_scale` ticks — which is exactly the
+//! regime the `observe` benchmark's stationary gate sets up. A drifted
+//! workload (rates shifted off the network declaration) scores
+//! `|obs − mod| / max(mod, obs)` toward 1 regardless of units.
+
+use crate::deploy::Deployment;
+use muse_telemetry::RateBank;
+use serde::{Deserialize, Serialize};
+
+/// Weight of the newest window in [`CostDrift`]'s EWMA view.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// One vertex's modeled-vs-observed comparison. All rates are per virtual
+/// tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VertexDrift {
+    /// Deployment task index.
+    pub task: usize,
+    /// Hosting node.
+    pub node: usize,
+    /// Human-readable task label.
+    pub label: String,
+    /// The §4.4 modeled output rate, converted to per-tick.
+    pub modeled: f64,
+    /// Observed whole-run mean output rate.
+    pub observed: f64,
+    /// Observed rate over the most recent estimator windows.
+    pub recent: f64,
+    /// EWMA of per-window observed rates.
+    pub ewma: f64,
+    /// [`muse_core::cost::relative_drift`] of `modeled` vs `observed`,
+    /// in `[0, 1]`.
+    pub drift: f64,
+}
+
+/// A deployment-wide drift report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostDrift {
+    /// Per-vertex comparisons, in task order.
+    pub per_vertex: Vec<VertexDrift>,
+    /// Rate-weighted mean drift: `Σ wᵢ·driftᵢ / Σ wᵢ` with
+    /// `wᵢ = max(modeledᵢ, observedᵢ)`, so silent low-rate vertices don't
+    /// drown out the streams that carry the run. 0.0 when nothing flowed.
+    pub score: f64,
+}
+
+impl CostDrift {
+    /// Re-evaluates the cost model against the observed per-task rates.
+    ///
+    /// `ticks_per_unit` and `rate_scale` are the trace generator's unit
+    /// conversion; `duration_ticks` is the trace horizon (the observed
+    /// rate denominator, so tasks that never emitted read as rate 0
+    /// rather than "no data").
+    pub fn compute(
+        deployment: &Deployment,
+        rates: &RateBank,
+        ticks_per_unit: f64,
+        rate_scale: f64,
+        duration_ticks: u64,
+    ) -> Self {
+        let to_ticks = rate_scale / ticks_per_unit.max(f64::MIN_POSITIVE);
+        let mut per_vertex = Vec::with_capacity(deployment.tasks.len());
+        let mut weighted = 0.0;
+        let mut weight = 0.0;
+        for (i, spec) in deployment.tasks.iter().enumerate() {
+            let modeled = spec.modeled_rate * to_ticks;
+            let est = rates.get(i);
+            let observed = est.map_or(0.0, |e| e.rate_over(duration_ticks));
+            let drift = muse_core::cost::relative_drift(modeled, observed);
+            let w = modeled.max(observed);
+            weighted += w * drift;
+            weight += w;
+            per_vertex.push(VertexDrift {
+                task: i,
+                node: spec.node.index(),
+                label: deployment.task_label(i),
+                modeled,
+                observed,
+                recent: est.map_or(0.0, |e| e.recent_rate()),
+                ewma: est.map_or(0.0, |e| e.ewma_rate(EWMA_ALPHA)),
+                drift,
+            });
+        }
+        let score = if weight > 0.0 { weighted / weight } else { 0.0 };
+        Self { per_vertex, score }
+    }
+
+    /// The largest per-vertex drift (0.0 for an empty report).
+    pub fn max_drift(&self) -> f64 {
+        self.per_vertex.iter().map(|v| v.drift).fold(0.0, f64::max)
+    }
+
+    /// The `n` most-drifted vertices, worst first, ties broken toward the
+    /// higher-rate stream.
+    pub fn worst(&self, n: usize) -> Vec<&VertexDrift> {
+        let mut rows: Vec<&VertexDrift> = self.per_vertex.iter().collect();
+        rows.sort_by(|a, b| {
+            b.drift.total_cmp(&a.drift).then(
+                b.modeled
+                    .max(b.observed)
+                    .total_cmp(&a.modeled.max(a.observed)),
+            )
+        });
+        rows.truncate(n);
+        rows
+    }
+
+    /// Renders the report as an aligned table of the worst `limit`
+    /// vertices (all of them when `limit` is 0), with the aggregate score.
+    pub fn render(&self, limit: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cost-model drift: score {:.4} over {} vertices (max {:.4})\n",
+            self.score,
+            self.per_vertex.len(),
+            self.max_drift()
+        ));
+        out.push_str(&format!(
+            "{:<5} {:<5} {:<26} {:>12} {:>12} {:>12} {:>8}\n",
+            "task", "node", "label", "modeled/t", "observed/t", "recent/t", "drift"
+        ));
+        let limit = if limit == 0 {
+            self.per_vertex.len()
+        } else {
+            limit
+        };
+        for v in self.worst(limit) {
+            out.push_str(&format!(
+                "{:<5} {:<5} {:<26} {:>12.6} {:>12.6} {:>12.6} {:>8.4}\n",
+                v.task, v.node, v.label, v.modeled, v.observed, v.recent, v.drift
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_core::algorithms::amuse::{amuse, AMuseConfig};
+    use muse_core::graph::PlanContext;
+    use muse_core::network::NetworkBuilder;
+    use muse_core::query::{Pattern, Query};
+    use muse_core::types::{EventTypeId, NodeId, QueryId};
+
+    fn deployment_and_rates() -> (Deployment, RateBank) {
+        let (a, b) = (EventTypeId(0), EventTypeId(1));
+        let network = NetworkBuilder::new(2, 2)
+            .node(NodeId(0), [a])
+            .node(NodeId(1), [b])
+            .rate(a, 3.0)
+            .rate(b, 4.0)
+            .build();
+        let query = Query::build(
+            QueryId(0),
+            &Pattern::seq([Pattern::leaf(a), Pattern::leaf(b)]),
+            vec![],
+            100,
+        )
+        .unwrap();
+        let plan = amuse(&query, &network, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&query), &network, &plan.table);
+        let deployment = Deployment::new(&plan.graph, &ctx);
+        let rates = RateBank::new(100, deployment.tasks.len());
+        (deployment, rates)
+    }
+
+    #[test]
+    fn observed_matching_model_scores_zero() {
+        let (deployment, mut rates) = deployment_and_rates();
+        // ticks_per_unit 100, rate_scale 1: modeled per-tick = rate / 100.
+        // Feed each task exactly its modeled count over 10_000 ticks.
+        for (i, spec) in deployment.tasks.iter().enumerate() {
+            let n = (spec.modeled_rate / 100.0 * 10_000.0).round() as u64;
+            for k in 0..n {
+                rates.record(i, k * 10_000 / n.max(1), 1);
+            }
+        }
+        let report = CostDrift::compute(&deployment, &rates, 100.0, 1.0, 10_000);
+        assert!(report.score < 0.01, "score {}", report.score);
+        assert!(report.max_drift() < 0.01, "max {}", report.max_drift());
+        assert_eq!(report.per_vertex.len(), deployment.tasks.len());
+    }
+
+    #[test]
+    fn rate_shift_is_detected_and_rendered() {
+        let (deployment, mut rates) = deployment_and_rates();
+        // Feed 3× the modeled rate: every vertex drifts to 2/3.
+        for (i, spec) in deployment.tasks.iter().enumerate() {
+            let n = (3.0 * spec.modeled_rate / 100.0 * 10_000.0).round() as u64;
+            for k in 0..n {
+                rates.record(i, k * 10_000 / n.max(1), 1);
+            }
+        }
+        let report = CostDrift::compute(&deployment, &rates, 100.0, 1.0, 10_000);
+        assert!(report.score > 0.5, "score {}", report.score);
+        let text = report.render(3);
+        assert!(text.contains("drift"));
+        assert!(report.worst(1)[0].drift > 0.6);
+    }
+
+    #[test]
+    fn silent_run_scores_zero_but_flags_vertices() {
+        let (deployment, rates) = deployment_and_rates();
+        // Nothing observed: every modeled-positive vertex drifts to 1.0,
+        // and the weighted score reflects it (weights are the modeled
+        // rates themselves).
+        let report = CostDrift::compute(&deployment, &rates, 100.0, 1.0, 10_000);
+        assert!(report.max_drift() > 0.99);
+        assert!(report.score > 0.99);
+    }
+}

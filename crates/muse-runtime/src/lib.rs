@@ -27,6 +27,8 @@
 pub mod checkpoint;
 pub mod codec;
 pub mod deploy;
+pub mod drift;
+pub mod flight;
 pub mod matcher;
 pub mod metrics;
 pub mod sim;
@@ -34,6 +36,8 @@ pub mod telemetry;
 pub mod threaded;
 
 pub use deploy::{Deployment, Route, TaskKind, TaskSpec};
+pub use drift::{CostDrift, VertexDrift};
+pub use flight::{decode_dump, render_timeline, FlightDump, FlightRecord, FlightRing};
 pub use matcher::{Evaluator, JoinTask, Match};
 pub use metrics::Metrics;
 pub use sim::{run_simulation, SimConfig, SimExecutor, SimReport};

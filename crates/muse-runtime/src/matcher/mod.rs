@@ -229,6 +229,43 @@ pub fn nseq_violated(m: &Match, neg: &Match, first: PrimSet, last: PrimSet, quer
     true
 }
 
+/// The absence constraints a complete match of an `NSEQ` query certifies:
+/// for each `NSEQ` context fully assigned by `m`, one
+/// `(negated type, lo, hi)` triple per negated primitive, where `lo`/`hi`
+/// are the *timestamps* of the witness events bounding the forbidden
+/// interval — the same bounds [`nseq_violated`] checks, so a provenance
+/// record carrying these windows is a self-contained witness: the match is
+/// valid iff no event of the negated type (passing the linking predicates)
+/// falls strictly inside any of its windows. Empty for negation-free
+/// queries and for partial matches not covering a context.
+pub fn absence_windows(
+    m: &Match,
+    query: &Query,
+) -> Vec<(muse_core::types::EventTypeId, Timestamp, Timestamp)> {
+    let mut out = Vec::new();
+    for ctx in query.nseq_contexts() {
+        let low = m
+            .entries()
+            .iter()
+            .filter(|(p, _)| ctx.first.contains(*p))
+            .map(|(_, e)| e.trace_pos())
+            .max();
+        let high = m
+            .entries()
+            .iter()
+            .filter(|(p, _)| ctx.last.contains(*p))
+            .map(|(_, e)| e.trace_pos())
+            .min();
+        let (Some(low), Some(high)) = (low, high) else {
+            continue;
+        };
+        for p in ctx.negated.iter() {
+            out.push((query.prim_type(p), low.0, high.0));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

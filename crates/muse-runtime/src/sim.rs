@@ -239,7 +239,11 @@ impl<'a> SimExecutor<'a> {
         }
         let mut admitted = 0u64;
         for cand in candidates {
-            if !cand.admits(event) {
+            let admits = cand.admits(event);
+            if let Some(tel) = &mut self.telemetry {
+                tel.on_candidate(cand.task, admits);
+            }
+            if !admits {
                 continue;
             }
             admitted += 1;
@@ -256,6 +260,9 @@ impl<'a> SimExecutor<'a> {
             });
             if !passes {
                 continue;
+            }
+            if let Some(tel) = &mut self.telemetry {
+                tel.on_emit(task, event.time, 1);
             }
             let m = Match::single(*prim, event.clone());
             self.route(task, vec![m], event.time, event.seq);
@@ -346,14 +353,25 @@ impl<'a> SimExecutor<'a> {
             if outs.is_empty() {
                 continue;
             }
+            if let Some(tel) = &mut self.telemetry {
+                for m in &outs {
+                    tel.on_emit(item.target, m.last_time(), 1);
+                }
+            }
             if spec.is_sink {
                 // One physical sink may feed many logical queries (shared
                 // deployments): attribute each match to every subscriber so
                 // per-query match sets — and their fingerprints — are
                 // identical to independent evaluation.
-                let sink_queries = &self.deployment.sink_queries[item.target];
+                let deployment = self.deployment;
+                let sink_queries = &deployment.sink_queries[item.target];
+                let prov = self
+                    .telemetry
+                    .as_ref()
+                    .map_or(0, |tel| tel.provenance_sample());
                 for m in &outs {
                     let latency = item.time.saturating_sub(m.last_time());
+                    let mhash = if prov != 0 { match_hash(m) } else { 0 };
                     for &query_idx in sink_queries {
                         self.metrics.sink_matches += 1;
                         self.metrics.record_latency(latency);
@@ -366,6 +384,17 @@ impl<'a> SimExecutor<'a> {
                                 m.last_time(),
                                 latency,
                             );
+                            if prov != 0 {
+                                tel.on_sink_match(
+                                    item.time,
+                                    node,
+                                    item.target,
+                                    &deployment.queries[query_idx],
+                                    query_idx,
+                                    m,
+                                    mhash,
+                                );
+                            }
                         }
                         self.matches[query_idx].push(m.clone());
                     }
@@ -583,6 +612,7 @@ impl<'a> SimExecutor<'a> {
                     TaskState::Join(join) => Some(join),
                     TaskState::Source => None,
                 },
+                &tel,
             );
             tel.finish(&self.metrics, tasks)
         });

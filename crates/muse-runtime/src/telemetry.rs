@@ -12,19 +12,25 @@
 //! state and resets on restore.
 
 use crate::deploy::{Deployment, TaskKind};
-use crate::matcher::JoinTask;
+use crate::matcher::{absence_windows, JoinTask, Match};
 use crate::metrics::Metrics;
 use muse_core::event::Event;
+use muse_core::query::Query;
 pub use muse_telemetry::{
     names, ClockDomain, GaugeKind, RunTelemetry, TaskSummary, TelemetrySpec, TraceRecord,
 };
-use muse_telemetry::{CounterId, HistId, SeriesRecord};
+use muse_telemetry::{
+    sampled, AbsenceWindow, CounterId, HistId, ProvenanceRecord, SeriesRecord, WitnessEvent,
+};
 
 /// Per-run (or per-shard) collection state with hot-path metric handles.
 pub(crate) struct ExecTelemetry {
     run: RunTelemetry,
     cadence: u64,
     next_sample: u64,
+    /// Cached `run.trace.is_enabled()`: per-event hooks skip building
+    /// `TraceRecord`s entirely when the trace ring has capacity 0.
+    trace_on: bool,
     c_events: CounterId,
     c_msgs: CounterId,
     c_bytes: CounterId,
@@ -37,6 +43,16 @@ pub(crate) struct ExecTelemetry {
     /// Deliveries consumed per task since the previous sample (the
     /// threaded executor's queue-depth proxy).
     drained: Vec<u64>,
+    /// Provenance sampling divisor (0 disables witness recording).
+    prov_sample: u64,
+    /// Per-task `[considered, admitted]` candidate-projection counts for
+    /// the discrimination index (source tasks); one array per task keeps
+    /// the hot-path update to a single bounds check.
+    disc: Vec<[u64; 2]>,
+    /// Messages replayed to each task during crash recovery.
+    replayed: Vec<u64>,
+    /// Duplicate deliveries suppressed at each task after replay.
+    suppressed: Vec<u64>,
 }
 
 impl ExecTelemetry {
@@ -54,10 +70,12 @@ impl ExecTelemetry {
             ClockDomain::WallNanos => spec.series_cadence_ns,
         }
         .max(1);
+        let trace_on = run.trace.is_enabled();
         Self {
             run,
             cadence,
             next_sample: 0,
+            trace_on,
             c_events,
             c_msgs,
             c_bytes,
@@ -66,41 +84,59 @@ impl ExecTelemetry {
             h_latency,
             prev: vec![[0; 4]; num_tasks],
             drained: vec![0; num_tasks],
+            prov_sample: spec.provenance_sample,
+            disc: vec![[0; 2]; num_tasks],
+            replayed: vec![0; num_tasks],
+            suppressed: vec![0; num_tasks],
         }
     }
 
+    /// The provenance sampling divisor (0 = witness recording disabled);
+    /// lets executors skip match-hash computation when tracing is off.
+    pub fn provenance_sample(&self) -> u64 {
+        self.prov_sample
+    }
+
     /// One event accepted by the source tasks at its origin.
+    #[inline]
     pub fn on_inject(&mut self, t: u64, node: usize, task: usize, event: &Event) {
         self.run.registry.inc(self.c_events, 1);
-        self.run.trace.push(TraceRecord::EventInjected {
-            t,
-            node,
-            task,
-            event_type: event.ty.0 as u32,
-            seq: event.seq,
-        });
+        if self.trace_on {
+            self.run.trace.push(TraceRecord::EventInjected {
+                t,
+                node,
+                task,
+                event_type: event.ty.0 as u32,
+                seq: event.seq,
+            });
+        }
     }
 
     /// One match counted as crossing the network to a remote node.
+    #[inline]
     pub fn on_ship(&mut self, t: u64, from: usize, to: usize, task: usize, bytes: u64) {
         self.run.registry.inc(self.c_msgs, 1);
         self.run.registry.inc(self.c_bytes, bytes);
-        self.run.trace.push(TraceRecord::MessageShipped {
-            t,
-            from,
-            to,
-            task,
-            bytes,
-        });
+        if self.trace_on {
+            self.run.trace.push(TraceRecord::MessageShipped {
+                t,
+                from,
+                to,
+                task,
+                bytes,
+            });
+        }
     }
 
     /// One node-local (zero network cost) delivery.
+    #[inline]
     pub fn on_local(&mut self) {
         self.run.registry.inc(self.c_local, 1);
     }
 
     /// One delivery consumed by a task (feeds the queue-depth series in
     /// the threaded executor).
+    #[inline]
     pub fn on_delivery(&mut self, task: usize) {
         if task < self.drained.len() {
             self.drained[task] += 1;
@@ -108,14 +144,17 @@ impl ExecTelemetry {
     }
 
     /// A join produced a (non-sink) merged match.
+    #[inline]
     pub fn on_merge(&mut self, t: u64, node: usize, task: usize, size: usize, span: u64) {
-        self.run.trace.push(TraceRecord::MatchMerged {
-            t,
-            node,
-            task,
-            size,
-            span,
-        });
+        if self.trace_on {
+            self.run.trace.push(TraceRecord::MatchMerged {
+                t,
+                node,
+                task,
+                size,
+                span,
+            });
+        }
     }
 
     /// A complete match emitted at a sink.
@@ -130,12 +169,87 @@ impl ExecTelemetry {
     ) {
         self.run.registry.inc(self.c_sink, 1);
         self.run.registry.observe(self.h_latency, latency);
-        self.run.trace.push(TraceRecord::SinkMatch {
+        if self.trace_on {
+            self.run.trace.push(TraceRecord::SinkMatch {
+                t,
+                node,
+                task,
+                size,
+                last_time,
+            });
+        }
+    }
+
+    /// One candidate projection considered (and possibly admitted past the
+    /// discrimination predicates) for an injected event at `task`.
+    #[inline]
+    pub fn on_candidate(&mut self, task: usize, admitted: bool) {
+        if let Some(d) = self.disc.get_mut(task) {
+            d[0] += 1;
+            d[1] += admitted as u64;
+        }
+    }
+
+    /// `n` logged messages replayed to `task` during crash recovery.
+    pub fn on_replayed(&mut self, task: usize, n: u64) {
+        if task < self.replayed.len() {
+            self.replayed[task] += n;
+        }
+    }
+
+    /// One duplicate delivery suppressed at `task` after a replay.
+    pub fn on_suppressed(&mut self, task: usize) {
+        if task < self.suppressed.len() {
+            self.suppressed[task] += 1;
+        }
+    }
+
+    /// `n` matches emitted by `task` at event time `t` (virtual ticks in
+    /// both executors) — feeds the drift monitor's rate estimators.
+    #[inline]
+    pub fn on_emit(&mut self, task: usize, t: u64, n: u64) {
+        self.run.rates.record(task, t, n);
+    }
+
+    /// Records the full witness set of a sink match if its hash falls in
+    /// the deterministic provenance sample.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_sink_match(
+        &mut self,
+        t: u64,
+        node: usize,
+        task: usize,
+        query: &Query,
+        query_idx: usize,
+        m: &Match,
+        match_hash: u64,
+    ) {
+        if !sampled(self.prov_sample, match_hash) {
+            return;
+        }
+        let witness = m
+            .entries()
+            .iter()
+            .map(|(p, e)| WitnessEvent {
+                prim: p.0,
+                seq: e.seq,
+                origin: e.origin.0,
+                ty: e.ty.0,
+                t: e.time,
+            })
+            .collect();
+        let absence = absence_windows(m, query)
+            .into_iter()
+            .map(|(ty, lo, hi)| AbsenceWindow { ty: ty.0, lo, hi })
+            .collect();
+        self.run.provenance.push(ProvenanceRecord {
             t,
             node,
             task,
-            size,
-            last_time,
+            query: query_idx as u32,
+            match_hash,
+            witness,
+            absence,
         });
     }
 
@@ -271,34 +385,51 @@ impl ExecTelemetry {
 }
 
 /// Builds end-of-run [`TaskSummary`] rows for the given task indices;
-/// `join_of` resolves a task index to its live join state. Source tasks
-/// (no join state) carry no counters and are skipped, keeping the summary
-/// table to the rows that actually measure something.
+/// `join_of` resolves a task index to its live join state. Join tasks
+/// always appear; source tasks (no join state) appear only when the
+/// discrimination path measured them, so the summary stays bounded at
+/// shared-multi-query scale while still surfacing per-source candidate
+/// counters. `tel` contributes the discrimination and recovery columns.
 pub(crate) fn task_summaries<'j>(
     deployment: &Deployment,
     indices: impl Iterator<Item = usize>,
     join_of: impl Fn(usize) -> Option<&'j JoinTask>,
+    tel: &ExecTelemetry,
 ) -> Vec<TaskSummary> {
     indices
         .filter_map(|i| {
-            let join = join_of(i)?;
             let spec = &deployment.tasks[i];
+            let considered = tel.disc.get(i).map_or(0, |d| d[0]);
+            let join = join_of(i);
+            if join.is_none() && considered == 0 {
+                return None;
+            }
             let kind = match spec.kind {
                 TaskKind::Source { .. } => "source",
                 TaskKind::Join { .. } if spec.is_sink => "sink",
                 TaskKind::Join { .. } => "join",
             };
-            let s = join.stats();
+            let (inputs, probes, emitted, evictions, peak_live) = match join {
+                Some(j) => {
+                    let s = j.stats();
+                    (s.inputs, s.probes, s.emitted, s.evicted, s.peak_buffered)
+                }
+                None => (0, 0, 0, 0, 0),
+            };
             Some(TaskSummary {
                 task: i,
                 node: spec.node.index(),
                 label: deployment.task_label(i),
                 kind: kind.to_string(),
-                inputs: s.inputs,
-                probes: s.probes,
-                emitted: s.emitted,
-                evictions: s.evicted,
-                peak_live: s.peak_buffered,
+                inputs,
+                probes,
+                emitted,
+                evictions,
+                peak_live,
+                considered,
+                admitted: tel.disc.get(i).map_or(0, |d| d[1]),
+                replayed: tel.replayed.get(i).copied().unwrap_or(0),
+                suppressed: tel.suppressed.get(i).copied().unwrap_or(0),
             })
         })
         .collect()

@@ -44,6 +44,7 @@
 use crate::checkpoint::{self, CheckpointError, Snapshot};
 use crate::codec::encoded_len;
 use crate::deploy::{Deployment, TaskKind};
+use crate::flight::{FlightRecord, FlightRing};
 use crate::matcher::{JoinTask, Match};
 use crate::metrics::{Metrics, RecoveryStats};
 use crate::telemetry::{names, ClockDomain, ExecTelemetry, GaugeKind, RunTelemetry, TelemetrySpec};
@@ -160,6 +161,11 @@ pub struct ThreadedReport {
     /// [`ThreadedConfig::checkpoint`] was set. Restorable by either
     /// executor via [`crate::checkpoint`].
     pub final_snapshot: Option<Vec<u8>>,
+    /// Encoded flight-recorder dumps published by crashed shards (one per
+    /// crash; empty unless a [`FaultPlan`] fired). Decode with
+    /// [`crate::flight::decode_dump`] and pretty-print with
+    /// [`crate::flight::render_timeline`].
+    pub flight_dumps: Vec<Vec<u8>>,
 }
 
 impl ThreadedReport {
@@ -316,7 +322,13 @@ struct ResilienceShared {
     /// crash-coordination barrier, so every node reads a consistent value
     /// right after it.
     crashed_chunk: AtomicU64,
+    /// Encoded flight-recorder dump of each node, published by the crash
+    /// path alongside the recovery snapshot (empty while no crash).
+    flight_dumps: Vec<Mutex<Vec<u8>>>,
 }
+
+/// Flight-recorder records retained per shard in resilient mode.
+const FLIGHT_CAPACITY: usize = 256;
 
 /// Runs a deployment with one thread per network node.
 pub fn run_threaded(
@@ -432,6 +444,7 @@ fn run_threaded_inner(
         Arc::new(ResilienceShared {
             shards: (0..num_nodes).map(|_| Mutex::new(Vec::new())).collect(),
             crashed_chunk: AtomicU64::new(0),
+            flight_dumps: (0..num_nodes).map(|_| Mutex::new(Vec::new())).collect(),
         })
     });
     let start = Instant::now();
@@ -493,9 +506,21 @@ fn run_threaded_inner(
             merged.registry.merge(&shard.registry);
             merged.series.absorb(shard.series);
             merged.trace.absorb(shard.trace);
+            merged.provenance.absorb(shard.provenance);
+            merged.rates.merge(&shard.rates);
             merged.tasks.extend(shard.tasks);
         }
     }
+    let flight_dumps: Vec<Vec<u8>> = shared
+        .as_ref()
+        .map(|s| {
+            s.flight_dumps
+                .iter()
+                .map(|d| std::mem::take(&mut *d.lock().expect("flight dump lock")))
+                .filter(|d| !d.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
     let final_snapshot = final_state.map(|state| checkpoint::encode(&state));
     if let Some(merged) = &mut telemetry {
         merged.series.sort_by_time();
@@ -516,6 +541,7 @@ fn run_threaded_inner(
         wall_latencies_ns,
         telemetry,
         final_snapshot,
+        flight_dumps,
     }
 }
 
@@ -604,6 +630,10 @@ struct NodeRunner<'a> {
     dedup_active: bool,
     /// Wall-clock mark of the injected crash (downtime + recovery timer).
     crash_started: Option<Instant>,
+    /// Bounded black box of recent transport/checkpoint/injection steps;
+    /// recording only in resilient mode (capacity 0 otherwise), dumped by
+    /// the crash path.
+    flight: FlightRing,
 }
 
 /// First backoff sleep of a blocked fault-mode send.
@@ -691,6 +721,10 @@ fn run_node(
         }
     }
     let fault_mode = config.fault.is_some();
+    let flight = FlightRing::new(
+        node as u16,
+        if shared.is_some() { FLIGHT_CAPACITY } else { 0 },
+    );
     let mut runner = NodeRunner {
         deployment,
         node,
@@ -720,6 +754,7 @@ fn run_node(
         logs_active: false,
         dedup_active: false,
         crash_started: None,
+        flight,
     };
 
     let local_events = &events[range];
@@ -826,7 +861,7 @@ fn run_node(
         let local =
             (0..deployment.tasks.len()).filter(|&i| deployment.tasks[i].node.index() == node);
         let tasks =
-            crate::telemetry::task_summaries(deployment, local, |i| runner.joins[i].as_ref());
+            crate::telemetry::task_summaries(deployment, local, |i| runner.joins[i].as_ref(), &tel);
         tel.finish(&runner.metrics, tasks)
     });
     NodeOutcome {
@@ -869,6 +904,10 @@ impl NodeRunner<'_> {
         let bytes = checkpoint::encode(&self.build_shard(cursor));
         self.recovery.snapshots_taken += 1;
         self.recovery.snapshot_bytes += bytes.len() as u64;
+        self.flight.push(FlightRecord::Checkpoint {
+            t: self.start.elapsed().as_nanos() as u64,
+            bytes: bytes.len() as u64,
+        });
         if let Some(shared) = &self.shared {
             *shared.shards[self.node].lock().expect("shard lock") = bytes;
         }
@@ -908,8 +947,17 @@ impl NodeRunner<'_> {
         self.crashed = true;
         self.crash_started = Some(Instant::now());
         self.recovery.crashes += 1;
+        self.flight.push(FlightRecord::Crash {
+            t: self.start.elapsed().as_nanos() as u64,
+            chunk: chunk_idx,
+        });
         if let Some(shared) = &self.shared {
             shared.crashed_chunk.store(chunk_idx + 1, Ordering::Release);
+            // The black box: publish this shard's recent history next to
+            // the snapshot it will recover from.
+            *shared.flight_dumps[self.node]
+                .lock()
+                .expect("flight dump lock") = self.flight.encode();
         }
         self.backlog.clear();
         for buf in &mut self.out_bufs {
@@ -930,6 +978,9 @@ impl NodeRunner<'_> {
     /// decode the last shard, rebuild the local joins from the plan, and
     /// graft the saved dynamic state. Returns the restored event cursor.
     fn recover(&mut self) -> usize {
+        self.flight.push(FlightRecord::RecoveryStart {
+            t: self.start.elapsed().as_nanos() as u64,
+        });
         self.backlog.clear();
         while let Ok(frame) = self.channels.inbox.try_recv() {
             self.channels.depth[self.node].fetch_sub(1, Ordering::Relaxed);
@@ -979,7 +1030,12 @@ impl NodeRunner<'_> {
             .map(|j| j.last_seen())
             .max()
             .unwrap_or(0);
-        snap.cursors.get(self.node).copied().unwrap_or(0) as usize
+        let cursor = snap.cursors.get(self.node).copied().unwrap_or(0) as usize;
+        self.flight.push(FlightRecord::RecoveryDone {
+            t: self.start.elapsed().as_nanos() as u64,
+            cursor: cursor as u64,
+        });
+        cursor
     }
 
     /// Replays every message this node flushed to the crashed node during
@@ -993,7 +1049,14 @@ impl NodeRunner<'_> {
         };
         let log = std::mem::take(&mut self.send_log);
         self.recovery.replayed_messages += log.len() as u64;
+        self.flight.push(FlightRecord::Replay {
+            t: self.start.elapsed().as_nanos() as u64,
+            msgs: log.len() as u32,
+        });
         for (target, slot, m) in log {
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.on_replayed(target, 1);
+            }
             self.enqueue(dest, NodeMsg { target, slot, m });
         }
     }
@@ -1035,6 +1098,13 @@ impl NodeRunner<'_> {
     /// always arrives before its replay).
     fn ingest(&mut self, mut frame: Frame) {
         self.channels.depth[self.node].fetch_sub(1, Ordering::Relaxed);
+        if !self.flight.is_disabled() {
+            self.flight.push(FlightRecord::FrameRecv {
+                t: self.start.elapsed().as_nanos() as u64,
+                from: frame.origin as u16,
+                msgs: frame.msgs.len() as u32,
+            });
+        }
         let filtered = (self.logs_active || self.dedup_active)
             && self
                 .fault
@@ -1050,6 +1120,9 @@ impl NodeRunner<'_> {
                             self.recv_log.remove(&key);
                         }
                         self.recovery.suppressed_sends += 1;
+                        if let Some(tel) = self.telemetry.as_mut() {
+                            tel.on_suppressed(msg.target);
+                        }
                         continue;
                     }
                 }
@@ -1141,6 +1214,13 @@ impl NodeRunner<'_> {
         t.frames_sent += 1;
         t.messages_framed += msgs.len() as u64;
         t.batch_hist.record(msgs.len() as u64);
+        if !self.flight.is_disabled() {
+            self.flight.push(FlightRecord::FrameSent {
+                t: self.start.elapsed().as_nanos() as u64,
+                to: dest as u16,
+                msgs: msgs.len() as u32,
+            });
+        }
         let in_flight = self.channels.depth[dest].fetch_add(1, Ordering::Relaxed) + 1;
         if in_flight > self.metrics.transport.peak_queue_depth {
             self.metrics.transport.peak_queue_depth = in_flight;
@@ -1224,6 +1304,14 @@ impl NodeRunner<'_> {
         self.metrics.record_processed(self.node);
         self.injected_local += 1;
         let now = self.start.elapsed().as_nanos() as u64;
+        if !self.flight.is_disabled() {
+            self.flight.push(FlightRecord::Inject {
+                t: now,
+                seq: event.seq,
+                ty: event.ty.0,
+                time: event.time,
+            });
+        }
         if let Some(slot) = self.inject_ns.get(event.seq as usize) {
             // First write wins (0 means "never injected"), so a crash
             // replay keeps the original mark and a recovered match's
@@ -1237,7 +1325,11 @@ impl NodeRunner<'_> {
         for cand in candidates {
             // Discrimination index: skip candidates whose predicate bands
             // already reject the event, before any predicate runs.
-            if !cand.admits(event) {
+            let admits = cand.admits(event);
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.on_candidate(cand.task, admits);
+            }
+            if !admits {
                 continue;
             }
             admitted += 1;
@@ -1253,6 +1345,9 @@ impl NodeRunner<'_> {
                 query.predicates()[pi].evaluate(|p| (p == *prim).then_some(event)) == Some(true)
             });
             if passes {
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.on_emit(task, event.time, 1);
+                }
                 let m = Match::single(*prim, event.clone());
                 self.route(task, vec![m]);
             }
@@ -1294,15 +1389,30 @@ impl NodeRunner<'_> {
         if outs.is_empty() {
             return;
         }
+        if let Some(tel) = self.telemetry.as_mut() {
+            for m in &outs {
+                tel.on_emit(task, m.last_time(), 1);
+            }
+        }
         let spec = &self.deployment.tasks[task];
         if spec.is_sink {
             // One physical sink may feed many logical queries (shared
             // deployments): attribute each match — and its latency
             // bookkeeping — to every subscriber so per-query match sets
             // are identical to independent evaluation.
-            let sink_queries = &self.deployment.sink_queries[task];
+            let deployment = self.deployment;
+            let sink_queries = &deployment.sink_queries[task];
             let now = self.start.elapsed().as_nanos() as u64;
+            let prov = self
+                .telemetry
+                .as_ref()
+                .map_or(0, |tel| tel.provenance_sample());
             for m in &outs {
+                let mhash = if prov != 0 {
+                    crate::sim::match_hash_for_mux(m)
+                } else {
+                    0
+                };
                 let newest = m
                     .entries()
                     .iter()
@@ -1329,6 +1439,19 @@ impl NodeRunner<'_> {
                         self.wall_latencies_ns.push(latency);
                         if let Some(tel) = self.telemetry.as_mut() {
                             tel.on_sink(now, self.node, task, m.len(), m.last_time(), latency);
+                        }
+                    }
+                    if prov != 0 {
+                        if let Some(tel) = self.telemetry.as_mut() {
+                            tel.on_sink_match(
+                                now,
+                                self.node,
+                                task,
+                                &deployment.queries[query_idx],
+                                query_idx,
+                                m,
+                                mhash,
+                            );
                         }
                     }
                     self.matches[query_idx].push(m.clone());
@@ -1695,6 +1818,7 @@ mod tests {
             wall_latencies_ns: vec![50, 10, 30, 20, 40],
             telemetry: None,
             final_snapshot: None,
+            flight_dumps: vec![],
         };
         assert_eq!(report.latency_summary_ns(), Some([10, 20, 30, 40, 50]));
         let empty = ThreadedReport {

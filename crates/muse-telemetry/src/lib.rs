@@ -11,6 +11,10 @@
 //!   lag, live partial matches, per-interval join activity).
 //! * [`trace`] — a bounded ring of structured lineage records with JSONL
 //!   export.
+//! * [`lineage`] — sampled causal provenance: self-contained witness
+//!   records explaining a sink match back to its source events.
+//! * [`rate`] — windowed per-task output-rate estimators feeding the
+//!   cost-model drift monitor.
 //!
 //! Executors accept an optional [`TelemetrySpec`] and, when present,
 //! attach a [`RunTelemetry`] to their reports; the bench harness writes
@@ -22,11 +26,15 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod hist;
+pub mod lineage;
+pub mod rate;
 pub mod registry;
 pub mod series;
 pub mod trace;
 
 pub use hist::{HistSnapshot, LogHistogram};
+pub use lineage::{sampled, AbsenceWindow, ProvenanceRecord, ProvenanceRing, WitnessEvent};
+pub use rate::{RateBank, RateEstimator};
 pub use registry::{CounterId, GaugeId, GaugeKind, HistId, Registry, Snapshot};
 pub use series::{ClockDomain, SeriesBuffer, SeriesRecord};
 pub use trace::{TraceRecord, TraceRing};
@@ -47,6 +55,12 @@ pub struct TelemetrySpec {
     pub series_capacity: usize,
     /// Maximum buffered trace records per run (0 disables tracing).
     pub trace_capacity: usize,
+    /// Provenance sampling divisor: 0 disables causal tracing, 1 records
+    /// every sink match, `n` records the deterministic 1-in-`n` sample
+    /// selected by match hash (see [`lineage::sampled`]).
+    pub provenance_sample: u64,
+    /// Maximum buffered provenance records per run.
+    pub provenance_capacity: usize,
 }
 
 /// Wire-side shape of [`TelemetrySpec`] with every field optional.
@@ -60,6 +74,10 @@ struct TelemetrySpecRepr {
     series_capacity: Option<usize>,
     #[serde(default)]
     trace_capacity: Option<usize>,
+    #[serde(default)]
+    provenance_sample: Option<u64>,
+    #[serde(default)]
+    provenance_capacity: Option<usize>,
 }
 
 impl From<TelemetrySpecRepr> for TelemetrySpec {
@@ -69,6 +87,12 @@ impl From<TelemetrySpecRepr> for TelemetrySpec {
             series_cadence_ns: r.series_cadence_ns.unwrap_or_else(default_cadence_ns),
             series_capacity: r.series_capacity.unwrap_or_else(default_series_capacity),
             trace_capacity: r.trace_capacity.unwrap_or_else(default_trace_capacity),
+            provenance_sample: r
+                .provenance_sample
+                .unwrap_or_else(default_provenance_sample),
+            provenance_capacity: r
+                .provenance_capacity
+                .unwrap_or_else(default_provenance_capacity),
         }
     }
 }
@@ -89,6 +113,14 @@ fn default_trace_capacity() -> usize {
     4096
 }
 
+fn default_provenance_sample() -> u64 {
+    0
+}
+
+fn default_provenance_capacity() -> usize {
+    4096
+}
+
 impl Default for TelemetrySpec {
     fn default() -> Self {
         Self {
@@ -96,6 +128,25 @@ impl Default for TelemetrySpec {
             series_cadence_ns: default_cadence_ns(),
             series_capacity: default_series_capacity(),
             trace_capacity: default_trace_capacity(),
+            provenance_sample: default_provenance_sample(),
+            provenance_capacity: default_provenance_capacity(),
+        }
+    }
+}
+
+impl TelemetrySpec {
+    /// A spec that collects *only* provenance records at the given
+    /// sampling divisor: series sampling and the lifecycle trace ring are
+    /// disabled, so the overhead benchmarks isolate the cost of causal
+    /// tracing itself.
+    pub fn provenance_only(sample: u64) -> Self {
+        Self {
+            series_cadence_ticks: u64::MAX,
+            series_cadence_ns: u64::MAX,
+            series_capacity: 0,
+            trace_capacity: 0,
+            provenance_sample: sample,
+            provenance_capacity: default_provenance_capacity(),
         }
     }
 }
@@ -121,6 +172,17 @@ pub struct TaskSummary {
     pub evictions: u64,
     /// Peak concurrently-buffered partial matches observed.
     pub peak_live: u64,
+    /// Discrimination index: candidate lookups this source task appeared
+    /// in (0 for join/sink tasks).
+    pub considered: u64,
+    /// Discrimination index: lookups admitted past the predicate bands.
+    pub admitted: u64,
+    /// Crash recovery: messages re-delivered to this task from peer
+    /// replay logs (threaded fault mode only).
+    pub replayed: u64,
+    /// Crash recovery: duplicate replay deliveries to this task
+    /// suppressed by the receive-log filter (threaded fault mode only).
+    pub suppressed: u64,
 }
 
 /// Everything telemetry collected over one executor run.
@@ -134,6 +196,11 @@ pub struct RunTelemetry {
     pub series: SeriesBuffer,
     /// Lineage trace ring.
     pub trace: TraceRing,
+    /// Sampled causal provenance records (witness sets of sink matches).
+    pub provenance: ProvenanceRing,
+    /// Per-task output-rate estimators (event-time windows), feeding the
+    /// cost-model drift monitor.
+    pub rates: RateBank,
     /// End-of-run per-task totals.
     pub tasks: Vec<TaskSummary>,
 }
@@ -146,6 +213,12 @@ impl RunTelemetry {
             registry: Registry::new(),
             series: SeriesBuffer::new(spec.series_capacity),
             trace: TraceRing::new(spec.trace_capacity),
+            provenance: ProvenanceRing::new(if spec.provenance_sample == 0 {
+                0
+            } else {
+                spec.provenance_capacity
+            }),
+            rates: RateBank::new(spec.series_cadence_ticks, 0),
             tasks: Vec::new(),
         }
     }
@@ -154,12 +227,24 @@ impl RunTelemetry {
     pub fn task_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<5} {:<5} {:<26} {:<7} {:>10} {:>10} {:>9} {:>9} {:>9}\n",
-            "task", "node", "label", "kind", "inputs", "probes", "emitted", "evicted", "peak-live"
+            "{:<5} {:<5} {:<26} {:<7} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}\n",
+            "task",
+            "node",
+            "label",
+            "kind",
+            "inputs",
+            "probes",
+            "emitted",
+            "evicted",
+            "peak-live",
+            "cands",
+            "admitted",
+            "replayed",
+            "suppr"
         ));
         for t in &self.tasks {
             out.push_str(&format!(
-                "{:<5} {:<5} {:<26} {:<7} {:>10} {:>10} {:>9} {:>9} {:>9}\n",
+                "{:<5} {:<5} {:<26} {:<7} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}\n",
                 t.task,
                 t.node,
                 t.label,
@@ -168,7 +253,11 @@ impl RunTelemetry {
                 t.probes,
                 t.emitted,
                 t.evictions,
-                t.peak_live
+                t.peak_live,
+                t.considered,
+                t.admitted,
+                t.replayed,
+                t.suppressed
             ));
         }
         out
@@ -243,6 +332,45 @@ impl RunTelemetry {
             ));
         }
         Some(out)
+    }
+
+    /// Renders the crash-recovery counters as a one-paragraph summary, or
+    /// `None` when the run neither checkpointed nor crashed (fault-free
+    /// runs and the simulator without snapshots).
+    pub fn recovery_summary(&self) -> Option<String> {
+        let snapshots = self.registry.counter_value(names::RECOVERY_SNAPSHOTS)?;
+        let counter = |name| self.registry.counter_value(name).unwrap_or(0);
+        let crashes = counter(names::RECOVERY_CRASHES);
+        if snapshots == 0 && crashes == 0 {
+            return None;
+        }
+        let snapshot_bytes = counter(names::RECOVERY_SNAPSHOT_BYTES);
+        let replayed = counter(names::RECOVERY_REPLAYED);
+        let suppressed = counter(names::RECOVERY_SUPPRESSED);
+        let retries = counter(names::RECOVERY_SEND_RETRIES);
+        let backoff_ms = counter(names::RECOVERY_BACKOFF_NS) as f64 / 1e6;
+        let recovery_ms = counter(names::RECOVERY_NS) as f64 / 1e6;
+        Some(format!(
+            "crashes {crashes}  snapshots {snapshots} ({snapshot_bytes} B)  \
+             replayed {replayed}  suppressed {suppressed}  send-retries {retries}  \
+             backoff {backoff_ms:.2} ms  recovery {recovery_ms:.2} ms\n"
+        ))
+    }
+
+    /// Renders the causal-provenance collection state as a one-line
+    /// summary, or `None` when tracing was disabled and nothing was
+    /// sampled.
+    pub fn provenance_summary(&self) -> Option<String> {
+        if self.provenance.is_empty() && self.provenance.dropped() == 0 {
+            return None;
+        }
+        let held = self.provenance.len();
+        let dropped = self.provenance.dropped();
+        let witnesses: usize = self.provenance.records().map(|r| r.witness.len()).sum();
+        let mean_witness = witnesses as f64 / held.max(1) as f64;
+        Some(format!(
+            "records {held}  dropped {dropped}  mean-witness {mean_witness:.1}\n"
+        ))
     }
 }
 
@@ -354,10 +482,51 @@ mod tests {
             emitted: 5,
             evictions: 2,
             peak_live: 7,
+            considered: 0,
+            admitted: 0,
+            replayed: 0,
+            suppressed: 0,
         });
         let table = rt.task_table();
         assert!(table.contains("J0@N1"));
         assert!(table.contains("peak-live"));
+        assert!(table.contains("replayed"));
         assert_eq!(table.lines().count(), 2);
+    }
+
+    #[test]
+    fn provenance_only_spec_isolates_tracing() {
+        let spec = TelemetrySpec::provenance_only(64);
+        assert_eq!(spec.provenance_sample, 64);
+        assert_eq!(spec.series_capacity, 0);
+        assert_eq!(spec.trace_capacity, 0);
+        let rt = RunTelemetry::new(ClockDomain::VirtualTicks, &spec);
+        assert_eq!(rt.provenance.dropped(), 0);
+        // A zero sample allocates no provenance ring at all.
+        let off = RunTelemetry::new(ClockDomain::VirtualTicks, &TelemetrySpec::default());
+        let mut ring = off.provenance;
+        ring.push(ProvenanceRecord {
+            t: 0,
+            node: 0,
+            task: 0,
+            query: 0,
+            match_hash: 0,
+            witness: vec![],
+            absence: vec![],
+        });
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn recovery_summary_gated_on_counters() {
+        let mut rt = RunTelemetry::new(ClockDomain::WallNanos, &TelemetrySpec::default());
+        assert!(rt.recovery_summary().is_none());
+        let c = rt.registry.counter(names::RECOVERY_SNAPSHOTS);
+        rt.registry.inc(c, 4);
+        let c = rt.registry.counter(names::RECOVERY_CRASHES);
+        rt.registry.inc(c, 1);
+        let text = rt.recovery_summary().expect("counters present");
+        assert!(text.contains("crashes 1"));
+        assert!(text.contains("snapshots 4"));
     }
 }

@@ -101,7 +101,17 @@ impl TraceRing {
         }
     }
 
+    /// True when the ring records at all (capacity > 0). Hot paths check
+    /// this before constructing a [`TraceRecord`]: the capacity-0 reject
+    /// inside [`Self::push`] still pays for building the record, which is
+    /// measurable at per-event call rates.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity != 0
+    }
+
     /// Appends a record, evicting the oldest if full.
+    #[inline]
     pub fn push(&mut self, rec: TraceRecord) {
         if self.capacity == 0 {
             self.dropped += 1;

@@ -2,15 +2,19 @@
 # Tier-1 CI gate: release build, workspace test suite, lint gates, static
 # verification of the example queries/plans, the loom concurrency lane, and
 # smoke runs of the matcher join bench, the executor transport bench, the
-# fault-recovery bench, and the shared multi-query bench (emitting
-# BENCH_matcher.json, BENCH_executor.json, BENCH_faults.json, and
-# BENCH_multiquery.json at the repo root plus telemetry exports under
-# out/). The executor smoke additionally gates on the batched and naive
-# transports producing identical match sets; the fault smoke gates on the
-# crashed run reproducing the uninterrupted run's match sets; the
-# multiquery smoke gates on shared-plan evaluation reproducing independent
-# per-query evaluation and on sublinear wall-time growth in the query
-# count. Exits nonzero on the first failure.
+# fault-recovery bench, the shared multi-query bench, and the
+# observability bench (emitting BENCH_matcher.json, BENCH_executor.json,
+# BENCH_faults.json, BENCH_multiquery.json, and BENCH_observe.json at the
+# repo root plus telemetry exports under out/). The executor smoke
+# additionally gates on the batched and naive transports producing
+# identical match sets; the fault smoke gates on the crashed run
+# reproducing the uninterrupted run's match sets; the multiquery smoke
+# gates on shared-plan evaluation reproducing independent per-query
+# evaluation and on sublinear wall-time growth in the query count; the
+# observe smoke gates on provenance-on/off match parity, witness-closure
+# reproduction (including one `harness explain` invocation), near-zero
+# cost-model drift on a stationary trace, and drift detection on a
+# rate-shifted trace. Exits nonzero on the first failure.
 #
 # Opt-in slow lanes (need a nightly toolchain, skipped by default so the
 # tier-1 gate stays fast):
@@ -97,5 +101,38 @@ grep -q '"sublinear": true' BENCH_multiquery.json || {
     echo "ci.sh: multiquery smoke: wall time grew superlinearly in query count" >&2
     exit 1
 }
+
+echo "== smoke: observability bench (with telemetry) =="
+cargo run -p muse-bench --release --bin harness -- observe --quick --out . --telemetry out
+grep -q '"fingerprints_equal": true' BENCH_observe.json || {
+    echo "ci.sh: observe smoke: provenance tracing perturbed the match sets" >&2
+    exit 1
+}
+grep -q '"witnesses_reproduce": true' BENCH_observe.json || {
+    echo "ci.sh: observe smoke: a witness replay failed to reproduce its match" >&2
+    exit 1
+}
+grep -q '"stationary_ok": true' BENCH_observe.json || {
+    echo "ci.sh: observe smoke: stationary workload drifted from the cost model" >&2
+    exit 1
+}
+grep -q '"shifted_detected": true' BENCH_observe.json || {
+    echo "ci.sh: observe smoke: 3x rate shift not flagged by the drift monitor" >&2
+    exit 1
+}
+# Overhead gates (disabled < 5%, 1-in-64 sampling < 15%) are computed in
+# the same run; surface them without failing CI on wall-clock noise alone
+# unless the disabled path regressed.
+grep -q '"disabled_ok": true' BENCH_observe.json || {
+    echo "ci.sh: observe smoke: disabled provenance costs >= 5% on transport_stress" >&2
+    exit 1
+}
+grep -q '"sampled_ok": true' BENCH_observe.json || {
+    echo "ci.sh: observe smoke: 1-in-64 provenance sampling costs >= 15%" >&2
+    exit 1
+}
+
+echo "== smoke: harness explain (witness-closure replay) =="
+cargo run -p muse-bench --release --bin harness -- explain all --quick
 
 echo "ci.sh: all checks passed"
