@@ -15,8 +15,11 @@
 //! transport on the threaded executor; written as `BENCH_executor.json`),
 //! `faults` (crash recovery on the threaded executor; written as
 //! `BENCH_faults.json`), `multiquery` (shared evaluation at scale;
-//! `BENCH_multiquery.json`), and `observe` (provenance overhead, witness
-//! closure, cost-model drift, flight recorder; `BENCH_observe.json`).
+//! `BENCH_multiquery.json`), `observe` (provenance overhead, witness
+//! closure, cost-model drift, flight recorder; `BENCH_observe.json`), and
+//! `migrate` (live-migration soundness gate: certified plan pairs restore
+//! fingerprint-identical, rejected pairs fail the restore;
+//! `BENCH_migrate.json`).
 //!
 //! `explain` re-runs the observe witness workload with full provenance
 //! sampling and replays one recorded match (by its hex hash, as printed
@@ -94,7 +97,8 @@ fn main() -> ExitCode {
                 || id == "executor"
                 || id == "faults"
                 || id == "multiquery"
-                || id == "observe" =>
+                || id == "observe"
+                || id == "migrate" =>
             {
                 ids.push(id.to_string())
             }
@@ -160,6 +164,7 @@ fn main() -> ExitCode {
                 "faults" => "BENCH_faults.json".to_string(),
                 "multiquery" => "BENCH_multiquery.json".to_string(),
                 "observe" => "BENCH_observe.json".to_string(),
+                "migrate" => "BENCH_migrate.json".to_string(),
                 _ => format!("{id}.json"),
             };
             let path = dir.join(file);

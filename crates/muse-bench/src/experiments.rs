@@ -198,6 +198,45 @@ pub enum ExperimentOutput {
         /// Pretty-printed tail of the crashed node's flight timeline.
         flight_timeline: String,
     },
+    /// Live-migration soundness gate (written as `BENCH_migrate.json`; not
+    /// a paper artifact): a run under plan A is snapshotted mid-trace, the
+    /// A→B plan diff is certified by `muse-verify`'s migration pass, and
+    /// the mapped snapshot resumes under B in both executors with match
+    /// sets checked against an uninterrupted run. The narrowed-window pair
+    /// must be refused by the verifier AND fail the mapped restore —
+    /// `scripts/ci.sh` greps both flags.
+    MigrateBench {
+        /// Experiment id ("migrate").
+        id: String,
+        /// Events injected per run.
+        events: u64,
+        /// Old plan's window (ticks); the identity pair keeps it.
+        window_old: u64,
+        /// Widened window of the certified-with-replay pair (ticks).
+        window_wide: u64,
+        /// Narrowed window of the refused pair (ticks).
+        window_narrow: u64,
+        /// Tasks matched across the identity migration's plan diff.
+        matched_tasks: usize,
+        /// Verifier certified the identity migration with no replay.
+        identity_certified: bool,
+        /// Simulator resume matched the uninterrupted run's match sets.
+        sim_identical: bool,
+        /// Threaded resume matched the uninterrupted run's match sets.
+        threaded_identical: bool,
+        /// Certified migration restored fingerprint-identical in BOTH
+        /// executors (the CI gate).
+        certified_identical: bool,
+        /// Widened pair certified with a replay obligation and restored.
+        widened_certified_with_replay: bool,
+        /// Verifier refused the narrowed pair.
+        narrow_refused: bool,
+        /// Mapped restore of the refused pair failed with
+        /// `MigrationRejected` (the CI gate).
+        rejected_fails: bool,
+        /// Complete matches delivered by the migrated simulator run.
+        migrated_matches: u64,
+    },
 }
 
 /// One telemetry mode's wall-clock measurement in the observe bench.
@@ -417,6 +456,7 @@ pub fn run_experiment_telemetry(
         "faults" => faults_bench(id, settings, tel),
         "multiquery" => multiquery_bench(id, settings, tel),
         "observe" => observe_bench(id, settings, tel),
+        "migrate" => migrate_bench(id, settings, tel),
         other => panic!("unknown experiment '{other}'; see `all_experiments()`"),
     }
 }
@@ -1729,6 +1769,189 @@ fn observe_bench_sized(
     }
 }
 
+/// The `migrate` experiment (`BENCH_migrate.json`): the live-migration
+/// soundness gate over the Fig. 1 `SEQ(AND(t0, t1), t2)` workload, whose
+/// partial matches cross the network. A simulator run under plan A is
+/// snapshotted mid-trace; the certified identity migration must resume
+/// fingerprint-identical to an uninterrupted run in the simulator AND the
+/// threaded executor; the certified widened-window pair must restore with
+/// its replay obligation; and the narrowed-window pair must be refused by
+/// the verifier and fail [`checkpoint::map_snapshot`]. `scripts/ci.sh`
+/// greps the `certified_identical` and `rejected_fails` flags.
+fn migrate_bench(
+    id: &str,
+    settings: &SweepSettings,
+    _tel: Option<&mut TelemetryCollector>,
+) -> ExperimentOutput {
+    use muse_core::catalog::Catalog;
+    use muse_core::event::Timestamp;
+    use muse_core::graph::MuseGraph;
+    use muse_core::query::{Pattern, Predicate, Query};
+    use muse_core::types::{EventTypeId, NodeId};
+    use muse_runtime::checkpoint::{self, CheckpointError};
+    use muse_runtime::matcher::Match;
+    use muse_runtime::sim::SimExecutor;
+    use muse_runtime::threaded::run_threaded_resumed;
+    use muse_verify::verify_migration;
+    use std::collections::BTreeSet;
+
+    const WINDOW_OLD: Timestamp = 5_000;
+    const WINDOW_WIDE: Timestamp = 8_000;
+    const WINDOW_NARROW: Timestamp = 2_000;
+
+    let t = EventTypeId;
+    let network = muse_core::network::NetworkBuilder::new(3, 3)
+        .node(NodeId(0), [t(0), t(2)])
+        .node(NodeId(1), [t(0), t(1)])
+        .node(NodeId(2), [t(1)])
+        .rate(t(0), 20.0)
+        .rate(t(1), 20.0)
+        .rate(t(2), 1.0)
+        .build();
+    let events = muse_sim::traces::generate_traces(
+        &network,
+        &muse_sim::traces::TraceConfig {
+            duration: 30.0,
+            ticks_per_unit: 100.0,
+            rate_scale: 0.05,
+            key_domain: 0,
+            band_domain: 0,
+            seed: settings.seed,
+        },
+    );
+    let half = events.len() / 2;
+
+    struct Placed {
+        queries: Vec<Query>,
+        table: ProjectionTable,
+        graph: MuseGraph,
+        deployment: Deployment,
+    }
+    let place = |window: Timestamp| -> Placed {
+        let pattern = Pattern::seq([
+            Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+            Pattern::leaf(t(2)),
+        ]);
+        let workload = Workload::from_patterns(
+            Catalog::with_anonymous_types(3),
+            [(pattern, Vec::<Predicate>::new(), window)],
+        )
+        .expect("pattern builds a workload");
+        let plan = amuse_workload(&workload, &network, &AMuseConfig::default())
+            .expect("aMuSE plans workload");
+        let queries = workload.queries().to_vec();
+        let ctx = PlanContext::new(&queries, &network, &plan.table);
+        let deployment = Deployment::new(&plan.merged, &ctx);
+        Placed {
+            queries,
+            table: plan.table,
+            graph: plan.merged,
+            deployment,
+        }
+    };
+    let certify = |a: &Placed, b: &Placed| {
+        let actx = PlanContext::new(&a.queries, &network, &a.table);
+        let bctx = PlanContext::new(&b.queries, &network, &b.table);
+        verify_migration(&a.graph, &actx, &b.graph, &bctx, None)
+    };
+    let fps = |matches: &[Match]| -> BTreeSet<Vec<u64>> {
+        matches.iter().map(Match::fingerprint).collect()
+    };
+
+    let a = place(WINDOW_OLD);
+    let b = place(WINDOW_OLD);
+    let wide = place(WINDOW_WIDE);
+    let narrow = place(WINDOW_NARROW);
+
+    // One mid-trace snapshot under plan A feeds every direction below.
+    let mut exec = SimExecutor::new(&a.deployment, SimConfig::default());
+    exec.process_trace(&events[..half]);
+    let bytes = checkpoint::snapshot(&exec).expect("sim snapshots");
+
+    // Certified identity migration: resume in both executors and compare
+    // against uninterrupted runs under the new plan.
+    let (_, plan_ab) = certify(&a, &b);
+    let identity_certified = plan_ab.safe && !plan_ab.needs_replay;
+    let matched_tasks = plan_ab.matched;
+    let (sim_identical, migrated_matches) = if plan_ab.safe {
+        let mut resumed = checkpoint::restore_mapped(
+            &a.deployment,
+            &b.deployment,
+            &plan_ab,
+            SimConfig::default(),
+            &bytes,
+        )
+        .expect("certified migration restores");
+        resumed.process_trace(&events[half..]);
+        let migrated = resumed.finish();
+        let mut uninterrupted = SimExecutor::new(&b.deployment, SimConfig::default());
+        uninterrupted.process_trace(&events);
+        let baseline = uninterrupted.finish();
+        let identical = !baseline.matches[0].is_empty()
+            && fps(&migrated.matches[0]) == fps(&baseline.matches[0]);
+        (identical, migrated.metrics.sink_matches)
+    } else {
+        (false, 0)
+    };
+    let tcfg = ThreadedConfig::default();
+    let threaded_identical = plan_ab.safe && {
+        let mapped =
+            checkpoint::map_snapshot(&a.deployment, &b.deployment, &plan_ab, tcfg.slack, &bytes)
+                .expect("certified migration maps");
+        let mapped_bytes = checkpoint::encode(&mapped);
+        let migrated = run_threaded_resumed(&b.deployment, &events, &tcfg, &mapped_bytes)
+            .expect("mapped snapshot resumes the threaded executor");
+        let baseline = run_threaded(&b.deployment, &events, &tcfg);
+        !baseline.matches[0].is_empty() && fps(&migrated.matches[0]) == fps(&baseline.matches[0])
+    };
+    let certified_identical = identity_certified && sim_identical && threaded_identical;
+
+    // Widened window: must certify with a replay obligation and restore.
+    let (_, plan_aw) = certify(&a, &wide);
+    let widened_certified_with_replay = plan_aw.safe
+        && plan_aw.needs_replay
+        && checkpoint::restore_mapped(
+            &a.deployment,
+            &wide.deployment,
+            &plan_aw,
+            SimConfig::default(),
+            &bytes,
+        )
+        .is_ok();
+
+    // Narrowed window: the verifier must refuse, and the mapped restore
+    // must fail — no state ever crosses an uncertified migration.
+    let (_, plan_an) = certify(&a, &narrow);
+    let narrow_refused = !plan_an.safe;
+    let rejected_fails = matches!(
+        checkpoint::map_snapshot(
+            &a.deployment,
+            &narrow.deployment,
+            &plan_an,
+            SimConfig::default().slack,
+            &bytes,
+        ),
+        Err(CheckpointError::MigrationRejected(_))
+    );
+
+    ExperimentOutput::MigrateBench {
+        id: id.to_string(),
+        events: events.len() as u64,
+        window_old: WINDOW_OLD,
+        window_wide: WINDOW_WIDE,
+        window_narrow: WINDOW_NARROW,
+        matched_tasks,
+        identity_certified,
+        sim_identical,
+        threaded_identical,
+        certified_identical,
+        widened_certified_with_replay,
+        narrow_refused,
+        rejected_fails,
+        migrated_matches,
+    }
+}
+
 impl ExperimentOutput {
     /// The experiment's id.
     pub fn id(&self) -> &str {
@@ -1741,7 +1964,8 @@ impl ExperimentOutput {
             | ExperimentOutput::FaultBench { id, .. }
             | ExperimentOutput::MatcherBench { id, .. }
             | ExperimentOutput::MultiQueryBench { id, .. }
-            | ExperimentOutput::ObserveBench { id, .. } => id,
+            | ExperimentOutput::ObserveBench { id, .. }
+            | ExperimentOutput::MigrateBench { id, .. } => id,
         }
     }
 
@@ -2092,6 +2316,48 @@ impl ExperimentOutput {
                 if !flight_timeline.is_empty() {
                     let _ = writeln!(out, "{flight_timeline}");
                 }
+            }
+            ExperimentOutput::MigrateBench {
+                id,
+                events,
+                window_old,
+                window_wide,
+                window_narrow,
+                matched_tasks,
+                identity_certified,
+                sim_identical,
+                threaded_identical,
+                certified_identical,
+                widened_certified_with_replay,
+                narrow_refused,
+                rejected_fails,
+                migrated_matches,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "== {id}: live migration soundness (fig1 workload, {events} events) =="
+                );
+                let _ = writeln!(
+                    out,
+                    "identity {window_old} -> {window_old}: certified {identity_certified}, \
+                     {matched_tasks} matched task(s), sim identical {sim_identical}, threaded \
+                     identical {threaded_identical} ({migrated_matches} matches)"
+                );
+                let _ = writeln!(
+                    out,
+                    "widened {window_old} -> {window_wide}: certified with replay and restores: \
+                     {widened_certified_with_replay}"
+                );
+                let _ = writeln!(
+                    out,
+                    "narrowed {window_old} -> {window_narrow}: verifier refused {narrow_refused}, \
+                     mapped restore fails {rejected_fails}"
+                );
+                let _ = writeln!(
+                    out,
+                    "certified restores identical: {certified_identical}, rejected restore \
+                     fails: {rejected_fails}"
+                );
             }
         }
         out

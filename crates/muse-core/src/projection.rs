@@ -94,6 +94,18 @@ impl Projection {
     pub fn signature(&self, query: &Query) -> String {
         self.root.signature(query.prim_types())
     }
+
+    /// Order-preserving structural signature: the `tree_signature` term of
+    /// [`Projection::stream_sig`] without the predicate terms. Two
+    /// projections with equal structure signatures have identical projected
+    /// operator trees *and* identical left-to-right prim numbering, so
+    /// their buffered join state is layout-compatible. The migration-safety
+    /// pass keys vertex correspondence on this (rather than `stream_sig`)
+    /// so that a window or predicate edit still matches its old vertex and
+    /// can be diagnosed, instead of silently failing to correspond.
+    pub fn structure_sig(&self, query: &Query) -> String {
+        self.root.tree_signature(query.prim_types())
+    }
 }
 
 /// Checks negation-closure (Def. 9) of the projection induced by `keep`:

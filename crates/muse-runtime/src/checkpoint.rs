@@ -42,6 +42,11 @@
 //! fails with [`CheckpointError::PlanMismatch`] instead. Unknown versions
 //! fail with [`CheckpointError::UnsupportedVersion`]; truncated or
 //! malformed bytes with [`CheckpointError::Malformed`] — never a panic.
+//!
+//! The one sanctioned way *across* plans is [`map_snapshot`] /
+//! [`restore_mapped`]: given a certified-safe `muse-verify`
+//! [`MigrationPlan`], state is re-keyed task-by-task from the old
+//! deployment onto the new one (live migration of a running network).
 
 use crate::codec::{
     encode_match, try_decode_match, try_get_u16, try_get_u32, try_get_u64, try_get_u8,
@@ -52,6 +57,7 @@ use crate::metrics::{JoinStats, Metrics, TransportStats};
 use crate::sim::{SimConfig, SimExecutor};
 use bytes::{BufMut, BytesMut};
 use muse_telemetry::{HistSnapshot, LogHistogram};
+use muse_verify::{CarryMode, MigrationPlan};
 
 /// Leading magic of every snapshot ("MUSE" in ASCII).
 pub const SNAPSHOT_MAGIC: u32 = 0x4d55_5345;
@@ -72,7 +78,14 @@ pub enum CheckpointError {
         expected: u64,
         /// Fingerprint recorded in the snapshot header.
         found: u64,
+        /// Where the snapshot's task structure first diverges from the
+        /// target deployment (empty when the decode path could not tell).
+        detail: String,
     },
+    /// A cross-plan restore was attempted without a certified-safe
+    /// [`muse_verify::MigrationPlan`]; the message summarizes why the
+    /// verifier refused.
+    MigrationRejected(String),
     /// The bytes are truncated or structurally invalid.
     Malformed,
     /// The snapshot's task structure does not fit the deployment (slot or
@@ -92,11 +105,25 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::UnsupportedVersion(v) => {
                 write!(f, "unsupported snapshot version {v}")
             }
-            CheckpointError::PlanMismatch { expected, found } => write!(
-                f,
-                "snapshot was taken under a different plan \
-                 (deployment {expected:#018x}, snapshot {found:#018x})"
-            ),
+            CheckpointError::PlanMismatch {
+                expected,
+                found,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "snapshot was taken under a different plan \
+                     (deployment {expected:#018x}, snapshot {found:#018x})"
+                )?;
+                if detail.is_empty() {
+                    Ok(())
+                } else {
+                    write!(f, "; {detail}")
+                }
+            }
+            CheckpointError::MigrationRejected(why) => {
+                write!(f, "cross-plan restore refused: {why}")
+            }
             CheckpointError::Malformed => write!(f, "snapshot bytes are malformed"),
             CheckpointError::Shape(what) => write!(f, "snapshot shape mismatch: {what}"),
             CheckpointError::NotQuiescent => {
@@ -232,6 +259,7 @@ pub fn decode_for(deployment: &Deployment, bytes: &[u8]) -> Result<Snapshot, Che
         return Err(CheckpointError::PlanMismatch {
             expected,
             found: snap.plan,
+            detail: shape_divergence(deployment, &snap),
         });
     }
     if snap.tasks.len() != deployment.tasks.len() {
@@ -243,6 +271,202 @@ pub fn decode_for(deployment: &Deployment, bytes: &[u8]) -> Result<Snapshot, Che
         ));
     }
     Ok(snap)
+}
+
+/// Describes where a snapshot's task structure first diverges from a
+/// deployment — the part of a [`CheckpointError::PlanMismatch`] an operator
+/// can act on. When every task state fits (the fingerprints differ only in
+/// windows, routes, rates, or attribution, which leave the state vector's
+/// shape unchanged), says so instead of naming a task.
+fn shape_divergence(deployment: &Deployment, snap: &Snapshot) -> String {
+    if snap.tasks.len() != deployment.tasks.len() {
+        return format!(
+            "snapshot carries {} task states, the deployment has {} tasks",
+            snap.tasks.len(),
+            deployment.tasks.len()
+        );
+    }
+    if snap.matches.len() != deployment.queries.len() {
+        return format!(
+            "snapshot carries {} per-query match streams, the deployment has {} queries",
+            snap.matches.len(),
+            deployment.queries.len()
+        );
+    }
+    for (i, saved) in snap.tasks.iter().enumerate() {
+        let label = deployment.task_label(i);
+        match (&deployment.tasks[i].kind, saved) {
+            (TaskKind::Source { .. }, Some(_)) => {
+                return format!(
+                    "first diverging task {label}: snapshot holds join state \
+                     where the deployment places a source"
+                );
+            }
+            (TaskKind::Join { .. }, None) => {
+                return format!(
+                    "first diverging task {label}: snapshot holds no join state \
+                     where the deployment places a join"
+                );
+            }
+            (TaskKind::Join { slots }, Some(state)) if state.stores.len() != slots.len() => {
+                return format!(
+                    "first diverging task {label}: snapshot join state has {} input \
+                     stores, the deployment expects {}",
+                    state.stores.len(),
+                    slots.len()
+                );
+            }
+            _ => {}
+        }
+    }
+    "every task state fits the target's shape; the plans differ in \
+     placement, windows, routes, or attribution"
+        .to_string()
+}
+
+/// Maps a snapshot taken under `old` into a snapshot restorable under
+/// `new`, following a certified [`MigrationPlan`] from
+/// `muse-verify`'s plan-diff pass — the runtime half of live migration.
+///
+/// Physical tasks are paired by [`Deployment::task_key`] (the same
+/// shared-collapse key the verifier profiles), duplicates in declaration
+/// order. Tasks the plan marks [`CarryMode::Carry`]/[`CarryMode::Replay`]
+/// take the old task's join state verbatim; everything else starts from a
+/// freshly instantiated state (`slack` must match the restoring executor's
+/// eviction slack so fresh and grafted states share a shape). Sink matches
+/// follow their [`QueryId`](muse_core::types::QueryId); dropped queries'
+/// matches are discarded. Transmission-multiplexing memory is filtered to
+/// stream signatures the new plan still emits. The result claims `new`'s
+/// fingerprint and restores through the ordinary
+/// [`SimExecutor::from_snapshot`] / threaded resume paths.
+///
+/// # Errors
+///
+/// [`CheckpointError::MigrationRejected`] when `plan.safe` is `false` —
+/// an uncertified mapping would silently corrupt join buffers, which is
+/// exactly what the verifier exists to rule out. Otherwise the usual
+/// decode errors, [`CheckpointError::PlanMismatch`] when the snapshot was
+/// not taken under `old`, and [`CheckpointError::NotQuiescent`] when
+/// in-flight deliveries exist (quiesce before migrating).
+pub fn map_snapshot(
+    old: &Deployment,
+    new: &Deployment,
+    plan: &MigrationPlan,
+    slack: f64,
+    bytes: &[u8],
+) -> Result<Snapshot, CheckpointError> {
+    use std::collections::{HashMap, HashSet, VecDeque};
+    if !plan.safe {
+        let why = plan
+            .actions
+            .iter()
+            .find(|a| a.mode == CarryMode::Fresh && a.from.is_some() && a.to.is_some())
+            .map(|a| format!(" (first unsafe task: {})", a.detail))
+            .unwrap_or_default();
+        return Err(CheckpointError::MigrationRejected(format!(
+            "the migration plan is not certified safe{why}; \
+             run `muse-verify migrate` for the full diagnostic report"
+        )));
+    }
+    let snap = decode_for(old, bytes)?;
+    if !snap.pending.is_empty() {
+        return Err(CheckpointError::NotQuiescent);
+    }
+
+    // Old tasks by migration key, duplicates queued in declaration order —
+    // the same order the verifier's profile pass saw them.
+    let mut old_by_key: HashMap<muse_verify::TaskKey, VecDeque<usize>> = HashMap::new();
+    for i in 0..old.tasks.len() {
+        old_by_key.entry(old.task_key(i)).or_default().push_back(i);
+    }
+    // Certified carries by destination key.
+    let mut carry_by_to: HashMap<muse_verify::TaskKey, VecDeque<muse_verify::TaskKey>> =
+        HashMap::new();
+    for a in &plan.actions {
+        if let (Some(from), Some(to)) = (a.from, a.to) {
+            if matches!(a.mode, CarryMode::Carry | CarryMode::Replay) {
+                carry_by_to.entry(to).or_default().push_back(from);
+            }
+        }
+    }
+
+    let mut tasks = Vec::with_capacity(new.tasks.len());
+    for i in 0..new.tasks.len() {
+        let carried = carry_by_to
+            .get_mut(&new.task_key(i))
+            .and_then(VecDeque::pop_front)
+            .and_then(|from| old_by_key.get_mut(&from).and_then(VecDeque::pop_front))
+            .and_then(|old_idx| snap.tasks[old_idx].clone());
+        tasks.push(match carried {
+            Some(state) => Some(state),
+            None => new.make_join(i, slack).map(|j| j.save_state()),
+        });
+    }
+
+    let old_query_idx: HashMap<_, _> = old
+        .queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| (q.id(), i))
+        .collect();
+    let matches = new
+        .queries
+        .iter()
+        .map(|q| {
+            old_query_idx
+                .get(&q.id())
+                .map(|&i| snap.matches[i].clone())
+                .unwrap_or_default()
+        })
+        .collect();
+
+    let live_sigs: HashSet<u64> = new.tasks.iter().map(|t| t.stream_sig).collect();
+    let sent = snap
+        .sent
+        .iter()
+        .filter(|&&(sig, from, to, _)| {
+            live_sigs.contains(&sig)
+                && (from as usize) < new.num_nodes
+                && (to as usize) < new.num_nodes
+        })
+        .copied()
+        .collect();
+
+    let mut metrics = snap.metrics.clone();
+    metrics.per_node_processed.resize(new.num_nodes, 0);
+    let mut cursors = snap.cursors.clone();
+    if !cursors.is_empty() {
+        cursors.resize(new.num_nodes, 0);
+    }
+
+    Ok(Snapshot {
+        plan: new.fingerprint(),
+        tasks,
+        pending: Vec::new(),
+        next_sub: snap.next_sub,
+        metrics,
+        matches,
+        wall_latencies_ns: snap.wall_latencies_ns.clone(),
+        sent,
+        cursors,
+    })
+}
+
+/// Restores a simulator under `new` from a snapshot taken under `old`,
+/// through a certified [`MigrationPlan`] — [`map_snapshot`] followed by the
+/// ordinary snapshot-restore path (which re-validates every grafted state's
+/// shape). The fresh states use `config.slack`, keeping them identical to
+/// what the executor would build itself.
+pub fn restore_mapped<'a>(
+    old: &Deployment,
+    new: &'a Deployment,
+    plan: &MigrationPlan,
+    config: SimConfig,
+    bytes: &[u8],
+) -> Result<SimExecutor<'a>, CheckpointError> {
+    let slack = config.slack;
+    let snap = map_snapshot(old, new, plan, slack, bytes)?;
+    SimExecutor::from_snapshot(new, config, snap)
 }
 
 /// Encodes a snapshot into its versioned byte form.
@@ -770,10 +994,69 @@ mod tests {
         let d2 = two_node_deployment(200); // different window ⇒ different plan
         let executor = SimExecutor::new(&d1, SimConfig::default());
         let bytes = snapshot(&executor).unwrap();
+        let err = match restore(&d2, SimConfig::default(), &bytes) {
+            Err(e) => e,
+            Ok(_) => panic!("expected PlanMismatch, got a restored executor"),
+        };
+        match &err {
+            CheckpointError::PlanMismatch {
+                expected,
+                found,
+                detail,
+            } => {
+                assert_eq!(*expected, d2.fingerprint());
+                assert_eq!(*found, d1.fingerprint());
+                // Only the window differs, so every task shape still fits —
+                // the detail must say so rather than blame a task.
+                assert!(detail.contains("fits the target's shape"), "{detail}");
+            }
+            other => panic!("expected PlanMismatch, got {other:?}"),
+        }
+        let text = err.to_string();
+        assert!(
+            text.contains(&format!("{:#018x}", d2.fingerprint())),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("{:#018x}", d1.fingerprint())),
+            "{text}"
+        );
+        assert!(text.contains("fits the target's shape"), "{text}");
+    }
+
+    #[test]
+    fn plan_mismatch_names_first_diverging_task() {
+        // Structurally different plans: the snapshot's task vector cannot
+        // line up, and the error names where it first diverges.
+        let d1 = two_node_deployment(100);
+        let t0 = EventTypeId(0);
+        let t1 = EventTypeId(1);
+        let t2 = EventTypeId(2);
+        let net = NetworkBuilder::new(2, 3)
+            .node(NodeId(0), [t0, t2])
+            .node(NodeId(1), [t1])
+            .rate(t0, 1.0)
+            .rate(t1, 1.0)
+            .rate(t2, 1.0)
+            .build();
+        let q = Query::build(
+            QueryId(0),
+            &Pattern::seq([Pattern::leaf(t0), Pattern::leaf(t1), Pattern::leaf(t2)]),
+            vec![],
+            100,
+        )
+        .unwrap();
+        let plan = amuse(&q, &net, &AMuseConfig::default()).unwrap();
+        let ctx = PlanContext::new(std::slice::from_ref(&q), &net, &plan.table);
+        let d2 = Deployment::new(&plan.graph, &ctx);
+        let executor = SimExecutor::new(&d1, SimConfig::default());
+        let bytes = snapshot(&executor).unwrap();
         match restore(&d2, SimConfig::default(), &bytes) {
-            Err(CheckpointError::PlanMismatch { expected, found }) => {
-                assert_eq!(expected, d2.fingerprint());
-                assert_eq!(found, d1.fingerprint());
+            Err(CheckpointError::PlanMismatch { detail, .. }) => {
+                assert!(
+                    detail.contains("task states") || detail.contains("first diverging task"),
+                    "{detail}"
+                );
             }
             Err(other) => panic!("expected PlanMismatch, got {other:?}"),
             Ok(_) => panic!("expected PlanMismatch, got a restored executor"),

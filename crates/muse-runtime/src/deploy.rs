@@ -42,9 +42,11 @@ pub enum Sharing {
 /// from the event's candidate set without evaluating any predicate.
 ///
 /// Bands are coarse by design: boundaries are closed even for strict
-/// comparisons, and `Ne`/string predicates contribute no band. Admission by
-/// the band is therefore necessary but not sufficient — the full predicate
-/// list still runs on admitted events.
+/// comparisons, and `Ne`/string predicates contribute no band of their own
+/// (though a jointly unsatisfiable predicate set — decided in the sound
+/// interval domain — yields the empty band `[+inf, -inf]`, rejecting every
+/// event). Admission by the band is therefore necessary but not sufficient
+/// — the full predicate list still runs on admitted events.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Band {
     /// The constrained attribute.
@@ -88,11 +90,21 @@ impl SourceCandidate {
 }
 
 /// Folds a source task's unary constant predicates into per-attribute
-/// interval bands. Non-numeric and `Ne` predicates contribute nothing (the
-/// band stays conservative); contradictory constraints yield an empty
-/// interval (`lo > hi`), which [`SourceCandidate::admits`] rejects.
+/// interval bands, by evaluating them in `muse-verify`'s sound interval
+/// abstract domain ([`muse_verify::AbsAttr`]) and coarsening the result.
+///
+/// A band is emitted only for attributes carrying at least one numeric
+/// non-`Ne` constraint (such predicates reject non-numeric and absent
+/// values, which is what [`SourceCandidate::admits`] enforces); open
+/// interval endpoints coarsen to closed ones. When the abstract value is
+/// *empty* — the predicate set is jointly unsatisfiable, including
+/// mixed-type and puncture cases invisible to per-pair reasoning — the
+/// attribute gets the canonical empty band `[+inf, -inf]`, pruning every
+/// event before any predicate runs.
 fn derive_bands(query: &Query, prim: PrimId, predicates: &[usize]) -> Vec<Band> {
-    let mut bands: Vec<Band> = Vec::new();
+    use muse_verify::AbsAttr;
+    // (attr, abstract value, has a numeric non-Ne constraint)
+    let mut abs: Vec<(AttrId, AbsAttr, bool)> = Vec::new();
     for &pi in predicates {
         let PredicateExpr::UnaryConst {
             prim: p,
@@ -106,30 +118,34 @@ fn derive_bands(query: &Query, prim: PrimId, predicates: &[usize]) -> Vec<Band> 
         if *p != prim {
             continue;
         }
-        let v = match value {
-            Value::Int(i) => *i as f64,
-            Value::Float(f) => *f,
-            Value::Str(_) => continue,
-        };
-        let (lo, hi) = match op {
-            CmpOp::Eq => (v, v),
-            CmpOp::Lt | CmpOp::Le => (f64::NEG_INFINITY, v),
-            CmpOp::Gt | CmpOp::Ge => (v, f64::INFINITY),
-            CmpOp::Ne => continue,
-        };
-        match bands.iter_mut().find(|b| b.attr == *attr) {
-            Some(b) => {
-                b.lo = b.lo.max(lo);
-                b.hi = b.hi.min(hi);
+        let entry = match abs.iter_mut().position(|(a, _, _)| a == attr) {
+            Some(i) => &mut abs[i],
+            None => {
+                abs.push((*attr, AbsAttr::top(), false));
+                abs.last_mut().unwrap()
             }
-            None => bands.push(Band {
-                attr: *attr,
-                lo,
-                hi,
-            }),
+        };
+        entry.1.constrain(*op, value);
+        if matches!(value, Value::Int(_) | Value::Float(_)) && *op != CmpOp::Ne {
+            entry.2 = true;
         }
     }
-    bands
+    abs.into_iter()
+        .filter_map(|(attr, a, numeric)| {
+            if a.is_empty() {
+                return Some(Band {
+                    attr,
+                    lo: f64::INFINITY,
+                    hi: f64::NEG_INFINITY,
+                });
+            }
+            numeric.then_some(Band {
+                attr,
+                lo: a.num.lo,
+                hi: a.num.hi,
+            })
+        })
+        .collect()
 }
 
 /// The role of a task.
@@ -532,6 +548,22 @@ impl Deployment {
                 slots,
                 slack,
             )),
+        }
+    }
+
+    /// The task's migration identity: the shared-collapse key
+    /// `(node, stream_sig, prims, window)` under which
+    /// [`muse_verify::migrate`] matches physical tasks across two plans.
+    /// [`crate::checkpoint::map_snapshot`] uses it to pair a
+    /// [`muse_verify::MigrationPlan`]'s per-task actions with concrete task
+    /// indices on both sides.
+    pub fn task_key(&self, task: usize) -> muse_verify::TaskKey {
+        let spec = &self.tasks[task];
+        muse_verify::TaskKey {
+            node: spec.node,
+            stream_sig: spec.stream_sig,
+            prims: spec.prims.bits(),
+            window: self.queries[spec.query_idx].window(),
         }
     }
 

@@ -360,7 +360,9 @@ fn resume_rejects_foreign_plan() {
     exec.process_trace(&events[..events.len() / 2]);
     let snap = checkpoint::snapshot(&exec).expect("sim snapshots");
     match run_threaded_resumed(&other, &events, &ThreadedConfig::default(), &snap) {
-        Err(CheckpointError::PlanMismatch { expected, found }) => {
+        Err(CheckpointError::PlanMismatch {
+            expected, found, ..
+        }) => {
             assert_eq!(expected, other.fingerprint());
             assert_eq!(found, deployment.fingerprint());
         }

@@ -1,0 +1,304 @@
+//! End-to-end live migration: snapshot a run under plan A, certify the
+//! A→B migration with `muse-verify`'s plan-diff pass, map the state with
+//! [`checkpoint::map_snapshot`], and resume under plan B — in the
+//! simulator and the threaded executor. Certified migrations restore
+//! fingerprint-identical and resume to the uninterrupted run's results;
+//! rejected migrations must fail the restore instead of corrupting state.
+
+use muse_core::algorithms::amuse::AMuseConfig;
+use muse_core::algorithms::multi_query::amuse_workload;
+use muse_core::catalog::Catalog;
+use muse_core::event::{Event, Timestamp};
+use muse_core::graph::{MuseGraph, PlanContext};
+use muse_core::network::{Network, NetworkBuilder};
+use muse_core::projection::ProjectionTable;
+use muse_core::query::{Pattern, Predicate, Query};
+use muse_core::types::{EventTypeId, NodeId};
+use muse_core::workload::Workload;
+use muse_runtime::checkpoint::{self, CheckpointError};
+use muse_runtime::deploy::Deployment;
+use muse_runtime::matcher::Match;
+use muse_runtime::sim::{SimConfig, SimExecutor};
+use muse_runtime::threaded::{run_threaded, run_threaded_resumed, ThreadedConfig};
+use muse_verify::{verify_migration, MigrationPlan, Report};
+use std::collections::BTreeSet;
+
+fn t(i: u16) -> EventTypeId {
+    EventTypeId(i)
+}
+fn n(i: u16) -> NodeId {
+    NodeId(i)
+}
+
+fn network() -> Network {
+    NetworkBuilder::new(3, 3)
+        .node(n(0), [t(0), t(2)])
+        .node(n(1), [t(0), t(1)])
+        .node(n(2), [t(1)])
+        .rate(t(0), 20.0)
+        .rate(t(1), 20.0)
+        .rate(t(2), 1.0)
+        .build()
+}
+
+fn trace(network: &Network, seed: u64) -> Vec<Event> {
+    muse_sim::traces::generate_traces(
+        network,
+        &muse_sim::traces::TraceConfig {
+            duration: 30.0,
+            ticks_per_unit: 100.0,
+            rate_scale: 0.05,
+            key_domain: 0,
+            band_domain: 0,
+            seed,
+        },
+    )
+}
+
+/// The Fig. 1 `SEQ(AND(t0, t1), t2)` query — partial matches cross the
+/// network, so the migrated state is genuinely distributed.
+fn pattern() -> Pattern {
+    Pattern::seq([
+        Pattern::and([Pattern::leaf(t(0)), Pattern::leaf(t(1))]),
+        Pattern::leaf(t(2)),
+    ])
+}
+
+/// One placed plan: queries, projection table, graph, and the deployment
+/// built from them (kept together so a `PlanContext` can be re-derived for
+/// the migration pass).
+struct Placed {
+    queries: Vec<Query>,
+    table: ProjectionTable,
+    graph: MuseGraph,
+    deployment: Deployment,
+}
+
+fn place(window: Timestamp, network: &Network) -> Placed {
+    let workload = Workload::from_patterns(
+        Catalog::with_anonymous_types(3),
+        [(pattern(), Vec::<Predicate>::new(), window)],
+    )
+    .expect("pattern builds a workload");
+    let plan =
+        amuse_workload(&workload, network, &AMuseConfig::default()).expect("aMuSE plans workload");
+    let queries = workload.queries().to_vec();
+    let ctx = PlanContext::new(&queries, network, &plan.table);
+    let deployment = Deployment::new(&plan.merged, &ctx);
+    Placed {
+        queries,
+        table: plan.table,
+        graph: plan.merged,
+        deployment,
+    }
+}
+
+fn certify(a: &Placed, b: &Placed, network: &Network) -> (Report, MigrationPlan) {
+    let actx = PlanContext::new(&a.queries, network, &a.table);
+    let bctx = PlanContext::new(&b.queries, network, &b.table);
+    verify_migration(&a.graph, &actx, &b.graph, &bctx, None)
+}
+
+fn fingerprints(matches: &[Match]) -> BTreeSet<Vec<u64>> {
+    matches.iter().map(Match::fingerprint).collect()
+}
+
+/// A certified identity migration resumes the simulator to exactly the
+/// uninterrupted run's results, and the mapped snapshot claims the new
+/// plan's fingerprint.
+#[test]
+fn certified_migration_is_lossless_in_sim() {
+    let net = network();
+    let a = place(5_000, &net);
+    let b = place(5_000, &net);
+    let events = trace(&net, 11);
+    let half = events.len() / 2;
+
+    let mut exec = SimExecutor::new(&a.deployment, SimConfig::default());
+    exec.process_trace(&events[..half]);
+    let bytes = checkpoint::snapshot(&exec).expect("sim snapshots");
+
+    let (report, plan) = certify(&a, &b, &net);
+    assert!(plan.safe, "identity migration must certify:\n{report}");
+
+    let mapped = checkpoint::map_snapshot(
+        &a.deployment,
+        &b.deployment,
+        &plan,
+        SimConfig::default().slack,
+        &bytes,
+    )
+    .expect("certified migration restores");
+    assert_eq!(
+        mapped.plan,
+        b.deployment.fingerprint(),
+        "mapped snapshot must claim the new plan's fingerprint"
+    );
+
+    let mut resumed = checkpoint::restore_mapped(
+        &a.deployment,
+        &b.deployment,
+        &plan,
+        SimConfig::default(),
+        &bytes,
+    )
+    .expect("certified migration restores into an executor");
+    resumed.process_trace(&events[half..]);
+    let migrated = resumed.finish();
+
+    let mut uninterrupted = SimExecutor::new(&b.deployment, SimConfig::default());
+    uninterrupted.process_trace(&events);
+    let baseline = uninterrupted.finish();
+
+    assert!(!baseline.matches[0].is_empty(), "trace produces matches");
+    assert_eq!(
+        fingerprints(&migrated.matches[0]),
+        fingerprints(&baseline.matches[0]),
+        "migrated run diverges from the uninterrupted run"
+    );
+    assert_eq!(migrated.metrics.sink_matches, baseline.metrics.sink_matches);
+}
+
+/// The same certified migration resumes the threaded executor: the mapped
+/// snapshot re-encodes and feeds the ordinary resume path, and the results
+/// match an uninterrupted threaded run.
+#[test]
+fn certified_migration_is_lossless_threaded() {
+    let net = network();
+    let a = place(5_000, &net);
+    let b = place(5_000, &net);
+    let events = trace(&net, 17);
+    let half = events.len() / 2;
+
+    let mut exec = SimExecutor::new(&a.deployment, SimConfig::default());
+    exec.process_trace(&events[..half]);
+    let bytes = checkpoint::snapshot(&exec).expect("sim snapshots");
+
+    let (report, plan) = certify(&a, &b, &net);
+    assert!(plan.safe, "identity migration must certify:\n{report}");
+
+    let config = ThreadedConfig::default();
+    let mapped =
+        checkpoint::map_snapshot(&a.deployment, &b.deployment, &plan, config.slack, &bytes)
+            .expect("certified migration restores");
+    let mapped_bytes = checkpoint::encode(&mapped);
+    let migrated = run_threaded_resumed(&b.deployment, &events, &config, &mapped_bytes)
+        .expect("mapped snapshot resumes the threaded executor");
+
+    let baseline = run_threaded(&b.deployment, &events, &config);
+    assert!(!baseline.matches[0].is_empty(), "trace produces matches");
+    assert_eq!(
+        fingerprints(&migrated.matches[0]),
+        fingerprints(&baseline.matches[0]),
+        "migrated threaded run diverges from the uninterrupted run"
+    );
+}
+
+/// A widened window certifies with a replay obligation and restores; the
+/// resumed run completes and reaches at least the carried state's matches.
+#[test]
+fn widened_window_migration_restores() {
+    let net = network();
+    let a = place(5_000, &net);
+    let b = place(8_000, &net);
+    let events = trace(&net, 23);
+    let half = events.len() / 2;
+
+    let mut exec = SimExecutor::new(&a.deployment, SimConfig::default());
+    exec.process_trace(&events[..half]);
+    let carried_so_far = exec.matches()[0].len();
+    let bytes = checkpoint::snapshot(&exec).expect("sim snapshots");
+
+    let (report, plan) = certify(&a, &b, &net);
+    assert!(plan.safe, "widened window must certify:\n{report}");
+    assert!(plan.needs_replay, "widening carries a replay obligation");
+
+    let mut resumed = checkpoint::restore_mapped(
+        &a.deployment,
+        &b.deployment,
+        &plan,
+        SimConfig::default(),
+        &bytes,
+    )
+    .expect("certified migration restores");
+    resumed.process_trace(&events[half..]);
+    let migrated = resumed.finish();
+    assert!(
+        migrated.matches[0].len() >= carried_so_far,
+        "carried matches must survive the migration"
+    );
+}
+
+/// An uncertified plan — here a narrowed window — must fail the restore
+/// with `MigrationRejected` in both executor paths. This is the soundness
+/// gate: no state ever crosses an unsafe migration.
+#[test]
+fn rejected_migration_fails_restore() {
+    let net = network();
+    let a = place(5_000, &net);
+    let b = place(2_000, &net);
+    let events = trace(&net, 29);
+
+    let mut exec = SimExecutor::new(&a.deployment, SimConfig::default());
+    exec.process_trace(&events[..events.len() / 2]);
+    let bytes = checkpoint::snapshot(&exec).expect("sim snapshots");
+
+    let (report, plan) = certify(&a, &b, &net);
+    assert!(!plan.safe, "narrowed window must not certify:\n{report}");
+
+    match checkpoint::restore_mapped(
+        &a.deployment,
+        &b.deployment,
+        &plan,
+        SimConfig::default(),
+        &bytes,
+    ) {
+        Err(CheckpointError::MigrationRejected(why)) => {
+            assert!(why.contains("not certified safe"), "{why}");
+        }
+        Err(other) => panic!("expected MigrationRejected, got {other:?}"),
+        Ok(_) => panic!("unsafe migration must not restore"),
+    }
+    match checkpoint::map_snapshot(
+        &a.deployment,
+        &b.deployment,
+        &plan,
+        SimConfig::default().slack,
+        &bytes,
+    ) {
+        Err(CheckpointError::MigrationRejected(_)) => {}
+        other => panic!("expected MigrationRejected, got {other:?}"),
+    }
+}
+
+/// The snapshot fed to a migration must actually come from the old plan:
+/// a foreign snapshot fails with `PlanMismatch` even when the migration
+/// itself is certified.
+#[test]
+fn migration_rejects_foreign_snapshot() {
+    let net = network();
+    let a = place(5_000, &net);
+    let b = place(5_000, &net);
+    let other = place(3_000, &net);
+    let events = trace(&net, 31);
+
+    let mut exec = SimExecutor::new(&other.deployment, SimConfig::default());
+    exec.process_trace(&events[..events.len() / 2]);
+    let bytes = checkpoint::snapshot(&exec).expect("sim snapshots");
+
+    let (report, plan) = certify(&a, &b, &net);
+    assert!(plan.safe, "{report}");
+
+    match checkpoint::map_snapshot(
+        &a.deployment,
+        &b.deployment,
+        &plan,
+        SimConfig::default().slack,
+        &bytes,
+    ) {
+        Err(CheckpointError::PlanMismatch { found, .. }) => {
+            assert_eq!(found, other.deployment.fingerprint());
+        }
+        other => panic!("expected PlanMismatch, got {other:?}"),
+    }
+}

@@ -37,7 +37,8 @@ macro_rules! codes {
     ($($(#[doc = $doc:literal])* $variant:ident = $code:literal, $sev:ident, $title:literal;)+) => {
         /// Stable diagnostic codes. The `MGxxxx` identifiers never change
         /// meaning across releases; retired codes are not reused. The first
-        /// digit groups by pass: `1` query lints, `2` graph checks, `3`
+        /// digit groups by pass: `1` query lints, `2` graph checks (the
+        /// `MG025x` sub-range is the plan-diff migration family), `3`
         /// deployment checks.
         #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
         pub enum Code {
@@ -88,6 +89,15 @@ codes! {
     NegationNotClosed = "MG0209", Error, "projection violates negation-closure (Def. 9)";
     IncompleteGraph = "MG0210", Error, "graph misses bindings required by completeness (Def. 8)";
     CompletenessSkipped = "MG0211", Lint, "completeness not checked (binding space too large)";
+    MigrationPortable = "MG0250", Lint, "vertex state carries over unchanged";
+    MigrationReplay = "MG0251", Warning, "window widened; state portable with replay";
+    MigrationWindowNarrowed = "MG0252", Error, "window narrowed; join buffers cannot carry over";
+    MigrationPredicatesChanged = "MG0253", Error, "predicates changed on a matched vertex";
+    MigrationSinksChanged = "MG0254", Error, "sink attribution changed on a matched vertex";
+    MigrationVertexLost = "MG0255", Error, "vertex of a surviving query has no correspondent";
+    MigrationVertexFresh = "MG0256", Warning, "vertex added or moved; state starts cold";
+    MigrationQueryDropped = "MG0257", Lint, "query removed; its state is dropped";
+    MigrationQueryAdded = "MG0258", Lint, "query added; its state starts cold";
     UnreachableInput = "MG0301", Error, "projection input receives no events at its node";
     InconsistentCostModel = "MG0302", Warning, "edge weights disagree with the output-rate model";
     NonFiniteRate = "MG0303", Error, "projection output rate is not finite";

@@ -1,0 +1,772 @@
+//! Interval abstract domain for predicate reasoning.
+//!
+//! The query lints, the deploy checks, and the migration pass all need to
+//! answer questions about *sets of attribute values*: is a conjunction of
+//! unary predicates satisfiable (MG0101/MG0102)? does one query's predicate
+//! set imply another's (MG0109 subsumption)? are two plans' predicate sets
+//! semantically equivalent (MG0253 migration safety)? The seed answered the
+//! first of these by sampling five candidate points per predicate pair —
+//! which is unsound: the pairwise check misses conjunctions that are only
+//! *jointly* unsatisfiable (`x >= 5 AND x <= 5 AND x != 5` — every pair is
+//! satisfiable, the triple is not), and sampling can never certify
+//! implication at all.
+//!
+//! This module replaces sampling with a small abstract interpretation. Each
+//! `(prim, attr)` pair is abstracted by an [`AbsAttr`]: a *type mask*
+//! (which [`Value`] variants remain possible), a numeric [`Interval`] with
+//! open/closed bounds, a finite set of numeric punctures (`!=` constants),
+//! and a string-side summary (pinned equality, excluded strings, ordered
+//! string constraints). The domain supports meet (`∩`, via
+//! [`AbsAttr::constrain`]), emptiness, and ordering (`⊑`, via
+//! [`AbsAttr::le`]) — enough for sound contradiction detection and a sound
+//! (conservative) implication check.
+//!
+//! Semantics follow [`CmpOp::test`] exactly: incomparable values fail every
+//! comparison except `Ne`. So `x < 5` excludes strings (a string is
+//! incomparable with `5`, and `Lt.test(None) = false`), while `x != 5`
+//! admits them (`Ne.test(None) = true`). Missing attributes fail every
+//! predicate, so the abstraction describes the values of an attribute that
+//! is present.
+
+use muse_core::event::Value;
+use muse_core::query::{CmpOp, Predicate, PredicateExpr, Query};
+use muse_core::types::{AttrId, PrimId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A numeric interval with independently open or closed endpoints.
+///
+/// `lo = -inf` / `hi = +inf` encode unbounded sides (the open flags are
+/// irrelevant at infinities but kept `false` for canonical form).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// `true` if the lower bound is excluded (`(lo, …`).
+    pub lo_open: bool,
+    /// Upper bound.
+    pub hi: f64,
+    /// `true` if the upper bound is excluded (`…, hi)`).
+    pub hi_open: bool,
+}
+
+impl Interval {
+    /// The full real line `(-inf, +inf)`.
+    pub fn top() -> Self {
+        Self {
+            lo: f64::NEG_INFINITY,
+            lo_open: false,
+            hi: f64::INFINITY,
+            hi_open: false,
+        }
+    }
+
+    /// The single point `[v, v]`.
+    pub fn point(v: f64) -> Self {
+        Self {
+            lo: v,
+            lo_open: false,
+            hi: v,
+            hi_open: false,
+        }
+    }
+
+    /// The interval of values satisfying `x OP v`, or `None` for `Ne`
+    /// (a puncture, not an interval — callers track those separately).
+    pub fn from_cmp(op: CmpOp, v: f64) -> Option<Self> {
+        let mut iv = Self::top();
+        match op {
+            CmpOp::Eq => iv = Self::point(v),
+            CmpOp::Lt => {
+                iv.hi = v;
+                iv.hi_open = true;
+            }
+            CmpOp::Le => iv.hi = v,
+            CmpOp::Gt => {
+                iv.lo = v;
+                iv.lo_open = true;
+            }
+            CmpOp::Ge => iv.lo = v,
+            CmpOp::Ne => return None,
+        }
+        Some(iv)
+    }
+
+    /// `true` if no real number lies in the interval. A NaN bound (from a
+    /// NaN predicate constant) makes the interval empty: no value compares
+    /// against NaN.
+    pub fn is_empty(&self) -> bool {
+        if self.lo.is_nan() || self.hi.is_nan() {
+            return true;
+        }
+        self.lo > self.hi || (self.lo == self.hi && (self.lo_open || self.hi_open))
+    }
+
+    /// `true` if `v` lies in the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        let lo_ok = v > self.lo || (v == self.lo && !self.lo_open);
+        let hi_ok = v < self.hi || (v == self.hi && !self.hi_open);
+        lo_ok && hi_ok
+    }
+
+    /// Intersection (`∩`): the tightest bounds from either side.
+    pub fn meet(&self, other: &Self) -> Self {
+        let (lo, lo_open) = match self.lo.partial_cmp(&other.lo) {
+            Some(std::cmp::Ordering::Greater) => (self.lo, self.lo_open),
+            Some(std::cmp::Ordering::Less) => (other.lo, other.lo_open),
+            _ => (self.lo, self.lo_open || other.lo_open),
+        };
+        let (hi, hi_open) = match self.hi.partial_cmp(&other.hi) {
+            Some(std::cmp::Ordering::Less) => (self.hi, self.hi_open),
+            Some(std::cmp::Ordering::Greater) => (other.hi, other.hi_open),
+            _ => (self.hi, self.hi_open || other.hi_open),
+        };
+        // Propagate NaN bounds so is_empty stays true.
+        let lo = if self.lo.is_nan() || other.lo.is_nan() {
+            f64::NAN
+        } else {
+            lo
+        };
+        let hi = if self.hi.is_nan() || other.hi.is_nan() {
+            f64::NAN
+        } else {
+            hi
+        };
+        Self {
+            lo,
+            lo_open,
+            hi,
+            hi_open,
+        }
+    }
+
+    /// Convex hull (`∪` over-approximation): the loosest bounds.
+    pub fn join(&self, other: &Self) -> Self {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        let (lo, lo_open) = match self.lo.partial_cmp(&other.lo) {
+            Some(std::cmp::Ordering::Less) => (self.lo, self.lo_open),
+            Some(std::cmp::Ordering::Greater) => (other.lo, other.lo_open),
+            _ => (self.lo, self.lo_open && other.lo_open),
+        };
+        let (hi, hi_open) = match self.hi.partial_cmp(&other.hi) {
+            Some(std::cmp::Ordering::Greater) => (self.hi, self.hi_open),
+            Some(std::cmp::Ordering::Less) => (other.hi, other.hi_open),
+            _ => (self.hi, self.hi_open && other.hi_open),
+        };
+        Self {
+            lo,
+            lo_open,
+            hi,
+            hi_open,
+        }
+    }
+
+    /// Domain ordering (`⊑`): `true` if every value in `self` lies in
+    /// `other`.
+    pub fn le(&self, other: &Self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        if other.is_empty() {
+            return false;
+        }
+        let lo_ok = other.lo < self.lo || (other.lo == self.lo && (!other.lo_open || self.lo_open));
+        let hi_ok = other.hi > self.hi || (other.hi == self.hi && (!other.hi_open || self.hi_open));
+        lo_ok && hi_ok
+    }
+}
+
+/// Which [`Value`] variants remain possible for an attribute. Int and Float
+/// compare numerically against each other, so they share the `NUM` bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypeMask(u8);
+
+impl TypeMask {
+    /// Numeric values (Int or Float).
+    pub const NUM: u8 = 0b01;
+    /// String values.
+    pub const STR: u8 = 0b10;
+
+    /// All variants possible.
+    pub fn top() -> Self {
+        Self(Self::NUM | Self::STR)
+    }
+
+    /// `true` if numeric values are still possible.
+    pub fn has_num(self) -> bool {
+        self.0 & Self::NUM != 0
+    }
+
+    /// `true` if string values are still possible.
+    pub fn has_str(self) -> bool {
+        self.0 & Self::STR != 0
+    }
+
+    /// Removes a variant bit.
+    pub fn remove(&mut self, bit: u8) {
+        self.0 &= !bit;
+    }
+
+    /// `true` if `self`'s possible variants are a subset of `other`'s.
+    pub fn subset_of(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+}
+
+/// Abstract value of one `(prim, attr)` pair under a conjunction of unary
+/// predicates: the set of attribute values satisfying all of them, split
+/// into a numeric side and a string side gated by a [`TypeMask`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsAttr {
+    /// Variants still possible.
+    pub mask: TypeMask,
+    /// Numeric side: the surviving interval.
+    pub num: Interval,
+    /// Numeric side: punctures from `!=` constants (sorted, deduped bits).
+    pub num_ne: Vec<u64>,
+    /// String side: pinned value from `= "s"` (conflicting pins ⇒ bottom,
+    /// encoded by removing `STR` from the mask).
+    pub str_eq: Option<String>,
+    /// String side: excluded values from `!= "s"`.
+    pub str_ne: BTreeSet<String>,
+    /// String side: ordered constraints (`< "s"` etc.), kept symbolically.
+    pub str_ord: Vec<(CmpOp, String)>,
+}
+
+impl Default for AbsAttr {
+    fn default() -> Self {
+        Self::top()
+    }
+}
+
+impl AbsAttr {
+    /// No constraints: any value possible.
+    pub fn top() -> Self {
+        Self {
+            mask: TypeMask::top(),
+            num: Interval::top(),
+            num_ne: Vec::new(),
+            str_eq: None,
+            str_ne: BTreeSet::new(),
+            str_ord: Vec::new(),
+        }
+    }
+
+    /// Meets the abstraction with `x OP value` (one unary predicate).
+    pub fn constrain(&mut self, op: CmpOp, value: &Value) {
+        match value {
+            Value::Int(_) | Value::Float(_) => {
+                let v = match value {
+                    Value::Int(i) => *i as f64,
+                    Value::Float(f) => *f,
+                    Value::Str(_) => unreachable!(),
+                };
+                if op == CmpOp::Ne {
+                    // Strings are incomparable with v: Ne.test(None) = true,
+                    // so the string side is untouched.
+                    if !v.is_nan() && !self.num_ne.contains(&v.to_bits()) {
+                        self.num_ne.push(v.to_bits());
+                        self.num_ne.sort_unstable();
+                    }
+                } else {
+                    // Every other comparison fails on incomparable values,
+                    // so strings are ruled out entirely.
+                    self.mask.remove(TypeMask::STR);
+                    match Interval::from_cmp(op, v) {
+                        Some(iv) => self.num = self.num.meet(&iv),
+                        None => unreachable!("Ne handled above"),
+                    }
+                }
+            }
+            Value::Str(s) => match op {
+                CmpOp::Ne => {
+                    // Numbers are incomparable with "s": they satisfy Ne.
+                    self.str_ne.insert(s.clone());
+                }
+                CmpOp::Eq => {
+                    self.mask.remove(TypeMask::NUM);
+                    match &self.str_eq {
+                        Some(prev) if prev != s => self.mask.remove(TypeMask::STR),
+                        _ => self.str_eq = Some(s.clone()),
+                    }
+                }
+                CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                    self.mask.remove(TypeMask::NUM);
+                    if !self.str_ord.contains(&(op, s.clone())) {
+                        self.str_ord.push((op, s.clone()));
+                    }
+                }
+            },
+        }
+    }
+
+    /// `true` if the numeric side admits at least one value.
+    fn num_nonempty(&self) -> bool {
+        if !self.mask.has_num() || self.num.is_empty() {
+            return false;
+        }
+        // A finite puncture set can only exhaust a single-point interval.
+        if self.num.lo == self.num.hi {
+            return !self.num_ne.contains(&self.num.lo.to_bits());
+        }
+        true
+    }
+
+    /// `true` if the string side admits at least one value.
+    fn str_nonempty(&self) -> bool {
+        if !self.mask.has_str() {
+            return false;
+        }
+        match &self.str_eq {
+            Some(s) => {
+                !self.str_ne.contains(s)
+                    && self
+                        .str_ord
+                        .iter()
+                        .all(|(op, bound)| op.test(Some(s.as_str().cmp(bound.as_str()))))
+            }
+            // Without a pinned value, finitely many exclusions and a
+            // conjunction of order constraints can only be unsatisfiable if
+            // the order constraints conflict; check the interval they induce
+            // over strings (lexicographic order is dense and unbounded
+            // above, so only lower-vs-upper conflicts matter).
+            None => {
+                let mut lo: Option<(&str, bool)> = None; // (bound, open)
+                let mut hi: Option<(&str, bool)> = None;
+                for (op, s) in &self.str_ord {
+                    match op {
+                        CmpOp::Gt | CmpOp::Ge => {
+                            let open = *op == CmpOp::Gt;
+                            if lo.is_none_or(|(b, o)| {
+                                s.as_str() > b || (s.as_str() == b && open && !o)
+                            }) {
+                                lo = Some((s, open));
+                            }
+                        }
+                        CmpOp::Lt | CmpOp::Le => {
+                            let open = *op == CmpOp::Lt;
+                            if hi.is_none_or(|(b, o)| {
+                                s.as_str() < b || (s.as_str() == b && open && !o)
+                            }) {
+                                hi = Some((s, open));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                match (lo, hi) {
+                    (Some((l, lo_open)), Some((h, hi_open))) => {
+                        // Lexicographic order is dense *upward* (append a
+                        // character) but between l and h there is always a
+                        // string unless h <= l, or h == l with an open end.
+                        l < h || (l == h && !lo_open && !hi_open)
+                    }
+                    _ => true,
+                }
+            }
+        }
+    }
+
+    /// `true` if no [`Value`] satisfies the accumulated constraints.
+    pub fn is_empty(&self) -> bool {
+        !self.num_nonempty() && !self.str_nonempty()
+    }
+
+    /// Domain ordering (`⊑`): `true` if every value admitted by `self` is
+    /// admitted by `other`. Conservative: `false` answers may be imprecise
+    /// (never the `true` ones), which keeps implication-based lints sound.
+    pub fn le(&self, other: &Self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        if self.num_nonempty() {
+            if !other.mask.has_num() {
+                return false;
+            }
+            if !self.num.le(&other.num) {
+                return false;
+            }
+            for p in &other.num_ne {
+                if self.num.contains(f64::from_bits(*p)) && !self.num_ne.contains(p) {
+                    return false;
+                }
+            }
+        }
+        if self.str_nonempty() {
+            if !other.mask.has_str() {
+                return false;
+            }
+            match (&self.str_eq, &other.str_eq) {
+                (_, None) => {}
+                (Some(a), Some(b)) if a == b => {}
+                _ => return false,
+            }
+            for s in &other.str_ne {
+                let excluded = self.str_ne.contains(s)
+                    || self.str_eq.as_ref().is_some_and(|e| e != s)
+                    || self
+                        .str_ord
+                        .iter()
+                        .any(|(op, b)| !op.test(Some(s.as_str().cmp(b.as_str()))));
+                if !excluded {
+                    return false;
+                }
+            }
+            for (op, s) in &other.str_ord {
+                let implied = self
+                    .str_ord
+                    .iter()
+                    .any(|(so, sb)| so == op && sb == s || implies_ord(*so, sb, *op, s))
+                    || self
+                        .str_eq
+                        .as_ref()
+                        .is_some_and(|e| op.test(Some(e.as_str().cmp(s.as_str()))));
+                if !implied {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// `true` if `x OP_A a` implies `x OP_B b` over strings (same-direction
+/// bound strengthening only; conservative).
+fn implies_ord(op_a: CmpOp, a: &str, op_b: CmpOp, b: &str) -> bool {
+    match (op_a, op_b) {
+        (CmpOp::Lt, CmpOp::Lt) | (CmpOp::Le, CmpOp::Le) | (CmpOp::Le, CmpOp::Lt) => a < b,
+        (CmpOp::Lt, CmpOp::Le) => a <= b,
+        (CmpOp::Gt, CmpOp::Gt) | (CmpOp::Ge, CmpOp::Ge) | (CmpOp::Ge, CmpOp::Gt) => a > b,
+        (CmpOp::Gt, CmpOp::Ge) => a >= b,
+        _ => false,
+    }
+}
+
+/// Abstraction of a full predicate set: per-`(prim, attr)` unary
+/// abstractions plus the residual non-unary predicates kept in canonical
+/// textual form (binary predicates are compared syntactically — sound for
+/// equivalence and for the superset direction of implication).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PredAbstract {
+    /// Unary constraints folded per `(prim, attr)`.
+    pub attrs: BTreeMap<(PrimId, AttrId), AbsAttr>,
+    /// Canonical renderings of the non-unary (binary) predicates.
+    pub other: BTreeSet<String>,
+}
+
+impl PredAbstract {
+    /// Folds a predicate slice into the abstraction.
+    pub fn from_predicates(preds: &[Predicate]) -> Self {
+        let mut abs = Self::default();
+        for p in preds {
+            abs.add(p);
+        }
+        abs
+    }
+
+    /// Folds the predicate subset of `query` selected by `indices`.
+    pub fn from_indices(query: &Query, indices: &[usize]) -> Self {
+        let mut abs = Self::default();
+        for &i in indices {
+            if let Some(p) = query.predicates().get(i) {
+                abs.add(p);
+            }
+        }
+        abs
+    }
+
+    /// Adds one predicate to the abstraction.
+    pub fn add(&mut self, p: &Predicate) {
+        match &p.expr {
+            PredicateExpr::UnaryConst {
+                prim,
+                attr,
+                op,
+                value,
+            } => {
+                self.attrs
+                    .entry((*prim, *attr))
+                    .or_default()
+                    .constrain(*op, value);
+            }
+            PredicateExpr::BinaryAttr {
+                left_prim,
+                left_attr,
+                op,
+                right_prim,
+                right_attr,
+            } => {
+                // Canonical orientation: smaller (prim, attr) on the left.
+                let (l, o, r) = if (left_prim, left_attr) <= (right_prim, right_attr) {
+                    ((*left_prim, *left_attr), *op, (*right_prim, *right_attr))
+                } else {
+                    (
+                        (*right_prim, *right_attr),
+                        flip_op(*op),
+                        (*left_prim, *left_attr),
+                    )
+                };
+                self.other.insert(format!(
+                    "p{}.a{} {} p{}.a{}",
+                    l.0 .0,
+                    l.1 .0,
+                    o.symbol(),
+                    r.0 .0,
+                    r.1 .0
+                ));
+            }
+        }
+    }
+
+    /// The first `(prim, attr)` whose accumulated constraints admit no
+    /// value, if any — i.e. the witness that the conjunction is
+    /// unsatisfiable.
+    pub fn unsat_attr(&self) -> Option<(PrimId, AttrId)> {
+        self.attrs
+            .iter()
+            .find(|(_, a)| a.is_empty())
+            .map(|(k, _)| *k)
+    }
+
+    /// `true` if `self` (the stricter set) implies `weaker`: every
+    /// assignment satisfying `self` satisfies `weaker`. Conservative.
+    pub fn implies(&self, weaker: &Self) -> bool {
+        // Unsatisfiable implies anything.
+        if self.unsat_attr().is_some() {
+            return true;
+        }
+        // Every binary predicate of the weaker set must appear verbatim.
+        if !weaker.other.is_subset(&self.other) {
+            return false;
+        }
+        // Every unary constraint of the weaker set must be implied by the
+        // stricter one on the same (prim, attr); missing entries in self
+        // mean top, which only implies top.
+        for (key, w) in &weaker.attrs {
+            match self.attrs.get(key) {
+                Some(s) => {
+                    if !s.le(w) {
+                        return false;
+                    }
+                }
+                None => {
+                    if !AbsAttr::top().le(w) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` if the two sets are semantically equivalent (mutual
+    /// implication). Reordered or syntactically redundant predicate lists
+    /// compare equal; genuinely different constraints do not.
+    pub fn equivalent(&self, other: &Self) -> bool {
+        self.implies(other) && other.implies(self)
+    }
+}
+
+/// Mirrors the left/right swap of a binary comparison.
+fn flip_op(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unary(op: CmpOp, v: Value) -> Predicate {
+        Predicate::unary(PrimId(0), AttrId(0), op, v, 0.5)
+    }
+
+    fn abs(preds: &[(CmpOp, Value)]) -> AbsAttr {
+        let mut a = AbsAttr::top();
+        for (op, v) in preds {
+            a.constrain(*op, v);
+        }
+        a
+    }
+
+    #[test]
+    fn interval_meet_open_closed() {
+        let a = Interval::from_cmp(CmpOp::Gt, 5.0).unwrap();
+        let b = Interval::from_cmp(CmpOp::Lt, 5.0).unwrap();
+        assert!(a.meet(&b).is_empty());
+        let c = Interval::from_cmp(CmpOp::Ge, 5.0).unwrap();
+        let d = Interval::from_cmp(CmpOp::Le, 5.0).unwrap();
+        let point = c.meet(&d);
+        assert!(!point.is_empty());
+        assert!(point.contains(5.0));
+        assert!(!point.contains(5.1));
+        // Mixed open/closed at the same bound is empty.
+        assert!(a.meet(&d).is_empty());
+    }
+
+    #[test]
+    fn interval_ordering() {
+        let narrow = Interval::from_cmp(CmpOp::Gt, 5.0).unwrap();
+        let wide = Interval::from_cmp(CmpOp::Ge, 5.0).unwrap();
+        assert!(narrow.le(&wide));
+        assert!(!wide.le(&narrow));
+        assert!(narrow.le(&Interval::top()));
+        let joined = narrow.join(&Interval::from_cmp(CmpOp::Le, 2.0).unwrap());
+        assert!(narrow.le(&joined));
+        assert!(Interval::point(1.0).le(&joined));
+    }
+
+    #[test]
+    fn pairwise_satisfiable_jointly_empty() {
+        // x >= 5 AND x <= 5 AND x != 5 — the sampling-era soundness hole.
+        let a = abs(&[
+            (CmpOp::Ge, Value::Int(5)),
+            (CmpOp::Le, Value::Int(5)),
+            (CmpOp::Ne, Value::Int(5)),
+        ]);
+        assert!(a.is_empty());
+        // Every proper pair is satisfiable.
+        assert!(!abs(&[(CmpOp::Ge, Value::Int(5)), (CmpOp::Le, Value::Int(5))]).is_empty());
+        assert!(!abs(&[(CmpOp::Ge, Value::Int(5)), (CmpOp::Ne, Value::Int(5))]).is_empty());
+        assert!(!abs(&[(CmpOp::Le, Value::Int(5)), (CmpOp::Ne, Value::Int(5))]).is_empty());
+    }
+
+    #[test]
+    fn open_interval_contradiction() {
+        let a = abs(&[(CmpOp::Gt, Value::Int(5)), (CmpOp::Lt, Value::Int(5))]);
+        assert!(a.is_empty());
+        let b = abs(&[(CmpOp::Gt, Value::Float(5.0)), (CmpOp::Le, Value::Int(5))]);
+        assert!(b.is_empty());
+        let c = abs(&[(CmpOp::Ge, Value::Int(5)), (CmpOp::Le, Value::Int(5))]);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn ne_keeps_strings_alive() {
+        // x != 5 admits any string (Ne.test(None) = true) …
+        let a = abs(&[
+            (CmpOp::Eq, Value::Str("up".into())),
+            (CmpOp::Ne, Value::Int(5)),
+        ]);
+        assert!(!a.is_empty());
+        // … but x < 5 does not.
+        let b = abs(&[
+            (CmpOp::Eq, Value::Str("up".into())),
+            (CmpOp::Lt, Value::Int(5)),
+        ]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn string_constraints() {
+        let conflict = abs(&[
+            (CmpOp::Eq, Value::Str("up".into())),
+            (CmpOp::Eq, Value::Str("down".into())),
+        ]);
+        assert!(conflict.is_empty());
+        let punct = abs(&[
+            (CmpOp::Eq, Value::Str("up".into())),
+            (CmpOp::Ne, Value::Str("up".into())),
+        ]);
+        assert!(punct.is_empty());
+        let ord = abs(&[
+            (CmpOp::Gt, Value::Str("m".into())),
+            (CmpOp::Lt, Value::Str("d".into())),
+        ]);
+        assert!(ord.is_empty());
+        let ord_ok = abs(&[
+            (CmpOp::Gt, Value::Str("d".into())),
+            (CmpOp::Lt, Value::Str("m".into())),
+        ]);
+        assert!(!ord_ok.is_empty());
+    }
+
+    #[test]
+    fn abs_attr_ordering() {
+        let strict = abs(&[(CmpOp::Gt, Value::Int(10)), (CmpOp::Ne, Value::Int(12))]);
+        let loose = abs(&[(CmpOp::Gt, Value::Int(5))]);
+        assert!(strict.le(&loose));
+        assert!(!loose.le(&strict));
+        // The puncture direction: other excludes 12, self must too.
+        let unpunctured = abs(&[(CmpOp::Gt, Value::Int(10))]);
+        let punctured = abs(&[(CmpOp::Gt, Value::Int(10)), (CmpOp::Ne, Value::Int(12))]);
+        assert!(punctured.le(&unpunctured));
+        assert!(!unpunctured.le(&punctured));
+    }
+
+    #[test]
+    fn pred_abstract_equivalence_modulo_order_and_redundancy() {
+        let a = PredAbstract::from_predicates(&[
+            unary(CmpOp::Ge, Value::Int(5)),
+            unary(CmpOp::Lt, Value::Int(10)),
+        ]);
+        let b = PredAbstract::from_predicates(&[
+            unary(CmpOp::Lt, Value::Int(10)),
+            unary(CmpOp::Ge, Value::Int(5)),
+            // Redundant: already implied.
+            unary(CmpOp::Ge, Value::Int(5)),
+        ]);
+        assert!(a.equivalent(&b));
+        let c = PredAbstract::from_predicates(&[
+            unary(CmpOp::Ge, Value::Int(6)),
+            unary(CmpOp::Lt, Value::Int(10)),
+        ]);
+        assert!(c.implies(&a));
+        assert!(!a.implies(&c));
+        assert!(!a.equivalent(&c));
+    }
+
+    #[test]
+    fn pred_abstract_binary_canonical() {
+        let p = Predicate::binary(
+            (PrimId(1), AttrId(0)),
+            CmpOp::Lt,
+            (PrimId(0), AttrId(0)),
+            0.5,
+        );
+        let q = Predicate::binary(
+            (PrimId(0), AttrId(0)),
+            CmpOp::Gt,
+            (PrimId(1), AttrId(0)),
+            0.5,
+        );
+        let a = PredAbstract::from_predicates(std::slice::from_ref(&p));
+        let b = PredAbstract::from_predicates(std::slice::from_ref(&q));
+        assert!(a.equivalent(&b));
+        let r = Predicate::binary(
+            (PrimId(0), AttrId(0)),
+            CmpOp::Lt,
+            (PrimId(1), AttrId(0)),
+            0.5,
+        );
+        let c = PredAbstract::from_predicates(std::slice::from_ref(&r));
+        assert!(!a.equivalent(&c));
+    }
+
+    #[test]
+    fn unsat_attr_names_the_witness() {
+        let preds = [
+            Predicate::unary(PrimId(1), AttrId(2), CmpOp::Gt, Value::Int(5), 0.5),
+            Predicate::unary(PrimId(1), AttrId(2), CmpOp::Lt, Value::Int(5), 0.5),
+            Predicate::unary(PrimId(0), AttrId(0), CmpOp::Ge, Value::Int(0), 0.5),
+        ];
+        let abs = PredAbstract::from_predicates(&preds);
+        assert_eq!(abs.unsat_attr(), Some((PrimId(1), AttrId(2))));
+    }
+
+    #[test]
+    fn nan_constant_is_empty() {
+        let a = abs(&[(CmpOp::Lt, Value::Float(f64::NAN))]);
+        assert!(a.is_empty());
+    }
+}

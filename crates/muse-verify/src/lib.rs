@@ -1,16 +1,21 @@
 //! # muse-verify
 //!
 //! Static verification of MuSE queries, graphs, and deployments, run before
-//! any event flows. Three passes mirror the paper's correctness stack:
+//! any event flows. Four passes mirror the paper's correctness stack:
 //!
 //! 1. **Query lints** ([`query_lints`]): contradictory or unsatisfiable
-//!    predicates, zero/absent windows, duplicate event types, NSEQ scoping.
+//!    predicates (decided soundly in the [`domain`] interval abstract
+//!    domain), zero/absent windows, duplicate event types, NSEQ scoping.
 //! 2. **Graph checks** ([`graph_checks`]): acyclicity, cover
 //!    well-formedness (Def. 7), combination correctness and redundancy
 //!    (Defs. 5/6/15), negation-closure (Def. 9), completeness (Def. 8).
 //! 3. **Deployment checks** ([`deploy_checks`]): input reachability under
 //!    `Γ = (N, f, r)`, cost-model consistency of edge weights (§4.4), and
 //!    sink/orphan structure.
+//! 4. **Migration safety** ([`migrate`]): a plan-diff pass deciding whether
+//!    snapshot state taken under one deployment can be mapped into another
+//!    (the `MG025x` family), shipped as a typed [`MigrationPlan`] that
+//!    `muse-runtime`'s `checkpoint::restore_mapped` enforces.
 //!
 //! Findings are structured [`Diagnostic`]s with stable `MGxxxx` codes,
 //! severities, and source spans, collected into a [`Report`] with JSON and
@@ -24,12 +29,18 @@
 
 pub mod deploy_checks;
 pub mod diag;
+pub mod domain;
 pub mod graph_checks;
+pub mod migrate;
 pub mod query_lints;
 
 pub use deploy_checks::verify_deployment;
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use domain::{AbsAttr, Interval, PredAbstract, TypeMask};
 pub use graph_checks::{verify_graph, VerifyConfig};
+pub use migrate::{
+    verify_migration, CarryMode, MigrationPlan, MigrationSpans, QuerySpanInfo, TaskAction, TaskKey,
+};
 pub use query_lints::{lint_query, lint_query_text, lint_workload};
 
 use muse_core::graph::{MuseGraph, PlanContext};

@@ -1,8 +1,10 @@
 //! Pass 1: query-level lints on the parsed AST — unsatisfiable or
-//! contradictory predicates, zero/absent windows, duplicate event types,
-//! and NSEQ scoping violations.
+//! contradictory predicates (decided in the [`crate::domain`] interval
+//! abstract domain), zero/absent windows, duplicate event types, and NSEQ
+//! scoping violations.
 
 use crate::diag::{Code, Diagnostic, Report, Span};
+use crate::domain::{AbsAttr, PredAbstract};
 use muse_core::catalog::Catalog;
 use muse_core::error::ModelError;
 use muse_core::event::Value;
@@ -151,14 +153,6 @@ fn flip(op: CmpOp) -> CmpOp {
     }
 }
 
-fn as_f64(v: &Value) -> Option<f64> {
-    match v {
-        Value::Int(i) => Some(*i as f64),
-        Value::Float(f) => Some(*f),
-        Value::Str(_) => None,
-    }
-}
-
 fn lint_predicates(query: &Query, spans: Option<&QuerySpans>, report: &mut Report) {
     let preds = query.predicates();
     for (i, p) in preds.iter().enumerate() {
@@ -181,6 +175,60 @@ fn lint_predicates(query: &Query, spans: Option<&QuerySpans>, report: &mut Repor
                 }
                 report.push(d);
             }
+        }
+    }
+    lint_joint_unsatisfiable(preds, spans, report);
+}
+
+/// Flags per-`(prim, attr)` conjunctions of unary predicates that are
+/// *jointly* unsatisfiable although every pair is satisfiable — the case
+/// pairwise checking can never see (`x >= 5 AND x <= 5 AND x != 5`: each
+/// pair admits a value, the triple does not). All unary constraints on an
+/// attribute are folded into one [`AbsAttr`] and the accumulated abstract
+/// value is tested for emptiness; groups where some pair already
+/// contradicts are skipped to avoid double-reporting.
+fn lint_joint_unsatisfiable(preds: &[Predicate], spans: Option<&QuerySpans>, report: &mut Report) {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<(PrimId, AttrId), Vec<usize>> = BTreeMap::new();
+    for (i, p) in preds.iter().enumerate() {
+        if let PredicateExpr::UnaryConst { prim, attr, .. } = &p.expr {
+            groups.entry((*prim, *attr)).or_default().push(i);
+        }
+    }
+    for ((prim, attr), idxs) in groups {
+        if idxs.len() < 3 {
+            continue; // fully covered by the pairwise check above
+        }
+        let pair_flagged = idxs.iter().enumerate().any(|(k, &i)| {
+            idxs[k + 1..]
+                .iter()
+                .any(|&j| predicates_contradict(&preds[i], &preds[j]))
+        });
+        if pair_flagged {
+            continue;
+        }
+        let mut abs = AbsAttr::top();
+        for &i in &idxs {
+            if let PredicateExpr::UnaryConst { op, value, .. } = &preds[i].expr {
+                abs.constrain(*op, value);
+            }
+        }
+        if abs.is_empty() {
+            let list: Vec<String> = idxs.iter().map(|i| format!("#{i}")).collect();
+            let mut d = Diagnostic::new(
+                Code::ContradictoryPredicates,
+                format!(
+                    "predicates {} on p{}.a{} are jointly unsatisfiable: no value of \
+                     the attribute satisfies all of them, although every pair does",
+                    list.join(", "),
+                    prim.0,
+                    attr.0
+                ),
+            );
+            if let Some(s) = idxs.iter().rev().find_map(|&i| pred_span(spans, i)) {
+                d = d.with_span(s);
+            }
+            report.push(d);
         }
     }
 }
@@ -276,32 +324,16 @@ fn predicates_contradict(a: &Predicate, b: &Predicate) -> bool {
     }
 }
 
+/// Decides joint unsatisfiability of `x OP1 v1 AND x OP2 v2` exactly, by
+/// meeting both constraints in the interval abstract domain and testing the
+/// result for emptiness. This replaces the seed's 5-point numeric sampling,
+/// which could only witness satisfiability at sampled points and silently
+/// under-approximated the string and mixed-type cases.
 fn unary_pair_contradicts(op1: CmpOp, v1: &Value, op2: CmpOp, v2: &Value) -> bool {
-    if let Some(std::cmp::Ordering::Equal) = v1.partial_cmp_value(v2) {
-        // Same bound: satisfiable iff the accepted ordering sets overlap.
-        return allowed(op1) & allowed(op2) == 0;
-    }
-    match (as_f64(v1), as_f64(v2)) {
-        (Some(x1), Some(x2)) => {
-            // Different numeric bounds: 5-point sampling over ℝ is exact for
-            // a conjunction of two threshold predicates — only the relative
-            // position to the two bounds matters.
-            let (lo, hi) = (x1.min(x2), x1.max(x2));
-            let candidates = [lo - 1.0, x1, (lo + hi) / 2.0, x2, hi + 1.0];
-            !candidates
-                .iter()
-                .any(|x| op1.test(x.partial_cmp(&x1)) && op2.test(x.partial_cmp(&x2)))
-        }
-        _ => {
-            // Non-numeric bounds that differ: decidable when either side
-            // pins the value with equality.
-            match (op1, op2) {
-                (CmpOp::Eq, _) => !op2.test(v1.partial_cmp_value(v2)),
-                (_, CmpOp::Eq) => !op1.test(v2.partial_cmp_value(v1)),
-                _ => false,
-            }
-        }
-    }
+    let mut abs = AbsAttr::top();
+    abs.constrain(op1, v1);
+    abs.constrain(op2, v2);
+    abs.is_empty()
 }
 
 /// Cross-query lints over a whole workload: exact structural duplicates
@@ -312,38 +344,41 @@ fn unary_pair_contradicts(op1: CmpOp, v1: &Value, op2: CmpOp, v2: &Value) -> boo
 /// predicate sets coincide — the shared-plan deployment evaluates them as
 /// one physical task, so duplicates are harmless but usually indicate a
 /// tenant registering the same query twice. A query is *subsumed* by
-/// another when both share the type tree and window and one's predicate
-/// set is a strict superset of the other's: every match of the stricter
-/// query is also produced by the looser one, so the stricter query could
-/// be answered by filtering the looser query's output stream.
+/// another when both share the type tree and window and its predicate set
+/// *implies* the other's in the interval abstract domain (a syntactic
+/// superset is the special case; `x > 5` is also subsumed by `x > 3`):
+/// every match of the stricter query is also produced by the looser one,
+/// so the stricter query could be answered by filtering the looser query's
+/// output stream.
 ///
 /// Queries are grouped by type-tree signature and window, so unrelated
 /// queries are never compared; within a group, exact duplicates are found
-/// by hashing and subsumption by pairwise set inclusion against earlier
-/// group members.
+/// by hashing and subsumption by pairwise [`PredAbstract::implies`] against
+/// earlier group members.
 pub fn lint_workload(queries: &[Query], report: &mut Report) {
     use std::collections::{BTreeSet, HashMap};
     let mut exact: HashMap<String, QueryId> = HashMap::new();
-    let mut groups: HashMap<String, Vec<(QueryId, BTreeSet<String>)>> = HashMap::new();
+    let mut groups: HashMap<String, Vec<(QueryId, PredAbstract)>> = HashMap::new();
     for query in queries {
-        // Order-preserving signature: predicates are compared as strings
-        // over prim ids, and prim numbering only lines up between two
-        // queries whose trees agree in declaration order (the canonical
-        // `signature` sorts AND/OR children and would flag AND(t0,t2) as a
-        // duplicate of AND(t2,t0) even when a unary predicate on P0 means
-        // different things in the two).
+        // Order-preserving signature: predicates are compared over prim
+        // ids, and prim numbering only lines up between two queries whose
+        // trees agree in declaration order (the canonical `signature` sorts
+        // AND/OR children and would flag AND(t0,t2) as a duplicate of
+        // AND(t2,t0) even when a unary predicate on P0 means different
+        // things in the two).
         let skeleton = format!(
             "{};w{}",
             query.root().tree_signature(query.prim_types()),
             query.window()
         );
-        let preds: BTreeSet<String> = query
+        let pred_strs: BTreeSet<String> = query
             .predicates()
             .iter()
             .map(|p| format!("{p:?}"))
             .collect();
+        let abs = PredAbstract::from_predicates(query.predicates());
         let mut full = skeleton.clone();
-        for p in &preds {
+        for p in &pred_strs {
             full.push(';');
             full.push_str(p);
         }
@@ -357,34 +392,31 @@ pub fn lint_workload(queries: &[Query], report: &mut Report) {
                     query.id()
                 ),
             ));
-            groups
-                .entry(skeleton)
-                .or_default()
-                .push((query.id(), preds));
+            groups.entry(skeleton).or_default().push((query.id(), abs));
             continue;
         }
         exact.insert(full, query.id());
         let members = groups.entry(skeleton).or_default();
-        for (other, other_preds) in members.iter() {
-            if preds.is_superset(other_preds) {
+        for (other, other_abs) in members.iter() {
+            if abs.implies(other_abs) {
                 report.push(Diagnostic::new(
                     Code::SubsumedQuery,
                     format!(
                         "query {:?} is subsumed by query {other:?}: same pattern and \
-                         window with a superset of its predicates, so its matches are \
-                         a subset of {other:?}'s output stream",
+                         window with predicates that imply its predicates, so its \
+                         matches are a subset of {other:?}'s output stream",
                         query.id()
                     ),
                 ));
                 break;
             }
-            if other_preds.is_superset(&preds) {
+            if other_abs.implies(&abs) {
                 report.push(Diagnostic::new(
                     Code::SubsumedQuery,
                     format!(
                         "query {other:?} is subsumed by query {:?}: same pattern and \
-                         window with a superset of its predicates, so its matches are \
-                         a subset of {:?}'s output stream",
+                         window with predicates that imply its predicates, so its \
+                         matches are a subset of {:?}'s output stream",
                         query.id(),
                         query.id()
                     ),
@@ -392,7 +424,7 @@ pub fn lint_workload(queries: &[Query], report: &mut Report) {
                 break;
             }
         }
-        members.push((query.id(), preds));
+        members.push((query.id(), abs));
     }
 }
 

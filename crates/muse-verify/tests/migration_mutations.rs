@@ -1,0 +1,189 @@
+//! Mutation harness for the plan-diff migration-safety pass: starting from
+//! a clean two-query plan, mutate one dimension of one query — narrow its
+//! window, flip a predicate bound, or drop its sink vertex — and require
+//! that the verifier (a) refuses to certify the pair, (b) flags the
+//! mutation with the right `MG025x` code, and (c) leaves the untouched
+//! control query's tasks fully portable. The unmutated and widened-window
+//! directions guard against false rejections: they must certify.
+//!
+//! Together these are the soundness gate of the migration verifier: zero
+//! false certifications across the randomized mutation space.
+
+use muse_core::catalog::Catalog;
+use muse_core::graph::{MuseGraph, PlanContext};
+use muse_core::prelude::*;
+use muse_core::projection::ProjectionTable;
+use muse_core::query::{CmpOp, Predicate};
+use muse_core::types::AttrId;
+use muse_verify::{verify_migration, CarryMode, Code, MigrationPlan, Report};
+use proptest::prelude::*;
+
+/// Window of the fixed control query (`Q0`); the mutable query's window is
+/// drawn to never collide with it, so control tasks are identifiable in
+/// the plan by their `TaskKey` window.
+const CONTROL_WINDOW: u64 = 1_000;
+
+/// Builds the two-query plan: a fixed control query
+/// `Q0 = SEQ(AND(C, L), F)` and the mutable `Q1 = SEQ(C, F)` with window
+/// `w` and predicate `p0.a0 > bound`.
+fn plan(w: u64, bound: i64) -> (Vec<Query>, Network, ProjectionTable, MuseGraph) {
+    let mut catalog = Catalog::new();
+    let c = catalog.add_event_type("C").unwrap();
+    let l = catalog.add_event_type("L").unwrap();
+    let f = catalog.add_event_type("F").unwrap();
+    let network = NetworkBuilder::new(3, 3)
+        .node(NodeId(0), [c, f])
+        .node(NodeId(1), [c, l])
+        .node(NodeId(2), [l])
+        .rate(c, 100.0)
+        .rate(l, 100.0)
+        .rate(f, 1.0)
+        .build();
+    let p0 = Pattern::seq([
+        Pattern::and([Pattern::leaf(c), Pattern::leaf(l)]),
+        Pattern::leaf(f),
+    ]);
+    let q0 = Query::build(QueryId(0), &p0, vec![], CONTROL_WINDOW).unwrap();
+    let p1 = Pattern::seq([Pattern::leaf(c), Pattern::leaf(f)]);
+    let preds = vec![Predicate::unary(
+        PrimId(0),
+        AttrId(0),
+        CmpOp::Gt,
+        Value::Int(bound),
+        0.5,
+    )];
+    let q1 = Query::build(QueryId(1), &p1, preds, w).unwrap();
+    let workload = Workload::new(catalog, vec![q0.clone(), q1.clone()]).unwrap();
+    let plan = amuse_workload(&workload, &network, &AMuseConfig::default()).unwrap();
+    (vec![q0, q1], network, plan.table, plan.merged)
+}
+
+fn migrate(
+    a: &(Vec<Query>, Network, ProjectionTable, MuseGraph),
+    b: &(Vec<Query>, Network, ProjectionTable, MuseGraph),
+) -> (Report, MigrationPlan) {
+    let actx = PlanContext::new(&a.0, &a.1, &a.2);
+    let bctx = PlanContext::new(&b.0, &b.1, &b.2);
+    verify_migration(&a.3, &actx, &b.3, &bctx, None)
+}
+
+/// Every task of the untouched control query carries over unchanged.
+fn control_tasks_carry(plan: &MigrationPlan) -> bool {
+    plan.actions
+        .iter()
+        .filter(|a| {
+            a.to.map(|k| k.window) == Some(CONTROL_WINDOW)
+                || a.from.map(|k| k.window) == Some(CONTROL_WINDOW)
+        })
+        .all(|a| a.mode == CarryMode::Carry)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The identity migration certifies: every task portable, no replay.
+    #[test]
+    fn identity_certifies(w in 200u64..2_000, bound in -50i64..50) {
+        if w == CONTROL_WINDOW {
+            return Ok(());
+        }
+        let a = plan(w, bound);
+        let b = plan(w, bound);
+        let (r, m) = migrate(&a, &b);
+        prop_assert!(m.safe && !m.needs_replay, "{r}");
+        prop_assert!(!r.has_errors(), "{r}");
+        prop_assert!(r.has_code(Code::MigrationPortable), "{r}");
+        prop_assert!(m.actions.iter().all(|a| a.mode == CarryMode::Carry), "{r}");
+        prop_assert_eq!(m.matched, m.actions.len());
+    }
+
+    /// Widening the window certifies with a replay obligation — a safe
+    /// change must not be rejected.
+    #[test]
+    fn widened_window_certifies_with_replay(
+        w in 200u64..2_000,
+        extra in 1u64..1_000,
+        bound in -50i64..50,
+    ) {
+        if w == CONTROL_WINDOW || w + extra == CONTROL_WINDOW {
+            return Ok(());
+        }
+        let a = plan(w, bound);
+        let b = plan(w + extra, bound);
+        let (r, m) = migrate(&a, &b);
+        prop_assert!(m.safe && m.needs_replay, "{r}");
+        prop_assert!(!r.has_errors(), "{r}");
+        prop_assert!(r.has_code(Code::MigrationReplay), "{r}");
+        prop_assert!(control_tasks_carry(&m), "{r}");
+    }
+
+    /// Narrowing the window is never certified, is flagged with MG0252,
+    /// and only the mutated query's tasks are implicated.
+    #[test]
+    fn narrowed_window_never_certifies(
+        w in 200u64..2_000,
+        narrower in 1u64..2_000,
+        bound in -50i64..50,
+    ) {
+        if narrower >= w || w == CONTROL_WINDOW || narrower == CONTROL_WINDOW {
+            return Ok(());
+        }
+        let a = plan(w, bound);
+        let b = plan(narrower, bound);
+        let (r, m) = migrate(&a, &b);
+        prop_assert!(!m.safe, "false certification:\n{r}");
+        prop_assert!(r.has_code(Code::MigrationWindowNarrowed), "{r}");
+        prop_assert!(!r.has_code(Code::MigrationPredicatesChanged), "{r}");
+        prop_assert!(control_tasks_carry(&m), "control query implicated:\n{r}");
+    }
+
+    /// Flipping the predicate bound is never certified, is flagged with
+    /// MG0253, and only the mutated query's tasks are implicated.
+    #[test]
+    fn flipped_predicate_never_certifies(
+        w in 200u64..2_000,
+        bound in -50i64..50,
+        delta_idx in 0usize..4,
+    ) {
+        if w == CONTROL_WINDOW {
+            return Ok(());
+        }
+        let delta = [-7i64, -1, 1, 13][delta_idx];
+        let a = plan(w, bound);
+        let b = plan(w, bound + delta);
+        let (r, m) = migrate(&a, &b);
+        prop_assert!(!m.safe, "false certification:\n{r}");
+        prop_assert!(r.has_code(Code::MigrationPredicatesChanged), "{r}");
+        prop_assert!(!r.has_code(Code::MigrationWindowNarrowed), "{r}");
+        prop_assert!(control_tasks_carry(&m), "control query implicated:\n{r}");
+    }
+
+    /// Dropping the mutable query's sink vertex while the query survives
+    /// is never certified and is flagged with MG0255.
+    #[test]
+    fn dropped_sink_never_certifies(w in 200u64..2_000, bound in -50i64..50) {
+        if w == CONTROL_WINDOW {
+            return Ok(());
+        }
+        let a = plan(w, bound);
+        let mut b = plan(w, bound);
+        let bctx = PlanContext::new(&b.0, &b.1, &b.2);
+        let victim = b
+            .3
+            .sinks()
+            .into_iter()
+            .find(|v| bctx.proj(v.proj).source == QueryId(1))
+            .expect("Q1 has a sink");
+        let mut pruned = MuseGraph::new();
+        for v in b.3.vertices().filter(|v| *v != victim) {
+            pruned.add_vertex(v);
+        }
+        for (x, y) in b.3.edges().filter(|(x, y)| *x != victim && *y != victim) {
+            pruned.add_edge(x, y);
+        }
+        b.3 = pruned;
+        let (r, m) = migrate(&a, &b);
+        prop_assert!(!m.safe, "false certification:\n{r}");
+        prop_assert!(r.has_code(Code::MigrationVertexLost), "{r}");
+    }
+}

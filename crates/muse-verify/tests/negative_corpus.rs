@@ -8,8 +8,8 @@ use muse_core::prelude::*;
 use muse_core::query::parser::ParserOptions;
 use muse_core::types::{PrimId, PrimSet};
 use muse_verify::{
-    lint_query_text, lint_workload, verify_deployment, verify_graph, verify_plan, Code, Report,
-    VerifyConfig,
+    lint_query_text, lint_workload, verify_deployment, verify_graph, verify_migration, verify_plan,
+    Code, MigrationPlan, Report, VerifyConfig,
 };
 
 // ---------------------------------------------------------------- helpers
@@ -89,6 +89,32 @@ fn mg0101_unsatisfiable_predicate() {
 fn mg0102_contradictory_predicates() {
     let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x = 1 AND f.x = 2 WITHIN 10");
     assert!(r.has_code(Code::ContradictoryPredicates), "{r}");
+}
+
+/// Regression (interval-domain rewrite): an empty *open*-interval
+/// intersection — `x > 5 AND x < 5` admits no value although the bounds
+/// are equal — must be flagged, and its satisfiable closed counterpart
+/// must not.
+#[test]
+fn mg0102_open_interval_intersection() {
+    let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x > 5 AND f.x < 5 WITHIN 10");
+    assert!(r.has_code(Code::ContradictoryPredicates), "{r}");
+    let r = lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x >= 5 AND f.x <= 5 WITHIN 10");
+    assert!(!r.has_code(Code::ContradictoryPredicates), "{r}");
+}
+
+/// Regression (the sampling-era soundness hole): `x >= 5 AND x <= 5 AND
+/// x != 5` is unsatisfiable although every pair of the three predicates is
+/// satisfiable — only the accumulated interval-domain conjunction sees it.
+#[test]
+fn mg0102_jointly_unsatisfiable_triple() {
+    let r =
+        lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x >= 5 AND f.x <= 5 AND f.x != 5 WITHIN 10");
+    assert!(r.has_code(Code::ContradictoryPredicates), "{r}");
+    // Loosening the upper bound makes the triple satisfiable again.
+    let r =
+        lint_text("PATTERN SEQ(Fail f, Kill k) WHERE f.x >= 5 AND f.x <= 6 AND f.x != 5 WITHIN 10");
+    assert!(!r.has_code(Code::ContradictoryPredicates), "{r}");
 }
 
 #[test]
@@ -449,6 +475,174 @@ fn mg0109_subsumed_query() {
     assert!(r.has_code(Code::SubsumedQuery), "{r}");
 }
 
+// -------------------------------------------------- migration-level cases
+
+/// A parameterized workload for plan-diff cases: `SEQ(AND(C, L), F)` with a
+/// window and optional predicate knob, plus an optional second query.
+fn migration_plan(
+    window: u64,
+    pred_bound: Option<i64>,
+    extra_query: bool,
+) -> (Vec<Query>, Network, ProjectionTable, MuseGraph) {
+    use muse_core::query::{CmpOp, Predicate};
+    use muse_core::types::AttrId;
+    let mut catalog = Catalog::new();
+    let c = catalog.add_event_type("C").unwrap();
+    let l = catalog.add_event_type("L").unwrap();
+    let f = catalog.add_event_type("F").unwrap();
+    let network = NetworkBuilder::new(3, 3)
+        .node(NodeId(0), [c, f])
+        .node(NodeId(1), [c, l])
+        .node(NodeId(2), [l])
+        .rate(c, 100.0)
+        .rate(l, 100.0)
+        .rate(f, 1.0)
+        .build();
+    let pattern = Pattern::seq([
+        Pattern::and([Pattern::leaf(c), Pattern::leaf(l)]),
+        Pattern::leaf(f),
+    ]);
+    let mut preds = Vec::new();
+    if let Some(bound) = pred_bound {
+        preds.push(Predicate::unary(
+            PrimId(2),
+            AttrId(0),
+            CmpOp::Gt,
+            Value::Int(bound),
+            0.5,
+        ));
+    }
+    let mut queries = vec![Query::build(QueryId(0), &pattern, preds, window).unwrap()];
+    if extra_query {
+        let p2 = Pattern::seq([Pattern::leaf(c), Pattern::leaf(f)]);
+        queries.push(Query::build(QueryId(1), &p2, vec![], 500).unwrap());
+    }
+    let workload = Workload::new(catalog, queries.clone()).unwrap();
+    let plan = amuse_workload(&workload, &network, &AMuseConfig::default()).unwrap();
+    (queries, network, plan.table, plan.merged)
+}
+
+fn migrate(
+    a: &(Vec<Query>, Network, ProjectionTable, MuseGraph),
+    b: &(Vec<Query>, Network, ProjectionTable, MuseGraph),
+) -> (Report, MigrationPlan) {
+    let actx = PlanContext::new(&a.0, &a.1, &a.2);
+    let bctx = PlanContext::new(&b.0, &b.1, &b.2);
+    verify_migration(&a.3, &actx, &b.3, &bctx, None)
+}
+
+#[test]
+fn mg0250_portable_migration() {
+    let a = migration_plan(1_000, Some(5), false);
+    let b = migration_plan(1_000, Some(5), false);
+    let (r, plan) = migrate(&a, &b);
+    assert!(r.has_code(Code::MigrationPortable), "{r}");
+    assert!(plan.safe && !plan.needs_replay, "{r}");
+}
+
+#[test]
+fn mg0251_widened_window_replay() {
+    let a = migration_plan(1_000, None, false);
+    let b = migration_plan(2_000, None, false);
+    let (r, plan) = migrate(&a, &b);
+    assert!(r.has_code(Code::MigrationReplay), "{r}");
+    assert!(plan.safe && plan.needs_replay, "{r}");
+}
+
+#[test]
+fn mg0252_narrowed_window() {
+    let a = migration_plan(1_000, None, false);
+    let b = migration_plan(500, None, false);
+    let (r, plan) = migrate(&a, &b);
+    assert!(r.has_code(Code::MigrationWindowNarrowed), "{r}");
+    assert!(!plan.safe);
+}
+
+#[test]
+fn mg0253_changed_predicates() {
+    let a = migration_plan(1_000, Some(5), false);
+    let b = migration_plan(1_000, Some(7), false);
+    let (r, plan) = migrate(&a, &b);
+    assert!(r.has_code(Code::MigrationPredicatesChanged), "{r}");
+    assert!(!plan.safe);
+}
+
+#[test]
+fn mg0254_changed_sink_attribution() {
+    // A: two byte-identical queries share one physical sink task attributed
+    // to {Q0, Q1}. B: Q1's window changes, so the shared task only serves
+    // Q0 — the carried per-query dedup state cannot be re-attributed.
+    let mut catalog = Catalog::new();
+    let c = catalog.add_event_type("C").unwrap();
+    let f = catalog.add_event_type("F").unwrap();
+    let network = NetworkBuilder::new(2, 2)
+        .node(NodeId(0), [c, f])
+        .node(NodeId(1), [c])
+        .rate(c, 10.0)
+        .rate(f, 1.0)
+        .build();
+    let pattern = Pattern::seq([Pattern::leaf(c), Pattern::leaf(f)]);
+    let build = |w1: u64| {
+        let q0 = Query::build(QueryId(0), &pattern, vec![], 500).unwrap();
+        let q1 = Query::build(QueryId(1), &pattern, vec![], w1).unwrap();
+        let workload = Workload::new(catalog.clone(), vec![q0.clone(), q1.clone()]).unwrap();
+        let plan = amuse_workload(&workload, &network, &AMuseConfig::default()).unwrap();
+        (vec![q0, q1], plan.table, plan.merged)
+    };
+    let (aq, at, ag) = build(500);
+    let (bq, bt, bg) = build(700);
+    let actx = PlanContext::new(&aq, &network, &at);
+    let bctx = PlanContext::new(&bq, &network, &bt);
+    let (r, plan) = verify_migration(&ag, &actx, &bg, &bctx, None);
+    assert!(r.has_code(Code::MigrationSinksChanged), "{r}");
+    assert!(!plan.safe);
+}
+
+#[test]
+fn mg0255_vertex_of_surviving_query_lost() {
+    let a = migration_plan(1_000, None, false);
+    let mut b = migration_plan(1_000, None, false);
+    let sink = b.3.sinks().into_iter().next().expect("has sink");
+    b.3 = without_vertex(&b.3, sink);
+    let (r, plan) = migrate(&a, &b);
+    assert!(r.has_code(Code::MigrationVertexLost), "{r}");
+    assert!(!plan.safe);
+}
+
+#[test]
+fn mg0256_added_vertex_starts_cold() {
+    let a = migration_plan(1_000, None, false);
+    let mut b = migration_plan(1_000, None, false);
+    // An extra well-formed {C, L} placement that A does not have.
+    let q = &b.0[0];
+    let p_cl = b.2.project_into(q, PrimSet::from_bits(0b011)).unwrap();
+    b.3.add_vertex(Vertex::new(p_cl, NodeId(1)));
+    let (r, plan) = migrate(&a, &b);
+    assert!(r.has_code(Code::MigrationVertexFresh), "{r}");
+    // A cold vertex is a warning, not a refusal.
+    assert!(plan.safe, "{r}");
+}
+
+#[test]
+fn mg0257_query_dropped() {
+    let a = migration_plan(1_000, None, true);
+    let b = migration_plan(1_000, None, false);
+    let (r, plan) = migrate(&a, &b);
+    assert!(r.has_code(Code::MigrationQueryDropped), "{r}");
+    assert!(plan.safe, "{r}");
+    assert_eq!(plan.dropped_queries, vec![QueryId(1)]);
+}
+
+#[test]
+fn mg0258_query_added() {
+    let a = migration_plan(1_000, None, false);
+    let b = migration_plan(1_000, None, true);
+    let (r, plan) = migrate(&a, &b);
+    assert!(r.has_code(Code::MigrationQueryAdded), "{r}");
+    assert!(plan.safe, "{r}");
+    assert_eq!(plan.added_queries, vec![QueryId(1)]);
+}
+
 /// Every code in the registry is exercised by this corpus (or the
 /// query-lint suite); keeps the corpus in lockstep with new codes.
 #[test]
@@ -475,6 +669,15 @@ fn corpus_covers_all_error_codes() {
         Code::NegationNotClosed,
         Code::IncompleteGraph,
         Code::CompletenessSkipped,
+        Code::MigrationPortable,
+        Code::MigrationReplay,
+        Code::MigrationWindowNarrowed,
+        Code::MigrationPredicatesChanged,
+        Code::MigrationSinksChanged,
+        Code::MigrationVertexLost,
+        Code::MigrationVertexFresh,
+        Code::MigrationQueryDropped,
+        Code::MigrationQueryAdded,
         Code::UnreachableInput,
         Code::InconsistentCostModel,
         Code::NonFiniteRate,

@@ -4,8 +4,8 @@
 # smoke runs of the matcher join bench, the executor transport bench, the
 # fault-recovery bench, the shared multi-query bench, and the
 # observability bench (emitting BENCH_matcher.json, BENCH_executor.json,
-# BENCH_faults.json, BENCH_multiquery.json, and BENCH_observe.json at the
-# repo root plus telemetry exports under out/). The executor smoke
+# BENCH_faults.json, BENCH_multiquery.json, BENCH_observe.json, and
+# BENCH_migrate.json at the repo root plus telemetry exports under out/). The executor smoke
 # additionally gates on the batched and naive transports producing
 # identical match sets; the fault smoke gates on the crashed run
 # reproducing the uninterrupted run's match sets; the multiquery smoke
@@ -14,7 +14,12 @@
 # observe smoke gates on provenance-on/off match parity, witness-closure
 # reproduction (including one `harness explain` invocation), near-zero
 # cost-model drift on a stationary trace, and drift detection on a
-# rate-shifted trace. Exits nonzero on the first failure.
+# rate-shifted trace; the migrate lane (BENCH_migrate.json) gates on
+# certified plan migrations restoring fingerprint-identical in both
+# executors and on rejected migrations failing the restore, plus a
+# `muse-verify migrate` smoke over the example query files (the certified
+# pair must exit 0, the narrowed pair must be refused). Exits nonzero on
+# the first failure.
 #
 # Opt-in slow lanes (need a nightly toolchain, skipped by default so the
 # tier-1 gate stays fast):
@@ -41,6 +46,19 @@ cargo run -q -p muse-verify --release --bin muse-verify -- \
     query examples/queries/*.sase
 cargo run -q -p muse-verify --release --bin muse-verify -- \
     plan examples/queries/factory_robots.sase --network examples/queries/factory.net
+
+echo "== verify: muse-verify migrate over examples/queries =="
+# The certified pair (append-only edit) must exit 0 …
+cargo run -q -p muse-verify --release --bin muse-verify -- \
+    migrate examples/queries/factory_robots.sase examples/queries/factory_robots_v2.sase \
+    --network examples/queries/factory.net
+# … and the narrowed-window pair must be refused (nonzero exit).
+if cargo run -q -p muse-verify --release --bin muse-verify -- \
+    migrate examples/queries/factory_robots.sase examples/queries/factory_robots_v2_unsafe.sase \
+    --network examples/queries/factory.net; then
+    echo "ci.sh: migrate smoke: narrowed-window migration was certified" >&2
+    exit 1
+fi
 
 echo "== loom: model-checked worker/watermark handoff =="
 RUSTFLAGS="--cfg loom" cargo test --release -p muse-runtime --test loom_handoff -q
@@ -81,6 +99,21 @@ echo "== smoke: fault-recovery bench (with telemetry) =="
 cargo run -p muse-bench --release --bin harness -- faults --quick --out . --telemetry out
 grep -q '"fingerprints_equal": true' BENCH_faults.json || {
     echo "ci.sh: fault smoke: crash recovery lost or duplicated matches" >&2
+    exit 1
+}
+
+echo "== smoke: live-migration bench =="
+cargo run -p muse-bench --release --bin harness -- migrate --quick --out .
+grep -q '"certified_identical": true' BENCH_migrate.json || {
+    echo "ci.sh: migrate smoke: certified migration did not restore fingerprint-identical" >&2
+    exit 1
+}
+grep -q '"widened_certified_with_replay": true' BENCH_migrate.json || {
+    echo "ci.sh: migrate smoke: widened-window migration failed to certify or restore" >&2
+    exit 1
+}
+grep -q '"rejected_fails": true' BENCH_migrate.json || {
+    echo "ci.sh: migrate smoke: rejected migration did not fail the restore" >&2
     exit 1
 }
 
